@@ -1,0 +1,300 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (regenerating its rows or
+// series each iteration and reporting the headline metric), plus
+// micro-benchmarks of the predictor primitives themselves.
+//
+// The per-artifact benchmarks run the experiments at a reduced trace scale
+// so `go test -bench=.` completes in minutes; cmd/paperrepro regenerates
+// the same artifacts at full scale.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bpred/gshare"
+	"repro/internal/bpred/targetcache"
+	"repro/internal/experiments"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vlp"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// benchScale keeps the per-iteration experiment runs tractable.
+const benchScale = 60000
+
+func benchSuite() *experiments.Suite {
+	return experiments.NewSuite(experiments.Config{BaseRecords: benchScale})
+}
+
+// runExperiment drives one registry entry per iteration. A fresh suite per
+// iteration makes iterations independent (no memoised profiles), so ns/op
+// reflects the full regeneration cost.
+func runExperiment(b *testing.B, id string, metric func(*experiments.Report) float64, unit string) {
+	b.Helper()
+	e, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(benchSuite())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != nil {
+			last = metric(rep)
+		}
+	}
+	if metric != nil {
+		b.ReportMetric(last, unit)
+	}
+}
+
+// --- One benchmark per paper artifact -------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "table1", func(r *experiments.Report) float64 {
+		res := r.Data.(*experiments.Table1Result)
+		var total int64
+		for _, row := range res.Rows {
+			total += row.CondDynamic + row.IndirectDynamic
+		}
+		return float64(total)
+	}, "branches")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	runExperiment(b, "table2", func(r *experiments.Report) float64 {
+		res := r.Data.(*experiments.Table2Result)
+		return float64(res.Indirect[len(res.Indirect)-1].PathLength)
+	}, "best-ind-len")
+}
+
+func benchSeriesMetric(predictor string) func(*experiments.Report) float64 {
+	return func(r *experiments.Report) float64 {
+		series := r.Data.(*experiments.BenchSeries)
+		var sum float64
+		for i, p := range series.Predictors {
+			if p == predictor {
+				for _, v := range series.Rates[i] {
+					sum += v
+				}
+				return sum / float64(len(series.Rates[i]))
+			}
+		}
+		return 0
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	runExperiment(b, "fig5", benchSeriesMetric("variable length path"), "vlp-%miss")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	runExperiment(b, "fig6", benchSeriesMetric("variable length path"), "vlp-%miss")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	runExperiment(b, "fig7", benchSeriesMetric("variable length path"), "vlp-%miss")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	runExperiment(b, "fig8", benchSeriesMetric("variable length path"), "vlp-%miss")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "table3", benchSeriesMetric("variable length path"), "vlp-%miss")
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	runExperiment(b, "fig9", func(r *experiments.Report) float64 {
+		res := r.Data.(*experiments.SweepResult)
+		v, _ := res.Rate("variable length path", 16*1024)
+		return v
+	}, "vlp-16KB-%miss")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	runExperiment(b, "fig10", func(r *experiments.Report) float64 {
+		res := r.Data.(*experiments.SweepResult)
+		v, _ := res.Rate("variable length path", 2048)
+		return v
+	}, "vlp-2KB-%miss")
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	runExperiment(b, "headline", func(r *experiments.Report) float64 {
+		return r.Data.(*experiments.HeadlineResult).CondVLP
+	}, "gcc-4KB-%miss")
+}
+
+// --- Predictor micro-benchmarks -------------------------------------------
+
+// benchTrace materialises one gcc test trace for the throughput benches.
+func benchTrace(b *testing.B) *trace.Buffer {
+	b.Helper()
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trace.Collect(bench.TestSource(benchScale))
+}
+
+func BenchmarkGshareLookupUpdate(b *testing.B) {
+	buf := benchTrace(b)
+	p, err := gshare.New(16 * 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := buf.Records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		if r.Kind == arch.Cond {
+			_ = p.Predict(r.PC)
+		}
+		p.Update(r)
+	}
+}
+
+func BenchmarkVLPCondLookupUpdate(b *testing.B) {
+	buf := benchTrace(b)
+	p, err := vlp.NewCond(16*1024, vlp.Fixed{L: 8}, vlp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := buf.Records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		if r.Kind == arch.Cond {
+			_ = p.Predict(r.PC)
+		}
+		p.Update(r)
+	}
+}
+
+func BenchmarkVLPIndirectLookupUpdate(b *testing.B) {
+	buf := benchTrace(b)
+	p, err := vlp.NewIndirect(2048, vlp.Fixed{L: 8}, vlp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := buf.Records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		if r.Kind.IndirectTarget() {
+			_ = p.Predict(r.PC)
+		}
+		p.Update(r)
+	}
+}
+
+func BenchmarkTargetCachePath(b *testing.B) {
+	buf := benchTrace(b)
+	p, err := targetcache.NewPathBudget(2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := buf.Records
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i%len(recs)]
+		if r.Kind.IndirectTarget() {
+			_ = p.Predict(r.PC)
+		}
+		p.Update(r)
+	}
+}
+
+// BenchmarkHashSetInsert measures the cost of the incremental partial-sum
+// update (§4.1) across all 32 registers.
+func BenchmarkHashSetInsert(b *testing.B) {
+	hs, err := vlp.NewHashSet(14, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	addrs := make([]arch.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = arch.Addr(rng.Uint64() & 0xffffff)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hs.Insert(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkHashSetDirect measures the naive multi-stage recomputation the
+// partial sums replace, at the deepest path length.
+func BenchmarkHashSetDirect(b *testing.B) {
+	hs, err := vlp.NewHashSet(14, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	for i := 0; i < 64; i++ {
+		hs.Insert(arch.Addr(rng.Uint64() & 0xffffff))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hs.DirectIndex(32)
+	}
+}
+
+// BenchmarkProfilingPipeline measures the full two-step heuristic (§3.5)
+// on one benchmark's profile input.
+func BenchmarkProfilingPipeline(b *testing.B) {
+	bench, err := workload.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := trace.Collect(bench.ProfileSource(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := profile.Cond(trace.NewBuffer(buf.Records), profile.Config{TableBits: 14}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures the synthetic substrate's execution
+// speed (records generated per op).
+func BenchmarkTraceGeneration(b *testing.B) {
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := bench.MustProgram()
+	_ = prog
+	var r trace.Record
+	src := bench.TestSource(1 << 30) // effectively unbounded
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !src.Next(&r) {
+			b.Fatal("source exhausted")
+		}
+	}
+}
+
+// BenchmarkEndToEndSim measures the simulation loop as a whole: predictor,
+// statistics, and trace replay.
+func BenchmarkEndToEndSim(b *testing.B) {
+	buf := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := gshare.New(16 * 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sim.RunCond(p, trace.NewBuffer(buf.Records), sim.Options{})
+		if res.Branches == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Paperrepro regenerates the paper's evaluation: every table and figure of
+// §5 plus the repository's ablation studies, on the synthetic benchmark
+// suite.
+//
+// Run everything at the default scale:
+//
+//	paperrepro
+//
+// Run one experiment at full scale and save the reports:
+//
+//	paperrepro -exp fig9 -base 1200000 -out results/
+//
+// Experiment IDs follow the paper's artifact names: table1, table2, fig5,
+// fig6, fig7, fig8, table3, fig9, fig10, headline, plus ablation-*.
+// -list prints them all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		base = flag.Int("base", 400000, "suite base trace length in records")
+		prof = flag.Int("profbase", 0, "profile input length (default: same as -base)")
+		out  = flag.String("out", "", "also write each report to <out>/<id>.txt")
+		list = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-22s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := run(*exp, *base, *prof, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, base, profBase int, out string) error {
+	var entries []experiments.Entry
+	if exp == "" {
+		entries = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(exp, ",") {
+			e, err := experiments.Find(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			entries = append(entries, e)
+		}
+	}
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	suite := experiments.NewSuite(experiments.Config{BaseRecords: base, ProfileRecords: profBase})
+	for _, e := range entries {
+		start := time.Now()
+		rep, err := e.Run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("===== %s (%s)\n", rep.Title, time.Since(start).Round(time.Millisecond))
+		fmt.Println(rep.Text)
+		if out != "" {
+			path := filepath.Join(out, rep.ID+".txt")
+			content := rep.Title + "\n\n" + rep.Text
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

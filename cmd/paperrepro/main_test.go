@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("table1", 20000, 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "gcc") {
+		t.Error("report missing benchmark rows")
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	if err := run("ablation-ras, headline", 20000, 20000, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run("figure99", 20000, 0, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

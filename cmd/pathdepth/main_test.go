@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunBenchmark(t *testing.T) {
+	if err := run("compress", "test", "", 20000, 3, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "test", "", 20000, 3, 16); err == nil {
+		t.Error("missing source accepted")
+	}
+	if err := run("nonesuch", "test", "", 20000, 3, 16); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Traceg generates and inspects branch trace files for the synthetic
+// benchmark suite — the repository's stand-in for ATOM-instrumented
+// binaries (paper §5.1).
+//
+// Generate a trace file:
+//
+//	traceg -bench gcc -input test -n 250000 -o gcc.vlpt
+//
+// Summarise an existing trace (or a benchmark directly):
+//
+//	traceg -summary gcc.vlpt
+//	traceg -bench perl -n 100000
+//
+// With no -o, traceg prints the Table-1-style workload summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark name ("+strings.Join(workload.Names(), ", ")+")")
+		input   = flag.String("input", "test", "input set: test or profile")
+		n       = flag.Int("n", 250000, "suite base trace length in records")
+		out     = flag.String("o", "", "write the trace to this file")
+		summary = flag.String("summary", "", "summarise an existing trace file instead of generating")
+		list    = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+	if err := run(*bench, *input, *n, *out, *summary, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "traceg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, input string, n int, out, summary string, list bool) error {
+	if list {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	var src trace.Source
+	var err error
+	if summary != "" {
+		src, err = trace.ReadFile(summary)
+	} else {
+		src, err = cliutil.Resolve(cliutil.SourceSpec{Bench: bench, Input: input, Records: n})
+	}
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := trace.WriteFile(out, src); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	s := trace.Summarize(src)
+	fmt.Printf("records:            %d\n", s.DynamicTotal())
+	fmt.Printf("conditional:        %d dynamic, %d static, %.1f%% taken\n",
+		s.DynamicCond(), s.StaticCond, 100*s.TakenRate())
+	fmt.Printf("indirect (no ret):  %d dynamic, %d static\n", s.DynamicIndirect(), s.StaticIndirect)
+	for kind, count := range s.DynamicByKind {
+		fmt.Printf("  kind %-8s %d\n", fmt.Sprint(kindName(kind)), count)
+	}
+	return nil
+}
+
+func kindName(i int) string {
+	names := []string{"cond", "uncond", "call", "icall", "indirect", "return"}
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprint(i)
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndSummarise(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.vlpt")
+	if err := run("compress", "test", 20000, out, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	if err := run("", "", 0, "", out, false); err != nil {
+		t.Fatalf("summarise: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	if err := run("", "", 0, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("nonesuch", "test", 1000, "", "", false); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run("", "", 0, "", "/no/such.vlpt", false); err == nil {
+		t.Error("missing summary file accepted")
+	}
+}

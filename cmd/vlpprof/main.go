@@ -1,0 +1,109 @@
+// Vlpprof runs the paper's two-step profiling heuristic (§3.5) on a
+// workload's profile input and writes the resulting per-branch hash
+// function numbers — the information a compiler would encode into branch
+// instructions (§4.2) — as a JSON profile for cmd/vlpsim.
+//
+//	vlpprof -bench gcc -class cond -budget 16384 -o gcc.prof
+//	vlpprof -bench gcc -class indirect -budget 2048 -candidates 3 -iters 7 -o gcc-ind.prof
+//
+// The -lengths flag restricts the candidate hash functions, modelling the
+// cheaper implementation of §3.1:
+//
+//	vlpprof -bench gcc -class cond -budget 16384 -lengths 1,2,4,8,16,32 -o gcc.prof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bpred"
+	"repro/internal/cliutil"
+	"repro/internal/profile"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "", "benchmark name")
+		tracePath  = flag.String("trace", "", "trace file (alternative to -bench)")
+		n          = flag.Int("n", 250000, "suite base trace length for -bench")
+		class      = flag.String("class", "cond", "branch class: cond or indirect")
+		budget     = flag.Int("budget", 16*1024, "hardware budget in bytes of the target predictor table")
+		candidates = flag.Int("candidates", 3, "candidate hash functions kept per branch (step 1)")
+		iters      = flag.Int("iters", 7, "step 2 iterations")
+		lengths    = flag.String("lengths", "", "comma-separated candidate path lengths (default all 1..32)")
+		out        = flag.String("o", "", "output profile file (required)")
+	)
+	flag.Parse()
+	if err := run(*bench, *tracePath, *n, *class, *budget, *candidates, *iters, *lengths, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "vlpprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, tracePath string, n int, class string, budget, candidates, iters int,
+	lengthsCSV, out string) error {
+	if out == "" {
+		return fmt.Errorf("-o is required")
+	}
+	// The profiling pass always reads the PROFILE input set; using the
+	// test input would let training data leak into the evaluation.
+	src, err := cliutil.Resolve(cliutil.SourceSpec{
+		Bench: bench, Input: "profile", Records: n, TracePath: tracePath,
+	})
+	if err != nil {
+		return err
+	}
+
+	entryBits := 2
+	indirect := false
+	switch class {
+	case "cond":
+	case "indirect":
+		entryBits, indirect = 32, true
+	default:
+		return fmt.Errorf("unknown class %q (want cond or indirect)", class)
+	}
+	k, err := bpred.Log2Entries(budget, entryBits)
+	if err != nil {
+		return err
+	}
+
+	cfg := profile.Config{TableBits: k, Candidates: candidates, Iterations: iters}
+	if lengthsCSV != "" {
+		for _, part := range strings.Split(lengthsCSV, ",") {
+			l, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -lengths entry %q: %w", part, err)
+			}
+			cfg.Lengths = append(cfg.Lengths, l)
+		}
+	}
+
+	var prof *profile.Profile
+	var agg profile.Step1Result
+	if indirect {
+		prof, agg, err = profile.Indirect(src, cfg)
+	} else {
+		prof, agg, err = profile.Cond(src, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if err := prof.Save(out); err != nil {
+		return err
+	}
+
+	fmt.Printf("profiled %d static branches over %d dynamic; default length %d\n",
+		len(prof.Lengths), agg.Total, prof.Default)
+	sel := prof.Selector()
+	ls, counts := sel.LengthHistogram()
+	fmt.Println("assigned length histogram:")
+	for i, l := range ls {
+		fmt.Printf("  L=%-2d %d branches\n", l, counts[i])
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestProfileCondAndIndirect(t *testing.T) {
+	dir := t.TempDir()
+	cond := filepath.Join(dir, "c.prof")
+	if err := run("compress", "", 20000, "cond", 4096, 3, 7, "", cond); err != nil {
+		t.Fatal(err)
+	}
+	p, err := profile.Load(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != "cond" || len(p.Lengths) == 0 {
+		t.Errorf("profile malformed: %+v", p)
+	}
+
+	ind := filepath.Join(dir, "i.prof")
+	if err := run("perl", "", 20000, "indirect", 2048, 3, 7, "1,2,4,8", ind); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := profile.Load(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.Kind != "indirect" {
+		t.Errorf("Kind = %q", pi.Kind)
+	}
+	for _, l := range pi.Lengths {
+		if l != 1 && l != 2 && l != 4 && l != 8 {
+			t.Errorf("assigned length %d outside the restricted set", l)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("compress", "", 1000, "cond", 4096, 3, 7, "", ""); err == nil {
+		t.Error("missing -o accepted")
+	}
+	if err := run("compress", "", 1000, "registers", 4096, 3, 7, "", filepath.Join(dir, "x")); err == nil {
+		t.Error("bad class accepted")
+	}
+	if err := run("compress", "", 1000, "cond", 4096, 3, 7, "1,zz", filepath.Join(dir, "x")); err == nil {
+		t.Error("bad lengths accepted")
+	}
+	if err := run("compress", "", 1000, "cond", 3000, 3, 7, "", filepath.Join(dir, "x")); err == nil {
+		t.Error("bad budget accepted")
+	}
+}

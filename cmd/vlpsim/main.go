@@ -1,0 +1,104 @@
+// Vlpsim runs one branch predictor over one workload and reports its
+// misprediction rate — the single-configuration counterpart of
+// cmd/paperrepro.
+//
+// Conditional prediction with gshare:
+//
+//	vlpsim -bench gcc -class cond -pred gshare -budget 16384
+//
+// Variable length path prediction with a profile from cmd/vlpprof:
+//
+//	vlpprof -bench gcc -class cond -budget 16384 -o gcc.prof
+//	vlpsim  -bench gcc -class cond -pred vlp -budget 16384 -profile gcc.prof
+//
+// Indirect prediction from a trace file:
+//
+//	vlpsim -trace gcc.vlpt -class indirect -pred path -budget 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cliutil"
+	"repro/internal/factory"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/vlp"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "benchmark name")
+		input     = flag.String("input", "test", "input set: test or profile")
+		tracePath = flag.String("trace", "", "trace file (alternative to -bench)")
+		n         = flag.Int("n", 250000, "suite base trace length for -bench")
+		class     = flag.String("class", "cond", "branch class: cond or indirect")
+		pred      = flag.String("pred", "gshare", "predictor: cond ("+strings.Join(factory.CondNames(), ", ")+
+			"); indirect ("+strings.Join(factory.IndirectNames(), ", ")+")")
+		budget   = flag.Int("budget", 16*1024, "hardware budget in bytes")
+		length   = flag.Int("length", 0, "fixed path length for -pred flp")
+		profPath = flag.String("profile", "", "profile file for -pred vlp (from vlpprof)")
+		returns  = flag.Bool("store-returns", false, "insert return targets into the THB (paper §3.2 ablation)")
+		norotate = flag.Bool("no-rotation", false, "disable the per-depth hash rotation (paper §3.3 ablation)")
+		topMiss  = flag.Int("top", 0, "also report the N worst static branches")
+	)
+	flag.Parse()
+	if err := run(*bench, *input, *tracePath, *n, *class, *pred, *budget, *length,
+		*profPath, *returns, *norotate, *topMiss); err != nil {
+		fmt.Fprintln(os.Stderr, "vlpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, input, tracePath string, n int, class, pred string, budget, length int,
+	profPath string, returns, norotate bool, topMiss int) error {
+	src, err := cliutil.Resolve(cliutil.SourceSpec{
+		Bench: bench, Input: input, Records: n, TracePath: tracePath,
+	})
+	if err != nil {
+		return err
+	}
+	var prof *profile.Profile
+	if profPath != "" {
+		if prof, err = profile.Load(profPath); err != nil {
+			return err
+		}
+	}
+	opts := vlp.Options{StoreReturns: returns, NoRotation: norotate}
+
+	var res sim.Result
+	switch class {
+	case "cond":
+		p, err := factory.NewCond(factory.CondSpec{
+			Name: pred, BudgetBytes: budget, FixedLength: length, Profile: prof, Options: opts,
+		})
+		if err != nil {
+			return err
+		}
+		res = sim.RunCond(p, src, sim.Options{PerPC: topMiss > 0})
+	case "indirect":
+		p, err := factory.NewIndirect(factory.IndirectSpec{
+			Name: pred, BudgetBytes: budget, FixedLength: length, Profile: prof, Options: opts,
+		})
+		if err != nil {
+			return err
+		}
+		res = sim.RunIndirect(p, src, sim.Options{PerPC: topMiss > 0})
+	default:
+		return fmt.Errorf("unknown class %q (want cond or indirect)", class)
+	}
+
+	fmt.Println(res.String())
+	if topMiss > 0 {
+		fmt.Printf("worst %d static branches:\n", topMiss)
+		for _, pc := range res.WorstPCs(topMiss) {
+			st := res.PerPC[pc]
+			fmt.Printf("  %v  %d/%d mispredicted (%.1f%%)\n",
+				pc, st.Mispredicts, st.Branches, 100*float64(st.Mispredicts)/float64(st.Branches))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestRunCondPredictors(t *testing.T) {
+	for _, pred := range []string{"gshare", "bimodal", "flp", "dynamic", "agree", "bimode"} {
+		if err := run("compress", "test", "", 20000, "cond", pred, 4096, 0, "", false, false, 0); err != nil {
+			t.Errorf("%s: %v", pred, err)
+		}
+	}
+}
+
+func TestRunIndirectPredictors(t *testing.T) {
+	for _, pred := range []string{"btb", "pattern", "path", "cascaded", "flp"} {
+		if err := run("perl", "test", "", 20000, "indirect", pred, 2048, 0, "", false, false, 2); err != nil {
+			t.Errorf("%s: %v", pred, err)
+		}
+	}
+}
+
+func TestRunVLPWithProfile(t *testing.T) {
+	prof := &profile.Profile{Kind: "cond", TableBits: 14, Default: 2}
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := prof.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("compress", "test", "", 20000, "cond", "vlp", 4096, 0, path, false, false, 0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("compress", "test", "", 20000, "registers", "gshare", 4096, 0, "", false, false, 0); err == nil {
+		t.Error("bad class accepted")
+	}
+	if err := run("compress", "test", "", 20000, "cond", "nonesuch", 4096, 0, "", false, false, 0); err == nil {
+		t.Error("bad predictor accepted")
+	}
+	if err := run("", "test", "", 20000, "cond", "gshare", 4096, 0, "", false, false, 0); err == nil {
+		t.Error("missing source accepted")
+	}
+	if err := run("compress", "test", "", 20000, "cond", "vlp", 4096, 0, "/no/such.prof", false, false, 0); err == nil {
+		t.Error("missing profile accepted")
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Variable Length
+// Path Branch Prediction" (Stark, Evers & Patt, ASPLOS 1998).
+//
+// The module's root package holds only the per-table/figure benchmark
+// harness (bench_test.go); the implementation lives under internal/ —
+// see README.md for the map, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results. The runnable entry
+// points are the binaries under cmd/ and the programs under examples/.
+package repro

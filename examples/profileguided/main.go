@@ -1,0 +1,76 @@
+// Profileguided: the full compiler-style flow of the paper's §3.5/§4.2 —
+// profile a program on one input, persist the per-branch hash function
+// numbers as the artifact a compiler would encode into the ISA, reload
+// them, and evaluate on a different input. Also demonstrates the HFNT
+// pipelining model of §4.3 on the deployed predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/vlp"
+	"repro/internal/workload"
+)
+
+func main() {
+	const budget = 16 * 1024
+
+	bench, err := workload.ByName("perl")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- "Compile time": profile on the training input. ---
+	prof, step1, err := profile.Cond(bench.ProfileSource(200000), profile.Config{TableBits: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 1 swept %d hash functions over %d branches; best single length %d\n",
+		len(step1.Lengths), step1.Total, step1.BestLength())
+
+	dir, err := os.MkdirTemp("", "vlp-profile")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	profPath := filepath.Join(dir, "perl-cond.json")
+	if err := prof.Save(profPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved profile with %d branch assignments to %s\n", len(prof.Lengths), profPath)
+
+	// --- "Run time": load the profile and predict an unseen input. ---
+	loaded, err := profile.Load(profPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := vlp.NewCond(budget, loaded.Selector(), vlp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wrap in the Hash Function Number Table to model the two-cycle
+	// pipelined lookup (§4.3): accuracy is unchanged, and the HFNT's
+	// re-prediction rate is the cost of not knowing the hash number at
+	// fetch.
+	hfnt, err := vlp.NewHFNT(pred, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := sim.RunCond(hfnt, bench.TestSource(200000), sim.Options{})
+	fmt.Println(res)
+	fmt.Printf("HFNT re-predictions: %d of %d lookups (%.2f%%)\n",
+		hfnt.Repredicts, hfnt.Lookups, 100*hfnt.RepredictRate())
+
+	lengths, counts := loaded.Selector().LengthHistogram()
+	fmt.Println("deployed hash function numbers:")
+	for i, l := range lengths {
+		fmt.Printf("  HF_%-2d used by %d static branches\n", l, counts[i])
+	}
+}

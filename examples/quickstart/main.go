@@ -1,0 +1,59 @@
+// Quickstart: simulate three conditional branch predictors — gshare, the
+// fixed length path predictor, and the profiled variable length path
+// predictor — on one synthetic benchmark and compare their misprediction
+// rates, reproducing in miniature the comparison of the paper's Figure 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bpred/gshare"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/vlp"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A 16 KB hardware budget, the size of the paper's Figures 5-6.
+	const budget = 16 * 1024
+
+	// Pick a workload. "gcc" is the paper's showcase benchmark; any name
+	// from workload.Names() works.
+	bench, err := workload.ByName("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two input sets: profiling reads one, evaluation reads the other
+	// (the paper's §5.1 methodology).
+	profileInput := bench.ProfileSource(200000)
+	testInput := bench.TestSource(200000)
+
+	// Baseline: gshare.
+	g, err := gshare.New(budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sim.RunCond(g, testInput, sim.Options{}))
+
+	// Fixed length path predictor: same hardware as VLP, one global hash
+	// function, no profiling needed.
+	flp, err := vlp.NewCond(budget, vlp.Fixed{L: 4}, vlp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sim.RunCond(flp, testInput, sim.Options{}))
+
+	// Variable length path predictor: run the two-step profiling
+	// heuristic on the profile input, then deploy on the test input.
+	prof, _, err := profile.Cond(profileInput, profile.Config{TableBits: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sim.RunCond(v, testInput, sim.Options{}))
+}

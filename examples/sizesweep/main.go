@@ -1,0 +1,78 @@
+// Sizesweep: reproduce the shape of the paper's Figure 9 for any one
+// benchmark — conditional misprediction rate versus predictor size for
+// gshare and the fixed/variable length path predictors — and render it as
+// an ASCII line chart. Pass a benchmark name as the first argument
+// (default gcc).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bpred/gshare"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+	"repro/internal/vlp"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := "gcc"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bench, err := workload.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const records = 200000
+	sizesKB := []int{1, 4, 16, 64}
+
+	series := []textplot.Series{
+		{Name: "gshare"}, {Name: "fixed length path"}, {Name: "variable length path"},
+	}
+	xs := make([]float64, 0, len(sizesKB))
+	for _, kb := range sizesKB {
+		budget := kb * 1024
+		test := bench.TestSource(records)
+
+		g, err := gshare.New(budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		series[0].Values = append(series[0].Values, sim.RunCond(g, test, sim.Options{}).Percent())
+
+		flp, err := vlp.NewCond(budget, vlp.Fixed{L: 4}, vlp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		series[1].Values = append(series[1].Values, sim.RunCond(flp, test, sim.Options{}).Percent())
+
+		k := uint(0)
+		for 1<<k < budget*4 {
+			k++
+		}
+		prof, _, err := profile.Cond(bench.ProfileSource(records), profile.Config{TableBits: k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		series[2].Values = append(series[2].Values, sim.RunCond(v, test, sim.Options{}).Percent())
+
+		xs = append(xs, float64(kb))
+	}
+
+	chart := &textplot.LineChart{
+		Title:  fmt.Sprintf("%s: conditional misprediction vs predictor size", name),
+		XLabel: "Predictor Size (K bytes)",
+		X:      xs,
+		LogX:   true,
+		Series: series,
+	}
+	fmt.Print(chart.String())
+}

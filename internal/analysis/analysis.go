@@ -1,0 +1,230 @@
+// Package analysis measures how much path information each branch
+// actually needs — the question behind the paper's §5.3 explanation
+// ("Evers et. al. showed that only a small amount of the path information
+// leading up to a branch is needed for prediction. If parts of the path
+// that have no bearing on the outcome of the current branch are included
+// in the history, an unnecessarily high number of predictor table entries
+// will be used").
+//
+// For every static conditional branch and every path depth d, an *ideal*
+// predictor is simulated: an unbounded, collision-free table keyed by
+// (branch, exact d-deep path) of 2-bit counters, trained online. Its
+// accuracy at depth d isolates the information content of the path prefix
+// from all capacity and aliasing effects; the per-branch accuracy-versus-
+// depth curve then shows the depth where information saturates, and its
+// downward slope past that point is pure training cost.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+	"repro/internal/vlp"
+	"repro/internal/xrand"
+)
+
+// Config parameterises an analysis run.
+type Config struct {
+	// Depths are the path depths to evaluate; nil means {0, 1, 2, 4, 8,
+	// 16, 32}. Depth 0 keys on the branch alone (ideal bimodal).
+	Depths []int
+	// MinExecutions drops branches executed fewer times (their curves
+	// are noise); 0 means 32.
+	MinExecutions int64
+}
+
+func (c Config) depths() []int {
+	if c.Depths != nil {
+		return c.Depths
+	}
+	return []int{0, 1, 2, 4, 8, 16, 32}
+}
+
+func (c Config) minExec() int64 {
+	if c.MinExecutions == 0 {
+		return 32
+	}
+	return c.MinExecutions
+}
+
+// BranchCurve is one static branch's predictability-by-depth curve.
+type BranchCurve struct {
+	PC        arch.Addr
+	Executed  int64
+	Correct   []int64 // per configured depth
+	Contexts  []int64 // distinct (branch, path) contexts seen per depth
+	bestCache int
+}
+
+// Accuracy returns the ideal accuracy at depth index i.
+func (b *BranchCurve) Accuracy(i int) float64 {
+	if b.Executed == 0 {
+		return 0
+	}
+	return float64(b.Correct[i]) / float64(b.Executed)
+}
+
+// Report is the full analysis result.
+type Report struct {
+	Depths   []int
+	Branches []*BranchCurve
+	// TotalExecuted counts scored dynamic branches.
+	TotalExecuted int64
+}
+
+// Analyze runs the ideal-predictor sweep over src.
+func Analyze(src trace.Source, cfg Config) (*Report, error) {
+	depths := cfg.depths()
+	maxDepth := 0
+	for _, d := range depths {
+		if d < 0 || d > vlp.DefaultMaxPath {
+			return nil, fmt.Errorf("analysis: depth %d out of range 0..%d", d, vlp.DefaultMaxPath)
+		}
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth == 0 {
+		maxDepth = 1
+	}
+	// One uncompressed path hash per depth; 64-bit mixing makes
+	// collisions negligible at trace scale.
+	hs, err := vlp.NewHashSet(32, maxDepth)
+	if err != nil {
+		return nil, err
+	}
+
+	type slot struct{ counters map[uint64]uint8 }
+	perPC := map[arch.Addr]*struct {
+		curve *BranchCurve
+		slots []slot
+	}{}
+
+	src.Reset()
+	var r trace.Record
+	var total int64
+	for src.Next(&r) {
+		if r.Kind == arch.Cond {
+			st := perPC[r.PC]
+			if st == nil {
+				st = &struct {
+					curve *BranchCurve
+					slots []slot
+				}{
+					curve: &BranchCurve{
+						PC:       r.PC,
+						Correct:  make([]int64, len(depths)),
+						Contexts: make([]int64, len(depths)),
+					},
+					slots: make([]slot, len(depths)),
+				}
+				for i := range st.slots {
+					st.slots[i].counters = map[uint64]uint8{}
+				}
+				perPC[r.PC] = st
+			}
+			st.curve.Executed++
+			total++
+			for i, d := range depths {
+				key := pathKey(hs, d)
+				ctr, seen := st.slots[i].counters[key]
+				if !seen {
+					st.curve.Contexts[i]++
+					ctr = 1 // weakly not-taken, matching the predictors
+				}
+				if (ctr >= 2) == r.Taken {
+					st.curve.Correct[i]++
+				}
+				if r.Taken && ctr < 3 {
+					ctr++
+				} else if !r.Taken && ctr > 0 {
+					ctr--
+				}
+				st.slots[i].counters[key] = ctr
+			}
+		}
+		if r.Kind.RecordsInTHB() {
+			hs.Insert(r.Next)
+		}
+	}
+
+	rep := &Report{Depths: depths, TotalExecuted: total}
+	for _, st := range perPC {
+		if st.curve.Executed >= cfg.minExec() {
+			rep.Branches = append(rep.Branches, st.curve)
+		}
+	}
+	sort.Slice(rep.Branches, func(i, j int) bool { return rep.Branches[i].PC < rep.Branches[j].PC })
+	return rep, nil
+}
+
+// pathKey combines the exact (uncompressed 30-bit-per-target) path prefix
+// of depth d into a collision-resistant 64-bit key.
+func pathKey(hs *vlp.HashSet, d int) uint64 {
+	h := xrand.Mix64(uint64(d))
+	for j := 0; j < d; j++ {
+		h = xrand.Mix64(h ^ uint64(hs.Target(j)))
+	}
+	return h
+}
+
+// BestDepthIndex returns the index of the smallest depth whose accuracy is
+// within tolerance of the curve's maximum — the branch's *sufficient* path
+// depth: deeper prefixes carry no more usable information, only training
+// cost.
+func (b *BranchCurve) BestDepthIndex(depths []int, tolerance float64) int {
+	best := 0.0
+	for i := range depths {
+		if a := b.Accuracy(i); a > best {
+			best = a
+		}
+	}
+	for i := range depths {
+		if b.Accuracy(i) >= best-tolerance {
+			return i
+		}
+	}
+	return 0
+}
+
+// SufficientDepthHistogram buckets the report's branches by their
+// sufficient depth (tolerance 0.01), weighting each branch by its dynamic
+// execution count. The result is the Evers-style "how much path
+// information is needed" distribution.
+func (r *Report) SufficientDepthHistogram() (depths []int, weight []float64) {
+	depths = r.Depths
+	weight = make([]float64, len(depths))
+	var total float64
+	for _, b := range r.Branches {
+		i := b.BestDepthIndex(depths, 0.01)
+		weight[i] += float64(b.Executed)
+		total += float64(b.Executed)
+	}
+	if total > 0 {
+		for i := range weight {
+			weight[i] = 100 * weight[i] / total
+		}
+	}
+	return depths, weight
+}
+
+// MeanAccuracyAt returns the execution-weighted mean ideal accuracy at
+// each configured depth.
+func (r *Report) MeanAccuracyAt() []float64 {
+	out := make([]float64, len(r.Depths))
+	var total float64
+	for _, b := range r.Branches {
+		for i := range r.Depths {
+			out[i] += float64(b.Correct[i])
+		}
+		total += float64(b.Executed)
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// correlatedTrace: branch A's outcome equals the identity of the random
+// block that preceded it (depth-1 information); branch B is a pure coin
+// flip (no depth helps).
+func correlatedTrace(seed uint64, n int) *trace.Buffer {
+	rng := xrand.New(seed)
+	buf := &trace.Buffer{}
+	preA, preB := arch.Addr(0x1004), arch.Addr(0x2008)
+	for i := 0; i < n; i++ {
+		pre := preA
+		if rng.Bool(0.5) {
+			pre = preB
+		}
+		buf.Append(trace.Record{PC: 0xa004, Kind: arch.Cond, Taken: true, Next: pre})
+		want := pre == preA
+		next := arch.Addr(0x5028).FallThrough()
+		if want {
+			next = 0xb024
+		}
+		buf.Append(trace.Record{PC: 0x5028, Kind: arch.Cond, Taken: want, Next: next})
+		coin := rng.Bool(0.5)
+		next = arch.Addr(0x600c).FallThrough()
+		if coin {
+			next = 0xc010
+		}
+		buf.Append(trace.Record{PC: 0x600c, Kind: arch.Cond, Taken: coin, Next: next})
+	}
+	return buf
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	src := trace.NewBuffer(nil)
+	if _, err := Analyze(src, Config{Depths: []int{-1}}); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := Analyze(src, Config{Depths: []int{40}}); err == nil {
+		t.Error("depth beyond THB accepted")
+	}
+}
+
+func TestCurvesSeparateInformationFromNoise(t *testing.T) {
+	rep, err := Analyze(correlatedTrace(1, 3000), Config{Depths: []int{0, 1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPC := map[arch.Addr]*BranchCurve{}
+	for _, b := range rep.Branches {
+		byPC[b.PC] = b
+	}
+	corr := byPC[0x5028]
+	if corr == nil {
+		t.Fatal("correlated branch missing")
+	}
+	// Depth 0: ~50%; depth >= 1: ~100%.
+	if a := corr.Accuracy(0); a > 0.65 {
+		t.Errorf("correlated branch depth-0 accuracy %.3f, want ~0.5", a)
+	}
+	if a := corr.Accuracy(1); a < 0.95 {
+		t.Errorf("correlated branch depth-1 accuracy %.3f, want ~1", a)
+	}
+	// Its sufficient depth is 1.
+	if i := corr.BestDepthIndex(rep.Depths, 0.01); rep.Depths[i] != 1 {
+		t.Errorf("sufficient depth = %d, want 1", rep.Depths[i])
+	}
+
+	coin := byPC[0x600c]
+	if coin == nil {
+		t.Fatal("coin branch missing")
+	}
+	for i := range rep.Depths {
+		if a := coin.Accuracy(i); a > 0.65 {
+			t.Errorf("coin branch accuracy %.3f at depth %d — leak?", a, rep.Depths[i])
+		}
+	}
+	// Context counts grow with depth for the coin branch (random
+	// surroundings), and collapse to 2 at depth 1 for the correlated one.
+	if corr.Contexts[1] != 2 {
+		t.Errorf("correlated branch has %d depth-1 contexts, want 2", corr.Contexts[1])
+	}
+	if coin.Contexts[3] <= coin.Contexts[1] {
+		t.Errorf("coin branch contexts did not grow with depth: %v", coin.Contexts)
+	}
+}
+
+func TestMinExecutionsFilter(t *testing.T) {
+	buf := &trace.Buffer{}
+	buf.Append(trace.Record{PC: 0x1004, Kind: arch.Cond, Taken: true, Next: 0x9000})
+	rep, err := Analyze(buf, Config{MinExecutions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Branches) != 0 {
+		t.Errorf("singleton branch survived the filter")
+	}
+	if rep.TotalExecuted != 1 {
+		t.Errorf("TotalExecuted = %d", rep.TotalExecuted)
+	}
+}
+
+func TestHistogramAndMeans(t *testing.T) {
+	rep, err := Analyze(correlatedTrace(2, 2000), Config{Depths: []int{0, 1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths, weight := rep.SufficientDepthHistogram()
+	var sum float64
+	for _, w := range weight {
+		sum += w
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("histogram weights sum to %.2f", sum)
+	}
+	if len(depths) != 3 {
+		t.Errorf("depths = %v", depths)
+	}
+	means := rep.MeanAccuracyAt()
+	if means[1] <= means[0] {
+		t.Errorf("mean accuracy did not improve with depth: %v", means)
+	}
+}
+
+// TestSuiteBranchesMostlyShallow reproduces the Evers et al. qualitative
+// finding on our suite: most dynamic weight needs only a shallow path.
+func TestSuiteBranchesMostlyShallow(t *testing.T) {
+	b, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(b.TestSource(60000), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths, weight := rep.SufficientDepthHistogram()
+	shallow := 0.0
+	for i, d := range depths {
+		if d <= 4 {
+			shallow += weight[i]
+		}
+	}
+	if shallow < 50 {
+		t.Errorf("only %.1f%% of dynamic weight satisfied by depth <= 4", shallow)
+	}
+}

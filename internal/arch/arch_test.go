@@ -1,0 +1,76 @@
+package arch
+
+import "testing"
+
+func TestFallThrough(t *testing.T) {
+	cases := []struct {
+		pc   Addr
+		want Addr
+	}{
+		{0, 4},
+		{0x1000, 0x1004},
+		{0xfffc, 0x10000},
+	}
+	for _, c := range cases {
+		if got := c.pc.FallThrough(); got != c.want {
+			t.Errorf("FallThrough(%v) = %v, want %v", c.pc, got, c.want)
+		}
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := Addr(0x12ab).String(); got != "0x12ab" {
+		t.Errorf("Addr.String() = %q, want %q", got, "0x12ab")
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		kind         BranchKind
+		conditional  bool
+		indirect     bool
+		pushesReturn bool
+		inTHB        bool
+	}{
+		{Cond, true, false, false, true},
+		{Uncond, false, false, false, false},
+		{Call, false, false, true, false},
+		{IndirectCall, false, true, true, true},
+		{Indirect, false, true, false, true},
+		{Return, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.kind.Conditional(); got != c.conditional {
+			t.Errorf("%v.Conditional() = %v, want %v", c.kind, got, c.conditional)
+		}
+		if got := c.kind.IndirectTarget(); got != c.indirect {
+			t.Errorf("%v.IndirectTarget() = %v, want %v", c.kind, got, c.indirect)
+		}
+		if got := c.kind.PushesReturn(); got != c.pushesReturn {
+			t.Errorf("%v.PushesReturn() = %v, want %v", c.kind, got, c.pushesReturn)
+		}
+		if got := c.kind.RecordsInTHB(); got != c.inTHB {
+			t.Errorf("%v.RecordsInTHB() = %v, want %v", c.kind, got, c.inTHB)
+		}
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for i := 0; i < NumKinds; i++ {
+		k := BranchKind(i)
+		name := k.String()
+		back, ok := ParseBranchKind(name)
+		if !ok {
+			t.Fatalf("ParseBranchKind(%q) not ok", name)
+		}
+		if back != k {
+			t.Errorf("round trip of %v gave %v", k, back)
+		}
+	}
+	if _, ok := ParseBranchKind("bogus"); ok {
+		t.Error("ParseBranchKind(bogus) unexpectedly ok")
+	}
+	if got := BranchKind(200).String(); got != "BranchKind(200)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}

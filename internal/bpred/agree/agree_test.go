@@ -1,0 +1,99 @@
+package agree
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+func condRec(pc arch.Addr, taken bool) trace.Record {
+	next := pc.FallThrough()
+	if taken {
+		next = 0x9000
+	}
+	return trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3000, 10); err == nil {
+		t.Error("bad budget accepted")
+	}
+	if _, err := New(1024, 0); err == nil {
+		t.Error("zero bias width accepted")
+	}
+	p, err := New(1024, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024B counters + 1024 slots * 2 bits = 256B.
+	if p.SizeBytes() != 1024+256 {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+}
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	p, _ := New(4096, 12)
+	pc := arch.Addr(0x1004)
+	miss := 0
+	for i := 0; i < 2000; i++ {
+		if i > 100 && !p.Predict(pc) {
+			miss++
+		}
+		p.Update(condRec(pc, true))
+	}
+	if miss != 0 {
+		t.Errorf("always-taken branch mispredicted %d times", miss)
+	}
+}
+
+func TestBiasingBitSetOnFirstOutcome(t *testing.T) {
+	p, _ := New(1024, 10)
+	pc := arch.Addr(0x1004)
+	p.Update(condRec(pc, false))
+	if p.biasBit(pc) != false {
+		t.Error("biasing bit did not capture the first outcome")
+	}
+	// Later outcomes must not change the bias.
+	for i := 0; i < 10; i++ {
+		p.Update(condRec(pc, true))
+	}
+	if p.biasBit(pc) != false {
+		t.Error("biasing bit changed after first outcome")
+	}
+}
+
+// TestConstructiveAliasing is the agree predictor's raison d'être: two
+// branches with opposite directions aliasing to the same counter destroy a
+// gshare counter but coexist in an agree counter.
+func TestConstructiveAliasing(t *testing.T) {
+	p, _ := New(64, 12) // tiny table: 256 counters, heavy aliasing
+	// Two branches, one always taken, one never, trained alternately
+	// with identical history patterns so their indices often collide.
+	a, b := arch.Addr(0x1004), arch.Addr(0x1008)
+	miss := 0
+	for i := 0; i < 4000; i++ {
+		if i > 2000 {
+			if !p.Predict(a) {
+				miss++
+			}
+			if p.Predict(b) {
+				miss++
+			}
+		}
+		p.Update(condRec(a, true))
+		p.Update(condRec(b, false))
+	}
+	if rate := float64(miss) / 4000; rate > 0.02 {
+		t.Errorf("aliased opposite-bias branches missed at %.3f", rate)
+	}
+}
+
+func TestIgnoresNonConditional(t *testing.T) {
+	p, _ := New(1024, 8)
+	before := p.hist.Value()
+	p.Update(trace.Record{PC: 0x100, Kind: arch.Return, Taken: true, Next: 0x5000})
+	if p.hist.Value() != before {
+		t.Error("return disturbed history")
+	}
+}

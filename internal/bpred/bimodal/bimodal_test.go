@@ -1,0 +1,82 @@
+package bimodal
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+func TestNewBudget(t *testing.T) {
+	p, err := New(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes() != 1024 {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestLearnsBias(t *testing.T) {
+	p := NewBits(10)
+	pc := arch.Addr(0x1000)
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if i > 10 && !p.Predict(pc) {
+			miss++
+		}
+		p.Update(trace.Record{PC: pc, Kind: arch.Cond, Taken: true, Next: 0x2000})
+	}
+	if miss != 0 {
+		t.Errorf("always-taken mispredicted %d times after warm-up", miss)
+	}
+}
+
+func TestCannotLearnAlternation(t *testing.T) {
+	// The defining weakness of a history-free counter: T,N,T,N at one PC
+	// leaves the counter oscillating and mispredicting heavily.
+	p := NewBits(10)
+	pc := arch.Addr(0x1000)
+	miss := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		taken := i%2 == 0
+		if p.Predict(pc) != taken {
+			miss++
+		}
+		p.Update(trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: 0x2000})
+	}
+	if miss < trials/4 {
+		t.Errorf("bimodal mispredicted alternation only %d/%d times — suspiciously good", miss, trials)
+	}
+}
+
+func TestSeparatePCsIndependent(t *testing.T) {
+	p := NewBits(10)
+	a, b := arch.Addr(0x1004), arch.Addr(0x1008)
+	for i := 0; i < 100; i++ {
+		p.Update(trace.Record{PC: a, Kind: arch.Cond, Taken: true, Next: 0x3000})
+		p.Update(trace.Record{PC: b, Kind: arch.Cond, Taken: false, Next: b.FallThrough()})
+	}
+	if !p.Predict(a) {
+		t.Error("branch a should predict taken")
+	}
+	if p.Predict(b) {
+		t.Error("branch b should predict not-taken")
+	}
+}
+
+func TestIgnoresNonConditional(t *testing.T) {
+	p := NewBits(4)
+	pc := arch.Addr(0x1000)
+	for i := 0; i < 10; i++ {
+		p.Update(trace.Record{PC: pc, Kind: arch.Cond, Taken: true, Next: 0x3000})
+	}
+	p.Update(trace.Record{PC: pc, Kind: arch.Indirect, Taken: true, Next: 0x4000})
+	if !p.Predict(pc) {
+		t.Error("indirect record disturbed bimodal state")
+	}
+}

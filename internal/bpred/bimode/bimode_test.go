@@ -1,0 +1,100 @@
+package bimode
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+func condRec(pc arch.Addr, taken bool) trace.Record {
+	next := pc.FallThrough()
+	if taken {
+		next = 0x9000
+	}
+	return trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3000); err == nil {
+		t.Error("bad budget accepted")
+	}
+	p, err := New(16 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes() != 16*1024 {
+		t.Errorf("SizeBytes = %d, want full budget", p.SizeBytes())
+	}
+}
+
+func TestLearnsBiasedBranches(t *testing.T) {
+	p, _ := New(4096)
+	a, b := arch.Addr(0x1004), arch.Addr(0x1008)
+	miss := 0
+	for i := 0; i < 3000; i++ {
+		if i > 1000 {
+			if !p.Predict(a) {
+				miss++
+			}
+			if p.Predict(b) {
+				miss++
+			}
+		}
+		p.Update(condRec(a, true))
+		p.Update(condRec(b, false))
+	}
+	if miss != 0 {
+		t.Errorf("biased branches mispredicted %d times after warm-up", miss)
+	}
+}
+
+func TestLearnsAlternation(t *testing.T) {
+	p, _ := New(4096)
+	pc := arch.Addr(0x1004)
+	miss := 0
+	for i := 0; i < 3000; i++ {
+		taken := i%2 == 0
+		if i > 1500 && p.Predict(pc) != taken {
+			miss++
+		}
+		p.Update(condRec(pc, taken))
+	}
+	if miss != 0 {
+		t.Errorf("alternating branch mispredicted %d times after warm-up", miss)
+	}
+}
+
+// TestOppositeBiasesSeparateBanks: the defining bi-mode behaviour — mostly-
+// taken and mostly-not-taken branches sharing direction-bank indices do
+// not destroy each other because they read different banks.
+func TestOppositeBiasesSeparateBanks(t *testing.T) {
+	p, _ := New(1024) // small banks force aliasing
+	a, b := arch.Addr(0x1004), arch.Addr(0x1008)
+	miss, total := 0, 0
+	for i := 0; i < 6000; i++ {
+		if i > 3000 {
+			total += 2
+			if !p.Predict(a) {
+				miss++
+			}
+			if p.Predict(b) {
+				miss++
+			}
+		}
+		p.Update(condRec(a, true))
+		p.Update(condRec(b, false))
+	}
+	if rate := float64(miss) / float64(total); rate > 0.02 {
+		t.Errorf("opposite-bias aliasing miss rate %.3f", rate)
+	}
+}
+
+func TestIgnoresNonConditional(t *testing.T) {
+	p, _ := New(1024)
+	before := p.hist.Value()
+	p.Update(trace.Record{PC: 0x100, Kind: arch.Indirect, Taken: true, Next: 0x5000})
+	if p.hist.Value() != before {
+		t.Error("indirect record disturbed history")
+	}
+}

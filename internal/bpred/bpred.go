@@ -1,0 +1,89 @@
+// Package bpred defines the predictor interfaces shared by every branch
+// predictor in the repository, along with hardware-budget bookkeeping.
+//
+// Predictors are trace-driven, as in the paper's ATOM methodology (§5.1):
+// the simulator asks for a prediction when a branch is fetched, then feeds
+// the resolved record back in program order. Every predictor observes the
+// full retired-branch stream through Update, because different schemes draw
+// their first-level history from different record kinds (gshare needs only
+// conditional outcomes; the path predictors also consume indirect branch
+// targets).
+package bpred
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+// CondPredictor predicts conditional branch directions.
+type CondPredictor interface {
+	// Name identifies the configuration for reports, e.g. "gshare-16KB".
+	Name() string
+	// Predict returns the predicted direction of the conditional branch
+	// at pc, given all previously observed records.
+	Predict(pc arch.Addr) bool
+	// Update observes one retired branch of any kind, in program order.
+	// For a conditional record the predictor trains with the outcome;
+	// records of other kinds feed history (or are ignored).
+	Update(r trace.Record)
+	// SizeBytes reports the hardware budget consumed by the predictor's
+	// second-level table(s), the quantity the paper's size axes use.
+	SizeBytes() int
+}
+
+// IndirectPredictor predicts the targets of indirect (computed) branches.
+// Returns are excluded, matching the paper (§5.1).
+type IndirectPredictor interface {
+	// Name identifies the configuration for reports.
+	Name() string
+	// Predict returns the predicted target of the indirect branch at pc.
+	Predict(pc arch.Addr) arch.Addr
+	// Update observes one retired branch of any kind, in program order.
+	Update(r trace.Record)
+	// SizeBytes reports the hardware budget of the target table(s).
+	SizeBytes() int
+}
+
+// Log2Entries converts a table budget in bytes into a power-of-two entry
+// count for entries of the given width in bits, returning the index width
+// k (the table holds 1<<k entries). It errors if the budget does not yield
+// a positive power-of-two entry count, mirroring how the paper's size axes
+// (1, 4, 16, ... KB) always describe power-of-two tables.
+func Log2Entries(budgetBytes int, entryBits int) (k uint, err error) {
+	if budgetBytes <= 0 {
+		return 0, fmt.Errorf("bpred: non-positive budget %d bytes", budgetBytes)
+	}
+	if entryBits <= 0 {
+		return 0, fmt.Errorf("bpred: non-positive entry width %d bits", entryBits)
+	}
+	entries := budgetBytes * 8 / entryBits
+	if entries == 0 {
+		return 0, fmt.Errorf("bpred: budget %d bytes below one %d-bit entry", budgetBytes, entryBits)
+	}
+	for entries > 1 {
+		if entries&1 != 0 {
+			return 0, fmt.Errorf("bpred: budget %d bytes with %d-bit entries is not a power-of-two table", budgetBytes, entryBits)
+		}
+		entries >>= 1
+		k++
+	}
+	return k, nil
+}
+
+// MustLog2Entries is Log2Entries for statically known-good configurations;
+// it panics on error.
+func MustLog2Entries(budgetBytes, entryBits int) uint {
+	k, err := Log2Entries(budgetBytes, entryBits)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// PCBits extracts the word-address bits of pc. Instructions are 4 bytes
+// wide, so the low two PC bits carry no information; every predictor in
+// this repository indexes with pc>>2, the standard practice the paper's
+// structures inherit from the two-level predictor literature.
+func PCBits(pc arch.Addr) uint64 { return uint64(pc) >> 2 }

@@ -1,0 +1,48 @@
+package bpred
+
+import "testing"
+
+func TestLog2Entries(t *testing.T) {
+	cases := []struct {
+		bytes, bits int
+		wantK       uint
+		wantErr     bool
+	}{
+		{16 * 1024, 2, 16, false}, // 16KB of 2-bit counters -> 64K entries
+		{4 * 1024, 2, 14, false},  // the paper's 4KB headline budget
+		{1024, 2, 12, false},
+		{2048, 32, 9, false},    // 2KB of 32-bit targets -> 512 entries
+		{512, 32, 7, false},     // the paper's 512-byte indirect budget
+		{1, 2, 2, false},        // 1 byte -> 4 counters
+		{0, 2, 0, true},         // empty budget
+		{-8, 2, 0, true},        // negative budget
+		{3, 32, 0, true},        // under one entry
+		{24 * 1024, 2, 0, true}, // not a power of two
+		{8, 0, 0, true},         // bad width
+	}
+	for _, c := range cases {
+		k, err := Log2Entries(c.bytes, c.bits)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Log2Entries(%d, %d) err = %v, wantErr %v", c.bytes, c.bits, err, c.wantErr)
+			continue
+		}
+		if err == nil && k != c.wantK {
+			t.Errorf("Log2Entries(%d, %d) = %d, want %d", c.bytes, c.bits, k, c.wantK)
+		}
+	}
+}
+
+func TestMustLog2EntriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLog2Entries on bad input did not panic")
+		}
+	}()
+	MustLog2Entries(3, 32)
+}
+
+func TestPCBits(t *testing.T) {
+	if got := PCBits(0x1004); got != 0x401 {
+		t.Errorf("PCBits(0x1004) = %#x, want 0x401", got)
+	}
+}

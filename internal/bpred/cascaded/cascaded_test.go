@@ -1,0 +1,125 @@
+package cascaded
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+func indRec(pc, target arch.Addr) trace.Record {
+	return trace.Record{PC: pc, Kind: arch.Indirect, Taken: true, Next: target}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(8, 8, 0, 4); err == nil {
+		t.Error("zero path depth accepted")
+	}
+	if _, err := New(8, 8, 9, 8); err == nil {
+		t.Error("oversize history accepted")
+	}
+	if _, err := NewBudget(16); err == nil {
+		t.Error("tiny budget accepted")
+	}
+	p, err := NewBudget(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes() <= 0 || p.SizeBytes() > 2048 {
+		t.Errorf("SizeBytes = %d, want within budget", p.SizeBytes())
+	}
+}
+
+func TestMonomorphicStaysInBTB(t *testing.T) {
+	p, err := New(6, 6, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := arch.Addr(0x1004)
+	p.Update(indRec(pc, 0x5004))
+	for i := 0; i < 50; i++ {
+		if got := p.Predict(pc); got != 0x5004 {
+			t.Fatalf("monomorphic site predicted %v", got)
+		}
+		p.Update(indRec(pc, 0x5004))
+	}
+	// At most the single cold-BTB allocation may exist; a monomorphic
+	// branch must not keep claiming tagged entries.
+	allocated := 0
+	for _, e := range p.entries {
+		if e.valid {
+			allocated++
+		}
+	}
+	if allocated > 1 {
+		t.Errorf("monomorphic branch claimed %d tagged entries", allocated)
+	}
+}
+
+func TestPolymorphicUsesTaggedStage(t *testing.T) {
+	p, err := New(6, 10, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := arch.Addr(0x1004)
+	// Period-3 target cycle: BTB (last target) always wrong, tagged
+	// stage learns it from the path history.
+	targets := []arch.Addr{0x5004, 0x6108, 0x720c}
+	miss := 0
+	for i := 0; i < 6000; i++ {
+		want := targets[i%3]
+		if i > 3000 && p.Predict(pc) != want {
+			miss++
+		}
+		p.Update(indRec(pc, want))
+	}
+	if miss != 0 {
+		t.Errorf("period-3 cycle mispredicted %d times after warm-up", miss)
+	}
+	allocated := 0
+	for _, e := range p.entries {
+		if e.valid {
+			allocated++
+		}
+	}
+	if allocated == 0 {
+		t.Error("tagged stage never allocated for a polymorphic branch")
+	}
+}
+
+func TestTagPreventsFalseHits(t *testing.T) {
+	p, err := New(4, 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill an entry via a polymorphic branch, then probe with another pc
+	// that maps to the same slot but a different tag: the BTB must
+	// answer, not the stale tagged entry.
+	pc := arch.Addr(0x1004)
+	p.Update(indRec(pc, 0x5004))
+	p.Update(indRec(pc, 0x6008)) // BTB miss -> allocate tagged entry
+	other := arch.Addr(0x200004)
+	p.Update(indRec(other, 0x9abc))
+	got := p.Predict(other)
+	if got != 0x9abc && got != arch.Addr(p.btb[0]) {
+		// The prediction must come from other's own BTB slot, never a
+		// foreign tagged entry for pc.
+		for _, e := range p.entries {
+			if e.valid && arch.Addr(e.target) == got && got != 0x9abc {
+				t.Errorf("foreign tagged entry leaked: got %v", got)
+			}
+		}
+	}
+}
+
+func TestIgnoresReturns(t *testing.T) {
+	p, err := New(6, 6, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.hist.Value()
+	p.Update(trace.Record{PC: 0x100, Kind: arch.Return, Taken: true, Next: 0x5004})
+	if p.hist.Value() != before {
+		t.Error("return entered the path history")
+	}
+}

@@ -1,0 +1,120 @@
+package dhlf
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func condRec(pc arch.Addr, taken bool) trace.Record {
+	next := pc.FallThrough()
+	if taken {
+		next = 0x9000
+	}
+	return trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(3000, 0); err == nil {
+		t.Error("bad budget accepted")
+	}
+	if _, err := New(1024, -1); err == nil {
+		t.Error("negative interval accepted")
+	}
+	p, err := New(1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.interval != 16384 {
+		t.Errorf("default interval = %d", p.interval)
+	}
+	if p.SizeBytes() != 1024 {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+}
+
+// TestAdaptsToLoopWorkload: a trip-12 loop needs long history; after the
+// exploration sweep DHLF must settle on a length that predicts it well.
+func TestAdaptsToLoopWorkload(t *testing.T) {
+	p, err := New(16*1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := arch.Addr(0x1004)
+	miss, total := 0, 0
+	const iters = 20000
+	for i := 0; i < iters; i++ {
+		taken := i%12 != 11
+		if i > iters/2 {
+			total++
+			if p.Predict(pc) != taken {
+				miss++
+			}
+		}
+		p.Update(condRec(pc, taken))
+	}
+	if rate := float64(miss) / float64(total); rate > 0.04 {
+		t.Errorf("DHLF miss rate %.3f on a trip-12 loop", rate)
+	}
+	if p.Length() < 11 {
+		t.Logf("note: settled length %d (probing intervals may show shorter)", p.Length())
+	}
+}
+
+// TestAdaptsToBiasWorkload: with purely biased random branches, long
+// histories only dilute; DHLF should settle short and stay accurate.
+func TestAdaptsToBiasWorkload(t *testing.T) {
+	p, err := New(4*1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	miss, total := 0, 0
+	const iters = 40000
+	for i := 0; i < iters; i++ {
+		pc := arch.Addr(0x1000 + 4*rng.Intn(256))
+		taken := rng.Bool(0.97)
+		if i > iters/2 {
+			total++
+			if p.Predict(pc) != taken {
+				miss++
+			}
+		}
+		p.Update(condRec(pc, taken))
+	}
+	if rate := float64(miss) / float64(total); rate > 0.08 {
+		t.Errorf("DHLF miss rate %.3f on biased branches", rate)
+	}
+}
+
+func TestExplorationSweepCoversLengths(t *testing.T) {
+	p, err := New(1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 8*20; i++ {
+		seen[p.Length()] = true
+		p.Update(condRec(0x1004, i%2 == 0))
+	}
+	// The initial sweep tries every length 1..k at least.
+	for h := 1; h <= p.Length() && h <= 5; h++ {
+		if !seen[h] {
+			t.Errorf("length %d never explored", h)
+		}
+	}
+}
+
+func TestIgnoresNonConditional(t *testing.T) {
+	p, err := New(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.hist.Value()
+	p.Update(trace.Record{PC: 0x100, Kind: arch.Return, Taken: true, Next: 0x5000})
+	if p.hist.Value() != before {
+		t.Error("return disturbed history")
+	}
+}

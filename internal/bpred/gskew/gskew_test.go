@@ -1,0 +1,69 @@
+package gskew
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+func condRec(pc arch.Addr, taken bool) trace.Record {
+	next := pc.FallThrough()
+	if taken {
+		next = 0x9000
+	}
+	return trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next}
+}
+
+func TestBudgetSizing(t *testing.T) {
+	p, err := New(3 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes() > 3*1024 || p.SizeBytes() < 3*256 {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+	if _, err := New(1); err == nil {
+		t.Error("sub-bank budget accepted")
+	}
+}
+
+func TestLearnsPattern(t *testing.T) {
+	p := NewBits(12)
+	pc := arch.Addr(0x1004)
+	miss := 0
+	for i := 0; i < 3000; i++ {
+		taken := i%3 != 0
+		if i > 1500 && p.Predict(pc) != taken {
+			miss++
+		}
+		p.Update(condRec(pc, taken))
+	}
+	if miss != 0 {
+		t.Errorf("period-3 pattern mispredicted %d times after warm-up", miss)
+	}
+}
+
+// TestVotingSurvivesSingleBankConflict: poison one bank's entry; the
+// majority must still predict correctly.
+func TestVotingSurvivesSingleBankConflict(t *testing.T) {
+	p := NewBits(10)
+	pc := arch.Addr(0x1004)
+	for i := 0; i < 50; i++ {
+		p.Update(condRec(pc, true))
+	}
+	idx := p.indexes(pc)
+	p.banks[1].Set(idx[1], 0) // strong not-taken in one bank
+	if !p.Predict(pc) {
+		t.Error("majority vote lost to a single poisoned bank")
+	}
+}
+
+func TestIgnoresNonConditional(t *testing.T) {
+	p := NewBits(8)
+	before := p.hist.Value()
+	p.Update(trace.Record{PC: 0x100, Kind: arch.Indirect, Taken: true, Next: 0x4000})
+	if p.hist.Value() != before {
+		t.Error("indirect record disturbed history")
+	}
+}

@@ -1,0 +1,106 @@
+package ras
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func call(pc uint64) trace.Record {
+	return trace.Record{PC: arch.Addr(pc), Kind: arch.Call, Taken: true, Next: 0x9000}
+}
+
+func ret(pc, next uint64) trace.Record {
+	return trace.Record{PC: arch.Addr(pc), Kind: arch.Return, Taken: true, Next: arch.Addr(next)}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	s, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 16 || s.SizeBytes() != 64 {
+		t.Errorf("Depth/SizeBytes = %d/%d", s.Depth(), s.SizeBytes())
+	}
+}
+
+func TestBalancedCallsPredictPerfectly(t *testing.T) {
+	s, _ := New(8)
+	// Nested calls: a -> b -> c, returns unwind in LIFO order.
+	s.Update(call(0x100))
+	s.Update(call(0x200))
+	s.Update(call(0x300))
+	s.Update(ret(0x900, 0x304))
+	s.Update(ret(0x910, 0x204))
+	s.Update(ret(0x920, 0x104))
+	if s.Returns != 3 || s.Hits != 3 {
+		t.Errorf("Returns/Hits = %d/%d, want 3/3", s.Returns, s.Hits)
+	}
+	if s.HitRate() != 1 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+}
+
+func TestOverflowDropsOldest(t *testing.T) {
+	s, _ := New(2)
+	s.Update(call(0x100))
+	s.Update(call(0x200))
+	s.Update(call(0x300)) // evicts 0x100's frame
+	s.Update(ret(0x900, 0x304))
+	s.Update(ret(0x910, 0x204))
+	s.Update(ret(0x920, 0x104)) // stack empty: mispredicted
+	if s.Hits != 2 {
+		t.Errorf("Hits = %d, want 2", s.Hits)
+	}
+	if s.Returns != 3 {
+		t.Errorf("Returns = %d", s.Returns)
+	}
+}
+
+func TestEmptyStackPredictsZero(t *testing.T) {
+	s, _ := New(4)
+	if s.Predict() != 0 {
+		t.Error("empty stack Predict != 0")
+	}
+	s.Update(ret(0x900, 0x104)) // pop on empty must not panic
+	if s.Hits != 0 || s.Returns != 1 {
+		t.Errorf("Hits/Returns = %d/%d", s.Hits, s.Returns)
+	}
+	if s.HitRate() != 0 {
+		t.Error("HitRate on miss-only history != 0")
+	}
+}
+
+func TestIgnoresOtherKinds(t *testing.T) {
+	s, _ := New(4)
+	s.Update(trace.Record{PC: 0x100, Kind: arch.Cond, Taken: true, Next: 0x200})
+	s.Update(trace.Record{PC: 0x100, Kind: arch.Indirect, Taken: true, Next: 0x200})
+	if len(s.entries) != 0 {
+		t.Error("non-call records pushed frames")
+	}
+}
+
+// TestSuiteReturnsNearlyPerfect validates the paper's premise for
+// excluding returns (§5.1): on the synthetic suite — whose calls are
+// balanced — a 32-deep RAS predicts essentially every return.
+func TestSuiteReturnsNearlyPerfect(t *testing.T) {
+	b, err := workload.ByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(b.TestSource(60000), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Returns == 0 {
+		t.Fatal("no returns executed")
+	}
+	if s.HitRate() < 0.99 {
+		t.Errorf("RAS hit rate %.4f on balanced code, want ~1", s.HitRate())
+	}
+}

@@ -1,0 +1,127 @@
+package twolevel
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+func condRec(pc arch.Addr, taken bool) trace.Record {
+	next := pc.FallThrough()
+	if taken {
+		next = 0x9000
+	}
+	return trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next}
+}
+
+func TestGAsValidation(t *testing.T) {
+	if _, err := NewGAs(10, 0); err == nil {
+		t.Error("zero history accepted")
+	}
+	if _, err := NewGAs(10, 11); err == nil {
+		t.Error("history wider than index accepted")
+	}
+	p, err := NewGAsBudget(1024, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SizeBytes() != 1024 {
+		t.Errorf("SizeBytes = %d", p.SizeBytes())
+	}
+	if _, err := NewGAsBudget(3000, 8); err == nil {
+		t.Error("non-power-of-two budget accepted")
+	}
+}
+
+func TestGAsLearnsPattern(t *testing.T) {
+	p, err := NewGAs(12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := arch.Addr(0x1000)
+	pattern := []bool{true, true, false, true, false}
+	miss := 0
+	for i := 0; i < 3000; i++ {
+		taken := pattern[i%len(pattern)]
+		if i > 1500 && p.Predict(pc) != taken {
+			miss++
+		}
+		p.Update(condRec(pc, taken))
+	}
+	if miss != 0 {
+		t.Errorf("GAs mispredicted a period-5 pattern %d times after warm-up", miss)
+	}
+}
+
+func TestPAsValidation(t *testing.T) {
+	if _, err := NewPAs(10, 0, 4); err == nil {
+		t.Error("zero BHT accepted")
+	}
+	if _, err := NewPAs(10, 4, 0); err == nil {
+		t.Error("zero history accepted")
+	}
+	if _, err := NewPAs(10, 4, 11); err == nil {
+		t.Error("history wider than index accepted")
+	}
+}
+
+func TestPAsSizeIncludesBHT(t *testing.T) {
+	p, err := NewPAs(12, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PHT: 2^12 2-bit counters = 1024 bytes; BHT: 256 * 6 bits = 192 bytes.
+	if got := p.SizeBytes(); got != 1024+192 {
+		t.Errorf("SizeBytes = %d, want %d", got, 1024+192)
+	}
+}
+
+// TestPAsPerBranchHistory: two interleaved branches with different periodic
+// patterns pollute a global history but are cleanly separated by per-address
+// histories.
+func TestPAsPerBranchHistory(t *testing.T) {
+	p, err := NewPAs(14, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := arch.Addr(0x1004), arch.Addr(0x1008)
+	patA := []bool{true, true, false}
+	patB := []bool{false, true}
+	rng := xrand.New(1)
+	ia, ib, miss := 0, 0, 0
+	for i := 0; i < 8000; i++ {
+		// Interleave in random order so global history would be noisy.
+		if rng.Bool(0.5) {
+			taken := patA[ia%3]
+			ia++
+			if i > 4000 && p.Predict(a) != taken {
+				miss++
+			}
+			p.Update(condRec(a, taken))
+		} else {
+			taken := patB[ib%2]
+			ib++
+			if i > 4000 && p.Predict(b) != taken {
+				miss++
+			}
+			p.Update(condRec(b, taken))
+		}
+	}
+	if miss != 0 {
+		t.Errorf("PAs mispredicted interleaved per-branch patterns %d times after warm-up", miss)
+	}
+}
+
+func TestUpdateIgnoresNonConditional(t *testing.T) {
+	g, _ := NewGAs(8, 4)
+	p, _ := NewPAs(8, 4, 4)
+	before := g.hist.Value()
+	r := trace.Record{PC: 0x100, Kind: arch.Return, Taken: true, Next: 0x5000}
+	g.Update(r)
+	p.Update(r)
+	if g.hist.Value() != before {
+		t.Error("GAs history disturbed by return record")
+	}
+}

@@ -1,0 +1,330 @@
+package cfg
+
+import "repro/internal/xrand"
+
+// CondBehavior is the immutable specification of a conditional branch's
+// behaviour. NewCond instantiates per-run state; rng is a run-specific
+// stream private to the branch (two runs with different executor seeds get
+// different streams, modelling different program inputs).
+type CondBehavior interface {
+	NewCond(rng *xrand.RNG) CondFunc
+}
+
+// CondFunc decides one dynamic outcome.
+type CondFunc func(env *Env) bool
+
+// IndirectBehavior is the immutable specification of an indirect branch's
+// behaviour. numTargets is the branch's fan-out; the returned function
+// yields an index in [0, numTargets).
+type IndirectBehavior interface {
+	NewIndirect(rng *xrand.RNG, numTargets int) IndirectFunc
+}
+
+// IndirectFunc selects one dynamic target index.
+type IndirectFunc func(env *Env) int
+
+// --- Conditional behaviours ---------------------------------------------
+
+// Bias takes the branch with fixed probability P, independent of history.
+// With P near 0 or 1 this models the heavily biased branches that dominate
+// real programs; with P near 0.5 it models data-dependent branches no
+// predictor can learn.
+type Bias struct{ P float64 }
+
+// NewCond implements CondBehavior.
+func (b Bias) NewCond(rng *xrand.RNG) CondFunc {
+	return func(*Env) bool { return rng.Bool(b.P) }
+}
+
+// AlwaysTaken always takes the branch.
+type AlwaysTaken struct{}
+
+// NewCond implements CondBehavior.
+func (AlwaysTaken) NewCond(*xrand.RNG) CondFunc { return func(*Env) bool { return true } }
+
+// NeverTaken never takes the branch.
+type NeverTaken struct{}
+
+// NewCond implements CondBehavior.
+func (NeverTaken) NewCond(*xrand.RNG) CondFunc { return func(*Env) bool { return false } }
+
+// Loop models a loop back-edge with a fixed trip count: taken Trip-1 times,
+// then not-taken once, repeating. A loop-closing branch with trip count T
+// needs roughly T-1 elements of history to predict the exit, which is the
+// canonical example of a branch wanting a *long* history.
+type Loop struct{ Trip int }
+
+// NewCond implements CondBehavior.
+func (l Loop) NewCond(*xrand.RNG) CondFunc {
+	if l.Trip < 1 {
+		panic("cfg: Loop with trip count < 1")
+	}
+	i := 0
+	return func(*Env) bool {
+		i++
+		if i >= l.Trip {
+			i = 0
+			return false
+		}
+		return true
+	}
+}
+
+// LoopMix models a loop whose trip count is drawn per entry from Trips with
+// the given Weights (uniform if nil). Drawing happens on the run RNG: the
+// mix is a property of the input data, so profile and test inputs see
+// different sequences from the same distribution.
+type LoopMix struct {
+	Trips   []int
+	Weights []float64
+}
+
+// NewCond implements CondBehavior.
+func (l LoopMix) NewCond(rng *xrand.RNG) CondFunc {
+	if len(l.Trips) == 0 {
+		panic("cfg: LoopMix with no trip counts")
+	}
+	weights := l.Weights
+	if weights == nil {
+		weights = make([]float64, len(l.Trips))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	draw := func() int { return l.Trips[rng.WeightedChoice(weights)] }
+	trip := draw()
+	i := 0
+	return func(*Env) bool {
+		i++
+		if i >= trip {
+			i = 0
+			trip = draw()
+			return false
+		}
+		return true
+	}
+}
+
+// Pattern repeats a fixed taken/not-taken sequence given as a string of
+// 'T' and 'N'. Such branches are perfectly predictable with enough history
+// of any kind.
+type Pattern struct{ Seq string }
+
+// NewCond implements CondBehavior.
+func (p Pattern) NewCond(*xrand.RNG) CondFunc {
+	if len(p.Seq) == 0 {
+		panic("cfg: Pattern with empty sequence")
+	}
+	for _, c := range p.Seq {
+		if c != 'T' && c != 'N' {
+			panic("cfg: Pattern sequence must contain only 'T' and 'N'")
+		}
+	}
+	i := 0
+	return func(*Env) bool {
+		c := p.Seq[i]
+		i = (i + 1) % len(p.Seq)
+		return c == 'T'
+	}
+}
+
+// PathKey ties the outcome to the identity of the path leading up to the
+// branch: the last Depth path elements are hashed (with the build-time
+// Salt) and the hash deterministically decides the direction, flipped with
+// probability Noise. Bias skews the underlying mapping so the branch is
+// taken with roughly that probability overall.
+//
+// This is the central behaviour for reproducing the paper's argument (§5.3):
+// a PathKey branch with small Depth is best predicted with a *short* path
+// history (longer histories spread it over needlessly many table entries,
+// lengthening training and increasing interference), while a large Depth
+// demands a long history. Salt must be assigned at build time so that the
+// mapping is shared by the profile and test inputs.
+type PathKey struct {
+	Depth int
+	Salt  uint64
+	Noise float64
+	Bias  float64 // probability mass of "taken" in the mapping; 0 means 0.5
+}
+
+// NewCond implements CondBehavior.
+func (p PathKey) NewCond(rng *xrand.RNG) CondFunc {
+	if p.Depth < 0 || p.Depth > envPathCap {
+		panic("cfg: PathKey depth out of range")
+	}
+	bias := p.Bias
+	if bias == 0 {
+		bias = 0.5
+	}
+	threshold := uint64(bias * float64(1<<63) * 2)
+	return func(env *Env) bool {
+		taken := env.PathHash(p.Depth, p.Salt) < threshold
+		if p.Noise > 0 && rng.Bool(p.Noise) {
+			return !taken
+		}
+		return taken
+	}
+}
+
+// HistKey ties the outcome to the global pattern history (the last Depth
+// conditional outcomes), the first-level history a GAs/gshare predictor
+// records. HistKey branches are the pattern-predictable complement to
+// PathKey branches.
+type HistKey struct {
+	Depth int
+	Salt  uint64
+	Noise float64
+}
+
+// NewCond implements CondBehavior.
+func (h HistKey) NewCond(rng *xrand.RNG) CondFunc {
+	if h.Depth < 0 || h.Depth > 64 {
+		panic("cfg: HistKey depth out of range")
+	}
+	return func(env *Env) bool {
+		taken := xrand.Mix64(env.GlobalHist(h.Depth)^h.Salt)&1 == 1
+		if h.Noise > 0 && rng.Bool(h.Noise) {
+			return !taken
+		}
+		return taken
+	}
+}
+
+// CorrelatedWith copies (or inverts) the most recent outcome of another
+// static branch, flipped with probability Noise — the classic
+// correlated-branch pair from Young & Smith. Until the source branch first
+// executes, the outcome defaults to taken.
+type CorrelatedWith struct {
+	Src    BlockID
+	Invert bool
+	Noise  float64
+}
+
+// NewCond implements CondBehavior.
+func (c CorrelatedWith) NewCond(rng *xrand.RNG) CondFunc {
+	return func(env *Env) bool {
+		taken, known := env.LastOutcomeOf(c.Src)
+		if !known {
+			taken = true
+		}
+		if c.Invert {
+			taken = !taken
+		}
+		if c.Noise > 0 && rng.Bool(c.Noise) {
+			return !taken
+		}
+		return taken
+	}
+}
+
+// --- Indirect behaviours --------------------------------------------------
+
+// UniformTargets picks a target uniformly at random each execution: the
+// unpredictable worst case for every indirect predictor.
+type UniformTargets struct{}
+
+// NewIndirect implements IndirectBehavior.
+func (UniformTargets) NewIndirect(rng *xrand.RNG, n int) IndirectFunc {
+	return func(*Env) int { return rng.Intn(n) }
+}
+
+// SeqTargets cycles through the targets in order, the behaviour of an
+// iterator-like dispatch.
+type SeqTargets struct{}
+
+// NewIndirect implements IndirectBehavior.
+func (SeqTargets) NewIndirect(_ *xrand.RNG, n int) IndirectFunc {
+	i := -1
+	return func(*Env) int {
+		i = (i + 1) % n
+		return i
+	}
+}
+
+// PhasedTargets stays on one target for a phase of geometric mean length
+// MeanPhase, then jumps to a random other target. This models virtual call
+// sites whose receiver type is stable for stretches — well handled even by
+// a last-target (BTB-style) predictor.
+type PhasedTargets struct{ MeanPhase int }
+
+// NewIndirect implements IndirectBehavior.
+func (p PhasedTargets) NewIndirect(rng *xrand.RNG, n int) IndirectFunc {
+	if p.MeanPhase < 1 {
+		panic("cfg: PhasedTargets with MeanPhase < 1")
+	}
+	cur := rng.Intn(n)
+	return func(*Env) int {
+		if rng.Bool(1 / float64(p.MeanPhase)) {
+			if n > 1 {
+				next := rng.Intn(n - 1)
+				if next >= cur {
+					next++
+				}
+				cur = next
+			}
+		}
+		return cur
+	}
+}
+
+// MarkovTargets draws the next target from a deterministic function of the
+// branch's own last Order choices — an interpreter dispatch loop, where the
+// next opcode depends on the preceding opcodes. Because each chosen handler
+// block's address enters the global path history, a path predictor with
+// history depth >= Order can learn the mapping; a pattern (outcome-bit)
+// predictor cannot see it at all. Salt fixes the transition table at build
+// time; Noise replaces the deterministic choice with a uniform one.
+type MarkovTargets struct {
+	Order int
+	Salt  uint64
+	Noise float64
+}
+
+// NewIndirect implements IndirectBehavior.
+func (m MarkovTargets) NewIndirect(rng *xrand.RNG, n int) IndirectFunc {
+	if m.Order < 1 || m.Order > 16 {
+		panic("cfg: MarkovTargets order out of range")
+	}
+	recent := make([]int, m.Order) // ring of this branch's last choices
+	pos := 0
+	return func(*Env) int {
+		if m.Noise > 0 && rng.Bool(m.Noise) {
+			c := rng.Intn(n)
+			recent[pos] = c
+			pos = (pos + 1) % m.Order
+			return c
+		}
+		h := xrand.Mix64(m.Salt)
+		for i := 0; i < m.Order; i++ {
+			h = xrand.Mix64(h ^ uint64(recent[(pos-1-i+m.Order)%m.Order])<<1 ^ 1)
+		}
+		c := int(h % uint64(n))
+		recent[pos] = c
+		pos = (pos + 1) % m.Order
+		return c
+	}
+}
+
+// PathTargets ties the target to the global path: the last Depth path
+// elements are hashed to select the target, with Noise. This models
+// dispatch whose target is decided by the surrounding control flow (e.g. a
+// shared cleanup switch reached from many call sites), the case where path
+// history beats every per-branch scheme.
+type PathTargets struct {
+	Depth int
+	Salt  uint64
+	Noise float64
+}
+
+// NewIndirect implements IndirectBehavior.
+func (p PathTargets) NewIndirect(rng *xrand.RNG, n int) IndirectFunc {
+	if p.Depth < 0 || p.Depth > envPathCap {
+		panic("cfg: PathTargets depth out of range")
+	}
+	return func(env *Env) int {
+		if p.Noise > 0 && rng.Bool(p.Noise) {
+			return rng.Intn(n)
+		}
+		return int(env.PathHash(p.Depth, p.Salt) % uint64(n))
+	}
+}

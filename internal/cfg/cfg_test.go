@@ -1,0 +1,264 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// loopProgram builds: entry cond (Loop trip) -> body jump -> entry;
+// fall-through -> exit jump -> entry. A tiny two-branch program.
+func loopProgram(t *testing.T, trip int) *Program {
+	t.Helper()
+	b := NewBuilder("loop", 0x1000, nil)
+	head := b.Cond("head", Loop{Trip: trip})
+	body := b.Jump("body")
+	exit := b.Jump("exit")
+	head.TakenTo = body.ID
+	head.FallTo = exit.ID
+	body.TakenTo = head.ID
+	exit.TakenTo = head.ID
+	p, err := b.Finish(head)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p
+}
+
+func TestBuilderAddresses(t *testing.T) {
+	b := NewBuilder("p", 0x1000, nil)
+	b1 := b.Jump("a")
+	b2 := b.Jump("b")
+	if b1.Addr != 0x1000 {
+		t.Errorf("first block at %v, want 0x1000", b1.Addr)
+	}
+	if b1.NumInstrs != 4 {
+		t.Errorf("default NumInstrs = %d, want 4", b1.NumInstrs)
+	}
+	if b1.BranchPC() != 0x100c {
+		t.Errorf("BranchPC = %v, want 0x100c", b1.BranchPC())
+	}
+	if b2.Addr <= b1.BranchPC().FallThrough() {
+		t.Errorf("blocks too close: b1 branch %v, b2 start %v — fall-through would alias",
+			b1.BranchPC(), b2.Addr)
+	}
+}
+
+func TestBuilderRandomSizes(t *testing.T) {
+	b := NewBuilder("p", 0x1000, xrand.New(1))
+	sizes := map[int]bool{}
+	var prevEnd arch.Addr
+	for i := 0; i < 50; i++ {
+		blk := b.Jump("x")
+		sizes[blk.NumInstrs] = true
+		if blk.Addr < prevEnd {
+			t.Fatalf("block %d overlaps previous", i)
+		}
+		prevEnd = blk.Addr + arch.Addr(blk.NumInstrs*arch.InstrBytes)
+	}
+	if len(sizes) < 3 {
+		t.Errorf("sized blocks not varied: %v", sizes)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	mk := func() (*Builder, *Block) {
+		b := NewBuilder("bad", 0x1000, nil)
+		head := b.Cond("head", AlwaysTaken{})
+		return b, head
+	}
+
+	b, head := mk()
+	head.TakenTo = 99
+	head.FallTo = head.ID
+	if _, err := b.Finish(head); err == nil {
+		t.Error("invalid taken successor accepted")
+	}
+
+	b, head = mk()
+	head.TakenTo = head.ID
+	head.FallTo = NoBlock
+	if _, err := b.Finish(head); err == nil {
+		t.Error("missing fall-through accepted")
+	}
+
+	b = NewBuilder("bad", 0x1000, nil)
+	ind := b.NewBlock("ind", arch.Indirect)
+	ind.Ind = UniformTargets{}
+	if _, err := b.Finish(ind); err == nil {
+		t.Error("indirect with no targets accepted")
+	}
+
+	b = NewBuilder("bad", 0x1000, nil)
+	ind = b.IndirectBlock("ind", nil)
+	ind.Targets = []BlockID{ind.ID}
+	ind.Ind = nil
+	if _, err := b.Finish(ind); err == nil {
+		t.Error("indirect with no behaviour accepted")
+	}
+
+	b = NewBuilder("bad", 0x1000, nil)
+	c := b.NewBlock("c", arch.Cond)
+	c.TakenTo, c.FallTo = c.ID, c.ID
+	if _, err := b.Finish(c); err == nil {
+		t.Error("conditional with no behaviour accepted")
+	}
+}
+
+func TestExecutorLoopTrace(t *testing.T) {
+	p := loopProgram(t, 4)
+	src := NewSource(p, 1, 100)
+	var r trace.Record
+	outcomes := ""
+	for src.Next(&r) {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("invalid record: %v", err)
+		}
+		if r.Kind == arch.Cond {
+			if r.Taken {
+				outcomes += "T"
+			} else {
+				outcomes += "N"
+			}
+		}
+	}
+	// Loop{4}: pattern TTTN repeating.
+	want := "TTTN"
+	for i := 0; i < len(outcomes); i++ {
+		if outcomes[i] != want[i%4] {
+			t.Fatalf("outcome %d = %c, want %c (full: %s)", i, outcomes[i], want[i%4], outcomes[:20])
+		}
+	}
+}
+
+func TestExecutorDeterminismAndReset(t *testing.T) {
+	b := NewBuilder("rand", 0x1000, nil)
+	head := b.Cond("head", Bias{P: 0.5})
+	l := b.Jump("l")
+	r := b.Jump("r")
+	head.TakenTo, head.FallTo = l.ID, r.ID
+	l.TakenTo = head.ID
+	r.TakenTo = head.ID
+	p := b.MustFinish(head)
+
+	s1 := NewSource(p, 42, 500)
+	s2 := NewSource(p, 42, 500)
+	t1 := trace.Collect(s1)
+	t2 := trace.Collect(s2)
+	if t1.Len() != 500 || t2.Len() != 500 {
+		t.Fatalf("lengths %d, %d", t1.Len(), t2.Len())
+	}
+	for i := range t1.Records {
+		if t1.Records[i] != t2.Records[i] {
+			t.Fatalf("same seed diverges at %d", i)
+		}
+	}
+	// Reset replays identically.
+	t1b := trace.Collect(s1)
+	for i := range t1.Records {
+		if t1.Records[i] != t1b.Records[i] {
+			t.Fatalf("reset replay diverges at %d", i)
+		}
+	}
+	// Different seeds differ.
+	s3 := NewSource(p, 43, 500)
+	t3 := trace.Collect(s3)
+	same := 0
+	for i := range t1.Records {
+		if t1.Records[i] == t3.Records[i] {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := NewBuilder("call", 0x1000, nil)
+	caller := b.CallBlock("caller")
+	callee := b.ReturnBlock("callee")
+	cont := b.Jump("cont")
+	caller.TakenTo = callee.ID
+	caller.FallTo = cont.ID
+	cont.TakenTo = caller.ID
+	p := b.MustFinish(caller)
+
+	src := NewSource(p, 1, 9)
+	var r trace.Record
+	var kinds []arch.BranchKind
+	var nexts []arch.Addr
+	for src.Next(&r) {
+		kinds = append(kinds, r.Kind)
+		nexts = append(nexts, r.Next)
+	}
+	wantKinds := []arch.BranchKind{arch.Call, arch.Return, arch.Uncond,
+		arch.Call, arch.Return, arch.Uncond, arch.Call, arch.Return, arch.Uncond}
+	for i := range wantKinds {
+		if kinds[i] != wantKinds[i] {
+			t.Fatalf("step %d kind = %v, want %v (all: %v)", i, kinds[i], wantKinds[i], kinds)
+		}
+	}
+	// Return must report the architectural return address (the
+	// instruction after the call), which is what a return address stack
+	// predicts.
+	if want := p.Blocks[caller.ID].BranchPC().FallThrough(); nexts[1] != want {
+		t.Errorf("return went to %v, want call fall-through %v", nexts[1], want)
+	}
+}
+
+func TestReturnWithEmptyStackWraps(t *testing.T) {
+	b := NewBuilder("wrap", 0x1000, nil)
+	ret := b.ReturnBlock("ret")
+	p := b.MustFinish(ret)
+	src := NewSource(p, 1, 10)
+	var r trace.Record
+	for src.Next(&r) {
+		if r.Next != p.Blocks[ret.ID].Addr {
+			t.Fatalf("wrap went to %v, want entry %v", r.Next, p.Blocks[ret.ID].Addr)
+		}
+	}
+	if src.exec.Wraps() != 10 {
+		t.Errorf("Wraps = %d, want 10", src.exec.Wraps())
+	}
+}
+
+func TestIndirectDispatch(t *testing.T) {
+	b := NewBuilder("dispatch", 0x1000, nil)
+	sw := b.IndirectBlock("sw", SeqTargets{})
+	h1 := b.Jump("h1")
+	h2 := b.Jump("h2")
+	h3 := b.Jump("h3")
+	sw.Targets = []BlockID{h1.ID, h2.ID, h3.ID}
+	for _, h := range []*Block{h1, h2, h3} {
+		h.TakenTo = sw.ID
+	}
+	p := b.MustFinish(sw)
+
+	src := NewSource(p, 1, 12)
+	var r trace.Record
+	var seq []arch.Addr
+	for src.Next(&r) {
+		if r.Kind == arch.Indirect {
+			seq = append(seq, r.Next)
+		}
+	}
+	want := []arch.Addr{p.Blocks[h1.ID].Addr, p.Blocks[h2.ID].Addr, p.Blocks[h3.ID].Addr}
+	for i, a := range seq {
+		if a != want[i%3] {
+			t.Fatalf("dispatch %d went to %v, want %v", i, a, want[i%3])
+		}
+	}
+}
+
+func TestProgramBlockOutOfRange(t *testing.T) {
+	p := loopProgram(t, 2)
+	if p.Block(-1) != nil || p.Block(BlockID(p.NumBlocks())) != nil {
+		t.Error("out-of-range Block lookup returned non-nil")
+	}
+	if p.Block(0) == nil {
+		t.Error("in-range Block lookup returned nil")
+	}
+}

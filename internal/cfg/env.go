@@ -1,0 +1,116 @@
+package cfg
+
+import (
+	"repro/internal/arch"
+	"repro/internal/xrand"
+)
+
+// envPathCap is the number of recent path elements the execution
+// environment retains for behaviour models. It comfortably exceeds the
+// 32-entry Target History Buffer the paper studies, so behaviours can key
+// on deeper context than any predictor can see.
+const envPathCap = 64
+
+// Env is the execution environment visible to behaviour models. It exposes
+// the dynamic context a real program's data flow would encode: the path of
+// recently executed blocks, the global conditional-outcome history, and
+// per-branch outcome memories.
+type Env struct {
+	// Step counts executed branches.
+	Step int64
+
+	pathIDs  [envPathCap]BlockID
+	pathAddr [envPathCap]arch.Addr
+	pathPos  int
+	pathLen  int
+
+	hist uint64 // global conditional outcome bits, LSB most recent
+
+	lastOutcome []int8 // per block: -1 unknown, 0 not-taken, 1 taken
+}
+
+func newEnv(numBlocks int) *Env {
+	e := &Env{lastOutcome: make([]int8, numBlocks)}
+	for i := range e.lastOutcome {
+		e.lastOutcome[i] = -1
+	}
+	return e
+}
+
+// pushPath records that control entered the block with the given id via the
+// given address.
+func (e *Env) pushPath(id BlockID, addr arch.Addr) {
+	e.pathPos = (e.pathPos + 1) % envPathCap
+	e.pathIDs[e.pathPos] = id
+	e.pathAddr[e.pathPos] = addr
+	if e.pathLen < envPathCap {
+		e.pathLen++
+	}
+}
+
+// recordOutcome folds a conditional outcome into the global and per-branch
+// histories.
+func (e *Env) recordOutcome(id BlockID, taken bool) {
+	e.hist <<= 1
+	if taken {
+		e.hist |= 1
+		e.lastOutcome[id] = 1
+	} else {
+		e.lastOutcome[id] = 0
+	}
+}
+
+// PathDepth returns how many path elements are currently recorded, up to
+// the environment's capacity.
+func (e *Env) PathDepth() int { return e.pathLen }
+
+// PathID returns the id of the i-th most recently entered block (i = 0 is
+// the most recent). It returns NoBlock if the path is shorter than i+1.
+func (e *Env) PathID(i int) BlockID {
+	if i >= e.pathLen || i >= envPathCap {
+		return NoBlock
+	}
+	return e.pathIDs[(e.pathPos-i+envPathCap)%envPathCap]
+}
+
+// PathAddr returns the address via which the i-th most recent block was
+// entered, or 0 if the path is shorter.
+func (e *Env) PathAddr(i int) arch.Addr {
+	if i >= e.pathLen || i >= envPathCap {
+		return 0
+	}
+	return e.pathAddr[(e.pathPos-i+envPathCap)%envPathCap]
+}
+
+// PathHash deterministically hashes the last depth path elements together
+// with salt. Behaviour models use it to tie an outcome to the identity of
+// the path leading up to the branch; a predictor can only learn the mapping
+// if its own history is deep enough to separate the same contexts.
+func (e *Env) PathHash(depth int, salt uint64) uint64 {
+	h := xrand.Mix64(salt)
+	if depth > envPathCap {
+		depth = envPathCap
+	}
+	for i := 0; i < depth; i++ {
+		h = xrand.Mix64(h ^ uint64(e.PathAddr(i)))
+	}
+	return h
+}
+
+// GlobalHist returns the most recent bits conditional outcomes as a bit
+// vector, LSB most recent.
+func (e *Env) GlobalHist(bits int) uint64 {
+	if bits >= 64 {
+		return e.hist
+	}
+	return e.hist & (1<<uint(bits) - 1)
+}
+
+// LastOutcomeOf returns the most recent outcome of the conditional branch
+// terminating the given block. known is false if it has not yet executed.
+func (e *Env) LastOutcomeOf(id BlockID) (taken, known bool) {
+	if int(id) >= len(e.lastOutcome) || e.lastOutcome[id] < 0 {
+		return false, false
+	}
+	return e.lastOutcome[id] == 1, true
+}

@@ -1,0 +1,123 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestEnvPathRing(t *testing.T) {
+	e := newEnv(4)
+	if e.PathDepth() != 0 {
+		t.Fatalf("fresh env depth = %d", e.PathDepth())
+	}
+	if e.PathID(0) != NoBlock {
+		t.Error("empty path PathID(0) != NoBlock")
+	}
+	if e.PathAddr(0) != 0 {
+		t.Error("empty path PathAddr(0) != 0")
+	}
+	e.pushPath(1, 0x100)
+	e.pushPath(2, 0x200)
+	e.pushPath(3, 0x300)
+	if e.PathDepth() != 3 {
+		t.Errorf("depth = %d, want 3", e.PathDepth())
+	}
+	if e.PathID(0) != 3 || e.PathID(1) != 2 || e.PathID(2) != 1 {
+		t.Errorf("path ids: %d %d %d", e.PathID(0), e.PathID(1), e.PathID(2))
+	}
+	if e.PathAddr(0) != 0x300 || e.PathAddr(2) != 0x100 {
+		t.Errorf("path addrs: %v %v", e.PathAddr(0), e.PathAddr(2))
+	}
+	if e.PathID(3) != NoBlock {
+		t.Error("past-end PathID != NoBlock")
+	}
+}
+
+func TestEnvPathRingWraps(t *testing.T) {
+	e := newEnv(1)
+	for i := 0; i < envPathCap+10; i++ {
+		e.pushPath(BlockID(i), arch.Addr(4*i))
+	}
+	if e.PathDepth() != envPathCap {
+		t.Errorf("depth = %d, want %d", e.PathDepth(), envPathCap)
+	}
+	for i := 0; i < envPathCap; i++ {
+		want := BlockID(envPathCap + 10 - 1 - i)
+		if got := e.PathID(i); got != want {
+			t.Fatalf("PathID(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if e.PathID(envPathCap) != NoBlock {
+		t.Error("beyond capacity PathID != NoBlock")
+	}
+}
+
+func TestEnvGlobalHist(t *testing.T) {
+	e := newEnv(2)
+	// Record T, N, T, T (oldest first).
+	for _, b := range []bool{true, false, true, true} {
+		e.recordOutcome(0, b)
+	}
+	if got := e.GlobalHist(4); got != 0b1011 {
+		t.Errorf("GlobalHist(4) = %#b, want 0b1011", got)
+	}
+	if got := e.GlobalHist(2); got != 0b11 {
+		t.Errorf("GlobalHist(2) = %#b, want 0b11", got)
+	}
+	if got := e.GlobalHist(64); got != 0b1011 {
+		t.Errorf("GlobalHist(64) = %#b", got)
+	}
+}
+
+func TestEnvLastOutcome(t *testing.T) {
+	e := newEnv(3)
+	if _, known := e.LastOutcomeOf(1); known {
+		t.Error("unexecuted branch reported known")
+	}
+	e.recordOutcome(1, true)
+	if taken, known := e.LastOutcomeOf(1); !known || !taken {
+		t.Error("recorded taken not returned")
+	}
+	e.recordOutcome(1, false)
+	if taken, known := e.LastOutcomeOf(1); !known || taken {
+		t.Error("recorded not-taken not returned")
+	}
+	if _, known := e.LastOutcomeOf(99); known {
+		t.Error("out-of-range branch reported known")
+	}
+}
+
+// TestPathHashDepthSensitivity: the hash must depend on exactly the last
+// `depth` elements — changing a deeper element must not change the hash.
+func TestPathHashDepthSensitivity(t *testing.T) {
+	f := func(a1, a2, a3 uint32, salt uint64) bool {
+		e1, e2 := newEnv(1), newEnv(1)
+		e1.pushPath(0, arch.Addr(a1))
+		e1.pushPath(0, arch.Addr(a2))
+		e1.pushPath(0, arch.Addr(a3))
+		e2.pushPath(0, arch.Addr(a1)^0xdeadbeef) // differs at depth 3
+		e2.pushPath(0, arch.Addr(a2))
+		e2.pushPath(0, arch.Addr(a3))
+		return e1.PathHash(2, salt) == e2.PathHash(2, salt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathHashSaltSensitivity(t *testing.T) {
+	e := newEnv(1)
+	e.pushPath(0, 0x100)
+	if e.PathHash(1, 1) == e.PathHash(1, 2) {
+		t.Error("different salts gave equal hashes")
+	}
+}
+
+func TestPathHashClampsDepth(t *testing.T) {
+	e := newEnv(1)
+	e.pushPath(0, 0x100)
+	// Must not panic or read out of bounds for huge depths.
+	_ = e.PathHash(10_000, 1)
+}

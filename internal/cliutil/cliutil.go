@@ -1,0 +1,54 @@
+// Package cliutil holds the small amount of logic the command-line tools
+// share: resolving a branch-trace source from either a named synthetic
+// benchmark or a trace file on disk.
+package cliutil
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// SourceSpec describes where a tool's input trace comes from. Exactly one
+// of Bench or TracePath must be set.
+type SourceSpec struct {
+	// Bench is a synthetic benchmark name (see workload.Names).
+	Bench string
+	// Input selects the benchmark's input set: "test" (default) or
+	// "profile".
+	Input string
+	// Records is the suite base trace length for benchmark sources.
+	Records int
+	// TracePath is a trace file written by cmd/traceg.
+	TracePath string
+}
+
+// Resolve returns a replayable in-memory source for the spec.
+func Resolve(spec SourceSpec) (trace.Source, error) {
+	switch {
+	case spec.Bench != "" && spec.TracePath != "":
+		return nil, fmt.Errorf("cliutil: -bench and -trace are mutually exclusive")
+	case spec.TracePath != "":
+		return trace.ReadFile(spec.TracePath)
+	case spec.Bench != "":
+		b, err := workload.ByName(spec.Bench)
+		if err != nil {
+			return nil, err
+		}
+		n := spec.Records
+		if n == 0 {
+			n = 250000
+		}
+		switch spec.Input {
+		case "", "test":
+			return trace.Collect(b.TestSource(n)), nil
+		case "profile":
+			return trace.Collect(b.ProfileSource(n)), nil
+		default:
+			return nil, fmt.Errorf("cliutil: unknown input set %q (want test or profile)", spec.Input)
+		}
+	default:
+		return nil, fmt.Errorf("cliutil: need -bench or -trace")
+	}
+}

@@ -1,0 +1,86 @@
+package cliutil
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+)
+
+func TestResolveBench(t *testing.T) {
+	src, err := Resolve(SourceSpec{Bench: "compress", Records: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r trace.Record
+	n := 0
+	for src.Next(&r) {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty benchmark source")
+	}
+	// Profile and test inputs must differ.
+	testBuf := trace.Collect(src)
+	profSrc, err := Resolve(SourceSpec{Bench: "compress", Input: "profile", Records: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profBuf := trace.Collect(profSrc)
+	same := 0
+	for i := 0; i < testBuf.Len() && i < profBuf.Len(); i++ {
+		if testBuf.Records[i] == profBuf.Records[i] {
+			same++
+		}
+	}
+	if same == testBuf.Len() {
+		t.Error("profile and test inputs identical")
+	}
+}
+
+func TestResolveTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.vlpt")
+	recs := []trace.Record{
+		{PC: 0x1004, Kind: arch.Cond, Taken: true, Next: 0x2000},
+		{PC: 0x2000, Kind: arch.Return, Taken: true, Next: 0x1008},
+	}
+	if err := trace.WriteFile(path, trace.NewBuffer(recs)); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Resolve(SourceSpec{TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := trace.Collect(src)
+	if got.Len() != 2 {
+		t.Fatalf("read %d records", got.Len())
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []SourceSpec{
+		{},                                     // nothing set
+		{Bench: "gcc", TracePath: "x"},         // both set
+		{Bench: "nonesuch"},                    // unknown benchmark
+		{Bench: "gcc", Input: "validation"},    // unknown input set
+		{TracePath: "/nonexistent/trace.vlpt"}, // missing file
+	}
+	for i, spec := range cases {
+		if _, err := Resolve(spec); err == nil {
+			t.Errorf("case %d: spec %+v accepted", i, spec)
+		}
+	}
+}
+
+func TestResolveDefaultRecords(t *testing.T) {
+	src, err := Resolve(SourceSpec{Bench: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := trace.Collect(src)
+	// compress has DynWeight 0.5 over the 250000 default base.
+	if buf.Len() != 125000 {
+		t.Errorf("default records = %d, want 125000", buf.Len())
+	}
+}

@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/bpred/agree"
+	"repro/internal/bpred/bimodal"
+	"repro/internal/bpred/bimode"
+	"repro/internal/bpred/gshare"
+	"repro/internal/bpred/gskew"
+	"repro/internal/bpred/hybrid"
+	"repro/internal/bpred/twolevel"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+	"repro/internal/vlp"
+	"repro/internal/workload"
+)
+
+// ablationBenches is the subset used for ablation studies: a compiler-like
+// benchmark, an interpreter, a noisy search program, and a call-heavy
+// formatter — the corners of the suite's behaviour space.
+var ablationBenches = []string{"gcc", "perl", "go", "groff"}
+
+// AblationResult is a generic benchmarks-by-variants percentage table.
+type AblationResult struct {
+	Benchmarks []string
+	Variants   []string
+	// Rates[v][b] is variant v's misprediction percentage on benchmark b.
+	Rates [][]float64
+}
+
+func (r *AblationResult) table() string {
+	tb := tablefmt.New(append([]string{"Benchmark"}, r.Variants...)...)
+	for bi, b := range r.Benchmarks {
+		cells := []interface{}{b}
+		for vi := range r.Variants {
+			cells = append(cells, fmt.Sprintf("%.2f%%", r.Rates[vi][bi]))
+		}
+		tb.Row(cells...)
+	}
+	return tb.String()
+}
+
+// runCondVariants measures conditional misprediction for one predictor
+// constructor per variant, across the ablation benchmarks, in parallel.
+func (s *Suite) runCondVariants(benchNames []string, variants []string,
+	mk func(variant int, bench string) (bpred.CondPredictor, error)) (*AblationResult, error) {
+	res := &AblationResult{
+		Benchmarks: benchNames,
+		Variants:   variants,
+		Rates:      newRates(len(variants), len(benchNames)),
+	}
+	type job struct{ v, b int }
+	var jobs []job
+	for v := range variants {
+		for b := range benchNames {
+			jobs = append(jobs, job{v, b})
+		}
+	}
+	errs := make([]error, len(jobs))
+	sim.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		p, err := mk(j.v, benchNames[j.b])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		test, err := s.TestSource(benchNames[j.b])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[j.v][j.b] = sim.RunCond(p, test, sim.Options{}).Percent()
+	})
+	return res, firstErr(errs)
+}
+
+// AblationRotation measures the §3.3 design choice: rotating each target
+// by its depth before XOR (order-preserving) versus a plain XOR fold.
+func (s *Suite) AblationRotation() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	res, err := s.runCondVariants(ablationBenches,
+		[]string{"VLP (rotated)", "VLP (no rotation)"},
+		func(v int, bench string) (bpred.CondPredictor, error) {
+			prof, err := s.Profile(bench, false, k)
+			if err != nil {
+				return nil, err
+			}
+			return vlp.NewCond(budget, prof.Selector(), vlp.Options{NoRotation: v == 1})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-rotation",
+		Title: "Ablation: hash rotation (order encoding, paper §3.3), conditional 16KB",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}
+
+// AblationReturns measures the §3.2 claim that storing return targets in
+// the THB does not strongly matter.
+func (s *Suite) AblationReturns() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	res, err := s.runCondVariants(ablationBenches,
+		[]string{"returns excluded", "returns stored"},
+		func(v int, bench string) (bpred.CondPredictor, error) {
+			prof, err := s.Profile(bench, false, k)
+			if err != nil {
+				return nil, err
+			}
+			return vlp.NewCond(budget, prof.Selector(), vlp.Options{StoreReturns: v == 1})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-returns",
+		Title: "Ablation: return targets in the THB (paper §3.2), conditional 16KB",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}
+
+// AblationSubset profiles with only the hash functions {1,2,4,8,16,32}
+// implemented (§3.1's reduced-cost implementation) versus all 32.
+func (s *Suite) AblationSubset() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	subset := []int{1, 2, 4, 8, 16, 32}
+	res, err := s.runCondVariants(ablationBenches,
+		[]string{"all 32 hash functions", "subset {1,2,4,8,16,32}"},
+		func(v int, bench string) (bpred.CondPredictor, error) {
+			if v == 0 {
+				prof, err := s.Profile(bench, false, k)
+				if err != nil {
+					return nil, err
+				}
+				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+			}
+			src, err := s.ProfileSource(bench)
+			if err != nil {
+				return nil, err
+			}
+			prof, _, err := profile.Cond(src, profile.Config{TableBits: k, Lengths: subset})
+			if err != nil {
+				return nil, err
+			}
+			return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-subset",
+		Title: "Ablation: implemented hash-function subset (paper §3.1), conditional 16KB",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}
+
+// AblationHeuristic varies the profiling heuristic's candidate and
+// iteration counts around the paper's 3-candidates/7-iterations setting.
+func (s *Suite) AblationHeuristic() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	type setting struct{ cands, iters int }
+	settings := []setting{{1, 1}, {3, 3}, {3, 7}, {5, 7}}
+	variants := make([]string, len(settings))
+	for i, c := range settings {
+		variants[i] = fmt.Sprintf("%d cand / %d iter", c.cands, c.iters)
+	}
+	res, err := s.runCondVariants(ablationBenches, variants,
+		func(v int, bench string) (bpred.CondPredictor, error) {
+			src, err := s.ProfileSource(bench)
+			if err != nil {
+				return nil, err
+			}
+			prof, _, err := profile.Cond(src, profile.Config{
+				TableBits: k, Candidates: settings[v].cands, Iterations: settings[v].iters,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-heuristic",
+		Title: "Ablation: profiling heuristic candidates/iterations (paper §3.5), conditional 16KB",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}
+
+// HFNTResult carries the §4.3 pipelining measurements.
+type HFNTResult struct {
+	Benchmarks []string
+	EntryBits  []uint
+	// RepredictPct[j][b] is the re-prediction percentage with 2^EntryBits[j]
+	// HFNT entries on benchmark b.
+	RepredictPct [][]float64
+}
+
+// AblationHFNT measures how often the pipelined predictor's hash function
+// number prediction misses, forcing the two-cycle re-predict path (§4.3).
+func (s *Suite) AblationHFNT() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	res := &HFNTResult{Benchmarks: ablationBenches, EntryBits: []uint{6, 8, 10, 12}}
+	res.RepredictPct = newRates(len(res.EntryBits), len(res.Benchmarks))
+	type job struct{ j, b int }
+	var jobs []job
+	for j := range res.EntryBits {
+		for b := range res.Benchmarks {
+			jobs = append(jobs, job{j, b})
+		}
+	}
+	errs := make([]error, len(jobs))
+	sim.ForEach(len(jobs), func(i int) {
+		jb := jobs[i]
+		bench := res.Benchmarks[jb.b]
+		prof, err := s.Profile(bench, false, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		inner, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		h, err := vlp.NewHFNT(inner, res.EntryBits[jb.j])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		test, err := s.TestSource(bench)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sim.RunCond(h, test, sim.Options{})
+		res.RepredictPct[jb.j][jb.b] = 100 * h.RepredictRate()
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	tb := tablefmt.New(append([]string{"HFNT entries"}, res.Benchmarks...)...)
+	for j, bits := range res.EntryBits {
+		cells := []interface{}{fmt.Sprintf("2^%d", bits)}
+		for b := range res.Benchmarks {
+			cells = append(cells, fmt.Sprintf("%.2f%%", res.RepredictPct[j][b]))
+		}
+		tb.Row(cells...)
+	}
+	return &Report{
+		ID:    "ablation-hfnt",
+		Title: "Ablation: HFNT re-prediction rate (paper §4.3), conditional 16KB VLP",
+		Text:  tb.String(),
+		Data:  res,
+	}, nil
+}
+
+// AblationDynSel compares the §3.4 hardware-selection alternative with the
+// profiled predictor and the fixed length baseline.
+func (s *Suite) AblationDynSel() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	all, err := s.benches(workload.All())
+	if err != nil {
+		return nil, err
+	}
+	fixedLen, err := s.SuiteFixedLength(all, false, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runCondVariants(ablationBenches,
+		[]string{"fixed length path", "dynamic selection (hw)", "variable length path (profiled)"},
+		func(v int, bench string) (bpred.CondPredictor, error) {
+			switch v {
+			case 0:
+				return vlp.NewCond(budget, vlp.Fixed{L: fixedLen}, vlp.Options{})
+			case 1:
+				return vlp.NewDynCond(budget, nil, 12, 4)
+			default:
+				prof, err := s.Profile(bench, false, k)
+				if err != nil {
+					return nil, err
+				}
+				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-dynsel",
+		Title: "Ablation: hardware hash-function selection (paper §3.4), conditional 16KB",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}
+
+// AblationHistStack measures the §6 future-work history stack: saving the
+// path registers across calls and restoring them on returns.
+func (s *Suite) AblationHistStack() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	res, err := s.runCondVariants(ablationBenches,
+		[]string{"flat history", "stack (restore)", "stack (combine 2)"},
+		func(v int, bench string) (bpred.CondPredictor, error) {
+			prof, err := s.Profile(bench, false, k)
+			if err != nil {
+				return nil, err
+			}
+			opts := vlp.Options{HistoryStack: v >= 1}
+			if v == 2 {
+				opts.HistoryCombine = 2
+			}
+			return vlp.NewCond(budget, prof.Selector(), opts)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-histstack",
+		Title: "Ablation: history stack across calls (paper §6), conditional 16KB",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}
+
+// AblationCompetitors situates the path predictors in the wider
+// conditional-predictor field the paper's related work describes: bimodal,
+// GAs, PAs, gshare, and a gshare+bimodal hybrid, all near the 16 KB
+// budget. (The hybrid splits its budget across components and chooser, as
+// McFarling's design must.)
+func (s *Suite) AblationCompetitors() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	res, err := s.runCondVariants(ablationBenches,
+		[]string{"bimodal", "GAs", "PAs", "gshare", "agree", "bi-mode", "gskew", "hybrid", "FLP(tuned)", "VLP"},
+		func(v int, bench string) (bpred.CondPredictor, error) {
+			switch v {
+			case 0:
+				return bimodal.New(budget)
+			case 1:
+				return twolevel.NewGAsBudget(budget, 12)
+			case 2:
+				return twolevel.NewPAs(k, 10, 8)
+			case 3:
+				return gshare.New(budget)
+			case 4:
+				return agree.New(budget, 12)
+			case 5:
+				return bimode.New(budget)
+			case 6:
+				return gskew.New(budget)
+			case 7:
+				g, err := gshare.New(budget / 2)
+				if err != nil {
+					return nil, err
+				}
+				b, err := bimodal.New(budget / 4)
+				if err != nil {
+					return nil, err
+				}
+				return hybrid.New(g, b, 13), nil // 2^13 chooser counters = 2KB
+			case 8:
+				l, err := s.TunedFixedLength(bench, false, k)
+				if err != nil {
+					return nil, err
+				}
+				return vlp.NewCond(budget, vlp.Fixed{L: l}, vlp.Options{})
+			default:
+				prof, err := s.Profile(bench, false, k)
+				if err != nil {
+					return nil, err
+				}
+				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-competitors",
+		Title: "Extension: wider conditional predictor field near 16KB",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/bpred/ras"
+	"repro/internal/factory"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+	"repro/internal/workload"
+)
+
+// AblationIndField pits the full indirect predictor field against each
+// other at the 2 KB budget on the indirect-heavy benchmarks: BTB,
+// pattern/path target caches, the Driesen-Hölzle-style cascaded predictor
+// ("the best competing predictor" family the paper references), and the
+// fixed/variable length path predictors.
+func (s *Suite) AblationIndField() (*Report, error) {
+	const budget = 2048
+	k := indK(budget)
+	heavy, err := s.benches(workload.IndirectHeavy())
+	if err != nil {
+		return nil, err
+	}
+	all, err := s.benches(workload.All())
+	if err != nil {
+		return nil, err
+	}
+	fixedLen, err := s.SuiteFixedLength(all, true, k)
+	if err != nil {
+		return nil, err
+	}
+	variants := []string{"btb", "pattern", "path", "path-peraddr", "cascaded", "FLP", "VLP"}
+	res := &AblationResult{
+		Benchmarks: names(heavy),
+		Variants:   variants,
+		Rates:      newRates(len(variants), len(heavy)),
+	}
+	type job struct{ v, b int }
+	var jobs []job
+	for v := range variants {
+		for b := range heavy {
+			jobs = append(jobs, job{v, b})
+		}
+	}
+	errs := make([]error, len(jobs))
+	sim.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		bench := heavy[j.b].Name()
+		var p bpred.IndirectPredictor
+		var err error
+		switch variants[j.v] {
+		case "FLP":
+			p, err = factory.NewIndirect(factory.IndirectSpec{
+				Name: "flp", BudgetBytes: budget, FixedLength: fixedLen})
+		case "VLP":
+			prof, perr := s.Profile(bench, true, k)
+			if perr != nil {
+				errs[i] = perr
+				return
+			}
+			p, err = factory.NewIndirect(factory.IndirectSpec{
+				Name: "vlp", BudgetBytes: budget, Profile: prof})
+		default:
+			p, err = factory.NewIndirect(factory.IndirectSpec{
+				Name: variants[j.v], BudgetBytes: budget})
+		}
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		test, err := s.TestSource(bench)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[j.v][j.b] = sim.RunIndirect(p, test, sim.Options{}).Percent()
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-indfield",
+		Title: "Extension: full indirect predictor field at 2KB (indirect-heavy benchmarks)",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}
+
+// RASResult carries per-benchmark return statistics.
+type RASResult struct {
+	Benchmarks []string
+	Depths     []int
+	// HitPct[d][b] is the return hit percentage at Depths[d] on
+	// benchmark b.
+	HitPct  [][]float64
+	Returns []int64
+}
+
+// AblationRAS quantifies the premise behind the paper's exclusion of
+// returns from the indirect counts (§5.1): a return address stack predicts
+// them, nearly perfectly once deep enough for the program's call nesting.
+func (s *Suite) AblationRAS() (*Report, error) {
+	bs, err := s.benches(workload.All())
+	if err != nil {
+		return nil, err
+	}
+	res := &RASResult{
+		Benchmarks: names(bs),
+		Depths:     []int{1, 4, 16, 64},
+		Returns:    make([]int64, len(bs)),
+	}
+	res.HitPct = newRates(len(res.Depths), len(bs))
+	type job struct{ d, b int }
+	var jobs []job
+	for d := range res.Depths {
+		for b := range bs {
+			jobs = append(jobs, job{d, b})
+		}
+	}
+	errs := make([]error, len(jobs))
+	sim.ForEach(len(jobs), func(i int) {
+		j := jobs[i]
+		src, err := s.TestSource(bs[j.b].Name())
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		st, err := ras.Run(src, res.Depths[j.d])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.HitPct[j.d][j.b] = 100 * st.HitRate()
+		res.Returns[j.b] = st.Returns
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	header := []string{"Benchmark", "returns"}
+	for _, d := range res.Depths {
+		header = append(header, fmt.Sprintf("depth %d", d))
+	}
+	tb := tablefmt.New(header...)
+	for b, name := range res.Benchmarks {
+		cells := []interface{}{name, res.Returns[b]}
+		for d := range res.Depths {
+			cells = append(cells, fmt.Sprintf("%.2f%%", res.HitPct[d][b]))
+		}
+		tb.Row(cells...)
+	}
+	return &Report{
+		ID:    "ablation-ras",
+		Title: "Extension: return address stack hit rates (paper §5.1's exclusion of returns)",
+		Text:  tb.String(),
+		Data:  res,
+	}, nil
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/bpred/gshare"
+	"repro/internal/bpred/targetcache"
+	"repro/internal/sim"
+	"repro/internal/textplot"
+	"repro/internal/vlp"
+	"repro/internal/workload"
+)
+
+// BenchSeries is the data behind the paper's per-benchmark bar figures:
+// one misprediction-rate series (percent) per predictor over a shared
+// benchmark list.
+type BenchSeries struct {
+	Benchmarks []string
+	Predictors []string
+	// Rates[p][b] is predictor p's misprediction percentage on benchmark b.
+	Rates [][]float64
+}
+
+// Rate returns the percentage for a (predictor, benchmark) pair.
+func (r *BenchSeries) Rate(predictor, bench string) (float64, error) {
+	pi, bi := -1, -1
+	for i, p := range r.Predictors {
+		if p == predictor {
+			pi = i
+		}
+	}
+	for i, b := range r.Benchmarks {
+		if b == bench {
+			bi = i
+		}
+	}
+	if pi < 0 || bi < 0 {
+		return 0, fmt.Errorf("experiments: no rate for (%s, %s)", predictor, bench)
+	}
+	return r.Rates[pi][bi], nil
+}
+
+// Chart renders the series as the paper's grouped bar figure.
+func (r *BenchSeries) Chart(title string) string {
+	series := make([]textplot.Series, len(r.Predictors))
+	for i, p := range r.Predictors {
+		series[i] = textplot.Series{Name: p, Values: r.Rates[i]}
+	}
+	c := &textplot.BarChart{Title: title, Unit: "%", Labels: r.Benchmarks, Series: series}
+	return c.String()
+}
+
+// MeanReduction returns the average relative misprediction reduction (in
+// percent) of predictor `to` versus predictor `from` across benchmarks —
+// the statistic behind the paper's "28.6% fewer mispredictions than
+// gshare on average".
+func (r *BenchSeries) MeanReduction(from, to string) (float64, error) {
+	var fi, ti = -1, -1
+	for i, p := range r.Predictors {
+		if p == from {
+			fi = i
+		}
+		if p == to {
+			ti = i
+		}
+	}
+	if fi < 0 || ti < 0 {
+		return 0, fmt.Errorf("experiments: unknown predictors %q, %q", from, to)
+	}
+	var sum float64
+	n := 0
+	for b := range r.Benchmarks {
+		if r.Rates[fi][b] == 0 {
+			continue
+		}
+		sum += 1 - r.Rates[ti][b]/r.Rates[fi][b]
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: no comparable benchmarks")
+	}
+	return 100 * sum / float64(n), nil
+}
+
+// condComparison produces the gshare / fixed length path / variable length
+// path comparison of Figures 5-6 for the given benchmarks and hardware
+// budget.
+func (s *Suite) condComparison(bs []*workload.Benchmark, budgetBytes int) (*BenchSeries, error) {
+	bs, err := s.benches(bs)
+	if err != nil {
+		return nil, err
+	}
+	k := condK(budgetBytes)
+	// The fixed length is tuned over the *whole* suite's profile inputs
+	// (§5.1), not just the figure's half.
+	all, err := s.benches(workload.All())
+	if err != nil {
+		return nil, err
+	}
+	fixedLen, err := s.SuiteFixedLength(all, false, k)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &BenchSeries{
+		Predictors: []string{"gshare", "fixed length path", "variable length path"},
+		Benchmarks: names(bs),
+		Rates:      newRates(3, len(bs)),
+	}
+	errs := make([]error, len(bs))
+	sim.ForEach(len(bs), func(i int) {
+		b := bs[i]
+		test, err := s.TestSource(b.Name())
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		g, err := gshare.New(budgetBytes)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out.Rates[0][i] = sim.RunCond(g, test, sim.Options{}).Percent()
+
+		flp, err := vlp.NewCond(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out.Rates[1][i] = sim.RunCond(flp, test, sim.Options{}).Percent()
+
+		prof, err := s.Profile(b.Name(), false, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vp, err := vlp.NewCond(budgetBytes, prof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out.Rates[2][i] = sim.RunCond(vp, test, sim.Options{}).Percent()
+	})
+	return out, firstErr(errs)
+}
+
+// indirectComparison produces the Chang-Hao-Patt path & pattern versus
+// fixed/variable length path comparison of Figures 7-8.
+func (s *Suite) indirectComparison(bs []*workload.Benchmark, budgetBytes int) (*BenchSeries, error) {
+	bs, err := s.benches(bs)
+	if err != nil {
+		return nil, err
+	}
+	k := indK(budgetBytes)
+	all, err := s.benches(workload.All())
+	if err != nil {
+		return nil, err
+	}
+	fixedLen, err := s.SuiteFixedLength(all, true, k)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &BenchSeries{
+		Predictors: []string{"path (Chang, Hao, and Patt)", "pattern (Chang, Hao, and Patt)",
+			"fixed length path", "variable length path"},
+		Benchmarks: names(bs),
+		Rates:      newRates(4, len(bs)),
+	}
+	errs := make([]error, len(bs))
+	sim.ForEach(len(bs), func(i int) {
+		b := bs[i]
+		test, err := s.TestSource(b.Name())
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		runOne := func(p bpred.IndirectPredictor) float64 {
+			return sim.RunIndirect(p, test, sim.Options{}).Percent()
+		}
+		path, err := targetcache.NewPathBudget(budgetBytes)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out.Rates[0][i] = runOne(path)
+
+		pattern, err := targetcache.NewPatternBudget(budgetBytes)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out.Rates[1][i] = runOne(pattern)
+
+		flp, err := vlp.NewIndirect(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out.Rates[2][i] = runOne(flp)
+
+		prof, err := s.Profile(b.Name(), true, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vp, err := vlp.NewIndirect(budgetBytes, prof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out.Rates[3][i] = runOne(vp)
+	})
+	return out, firstErr(errs)
+}
+
+func names(bs []*workload.Benchmark) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+func newRates(p, b int) [][]float64 {
+	out := make([][]float64, p)
+	for i := range out {
+		out[i] = make([]float64, b)
+	}
+	return out
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testSuite shares one modest-scale Suite across the package's tests; the
+// cached traces and profiles make the whole file run in seconds instead of
+// re-simulating per test.
+var (
+	testSuiteOnce sync.Once
+	testSuiteVal  *Suite
+)
+
+func testSuite() *Suite {
+	testSuiteOnce.Do(func() {
+		testSuiteVal = NewSuite(Config{BaseRecords: 120000})
+	})
+	return testSuiteVal
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("registry entry %+v incomplete", e.ID)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate registry id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "headline"} {
+		if !ids[want] {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+	if _, err := Find("fig5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Find("nonesuch"); err == nil {
+		t.Error("Find accepted unknown id")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rep, err := testSuite().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Data.(*Table1Result)
+	if len(res.Rows) != 16 {
+		t.Fatalf("Table 1 has %d rows", len(res.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byName[r.Benchmark] = r
+		if r.CondDynamic == 0 || r.CondStatic == 0 {
+			t.Errorf("%s: empty conditional counts", r.Benchmark)
+		}
+	}
+	// The paper's Table 1 spread: m88ksim runs by far the most branches;
+	// the interpreters carry substantial indirect dynamics.
+	if byName["m88ksim"].CondDynamic <= byName["compress"].CondDynamic {
+		t.Error("m88ksim should execute more conditionals than compress")
+	}
+	for _, heavy := range []string{"perl", "li", "python"} {
+		if byName[heavy].IndirectDynamic == 0 {
+			t.Errorf("%s executes no indirect branches", heavy)
+		}
+	}
+	if !strings.Contains(rep.Text, "m88ksim") {
+		t.Error("rendered table missing benchmark")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rep, err := testSuite().Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Data.(*Table2Result)
+	if len(res.Conditional) != len(CondSizesKB) || len(res.Indirect) != len(IndSizesBytes) {
+		t.Fatalf("Table 2 shape wrong: %d cond, %d ind rows", len(res.Conditional), len(res.Indirect))
+	}
+	for _, r := range append(res.Conditional, res.Indirect...) {
+		if r.PathLength < 1 || r.PathLength > 32 {
+			t.Errorf("size %d: path length %d out of range", r.SizeBytes, r.PathLength)
+		}
+	}
+	// Indirect best lengths must not shrink with table size (the paper's
+	// 11 -> 21 growth; at reduced trace scale the conditional half is
+	// flatter, see EXPERIMENTS.md).
+	for i := 1; i < len(res.Indirect); i++ {
+		if res.Indirect[i].PathLength < res.Indirect[i-1].PathLength {
+			t.Errorf("indirect best length shrank with size: %+v", res.Indirect)
+		}
+	}
+}
+
+// TestFigure5Ordering is the paper's core conditional result: the variable
+// length path predictor beats gshare on every benchmark, and the fixed
+// length path predictor is at least competitive on average.
+func TestFigure5Ordering(t *testing.T) {
+	for _, fig := range []func(*Suite) (*Report, error){(*Suite).Figure5, (*Suite).Figure6} {
+		rep, err := fig(testSuite())
+		if err != nil {
+			t.Fatal(err)
+		}
+		series := rep.Data.(*BenchSeries)
+		if len(series.Benchmarks) != 8 {
+			t.Fatalf("%s: %d benchmarks", rep.ID, len(series.Benchmarks))
+		}
+		for bi, b := range series.Benchmarks {
+			gshareRate, vlpRate := series.Rates[0][bi], series.Rates[2][bi]
+			if vlpRate > gshareRate {
+				t.Errorf("%s/%s: VLP %.2f%% worse than gshare %.2f%%", rep.ID, b, vlpRate, gshareRate)
+			}
+		}
+		red, err := series.MeanReduction("gshare", "variable length path")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper: 28.6% average reduction; at reduced scale require a
+		// clearly material reduction.
+		if red < 15 {
+			t.Errorf("%s: mean reduction vs gshare only %.1f%%", rep.ID, red)
+		}
+	}
+}
+
+// TestIndirectOrdering is the paper's core indirect result: on the
+// indirect-heavy benchmarks, both path predictors dominate the Chang, Hao
+// and Patt baselines, and profiling helps on average.
+func TestIndirectOrdering(t *testing.T) {
+	rep, err := testSuite().Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := rep.Data.(*BenchSeries)
+	if len(series.Benchmarks) != 8 {
+		t.Fatalf("Table 3 has %d benchmarks", len(series.Benchmarks))
+	}
+	for bi, b := range series.Benchmarks {
+		best := series.Rates[0][bi] // path
+		if series.Rates[1][bi] < best {
+			best = series.Rates[1][bi] // pattern
+		}
+		vlpRate := series.Rates[3][bi]
+		if vlpRate > best {
+			t.Errorf("%s: VLP %.2f%% worse than best baseline %.2f%%", b, vlpRate, best)
+		}
+	}
+	red, err := series.MeanReduction("pattern (Chang, Hao, and Patt)", "variable length path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red < 25 {
+		t.Errorf("mean reduction vs pattern cache only %.1f%% (paper: 24.5-94.9%% per benchmark)", red)
+	}
+}
+
+// TestFigure9Shape: rates fall with size for every predictor, and VLP
+// dominates gshare across the sweep.
+func TestFigure9Shape(t *testing.T) {
+	rep, err := testSuite().Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Data.(*SweepResult)
+	// Only the path predictors are asserted monotone: their selected
+	// lengths keep context counts bounded, so bigger tables only reduce
+	// interference. gshare's history grows with the table, and at this
+	// test's reduced trace scale a 20-bit-history gshare never warms up
+	// (the full-scale run in EXPERIMENTS.md recovers the paper's shape).
+	for pi, p := range res.Predictors {
+		if p == "gshare" {
+			continue
+		}
+		first, last := res.Rates[pi][0], res.Rates[pi][len(res.SizesBytes)-1]
+		if last > first+1 {
+			t.Errorf("%s: rate grew with size: %.2f%% -> %.2f%%", p, first, last)
+		}
+	}
+	for si, size := range res.SizesBytes {
+		g, _ := res.Rate("gshare", size)
+		v, _ := res.Rate("variable length path", size)
+		if v > g {
+			t.Errorf("at %dB VLP %.2f%% worse than gshare %.2f%%", size, v, g)
+		}
+		_ = si
+	}
+}
+
+// TestFigure10Shape: the path predictors beat both target caches at every
+// size ("for all sizes, both the variable and the fixed length path
+// predictors perform outrageously better than the competing predictors").
+func TestFigure10Shape(t *testing.T) {
+	rep, err := testSuite().Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Data.(*SweepResult)
+	for _, size := range res.SizesBytes {
+		path, _ := res.Rate("path (Chang, Hao, and Patt)", size)
+		pattern, _ := res.Rate("pattern (Chang, Hao, and Patt)", size)
+		best := path
+		if pattern < best {
+			best = pattern
+		}
+		v, _ := res.Rate("variable length path", size)
+		if v > best {
+			t.Errorf("at %dB VLP %.2f%% not better than best baseline %.2f%%", size, v, best)
+		}
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	rep, err := testSuite().Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Data.(*HeadlineResult)
+	if res.CondVLP >= res.CondGshare {
+		t.Errorf("conditional: VLP %.2f%% not better than gshare %.2f%%", res.CondVLP, res.CondGshare)
+	}
+	if res.IndVLP >= res.IndBestCompeting {
+		t.Errorf("indirect: VLP %.2f%% not better than %s %.2f%%",
+			res.IndVLP, res.IndBestCompetingName, res.IndBestCompeting)
+	}
+	if !strings.Contains(rep.Text, "paper") {
+		t.Error("headline text missing paper reference values")
+	}
+}
+
+func TestBenchSeriesAccessors(t *testing.T) {
+	s := &BenchSeries{
+		Benchmarks: []string{"a", "b"},
+		Predictors: []string{"p", "q"},
+		Rates:      [][]float64{{10, 20}, {5, 8}},
+	}
+	v, err := s.Rate("q", "b")
+	if err != nil || v != 8 {
+		t.Errorf("Rate = %v, %v", v, err)
+	}
+	if _, err := s.Rate("zz", "b"); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	red, err := s.MeanReduction("p", "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1-5/10 + 1-8/20)/2 = (0.5+0.6)/2 = 55%.
+	if red < 54.9 || red > 55.1 {
+		t.Errorf("MeanReduction = %v, want 55", red)
+	}
+	if s.Chart("t") == "" {
+		t.Error("empty chart")
+	}
+}
+
+func TestSweepResultAccessors(t *testing.T) {
+	r := &SweepResult{
+		Benchmark:  "gcc",
+		SizesBytes: []int{1024, 2048},
+		Predictors: []string{"p"},
+		Rates:      [][]float64{{4, 2}},
+	}
+	v, err := r.Rate("p", 2048)
+	if err != nil || v != 2 {
+		t.Errorf("Rate = %v, %v", v, err)
+	}
+	if _, err := r.Rate("p", 999); err == nil {
+		t.Error("unknown size accepted")
+	}
+	if r.chart("t") == "" {
+		t.Error("empty chart")
+	}
+}
+
+// TestAblationsSmoke runs the cheaper ablations end to end at the shared
+// test scale, checking structural sanity of each report. The profiled
+// artifacts are cached by the suite, so these reuse the figures' work.
+func TestAblationsSmoke(t *testing.T) {
+	s := testSuite()
+	for _, id := range []string{"ablation-ras", "ablation-rotation", "ablation-returns",
+		"ablation-hfnt", "ablation-histstack", "ablation-isabits"} {
+		e, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.Text == "" || rep.Data == nil {
+			t.Errorf("%s: empty report", id)
+		}
+	}
+}
+
+// TestRASAblationJustifiesExclusion: the deepest stack must predict
+// essentially all returns on every benchmark (§5.1's premise).
+func TestRASAblationJustifiesExclusion(t *testing.T) {
+	rep, err := testSuite().AblationRAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Data.(*RASResult)
+	deepest := len(res.Depths) - 1
+	for b, name := range res.Benchmarks {
+		if res.Returns[b] == 0 {
+			t.Errorf("%s executed no returns", name)
+			continue
+		}
+		if res.HitPct[deepest][b] < 99 {
+			t.Errorf("%s: depth-%d RAS hit rate %.2f%%", name, res.Depths[deepest], res.HitPct[deepest][b])
+		}
+	}
+}
+
+// TestISABitsMonotone: accuracy must degrade gracefully as ISA hint bits
+// shrink (§4.2): full number <= bucket hint <= hardware only, within a
+// small tolerance per benchmark.
+func TestISABitsMonotone(t *testing.T) {
+	rep, err := testSuite().AblationISABits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Data.(*AblationResult)
+	for b, name := range res.Benchmarks {
+		full, hint, hw := res.Rates[0][b], res.Rates[1][b], res.Rates[2][b]
+		if full > hint+0.5 {
+			t.Errorf("%s: full number %.2f%% worse than bucket hint %.2f%%", name, full, hint)
+		}
+		if hint > hw+1.0 {
+			t.Errorf("%s: bucket hint %.2f%% much worse than hardware-only %.2f%%", name, hint, hw)
+		}
+	}
+}

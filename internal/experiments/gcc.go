@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bpred/gshare"
+	"repro/internal/bpred/targetcache"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+	"repro/internal/textplot"
+	"repro/internal/vlp"
+	"repro/internal/workload"
+)
+
+// SweepResult is a misprediction-rate-versus-size dataset (Figures 9-10).
+type SweepResult struct {
+	Benchmark  string
+	SizesBytes []int
+	Predictors []string
+	// Rates[p][s] is predictor p's misprediction percentage at size s.
+	Rates [][]float64
+}
+
+// Rate returns the percentage for a (predictor, size) pair.
+func (r *SweepResult) Rate(predictor string, sizeBytes int) (float64, error) {
+	pi, si := -1, -1
+	for i, p := range r.Predictors {
+		if p == predictor {
+			pi = i
+		}
+	}
+	for i, s := range r.SizesBytes {
+		if s == sizeBytes {
+			si = i
+		}
+	}
+	if pi < 0 || si < 0 {
+		return 0, fmt.Errorf("experiments: no rate for (%s, %d bytes)", predictor, sizeBytes)
+	}
+	return r.Rates[pi][si], nil
+}
+
+func (r *SweepResult) chart(title string) string {
+	xs := make([]float64, len(r.SizesBytes))
+	for i, b := range r.SizesBytes {
+		xs[i] = float64(b) / 1024
+	}
+	series := make([]textplot.Series, len(r.Predictors))
+	for i, p := range r.Predictors {
+		series[i] = textplot.Series{Name: p, Values: r.Rates[i]}
+	}
+	c := &textplot.LineChart{
+		Title: title, XLabel: "Predictor Size (K bytes)", X: xs, LogX: true, Series: series,
+	}
+	tb := tablefmt.New(append([]string{"Predictor"}, kbLabels(r.SizesBytes)...)...)
+	for i, p := range r.Predictors {
+		cells := []interface{}{p}
+		for _, v := range r.Rates[i] {
+			cells = append(cells, fmt.Sprintf("%.2f%%", v))
+		}
+		tb.Row(cells...)
+	}
+	return c.String() + "\n" + tb.String()
+}
+
+func kbLabels(sizes []int) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = fmt.Sprintf("%gKB", float64(s)/1024)
+	}
+	return out
+}
+
+// Figure9 reproduces the paper's Figure 9: gcc conditional branch
+// misprediction versus predictor size (1 KB to 256 KB) for gshare, the
+// fixed length path predictor (suite-wide length), the per-benchmark
+// tuned fixed length path predictor, and the variable length path
+// predictor.
+func (s *Suite) Figure9() (*Report, error) {
+	const bench = "gcc"
+	all, err := s.benches(workload.All())
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Benchmark:  bench,
+		Predictors: []string{"gshare", "fixed length path", "fixed length path (tuned)", "variable length path"},
+	}
+	for _, kb := range CondSizesKB {
+		res.SizesBytes = append(res.SizesBytes, kb*1024)
+	}
+	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
+
+	errs := make([]error, len(res.SizesBytes))
+	sim.ForEach(len(res.SizesBytes), func(i int) {
+		budget := res.SizesBytes[i]
+		k := condK(budget)
+		test, err := s.TestSource(bench)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		g, err := gshare.New(budget)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[0][i] = sim.RunCond(g, test, sim.Options{}).Percent()
+
+		suiteLen, err := s.SuiteFixedLength(all, false, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		flp, err := vlp.NewCond(budget, vlp.Fixed{L: suiteLen}, vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[1][i] = sim.RunCond(flp, test, sim.Options{}).Percent()
+
+		tunedLen, err := s.TunedFixedLength(bench, false, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		tuned, err := vlp.NewCond(budget, vlp.Fixed{L: tunedLen}, vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[2][i] = sim.RunCond(tuned, test, sim.Options{}).Percent()
+
+		prof, err := s.Profile(bench, false, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vp, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[3][i] = sim.RunCond(vp, test, sim.Options{}).Percent()
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "fig9",
+		Title: "Figure 9: Misprediction Rates for Conditional Branches in Gcc",
+		Text:  res.chart("gcc conditional vs size"),
+		Data:  res,
+	}, nil
+}
+
+// Figure10 reproduces the paper's Figure 10: gcc indirect branch
+// misprediction versus predictor size (0.5 KB to 32 KB) for the Chang,
+// Hao and Patt path and pattern caches and the fixed, tuned-fixed, and
+// variable length path predictors.
+func (s *Suite) Figure10() (*Report, error) {
+	const bench = "gcc"
+	all, err := s.benches(workload.All())
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{
+		Benchmark: bench,
+		Predictors: []string{"path (Chang, Hao, and Patt)", "pattern (Chang, Hao, and Patt)",
+			"fixed length path", "fixed length path (tuned)", "variable length path"},
+		SizesBytes: append([]int(nil), IndSizesBytes...),
+	}
+	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
+
+	errs := make([]error, len(res.SizesBytes))
+	sim.ForEach(len(res.SizesBytes), func(i int) {
+		budget := res.SizesBytes[i]
+		k := indK(budget)
+		test, err := s.TestSource(bench)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		path, err := targetcache.NewPathBudget(budget)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[0][i] = sim.RunIndirect(path, test, sim.Options{}).Percent()
+
+		pattern, err := targetcache.NewPatternBudget(budget)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[1][i] = sim.RunIndirect(pattern, test, sim.Options{}).Percent()
+
+		suiteLen, err := s.SuiteFixedLength(all, true, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		flp, err := vlp.NewIndirect(budget, vlp.Fixed{L: suiteLen}, vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[2][i] = sim.RunIndirect(flp, test, sim.Options{}).Percent()
+
+		tunedLen, err := s.TunedFixedLength(bench, true, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		tuned, err := vlp.NewIndirect(budget, vlp.Fixed{L: tunedLen}, vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[3][i] = sim.RunIndirect(tuned, test, sim.Options{}).Percent()
+
+		prof, err := s.Profile(bench, true, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vp, err := vlp.NewIndirect(budget, prof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.Rates[4][i] = sim.RunIndirect(vp, test, sim.Options{}).Percent()
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "fig10",
+		Title: "Figure 10: Misprediction Rates for Indirect Branches in Gcc",
+		Text:  res.chart("gcc indirect vs size"),
+		Data:  res,
+	}, nil
+}
+
+// HeadlineResult carries the paper's abstract numbers: gcc conditional at
+// a 4 KB budget (VLP vs gshare) and gcc indirect at 512 bytes (VLP vs the
+// best competing predictor).
+type HeadlineResult struct {
+	CondGshare, CondVLP  float64 // percent, 4 KB
+	IndBestCompeting     float64 // percent, 512 B (min of path/pattern)
+	IndBestCompetingName string
+	IndVLP               float64
+}
+
+// Headline reproduces the abstract's gcc numbers (paper: 4.3% vs 8.8%
+// conditional at 4 KB; 27.7% vs 44.2% indirect at 512 bytes).
+func (s *Suite) Headline() (*Report, error) {
+	const bench = "gcc"
+	res := &HeadlineResult{}
+
+	test, err := s.TestSource(bench)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gshare.New(4 * 1024)
+	if err != nil {
+		return nil, err
+	}
+	res.CondGshare = sim.RunCond(g, test, sim.Options{}).Percent()
+	prof, err := s.Profile(bench, false, condK(4*1024))
+	if err != nil {
+		return nil, err
+	}
+	vp, err := vlp.NewCond(4*1024, prof.Selector(), vlp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.CondVLP = sim.RunCond(vp, test, sim.Options{}).Percent()
+
+	path, err := targetcache.NewPathBudget(512)
+	if err != nil {
+		return nil, err
+	}
+	pathRate := sim.RunIndirect(path, test, sim.Options{}).Percent()
+	pattern, err := targetcache.NewPatternBudget(512)
+	if err != nil {
+		return nil, err
+	}
+	patternRate := sim.RunIndirect(pattern, test, sim.Options{}).Percent()
+	res.IndBestCompeting, res.IndBestCompetingName = pathRate, "path"
+	if patternRate < pathRate {
+		res.IndBestCompeting, res.IndBestCompetingName = patternRate, "pattern"
+	}
+	iprof, err := s.Profile(bench, true, indK(512))
+	if err != nil {
+		return nil, err
+	}
+	ivp, err := vlp.NewIndirect(512, iprof.Selector(), vlp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.IndVLP = sim.RunIndirect(ivp, test, sim.Options{}).Percent()
+
+	text := fmt.Sprintf(
+		"gcc conditional @ 4KB:  VLP %.2f%%  vs  gshare %.2f%%   (paper: 4.3%% vs 8.8%%)\n"+
+			"gcc indirect    @ 512B: VLP %.2f%%  vs  best competing (%s) %.2f%%   (paper: 27.7%% vs 44.2%%)\n",
+		res.CondVLP, res.CondGshare, res.IndVLP, res.IndBestCompetingName, res.IndBestCompeting)
+	return &Report{
+		ID:    "headline",
+		Title: "Headline: the abstract's gcc numbers",
+		Text:  text,
+		Data:  res,
+	}, nil
+}

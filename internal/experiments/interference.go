@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bpred/gshare"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tablefmt"
+	"repro/internal/trace"
+	"repro/internal/vlp"
+	"repro/internal/workload"
+)
+
+// InterferenceResult breaks each predictor's misses into cold, inter-
+// branch interference, and intrinsic components.
+type InterferenceResult struct {
+	Benchmarks []string
+	// Rows[b][v] is the breakdown for variant v (0 = FLP, 1 = VLP) on
+	// benchmark b.
+	Rows [][]vlp.MissBreakdown
+}
+
+// AblationInterference measures §5.3's mechanism directly: the variable
+// length path predictor should convert interference and cold misses into
+// hits by giving each branch only as much history as it needs ("shorter
+// training times and less interference"). Every predictor-table entry is
+// tagged with the static branch that last trained it, and each miss is
+// classified by what it hit.
+func (s *Suite) AblationInterference() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	all, err := s.benches(workload.All())
+	if err != nil {
+		return nil, err
+	}
+	fixedLen, err := s.SuiteFixedLength(all, false, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &InterferenceResult{
+		Benchmarks: ablationBenches,
+		Rows:       make([][]vlp.MissBreakdown, len(ablationBenches)),
+	}
+	errs := make([]error, len(res.Benchmarks))
+	sim.ForEach(len(res.Benchmarks), func(i int) {
+		bench := res.Benchmarks[i]
+		test, err := s.TestSource(bench)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		flp, err := vlp.NewInstrumentedCond(budget, vlp.Fixed{L: fixedLen}, vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sim.RunCond(flp, test, sim.Options{})
+
+		prof, err := s.Profile(bench, false, k)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vp, err := vlp.NewInstrumentedCond(budget, prof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sim.RunCond(vp, test, sim.Options{})
+		res.Rows[i] = []vlp.MissBreakdown{flp.Stats, vp.Stats}
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	tb := tablefmt.New("Benchmark", "FLP", "VLP")
+	for b, name := range res.Benchmarks {
+		tb.Row(name, res.Rows[b][0].String(), res.Rows[b][1].String())
+	}
+	return &Report{
+		ID:    "ablation-interference",
+		Title: "Extension: misprediction breakdown — cold / interference / intrinsic (paper §5.3), conditional 16KB",
+		Text:  tb.String(),
+		Data:  res,
+	}, nil
+}
+
+// StabilityResult carries cross-input variability of the headline
+// comparison.
+type StabilityResult struct {
+	Inputs int
+	// GshareRates and VLPRates are gcc misprediction percentages per
+	// input data set.
+	GshareRates, VLPRates []float64
+}
+
+// AblationStability reruns the gcc 16 KB conditional comparison on five
+// independent input data sets (the profile stays fixed to the profile
+// input, as deployment would) and reports mean ± 95% CI. The paper's
+// single-input numbers are meaningful only if this spread is small.
+func (s *Suite) AblationStability() (*Report, error) {
+	const budget = 16 * 1024
+	const inputs = 5
+	k := condK(budget)
+	bench, err := s.bench("gcc")
+	if err != nil {
+		return nil, err
+	}
+	prof, err := s.Profile("gcc", false, k)
+	if err != nil {
+		return nil, err
+	}
+	res := &StabilityResult{
+		Inputs:      inputs,
+		GshareRates: make([]float64, inputs),
+		VLPRates:    make([]float64, inputs),
+	}
+	errs := make([]error, inputs)
+	sim.ForEach(inputs, func(i int) {
+		// Inputs 0 and 2..5: skip 1, which is the profiling input.
+		input := uint64(i)
+		if input >= 1 {
+			input++
+		}
+		src := trace.Collect(bench.InputSource(s.Cfg.base(), input))
+		g, err := gshare.New(budget)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.GshareRates[i] = sim.RunCond(g, src, sim.Options{}).Percent()
+		vp, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res.VLPRates[i] = sim.RunCond(vp, src, sim.Options{}).Percent()
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	text := fmt.Sprintf("gcc conditional @ 16KB over %d independent inputs (profile held fixed):\n"+
+		"  gshare: %s %%\n  VLP:    %s %%\n",
+		inputs, stats.Summary(res.GshareRates), stats.Summary(res.VLPRates))
+	return &Report{
+		ID:    "ablation-stability",
+		Title: "Extension: cross-input stability of the headline comparison",
+		Text:  text,
+		Data:  res,
+	}, nil
+}

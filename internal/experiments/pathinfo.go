@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+)
+
+// PathInfoResult carries the ideal predictability-by-depth analysis.
+type PathInfoResult struct {
+	Benchmarks []string
+	Depths     []int
+	// Weight[b][i] is the percentage of benchmark b's dynamic
+	// conditional weight whose sufficient path depth is Depths[i].
+	Weight [][]float64
+	// MeanAcc[b][i] is the execution-weighted ideal accuracy at
+	// Depths[i] on benchmark b.
+	MeanAcc [][]float64
+}
+
+// AblationPathInfo reproduces the Evers-et-al.-style measurement behind
+// §5.3: for each benchmark, how much of the dynamic conditional-branch
+// weight is satisfied by each path depth, using an unbounded ideal
+// predictor that isolates path *information* from table capacity. The
+// concentration of weight at shallow depths — with a long tail needing
+// deep paths — is exactly the distribution that makes per-branch length
+// selection profitable.
+func (s *Suite) AblationPathInfo() (*Report, error) {
+	res := &PathInfoResult{Benchmarks: ablationBenches}
+	res.Weight = make([][]float64, len(res.Benchmarks))
+	res.MeanAcc = make([][]float64, len(res.Benchmarks))
+	errs := make([]error, len(res.Benchmarks))
+	sim.ForEach(len(res.Benchmarks), func(i int) {
+		src, err := s.TestSource(res.Benchmarks[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rep, err := analysis.Analyze(src, analysis.Config{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		depths, weight := rep.SufficientDepthHistogram()
+		res.Depths = depths
+		res.Weight[i] = weight
+		res.MeanAcc[i] = rep.MeanAccuracyAt()
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+
+	header := []string{"Benchmark"}
+	for _, d := range res.Depths {
+		header = append(header, fmt.Sprintf("d=%d", d))
+	}
+	tb := tablefmt.New(header...)
+	for b, name := range res.Benchmarks {
+		cells := []interface{}{name}
+		for i := range res.Depths {
+			cells = append(cells, fmt.Sprintf("%.1f%%", res.Weight[b][i]))
+		}
+		tb.Row(cells...)
+	}
+	text := "Dynamic weight by sufficient path depth (ideal, unbounded tables):\n" +
+		tb.String()
+
+	tb2 := tablefmt.New(header...)
+	for b, name := range res.Benchmarks {
+		cells := []interface{}{name}
+		for i := range res.Depths {
+			cells = append(cells, fmt.Sprintf("%.2f%%", 100*res.MeanAcc[b][i]))
+		}
+		tb2.Row(cells...)
+	}
+	text += "\nIdeal accuracy by depth:\n" + tb2.String()
+
+	return &Report{
+		ID:    "ablation-pathinfo",
+		Title: "Extension: how much path information branches need (paper §5.3, after Evers et al. [8])",
+		Text:  text,
+		Data:  res,
+	}, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import "fmt"
+
+// Entry describes one runnable experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   func(*Suite) (*Report, error)
+}
+
+// Registry lists every experiment in the order the paper presents them,
+// followed by the repository's ablation studies. cmd/paperrepro iterates
+// it to regenerate the full evaluation.
+func Registry() []Entry {
+	return []Entry{
+		{"table1", "Benchmark summary (paper Table 1)", (*Suite).Table1},
+		{"table2", "Fixed path length per table size (paper Table 2)", (*Suite).Table2},
+		{"fig5", "Conditional, 16KB, SPEC (paper Figure 5)", (*Suite).Figure5},
+		{"fig6", "Conditional, 16KB, non-SPEC (paper Figure 6)", (*Suite).Figure6},
+		{"fig7", "Indirect, 2KB, SPEC (paper Figure 7)", (*Suite).Figure7},
+		{"fig8", "Indirect, 2KB, non-SPEC (paper Figure 8)", (*Suite).Figure8},
+		{"table3", "Indirect rates on indirect-heavy benchmarks (paper Table 3)", (*Suite).Table3},
+		{"fig9", "gcc conditional vs size (paper Figure 9)", (*Suite).Figure9},
+		{"fig10", "gcc indirect vs size (paper Figure 10)", (*Suite).Figure10},
+		{"headline", "Abstract's gcc numbers", (*Suite).Headline},
+		{"ablation-rotation", "Hash rotation ablation (paper §3.3)", (*Suite).AblationRotation},
+		{"ablation-returns", "Returns-in-THB ablation (paper §3.2)", (*Suite).AblationReturns},
+		{"ablation-subset", "Hash-function subset ablation (paper §3.1)", (*Suite).AblationSubset},
+		{"ablation-heuristic", "Candidate/iteration count ablation (paper §3.5)", (*Suite).AblationHeuristic},
+		{"ablation-hfnt", "HFNT re-prediction rates (paper §4.3)", (*Suite).AblationHFNT},
+		{"ablation-dynsel", "Hardware dynamic selection (paper §3.4)", (*Suite).AblationDynSel},
+		{"ablation-histstack", "History stack extension (paper §6)", (*Suite).AblationHistStack},
+		{"ablation-competitors", "Wider conditional predictor field", (*Suite).AblationCompetitors},
+		{"ablation-indfield", "Full indirect predictor field", (*Suite).AblationIndField},
+		{"ablation-adaptivity", "History-length adaptivity spectrum (paper §2)", (*Suite).AblationAdaptivity},
+		{"ablation-ras", "Return address stack hit rates (paper §5.1)", (*Suite).AblationRAS},
+		{"ablation-isabits", "ISA bits for the hash number (paper §4.2)", (*Suite).AblationISABits},
+		{"ablation-speedup", "Front-end cycle impact (paper §1)", (*Suite).AblationSpeedup},
+		{"ablation-pathinfo", "Path information needed per branch (paper §5.3)", (*Suite).AblationPathInfo},
+		{"ablation-interference", "Misprediction breakdown: cold/interference/intrinsic (paper §5.3)", (*Suite).AblationInterference},
+		{"ablation-stability", "Cross-input stability of the headline comparison", (*Suite).AblationStability},
+	}
+}
+
+// Find returns the registry entry with the given ID.
+func Find(id string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/bpred/gshare"
+	"repro/internal/bpred/targetcache"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/tablefmt"
+	"repro/internal/vlp"
+)
+
+// SpeedupResult carries the front-end timing comparison.
+type SpeedupResult struct {
+	Benchmarks []string
+	// BaseIPC / VLPIPC are instructions-per-cycle with the baseline
+	// (gshare + pattern cache) and path (VLP cond + VLP indirect)
+	// front ends.
+	BaseIPC, VLPIPC   []float64
+	BaseMPKI, VLPMPKI []float64
+	Speedup           []float64
+}
+
+// AblationSpeedup translates the predictors' misprediction differences
+// into front-end cycles with the pipeline model (paper §1's motivation):
+// a 4-wide fetch engine with a 10-cycle redirect penalty, comparing the
+// gshare + pattern-cache baseline against the profiled variable length
+// path predictors, with a return address stack in both configurations.
+func (s *Suite) AblationSpeedup() (*Report, error) {
+	const condBudget, indBudget = 16 * 1024, 2 * 1024
+	kc, ki := condK(condBudget), indK(indBudget)
+	benches := ablationBenches
+	res := &SpeedupResult{
+		Benchmarks: benches,
+		BaseIPC:    make([]float64, len(benches)),
+		VLPIPC:     make([]float64, len(benches)),
+		BaseMPKI:   make([]float64, len(benches)),
+		VLPMPKI:    make([]float64, len(benches)),
+		Speedup:    make([]float64, len(benches)),
+	}
+	errs := make([]error, len(benches))
+	sim.ForEach(len(benches), func(i int) {
+		bench := benches[i]
+		mk := func(cond bpred.CondPredictor, ind bpred.IndirectPredictor) (pipeline.Result, error) {
+			src, err := s.TestSource(bench)
+			if err != nil {
+				return pipeline.Result{}, err
+			}
+			return pipeline.Run(src, cond, ind, pipeline.Params{Width: 4, Penalty: 10})
+		}
+
+		g, err := gshare.New(condBudget)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		pat, err := targetcache.NewPatternBudget(indBudget)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		base, err := mk(g, pat)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+
+		cprof, err := s.Profile(bench, false, kc)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vc, err := vlp.NewCond(condBudget, cprof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		iprof, err := s.Profile(bench, true, ki)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vi, err := vlp.NewIndirect(indBudget, iprof.Selector(), vlp.Options{})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		vres, err := mk(vc, vi)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+
+		res.BaseIPC[i], res.VLPIPC[i] = base.IPC(), vres.IPC()
+		res.BaseMPKI[i], res.VLPMPKI[i] = base.MPKI(), vres.MPKI()
+		res.Speedup[i] = vres.Speedup(base)
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	tb := tablefmt.New("Benchmark", "base IPC", "base MPKI", "VLP IPC", "VLP MPKI", "speedup")
+	for i, b := range res.Benchmarks {
+		tb.Row(b, res.BaseIPC[i], res.BaseMPKI[i], res.VLPIPC[i], res.VLPMPKI[i],
+			fmt.Sprintf("%.3fx", res.Speedup[i]))
+	}
+	return &Report{
+		ID:    "ablation-speedup",
+		Title: "Extension: front-end cycles (4-wide, 10-cycle redirect): gshare+pattern vs VLP",
+		Text:  tb.String(),
+		Data:  res,
+	}, nil
+}
+
+// AblationISABits measures §4.2's degradation path as the ISA carries
+// fewer hash-number bits: the full profiled number, a coarse bucket hint
+// refined by hardware, and no hint at all (pure hardware selection).
+func (s *Suite) AblationISABits() (*Report, error) {
+	const budget = 16 * 1024
+	k := condK(budget)
+	res, err := s.runCondVariants(ablationBenches,
+		[]string{"full number (5 bits)", "bucket hint + hw refine (2 bits)", "hardware only (0 bits)"},
+		func(v int, bench string) (bpred.CondPredictor, error) {
+			switch v {
+			case 0:
+				prof, err := s.Profile(bench, false, k)
+				if err != nil {
+					return nil, err
+				}
+				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+			case 1:
+				prof, err := s.Profile(bench, false, k)
+				if err != nil {
+					return nil, err
+				}
+				return vlp.NewCoarseCond(budget, nil, prof.Lengths, prof.Default, 12)
+			default:
+				return vlp.NewDynCond(budget, nil, 12, 4)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "ablation-isabits",
+		Title: "Ablation: ISA bits for the hash number (paper §4.2), conditional 16KB",
+		Text:  res.table(),
+		Data:  res,
+	}, nil
+}

@@ -1,0 +1,274 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic benchmark suite, plus the ablation
+// studies listed in DESIGN.md §5.
+//
+// Each experiment is a function from a Suite — which caches generated
+// traces, step-1 length sweeps, and two-step profiles so experiments can
+// share them — to a Report holding both the typed data and a rendered
+// text table or chart. The Registry (registry.go) indexes the experiments
+// by the paper artifact they reproduce.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bpred"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// CondSizesKB are the predictor-table sizes of the paper's conditional
+// sweep (Figure 9 / Table 2): 1 KB to 256 KB.
+var CondSizesKB = []int{1, 4, 16, 64, 256}
+
+// IndSizesHalfKB are the indirect sweep sizes (Figure 10 / Table 2) in
+// half-KB units: 0.5, 2, 8, 32 KB.
+var IndSizesBytes = []int{512, 2048, 8192, 32768}
+
+// Config sets the scale of the reproduction.
+type Config struct {
+	// BaseRecords is the suite base trace length; each benchmark runs
+	// its DynWeight multiple of it (Table 1's dynamic-count spread).
+	// 0 means 250000. The paper runs benchmarks to completion (tens of
+	// millions of branches); this reproduction defaults to a laptop-
+	// friendly scale and keeps the knob for full runs.
+	BaseRecords int
+	// ProfileRecords is the profile input length; 0 means BaseRecords.
+	ProfileRecords int
+}
+
+func (c Config) base() int {
+	if c.BaseRecords == 0 {
+		return 250000
+	}
+	return c.BaseRecords
+}
+
+func (c Config) profBase() int {
+	if c.ProfileRecords == 0 {
+		return c.base()
+	}
+	return c.ProfileRecords
+}
+
+// Suite carries the configuration and memoises the expensive artifacts:
+// generated traces, step-1 sweeps, and two-step profiles.
+type Suite struct {
+	Cfg Config
+
+	mu        sync.Mutex
+	profBufs  map[string][]trace.Record
+	testBufs  map[string][]trace.Record
+	step1     map[cacheKey]profile.Step1Result
+	profiles  map[cacheKey]*profile.Profile
+	benchmark map[string]*workload.Benchmark
+}
+
+type cacheKey struct {
+	bench    string
+	indirect bool
+	k        uint
+}
+
+// NewSuite returns an empty-cached suite.
+func NewSuite(cfg Config) *Suite {
+	return &Suite{
+		Cfg:       cfg,
+		profBufs:  map[string][]trace.Record{},
+		testBufs:  map[string][]trace.Record{},
+		step1:     map[cacheKey]profile.Step1Result{},
+		profiles:  map[cacheKey]*profile.Profile{},
+		benchmark: map[string]*workload.Benchmark{},
+	}
+}
+
+// bench returns the shared Benchmark instance for a name, so the lazily
+// built program is constructed once per suite.
+func (s *Suite) bench(name string) (*workload.Benchmark, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.benchmark[name]; ok {
+		return b, nil
+	}
+	b, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s.benchmark[name] = b
+	return b, nil
+}
+
+// benches resolves a list of workload benchmarks through the suite cache.
+func (s *Suite) benches(bs []*workload.Benchmark) ([]*workload.Benchmark, error) {
+	out := make([]*workload.Benchmark, len(bs))
+	for i, b := range bs {
+		cached, err := s.bench(b.Name())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cached
+	}
+	return out, nil
+}
+
+// ProfileSource returns a replayable view of the benchmark's profile-input
+// trace, generated once and shared. Views are independent (separate read
+// positions over the same records), so they may be used concurrently.
+func (s *Suite) ProfileSource(name string) (trace.Source, error) {
+	recs, err := s.records(name, true)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewBuffer(recs), nil
+}
+
+// TestSource returns a replayable view of the benchmark's test-input
+// trace.
+func (s *Suite) TestSource(name string) (trace.Source, error) {
+	recs, err := s.records(name, false)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewBuffer(recs), nil
+}
+
+func (s *Suite) records(name string, profileInput bool) ([]trace.Record, error) {
+	b, err := s.bench(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	cache := s.testBufs
+	if profileInput {
+		cache = s.profBufs
+	}
+	if recs, ok := cache[name]; ok {
+		s.mu.Unlock()
+		return recs, nil
+	}
+	s.mu.Unlock()
+
+	// Generate outside the lock; benchmarks generate in parallel.
+	var src trace.Source
+	if profileInput {
+		src = b.ProfileSource(s.Cfg.profBase())
+	} else {
+		src = b.TestSource(s.Cfg.base())
+	}
+	recs := trace.Collect(src).Records
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := cache[name]; ok {
+		return prev, nil
+	}
+	cache[name] = recs
+	return recs, nil
+}
+
+// Step1 returns the cached step-1 sweep (all 32 fixed lengths, private
+// tables) of one benchmark's profile input at index width k.
+func (s *Suite) Step1(name string, indirect bool, k uint) (profile.Step1Result, error) {
+	key := cacheKey{name, indirect, k}
+	s.mu.Lock()
+	if r, ok := s.step1[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	src, err := s.ProfileSource(name)
+	if err != nil {
+		return profile.Step1Result{}, err
+	}
+	_, agg, err := profile.BestFixedLength(src, profile.Config{TableBits: k}, indirect)
+	if err != nil {
+		return profile.Step1Result{}, err
+	}
+	s.mu.Lock()
+	s.step1[key] = agg
+	s.mu.Unlock()
+	return agg, nil
+}
+
+// Profile returns the cached two-step profile of one benchmark at index
+// width k.
+func (s *Suite) Profile(name string, indirect bool, k uint) (*profile.Profile, error) {
+	key := cacheKey{name, indirect, k}
+	s.mu.Lock()
+	if p, ok := s.profiles[key]; ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+	src, err := s.ProfileSource(name)
+	if err != nil {
+		return nil, err
+	}
+	var p *profile.Profile
+	if indirect {
+		p, _, err = profile.Indirect(src, profile.Config{TableBits: k})
+	} else {
+		p, _, err = profile.Cond(src, profile.Config{TableBits: k})
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.profiles[key] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// SuiteFixedLength returns the paper's Table 2 value for one table size:
+// the single path length whose summed step-1 accuracy over the given
+// benchmarks' *profile* inputs is highest ("To avoid unfairly skewing the
+// results in favor of the fixed length predictor, the best path length was
+// determined using the profile input sets", §5.1).
+func (s *Suite) SuiteFixedLength(bs []*workload.Benchmark, indirect bool, k uint) (int, error) {
+	results := make([]profile.Step1Result, 0, len(bs))
+	for _, b := range bs {
+		r, err := s.Step1(b.Name(), indirect, k)
+		if err != nil {
+			return 0, err
+		}
+		if r.Total == 0 {
+			continue // benchmark executes no branches of this class
+		}
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return 0, fmt.Errorf("experiments: no benchmark executed branches for the sweep")
+	}
+	return profile.BestAverageLength(results)
+}
+
+// TunedFixedLength returns the per-benchmark tuned fixed length (§5.2.3):
+// the best step-1 length on that benchmark's profile input alone.
+func (s *Suite) TunedFixedLength(name string, indirect bool, k uint) (int, error) {
+	r, err := s.Step1(name, indirect, k)
+	if err != nil {
+		return 0, err
+	}
+	if r.Total == 0 {
+		return 0, fmt.Errorf("experiments: %s executes no branches of this class", name)
+	}
+	return r.BestLength(), nil
+}
+
+// condK converts a conditional budget in bytes to the index width.
+func condK(budgetBytes int) uint { return bpred.MustLog2Entries(budgetBytes, 2) }
+
+// indK converts an indirect budget in bytes to the index width.
+func indK(budgetBytes int) uint { return bpred.MustLog2Entries(budgetBytes, 32) }
+
+// Report is one experiment's output: typed data plus rendered text.
+type Report struct {
+	ID    string
+	Title string
+	// Text is the rendered table/chart, ready to print.
+	Text string
+	// Data holds the experiment-specific result struct.
+	Data interface{}
+}

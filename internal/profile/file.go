@@ -1,0 +1,48 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Save writes the profile as JSON — the repository's stand-in for the
+// hash-function-number bits a compiler would place into branch
+// instructions (§4.2).
+func (p *Profile) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profile: encoding: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("profile: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a profile written by Save and validates its fields.
+func Load(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: reading %s: %w", path, err)
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("profile: decoding %s: %w", path, err)
+	}
+	if p.Kind != "cond" && p.Kind != "indirect" {
+		return nil, fmt.Errorf("profile: %s: unknown kind %q", path, p.Kind)
+	}
+	if p.TableBits < 1 || p.TableBits > 32 {
+		return nil, fmt.Errorf("profile: %s: table bits %d out of range", path, p.TableBits)
+	}
+	if p.Default < 1 {
+		return nil, fmt.Errorf("profile: %s: default length %d invalid", path, p.Default)
+	}
+	for pc, l := range p.Lengths {
+		if l < 1 {
+			return nil, fmt.Errorf("profile: %s: branch %v has invalid length %d", path, pc, l)
+		}
+	}
+	return &p, nil
+}

@@ -1,0 +1,506 @@
+// Package profile implements the paper's two-step profiling heuristic
+// (§3.5) that assigns each static branch the hash function number (path
+// length) used by the variable length path predictor.
+//
+// Step 1 simulates one fixed length path predictor per candidate hash
+// function — each with its own predictor table — on the profile input, and
+// records per static branch how many times each predictor was correct. The
+// top candidates per branch (three in the paper) move to step 2.
+//
+// Step 2 simulates the real variable length path predictor (one shared
+// table, hence inter-branch interference) for several iterations (seven in
+// the paper). Each iteration assigns every branch its candidate with the
+// fewest recorded mispredictions — untested candidates count zero, so they
+// are tried first — runs the predictor, and writes each tested candidate's
+// misprediction count back into the record. The final assignment is the
+// per-branch candidate with the fewest recorded mispredictions.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/bpred"
+	"repro/internal/bpred/counter"
+	"repro/internal/trace"
+	"repro/internal/vlp"
+)
+
+// Config parameterises the heuristic. The zero value of each field selects
+// the paper's setting.
+type Config struct {
+	// TableBits is the index width k of the predictor table being
+	// profiled for (required, 1..32). The profile is tuned to a table
+	// size; the paper profiles each hardware budget separately.
+	TableBits uint
+	// MaxPath is the THB depth N; 0 means vlp.DefaultMaxPath (32).
+	MaxPath int
+	// Lengths is the candidate hash function set; nil means 1..MaxPath
+	// (all N hash functions, as in the paper's experiments). A subset
+	// such as {1,2,4,8,16,32} models the cheaper implementation of §3.1.
+	Lengths []int
+	// Candidates per branch kept after step 1; 0 means 3.
+	Candidates int
+	// Iterations of step 2; 0 means 7. The paper notes it must be at
+	// least the number of candidates so each gets tested.
+	Iterations int
+}
+
+func (c Config) maxPath() int {
+	if c.MaxPath == 0 {
+		return vlp.DefaultMaxPath
+	}
+	return c.MaxPath
+}
+
+func (c Config) lengths() []int {
+	if c.Lengths != nil {
+		return c.Lengths
+	}
+	ls := make([]int, c.maxPath())
+	for i := range ls {
+		ls[i] = i + 1
+	}
+	return ls
+}
+
+func (c Config) candidates() int {
+	if c.Candidates == 0 {
+		return 3
+	}
+	return c.Candidates
+}
+
+func (c Config) iterations() int {
+	if c.Iterations == 0 {
+		return 7
+	}
+	return c.Iterations
+}
+
+func (c Config) validate() error {
+	if c.TableBits < 1 || c.TableBits > 32 {
+		return fmt.Errorf("profile: table bits %d out of range 1..32", c.TableBits)
+	}
+	mp := c.maxPath()
+	for _, l := range c.lengths() {
+		if l < 1 || l > mp {
+			return fmt.Errorf("profile: candidate length %d out of range 1..%d", l, mp)
+		}
+	}
+	if c.candidates() < 1 {
+		return fmt.Errorf("profile: candidate count %d invalid", c.Candidates)
+	}
+	if c.iterations() < c.candidates() {
+		return fmt.Errorf("profile: %d iterations cannot test %d candidates",
+			c.iterations(), c.candidates())
+	}
+	return nil
+}
+
+// Profile is the heuristic's output: the per-branch hash function numbers
+// plus the default for unprofiled branches. It is the information the
+// compiler would encode into branch instructions (§4.2).
+type Profile struct {
+	// Kind is "cond" or "indirect".
+	Kind string `json:"kind"`
+	// TableBits records the table size the profile was tuned for.
+	TableBits uint `json:"table_bits"`
+	// Lengths maps each profiled static branch to its hash number.
+	Lengths map[arch.Addr]int `json:"lengths"`
+	// Default is the hash number for unprofiled branches: the candidate
+	// with the highest step-1 accuracy over all profiled branches.
+	Default int `json:"default"`
+}
+
+// Selector returns the vlp selector realising this profile.
+func (p *Profile) Selector() *vlp.PerBranch {
+	return &vlp.PerBranch{Lengths: p.Lengths, Default: p.Default}
+}
+
+// Step1Result reports the per-length aggregate accuracy measured by step 1;
+// the experiment harness uses it directly for the paper's Table 2 (the
+// best average fixed length).
+type Step1Result struct {
+	// Lengths are the candidate path lengths, ascending.
+	Lengths []int
+	// Correct[i] counts correct predictions by the fixed length path
+	// predictor of Lengths[i] over the whole profile input.
+	Correct []int64
+	// Total is the number of scored dynamic branches.
+	Total int64
+}
+
+// BestLength returns the candidate with the most correct predictions
+// (ties to the shorter length, whose index trains faster).
+func (s Step1Result) BestLength() int {
+	best, bestC := s.Lengths[0], s.Correct[0]
+	for i := 1; i < len(s.Lengths); i++ {
+		if s.Correct[i] > bestC {
+			best, bestC = s.Lengths[i], s.Correct[i]
+		}
+	}
+	return best
+}
+
+// topCandidates returns, for one branch's per-length correct counts, the
+// candidate lengths ranked by correctness (ties to shorter), at most n.
+func topCandidates(lengths []int, correct []int64, n int) []int {
+	idx := make([]int, len(lengths))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return correct[idx[a]] > correct[idx[b]] })
+	if len(idx) > n {
+		idx = idx[:n]
+	}
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = lengths[j]
+	}
+	return out
+}
+
+// Cond runs the full two-step heuristic for conditional branches on the
+// profile input and returns the per-branch assignment together with the
+// step-1 aggregate.
+func Cond(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, Step1Result{}, err
+	}
+	lengths := cfg.lengths()
+	k, n := cfg.TableBits, cfg.maxPath()
+
+	// --- Step 1: one FLP predictor per candidate, private tables. ---
+	hs, err := vlp.NewHashSet(k, n)
+	if err != nil {
+		return nil, Step1Result{}, err
+	}
+	tables := make([]*counter.Array, len(lengths))
+	for i := range tables {
+		tables[i] = counter.NewArray(1<<k, 2, 1)
+	}
+	perPC := map[arch.Addr][]int64{}
+	agg := Step1Result{Lengths: append([]int(nil), lengths...), Correct: make([]int64, len(lengths))}
+	src.Reset()
+	var r trace.Record
+	for src.Next(&r) {
+		if r.Kind == arch.Cond {
+			counts := perPC[r.PC]
+			if counts == nil {
+				counts = make([]int64, len(lengths))
+				perPC[r.PC] = counts
+			}
+			agg.Total++
+			for i, l := range lengths {
+				idx := int(hs.Index(l))
+				if tables[i].Taken(idx) == r.Taken {
+					counts[i]++
+					agg.Correct[i]++
+				}
+				tables[i].Train(idx, r.Taken)
+			}
+		}
+		if r.Kind.RecordsInTHB() {
+			hs.Insert(r.Next)
+		}
+	}
+	tables = nil
+
+	candidates := map[arch.Addr][]int{}
+	for pc, counts := range perPC {
+		candidates[pc] = topCandidates(lengths, counts, cfg.candidates())
+	}
+	def := agg.BestLength()
+
+	// --- Step 2: iterate the shared-table VLP simulation. ---
+	record := map[arch.Addr][]int64{} // per branch, per candidate: fewest misses seen
+	for pc, cands := range candidates {
+		record[pc] = make([]int64, len(cands))
+	}
+	assign := make(map[arch.Addr]int, len(candidates))
+	for iter := 0; iter < cfg.iterations(); iter++ {
+		chosenIdx := map[arch.Addr]int{}
+		for pc, cands := range candidates {
+			ci := argmin(record[pc])
+			chosenIdx[pc] = ci
+			assign[pc] = cands[ci]
+		}
+		misses := simulateCondVLP(src, k, n, assign, def)
+		for pc, m := range misses {
+			if ci, ok := chosenIdx[pc]; ok {
+				record[pc][ci] = m
+			}
+		}
+		// Branches assigned but never executed this iteration recorded
+		// zero misses implicitly, matching the paper's initialisation.
+		for pc, ci := range chosenIdx {
+			if _, executed := misses[pc]; !executed {
+				record[pc][ci] = 0
+			}
+		}
+	}
+	final := make(map[arch.Addr]int, len(candidates))
+	for pc, cands := range candidates {
+		final[pc] = cands[argmin(record[pc])]
+	}
+	return &Profile{Kind: "cond", TableBits: k, Lengths: final, Default: def}, agg, nil
+}
+
+// simulateCondVLP runs one shared-table VLP pass and returns per-branch
+// misprediction counts.
+func simulateCondVLP(src trace.Source, k uint, n int, assign map[arch.Addr]int, def int) map[arch.Addr]int64 {
+	sel := &vlp.PerBranch{Lengths: assign, Default: def}
+	p, err := vlp.NewCondBits(k, sel, vlp.Options{MaxPath: n})
+	if err != nil {
+		panic(err) // configuration was validated by the caller
+	}
+	misses := map[arch.Addr]int64{}
+	src.Reset()
+	var r trace.Record
+	for src.Next(&r) {
+		if r.Kind == arch.Cond {
+			if p.Predict(r.PC) != r.Taken {
+				misses[r.PC]++
+			} else if _, ok := misses[r.PC]; !ok {
+				misses[r.PC] = 0
+			}
+		}
+		p.Update(r)
+	}
+	return misses
+}
+
+// Indirect runs the full two-step heuristic for indirect branches.
+func Indirect(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, Step1Result{}, err
+	}
+	lengths := cfg.lengths()
+	k, n := cfg.TableBits, cfg.maxPath()
+
+	// --- Step 1 ---
+	hs, err := vlp.NewHashSet(k, n)
+	if err != nil {
+		return nil, Step1Result{}, err
+	}
+	tables := make([][]uint32, len(lengths))
+	for i := range tables {
+		tables[i] = make([]uint32, 1<<k)
+	}
+	perPC := map[arch.Addr][]int64{}
+	agg := Step1Result{Lengths: append([]int(nil), lengths...), Correct: make([]int64, len(lengths))}
+	src.Reset()
+	var r trace.Record
+	for src.Next(&r) {
+		if r.Kind.IndirectTarget() {
+			counts := perPC[r.PC]
+			if counts == nil {
+				counts = make([]int64, len(lengths))
+				perPC[r.PC] = counts
+			}
+			agg.Total++
+			for i, l := range lengths {
+				idx := hs.Index(l)
+				if tables[i][idx] == uint32(r.Next) {
+					counts[i]++
+					agg.Correct[i]++
+				}
+				tables[i][idx] = uint32(r.Next)
+			}
+		}
+		if r.Kind.RecordsInTHB() {
+			hs.Insert(r.Next)
+		}
+	}
+	tables = nil
+
+	candidates := map[arch.Addr][]int{}
+	for pc, counts := range perPC {
+		candidates[pc] = topCandidates(lengths, counts, cfg.candidates())
+	}
+	def := agg.BestLength()
+
+	// --- Step 2 ---
+	record := map[arch.Addr][]int64{}
+	for pc, cands := range candidates {
+		record[pc] = make([]int64, len(cands))
+	}
+	assign := make(map[arch.Addr]int, len(candidates))
+	for iter := 0; iter < cfg.iterations(); iter++ {
+		chosenIdx := map[arch.Addr]int{}
+		for pc, cands := range candidates {
+			ci := argmin(record[pc])
+			chosenIdx[pc] = ci
+			assign[pc] = cands[ci]
+		}
+		misses := simulateIndirectVLP(src, k, n, assign, def)
+		for pc, m := range misses {
+			if ci, ok := chosenIdx[pc]; ok {
+				record[pc][ci] = m
+			}
+		}
+		for pc, ci := range chosenIdx {
+			if _, executed := misses[pc]; !executed {
+				record[pc][ci] = 0
+			}
+		}
+	}
+	final := make(map[arch.Addr]int, len(candidates))
+	for pc, cands := range candidates {
+		final[pc] = cands[argmin(record[pc])]
+	}
+	return &Profile{Kind: "indirect", TableBits: k, Lengths: final, Default: def}, agg, nil
+}
+
+func simulateIndirectVLP(src trace.Source, k uint, n int, assign map[arch.Addr]int, def int) map[arch.Addr]int64 {
+	sel := &vlp.PerBranch{Lengths: assign, Default: def}
+	p, err := vlp.NewIndirectBits(k, sel, vlp.Options{MaxPath: n})
+	if err != nil {
+		panic(err)
+	}
+	misses := map[arch.Addr]int64{}
+	src.Reset()
+	var r trace.Record
+	for src.Next(&r) {
+		if r.Kind.IndirectTarget() {
+			if p.Predict(r.PC) != r.Next {
+				misses[r.PC]++
+			} else if _, ok := misses[r.PC]; !ok {
+				misses[r.PC] = 0
+			}
+		}
+		p.Update(r)
+	}
+	return misses
+}
+
+// argmin returns the index of the smallest value (first on ties, which
+// makes untested zero-entries win in candidate rank order, §3.5).
+func argmin(v []int64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BestFixedLength runs only step 1 and returns the single path length with
+// the highest aggregate accuracy — how the paper tunes its fixed length
+// path predictors ("the length used was that for which the average
+// misprediction rate for all the benchmarks was the lowest", §5.1, and
+// the per-benchmark "tuned" variant of §5.2.3). For multi-benchmark
+// averages, sum the returned Step1Results with MergeStep1.
+func BestFixedLength(src trace.Source, cfg Config, indirect bool) (int, Step1Result, error) {
+	var (
+		agg Step1Result
+		err error
+	)
+	if indirect {
+		_, agg, err = step1Only(src, cfg, true)
+	} else {
+		_, agg, err = step1Only(src, cfg, false)
+	}
+	if err != nil {
+		return 0, agg, err
+	}
+	return agg.BestLength(), agg, nil
+}
+
+// step1Only runs step 1 without retaining per-branch data. The full
+// heuristics above inline their own step-1 loops because they need the
+// per-branch counts; this variant serves the fixed-length tuning paths.
+func step1Only(src trace.Source, cfg Config, indirect bool) (map[arch.Addr][]int64, Step1Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, Step1Result{}, err
+	}
+	if indirect {
+		p, agg, err := Indirect(src, Config{
+			TableBits: cfg.TableBits, MaxPath: cfg.MaxPath, Lengths: cfg.Lengths,
+			Candidates: 1, Iterations: 1,
+		})
+		_ = p
+		return nil, agg, err
+	}
+	p, agg, err := Cond(src, Config{
+		TableBits: cfg.TableBits, MaxPath: cfg.MaxPath, Lengths: cfg.Lengths,
+		Candidates: 1, Iterations: 1,
+	})
+	_ = p
+	return nil, agg, err
+}
+
+// BestAverageLength returns the length minimising the *unweighted mean* of
+// the benchmarks' misprediction rates — the paper's Table 2 criterion
+// ("the length used was that for which the average misprediction rate for
+// all the benchmarks was the lowest", §5.1). Benchmarks with no scored
+// branches are skipped. Ties go to the shorter length.
+func BestAverageLength(results []Step1Result) (int, error) {
+	if len(results) == 0 {
+		return 0, fmt.Errorf("profile: averaging no results")
+	}
+	lengths := results[0].Lengths
+	sumRate := make([]float64, len(lengths))
+	n := 0
+	for _, r := range results {
+		if len(r.Lengths) != len(lengths) {
+			return 0, fmt.Errorf("profile: averaging mismatched length sets")
+		}
+		if r.Total == 0 {
+			continue
+		}
+		for i := range lengths {
+			if r.Lengths[i] != lengths[i] {
+				return 0, fmt.Errorf("profile: averaging mismatched length sets")
+			}
+			sumRate[i] += 1 - float64(r.Correct[i])/float64(r.Total)
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("profile: no benchmark had scored branches")
+	}
+	best := 0
+	for i := 1; i < len(lengths); i++ {
+		if sumRate[i] < sumRate[best] {
+			best = i
+		}
+	}
+	return lengths[best], nil
+}
+
+// MergeStep1 sums step-1 aggregates from several benchmarks; the result's
+// BestLength is the dynamic-count-weighted cross-benchmark fixed length
+// (BestAverageLength implements the paper's unweighted Table 2 criterion).
+func MergeStep1(results []Step1Result) (Step1Result, error) {
+	if len(results) == 0 {
+		return Step1Result{}, fmt.Errorf("profile: merging no results")
+	}
+	out := Step1Result{
+		Lengths: append([]int(nil), results[0].Lengths...),
+		Correct: make([]int64, len(results[0].Correct)),
+	}
+	for _, r := range results {
+		if len(r.Lengths) != len(out.Lengths) {
+			return Step1Result{}, fmt.Errorf("profile: merging mismatched length sets")
+		}
+		for i := range r.Lengths {
+			if r.Lengths[i] != out.Lengths[i] {
+				return Step1Result{}, fmt.Errorf("profile: merging mismatched length sets")
+			}
+			out.Correct[i] += r.Correct[i]
+		}
+		out.Total += r.Total
+	}
+	return out, nil
+}
+
+// Ensure bpred's interfaces stay implemented by the predictors this
+// package instantiates (compile-time check).
+var (
+	_ bpred.CondPredictor     = (*vlp.Cond)(nil)
+	_ bpred.IndirectPredictor = (*vlp.Indirect)(nil)
+)

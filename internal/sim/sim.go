@@ -1,0 +1,182 @@
+// Package sim drives predictors over branch traces and aggregates
+// misprediction statistics — the measurement loop of the paper's ATOM
+// methodology (§5.1): every branch is predicted at fetch and the resolved
+// record is fed back in program order; the reported metric is the
+// misprediction rate over all dynamic branches of the predicted class.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/bpred"
+	"repro/internal/trace"
+)
+
+// Result aggregates one predictor's run over one trace.
+type Result struct {
+	// Predictor is the predictor's Name().
+	Predictor string
+	// Branches counts the dynamic branches of the predicted class
+	// (conditional, or indirect-with-computed-target).
+	Branches int64
+	// Mispredicts counts wrong predictions among them.
+	Mispredicts int64
+	// PerPC breaks mispredictions down by static branch when the run was
+	// made with per-branch accounting; nil otherwise.
+	PerPC map[arch.Addr]*PCStat
+}
+
+// PCStat is the per-static-branch breakdown.
+type PCStat struct {
+	Branches    int64
+	Mispredicts int64
+}
+
+// Rate returns the misprediction rate in [0, 1], or 0 for an empty run.
+func (r Result) Rate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Mispredicts) / float64(r.Branches)
+}
+
+// Percent returns the misprediction rate in percent, the unit of the
+// paper's figures.
+func (r Result) Percent() float64 { return 100 * r.Rate() }
+
+// String summarises the result in one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d/%d mispredicted (%.2f%%)",
+		r.Predictor, r.Mispredicts, r.Branches, r.Percent())
+}
+
+// Options controls a run.
+type Options struct {
+	// PerPC enables the per-static-branch breakdown (costs a map lookup
+	// per branch).
+	PerPC bool
+}
+
+// RunCond replays src (after resetting it) through a conditional
+// predictor.
+func RunCond(p bpred.CondPredictor, src trace.Source, opts Options) Result {
+	src.Reset()
+	res := Result{Predictor: p.Name()}
+	if opts.PerPC {
+		res.PerPC = make(map[arch.Addr]*PCStat)
+	}
+	var r trace.Record
+	for src.Next(&r) {
+		if r.Kind == arch.Cond {
+			correct := p.Predict(r.PC) == r.Taken
+			res.Branches++
+			if !correct {
+				res.Mispredicts++
+			}
+			if res.PerPC != nil {
+				st := res.PerPC[r.PC]
+				if st == nil {
+					st = &PCStat{}
+					res.PerPC[r.PC] = st
+				}
+				st.Branches++
+				if !correct {
+					st.Mispredicts++
+				}
+			}
+		}
+		p.Update(r)
+	}
+	return res
+}
+
+// RunIndirect replays src (after resetting it) through an indirect
+// predictor. Only indirect branches and indirect calls are scored; returns
+// are excluded per §5.1.
+func RunIndirect(p bpred.IndirectPredictor, src trace.Source, opts Options) Result {
+	src.Reset()
+	res := Result{Predictor: p.Name()}
+	if opts.PerPC {
+		res.PerPC = make(map[arch.Addr]*PCStat)
+	}
+	var r trace.Record
+	for src.Next(&r) {
+		if r.Kind.IndirectTarget() {
+			correct := p.Predict(r.PC) == r.Next
+			res.Branches++
+			if !correct {
+				res.Mispredicts++
+			}
+			if res.PerPC != nil {
+				st := res.PerPC[r.PC]
+				if st == nil {
+					st = &PCStat{}
+					res.PerPC[r.PC] = st
+				}
+				st.Branches++
+				if !correct {
+					st.Mispredicts++
+				}
+			}
+		}
+		p.Update(r)
+	}
+	return res
+}
+
+// WorstPCs returns the static branches with the most mispredictions,
+// sorted descending, at most n of them. It requires a per-PC run.
+func (r Result) WorstPCs(n int) []arch.Addr {
+	pcs := make([]arch.Addr, 0, len(r.PerPC))
+	for pc := range r.PerPC {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool {
+		a, b := r.PerPC[pcs[i]], r.PerPC[pcs[j]]
+		if a.Mispredicts != b.Mispredicts {
+			return a.Mispredicts > b.Mispredicts
+		}
+		return pcs[i] < pcs[j]
+	})
+	if len(pcs) > n {
+		pcs = pcs[:n]
+	}
+	return pcs
+}
+
+// ForEach runs fn(0..n-1) across a worker pool sized to the machine. The
+// experiment drivers use it to sweep predictor configurations and
+// benchmarks in parallel; each job must be self-contained (its own
+// predictor and trace source).
+func ForEach(n int, fn func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bpred/bimodal"
+	"repro/internal/bpred/targetcache"
+	"repro/internal/trace"
+)
+
+func TestRunCondCountsAndRate(t *testing.T) {
+	// Alternating branch vs a bimodal predictor: deterministic stats.
+	var recs []trace.Record
+	pc := arch.Addr(0x1004)
+	for i := 0; i < 100; i++ {
+		taken := i%2 == 0
+		next := pc.FallThrough()
+		if taken {
+			next = 0x9000
+		}
+		recs = append(recs, trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next})
+		recs = append(recs, trace.Record{PC: 0x200, Kind: arch.Return, Taken: true, Next: 0x300})
+	}
+	res := RunCond(bimodal.NewBits(8), trace.NewBuffer(recs), Options{PerPC: true})
+	if res.Branches != 100 {
+		t.Errorf("Branches = %d, want 100 (returns must not count)", res.Branches)
+	}
+	if res.Mispredicts == 0 || res.Mispredicts > 100 {
+		t.Errorf("Mispredicts = %d", res.Mispredicts)
+	}
+	if res.Rate() != float64(res.Mispredicts)/100 {
+		t.Errorf("Rate inconsistent")
+	}
+	if res.Percent() != res.Rate()*100 {
+		t.Errorf("Percent inconsistent")
+	}
+	st := res.PerPC[pc]
+	if st == nil || st.Branches != 100 || st.Mispredicts != res.Mispredicts {
+		t.Errorf("PerPC stats wrong: %+v", st)
+	}
+	if res.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestRunCondResetsSource(t *testing.T) {
+	recs := []trace.Record{{PC: 0x1004, Kind: arch.Cond, Taken: true, Next: 0x2000}}
+	src := trace.NewBuffer(recs)
+	var r trace.Record
+	src.Next(&r) // exhaust
+	res := RunCond(bimodal.NewBits(4), src, Options{})
+	if res.Branches != 1 {
+		t.Errorf("RunCond did not reset the source: %d branches", res.Branches)
+	}
+}
+
+func TestRunIndirectScoresOnlyIndirect(t *testing.T) {
+	recs := []trace.Record{
+		{PC: 0x1004, Kind: arch.Indirect, Taken: true, Next: 0x5000},
+		{PC: 0x1004, Kind: arch.Indirect, Taken: true, Next: 0x5000},
+		{PC: 0x2008, Kind: arch.IndirectCall, Taken: true, Next: 0x6000},
+		{PC: 0x300c, Kind: arch.Return, Taken: true, Next: 0x7000},
+		{PC: 0x4010, Kind: arch.Cond, Taken: true, Next: 0x8000},
+	}
+	res := RunIndirect(targetcache.NewBTB(8), trace.NewBuffer(recs), Options{PerPC: true})
+	if res.Branches != 3 {
+		t.Errorf("Branches = %d, want 3 (returns and conds excluded)", res.Branches)
+	}
+	// First visit misses (cold), second hits; the icall misses cold.
+	if res.Mispredicts != 2 {
+		t.Errorf("Mispredicts = %d, want 2", res.Mispredicts)
+	}
+	if len(res.PerPC) != 2 {
+		t.Errorf("PerPC has %d sites, want 2", len(res.PerPC))
+	}
+}
+
+func TestWorstPCs(t *testing.T) {
+	res := Result{PerPC: map[arch.Addr]*PCStat{
+		0x100: {Branches: 10, Mispredicts: 1},
+		0x200: {Branches: 10, Mispredicts: 7},
+		0x300: {Branches: 10, Mispredicts: 4},
+	}}
+	got := res.WorstPCs(2)
+	if len(got) != 2 || got[0] != 0x200 || got[1] != 0x300 {
+		t.Errorf("WorstPCs = %v", got)
+	}
+	if n := len(res.WorstPCs(10)); n != 3 {
+		t.Errorf("WorstPCs(10) returned %d", n)
+	}
+}
+
+func TestEmptyRate(t *testing.T) {
+	if (Result{}).Rate() != 0 {
+		t.Error("empty Rate != 0")
+	}
+}
+
+func TestForEachCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		var mask int64
+		var count int64
+		ForEach(n, func(i int) {
+			atomic.AddInt64(&count, 1)
+			if n <= 63 {
+				atomic.OrInt64(&mask, 1<<uint(i))
+			}
+		})
+		if count != int64(n) {
+			t.Errorf("ForEach(%d) ran %d jobs", n, count)
+		}
+		if n > 0 && n <= 63 && mask != (1<<uint(n))-1 {
+			t.Errorf("ForEach(%d) missed indices: mask %#x", n, mask)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package stats holds the small statistical helpers the experiment
+// harness uses to report variability across workload inputs: sample mean,
+// standard deviation, and normal-approximation confidence half-widths.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample (n-1) standard deviation, or 0 when the
+// sample has fewer than two points.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MinMax returns the extremes, or zeros for an empty sample.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// CI95HalfWidth returns the half-width of a normal-approximation 95%
+// confidence interval for the mean (1.96 * s / sqrt(n)); 0 when the
+// sample has fewer than two points.
+func CI95HalfWidth(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary renders "mean ± half-width [lo, hi]" for a sample.
+func Summary(xs []float64) string {
+	lo, hi := MinMax(xs)
+	return fmt.Sprintf("%.2f ± %.2f [%.2f, %.2f]", Mean(xs), CI95HalfWidth(xs), lo, hi)
+}

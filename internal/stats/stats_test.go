@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("singleton stddev != 0")
+	}
+	// Known sample: {2, 4, 4, 4, 5, 5, 7, 9} has sample sd sqrt(32/7).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := math.Sqrt(32.0 / 7)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("empty MinMax != 0,0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95HalfWidth([]float64{1}) != 0 {
+		t.Error("singleton CI != 0")
+	}
+	xs := []float64{10, 12, 11, 9, 13}
+	want := 1.96 * StdDev(xs) / math.Sqrt(5)
+	if got := CI95HalfWidth(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	s := Summary([]float64{1, 2, 3})
+	if !strings.Contains(s, "±") || !strings.Contains(s, "[1.00, 3.00]") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+// TestShiftInvariance: adding a constant shifts the mean and leaves the
+// spread statistics unchanged.
+func TestShiftInvariance(t *testing.T) {
+	f := func(a, b, c float64, shiftRaw int8) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true // skip pathological draws
+			}
+		}
+		shift := float64(shiftRaw)
+		xs := []float64{a, b, c}
+		ys := []float64{a + shift, b + shift, c + shift}
+		return math.Abs(Mean(ys)-Mean(xs)-shift) < 1e-6 &&
+			math.Abs(StdDev(ys)-StdDev(xs)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

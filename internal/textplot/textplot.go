@@ -1,0 +1,213 @@
+// Package textplot renders ASCII bar charts and line charts — the
+// repository's renderings of the paper's figures (misprediction-rate bars
+// per benchmark, and rate-versus-size curves).
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of y-values over shared category labels or
+// x-positions.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart renders grouped horizontal bars: one group per label, one bar
+// per series, scaled to the maximum value. Layout follows the paper's
+// Figures 5-8: benchmarks down the side, misprediction rates as bars.
+type BarChart struct {
+	Title  string
+	Unit   string
+	Labels []string
+	Series []Series
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+}
+
+// glyphs distinguish series within a group.
+var glyphs = []byte{'#', '=', '*', '+', '%', '@', '~', 'o'}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, l := range c.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	nameW := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[i%len(glyphs)], s.Name)
+	}
+	for li, label := range c.Labels {
+		for si, s := range c.Series {
+			v := 0.0
+			if li < len(s.Values) {
+				v = s.Values[li]
+			}
+			n := int(math.Round(v / maxV * float64(width)))
+			lab := ""
+			if si == 0 {
+				lab = label
+			}
+			fmt.Fprintf(&b, "%-*s %c %-*s %6.2f%s\n",
+				labelW, lab, glyphs[si%len(glyphs)],
+				width, strings.Repeat(string(glyphs[si%len(glyphs)]), n), v, c.Unit)
+		}
+	}
+	return b.String()
+}
+
+// LineChart renders series over a shared numeric x-axis on a character
+// grid, in the manner of the paper's Figures 9-10 (misprediction rate
+// versus predictor size).
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// X values shared by all series; typically log-spaced sizes.
+	X      []float64
+	Series []Series
+	// Height and Width of the plot area in characters (defaults 16x60).
+	Height, Width int
+	// LogX spaces the x positions by log2 rather than linearly, matching
+	// the paper's doubling size axes.
+	LogX bool
+}
+
+// String renders the chart.
+func (c *LineChart) String() string {
+	h, w := c.Height, c.Width
+	if h <= 0 {
+		h = 16
+	}
+	if w <= 0 {
+		w = 60
+	}
+	maxY := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	xpos := make([]int, len(c.X))
+	if len(c.X) > 0 {
+		xf := make([]float64, len(c.X))
+		for i, x := range c.X {
+			if c.LogX {
+				xf[i] = math.Log2(x)
+			} else {
+				xf[i] = x
+			}
+		}
+		lo, hi := xf[0], xf[0]
+		for _, x := range xf {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		span := hi - lo
+		if span == 0 {
+			span = 1
+		}
+		for i, x := range xf {
+			xpos[i] = int((x - lo) / span * float64(w-1))
+		}
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			if i >= len(xpos) {
+				break
+			}
+			row := h - 1 - int(math.Round(v/maxY*float64(h-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= h {
+				row = h - 1
+			}
+			grid[row][xpos[i]] = g
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[i%len(glyphs)], s.Name)
+	}
+	yw := len(fmt.Sprintf("%.1f", maxY))
+	for i, row := range grid {
+		yVal := maxY * float64(h-1-i) / float64(h-1)
+		fmt.Fprintf(&b, "%*.1f |%s|\n", yw, yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", yw), strings.Repeat("-", w))
+	// X tick labels.
+	ticks := make([]byte, w)
+	for i := range ticks {
+		ticks[i] = ' '
+	}
+	tickLine := string(ticks)
+	for i, x := range c.X {
+		lbl := formatTick(x)
+		pos := xpos[i]
+		if pos+len(lbl) > w {
+			pos = w - len(lbl)
+		}
+		tickLine = tickLine[:pos] + lbl + tickLine[min(pos+len(lbl), w):]
+		if len(tickLine) > w {
+			tickLine = tickLine[:w]
+		}
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", yw), tickLine)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%s  (%s)\n", strings.Repeat(" ", yw), c.XLabel)
+	}
+	return b.String()
+}
+
+func formatTick(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,73 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRendersAllSeries(t *testing.T) {
+	c := &BarChart{
+		Title:  "Misprediction Rates",
+		Unit:   "%",
+		Labels: []string{"gcc", "perl"},
+		Series: []Series{
+			{Name: "gshare", Values: []float64{8.8, 5.0}},
+			{Name: "vlp", Values: []float64{4.3, 1.2}},
+		},
+	}
+	out := c.String()
+	for _, want := range []string{"Misprediction Rates", "gshare", "vlp", "gcc", "perl", "8.80%", "4.30%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The larger value must have the longer bar.
+	lines := strings.Split(out, "\n")
+	var gshareBar, vlpBar int
+	for _, l := range lines {
+		if strings.Contains(l, "8.80") {
+			gshareBar = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "4.30") {
+			vlpBar = strings.Count(l, "=")
+		}
+	}
+	if gshareBar <= vlpBar {
+		t.Errorf("bar lengths not ordered: gshare %d, vlp %d", gshareBar, vlpBar)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := &BarChart{Labels: []string{"x"}, Series: []Series{{Name: "s", Values: []float64{0}}}}
+	if out := c.String(); !strings.Contains(out, "0.00") {
+		t.Errorf("zero chart:\n%s", out)
+	}
+}
+
+func TestLineChartLayout(t *testing.T) {
+	c := &LineChart{
+		Title:  "gcc conditional",
+		XLabel: "KB",
+		X:      []float64{1, 4, 16, 64, 256},
+		LogX:   true,
+		Series: []Series{
+			{Name: "gshare", Values: []float64{14, 10, 8, 6, 5}},
+			{Name: "vlp", Values: []float64{7, 5, 4, 3, 2.5}},
+		},
+	}
+	out := c.String()
+	for _, want := range []string{"gcc conditional", "gshare", "vlp", "KB", "256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Both series glyphs must appear in the grid.
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Errorf("series glyphs missing:\n%s", out)
+	}
+}
+
+func TestLineChartEmptySeriesSafe(t *testing.T) {
+	c := &LineChart{X: []float64{1, 2}, Series: []Series{{Name: "s"}}}
+	_ = c.String() // must not panic
+}

@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/arch"
+)
+
+// File format
+//
+// The paper's substrate pipes ATOM instrumentation output into the
+// simulators; our equivalent is a compact binary trace file so that
+// workloads can be generated once (cmd/traceg) and replayed by every
+// predictor configuration. The format is:
+//
+//	magic   "VLPT"           4 bytes
+//	version uvarint          currently 1
+//	count   uvarint          number of records
+//	records count times:
+//	    header byte: kind (bits 0-2), taken (bit 3), nextIsFallThrough (bit 4)
+//	    pcDelta  varint       signed delta from previous record's PC, in
+//	                          instruction units (PC deltas are small and
+//	                          sign-alternating, so zig-zag varints are short)
+//	    next     uvarint      omitted when nextIsFallThrough; otherwise the
+//	                          Next address in instruction units
+//
+// All multi-byte values use the standard library's varint encoding.
+
+const (
+	fileMagic   = "VLPT"
+	fileVersion = 1
+)
+
+const (
+	hdrKindMask    = 0x07
+	hdrTaken       = 0x08
+	hdrFallThrough = 0x10
+)
+
+// Writer encodes records to an underlying stream. Close must be called to
+// flush buffered data; the record count is written up front, so the caller
+// supplies it to NewWriter.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC arch.Addr
+	wrote  uint64
+	count  uint64
+	buf    [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the file header for count records and returns a Writer.
+func NewWriter(w io.Writer, count int) (*Writer, error) {
+	if count < 0 {
+		return nil, errors.New("trace: negative record count")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], fileVersion)
+	n += binary.PutUvarint(buf[n:], uint64(count))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, count: uint64(count)}, nil
+}
+
+// Write encodes one record.
+func (w *Writer) Write(r Record) error {
+	if w.wrote == w.count {
+		return fmt.Errorf("trace: writing more than the declared %d records", w.count)
+	}
+	hdr := byte(r.Kind) & hdrKindMask
+	if r.Taken {
+		hdr |= hdrTaken
+	}
+	fall := r.Next == r.PC.FallThrough()
+	if fall {
+		hdr |= hdrFallThrough
+	}
+	if err := w.w.WriteByte(hdr); err != nil {
+		return err
+	}
+	delta := int64(r.PC)/arch.InstrBytes - int64(w.prevPC)/arch.InstrBytes
+	n := binary.PutVarint(w.buf[:], delta)
+	if !fall {
+		n += binary.PutUvarint(w.buf[n:], uint64(r.Next)/arch.InstrBytes)
+	}
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	w.prevPC = r.PC
+	w.wrote++
+	return nil
+}
+
+// Close flushes the writer and verifies that exactly the declared number of
+// records was written.
+func (w *Writer) Close() error {
+	if w.wrote != w.count {
+		return fmt.Errorf("trace: wrote %d records, declared %d", w.wrote, w.count)
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a trace file. It implements Source when constructed over
+// an io.ReadSeeker (Reset seeks back to the first record).
+type Reader struct {
+	rs     io.ReadSeeker
+	br     *bufio.Reader
+	prevPC arch.Addr
+	count  uint64
+	read   uint64
+	start  int64
+	err    error
+}
+
+// NewReader validates the header and returns a Reader positioned at the
+// first record.
+func NewReader(rs io.ReadSeeker) (*Reader, error) {
+	br := bufio.NewReaderSize(rs, 1<<16)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading count: %w", err)
+	}
+	// Record where the data section starts so Reset can seek back to it.
+	pos, err := rs.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, fmt.Errorf("trace: locating data section: %w", err)
+	}
+	start := pos - int64(br.Buffered())
+	return &Reader{rs: rs, br: br, count: count, start: start}, nil
+}
+
+// Count returns the number of records declared in the header.
+func (r *Reader) Count() int { return int(r.count) }
+
+// Err returns the first decoding error encountered, if any. Next returns
+// false both at a clean end of stream and on error; callers that need to
+// distinguish check Err.
+func (r *Reader) Err() error { return r.err }
+
+// Next implements Source.
+func (r *Reader) Next(rec *Record) bool {
+	if r.err != nil || r.read >= r.count {
+		return false
+	}
+	hdr, err := r.br.ReadByte()
+	if err != nil {
+		r.err = fmt.Errorf("trace: record %d header: %w", r.read, err)
+		return false
+	}
+	kind := arch.BranchKind(hdr & hdrKindMask)
+	if int(kind) >= arch.NumKinds {
+		r.err = fmt.Errorf("trace: record %d has invalid kind %d", r.read, kind)
+		return false
+	}
+	delta, err := binary.ReadVarint(r.br)
+	if err != nil {
+		r.err = fmt.Errorf("trace: record %d pc delta: %w", r.read, err)
+		return false
+	}
+	pc := arch.Addr(int64(r.prevPC) + delta*arch.InstrBytes)
+	var next arch.Addr
+	if hdr&hdrFallThrough != 0 {
+		next = pc.FallThrough()
+	} else {
+		u, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			r.err = fmt.Errorf("trace: record %d next: %w", r.read, err)
+			return false
+		}
+		next = arch.Addr(u * arch.InstrBytes)
+	}
+	*rec = Record{PC: pc, Kind: kind, Taken: hdr&hdrTaken != 0, Next: next}
+	r.prevPC = pc
+	r.read++
+	return true
+}
+
+// Reset implements Source, seeking back to the first record.
+func (r *Reader) Reset() {
+	if _, err := r.rs.Seek(r.start, io.SeekStart); err != nil {
+		r.err = fmt.Errorf("trace: reset: %w", err)
+		return
+	}
+	r.br.Reset(r.rs)
+	r.prevPC = 0
+	r.read = 0
+	r.err = nil
+}
+
+// WriteFile writes all records of src (after resetting it) to the named
+// file; a ".gz" suffix selects gzip compression.
+func WriteFile(path string, src Source) (err error) {
+	if gzipPath(path) {
+		return writeFileGz(path, src)
+	}
+	buf := Collect(src)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w, err := NewWriter(f, buf.Len())
+	if err != nil {
+		return err
+	}
+	for _, rec := range buf.Records {
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadFile loads an entire trace file into memory; a ".gz" suffix selects
+// gzip decompression.
+func ReadFile(path string) (*Buffer, error) {
+	if gzipPath(path) {
+		return readFileGz(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	buf := &Buffer{Records: make([]Record, 0, r.Count())}
+	var rec Record
+	for r.Next(&rec) {
+		buf.Append(rec)
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if buf.Len() != r.Count() {
+		return nil, fmt.Errorf("trace: %s: decoded %d records, header declared %d",
+			path, buf.Len(), r.Count())
+	}
+	return buf, nil
+}

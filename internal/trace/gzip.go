@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// WriteFile and ReadFile transparently gzip-compress traces whose path
+// ends in ".gz". Long workload traces compress by another 2-4x on top of
+// the varint encoding, which matters when a full-scale suite run (tens of
+// millions of records) is archived for later replay.
+
+// gzipPath reports whether the file should be gzip-framed.
+func gzipPath(path string) bool { return strings.HasSuffix(path, ".gz") }
+
+// writeFileGz writes all records of src to a gzip-compressed file.
+func writeFileGz(path string, src Source) (err error) {
+	buf := Collect(src)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	zw := gzip.NewWriter(f)
+	w, err := NewWriter(zw, buf.Len())
+	if err != nil {
+		return err
+	}
+	for _, rec := range buf.Records {
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// readFileGz loads an entire gzip-compressed trace file into memory. The
+// gzip stream is not seekable, so the reader decodes in one pass into a
+// Buffer (which is itself a replayable Source).
+func readFileGz(path string) (*Buffer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	defer zr.Close()
+	// Wrap in a readSeekShim: NewReader only Seeks on Reset, which the
+	// one-pass decode below never calls.
+	r, err := NewReader(&noSeekReader{r: zr})
+	if err != nil {
+		return nil, err
+	}
+	buf := &Buffer{Records: make([]Record, 0, r.Count())}
+	var rec Record
+	for r.Next(&rec) {
+		buf.Append(rec)
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if buf.Len() != r.Count() {
+		return nil, fmt.Errorf("trace: %s: decoded %d records, header declared %d",
+			path, buf.Len(), r.Count())
+	}
+	return buf, nil
+}
+
+// noSeekReader adapts a plain reader to the io.ReadSeeker NewReader wants;
+// it supports only the initial no-op Seek used to locate the data section.
+type noSeekReader struct {
+	r   interface{ Read([]byte) (int, error) }
+	pos int64
+}
+
+func (n *noSeekReader) Read(p []byte) (int, error) {
+	m, err := n.r.Read(p)
+	n.pos += int64(m)
+	return m, err
+}
+
+func (n *noSeekReader) Seek(offset int64, whence int) (int64, error) {
+	// Only the "tell" form (Seek(0, Current)) used during header parsing
+	// is answerable without real seeking.
+	if whence == 1 && offset == 0 {
+		return n.pos, nil
+	}
+	return 0, fmt.Errorf("trace: cannot seek in a compressed stream")
+}

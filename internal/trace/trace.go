@@ -1,0 +1,180 @@
+// Package trace defines the branch-trace interface between workloads and
+// predictors.
+//
+// The paper instruments Alpha binaries with ATOM (§5.1) so that every
+// executed control-transfer instruction reports its address, kind, direction,
+// and the address control actually transferred to. A trace here is exactly
+// that stream. Everything downstream — the predictors, the profiling
+// pipeline, the experiment harness — consumes traces through the Source
+// interface, so workloads can be generated on the fly, replayed from memory,
+// or streamed from a file interchangeably.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Record describes one executed branch.
+type Record struct {
+	// PC is the address of the branch instruction itself.
+	PC arch.Addr
+	// Kind classifies the branch.
+	Kind arch.BranchKind
+	// Taken reports the resolved direction. It is true for every
+	// non-conditional branch (they always transfer control).
+	Taken bool
+	// Next is the address control transferred to: the branch target when
+	// taken, or PC+4 when a conditional branch falls through. For the
+	// path-history predictors Next is the path element (§3.2): the
+	// address of the basic block that executed after this branch.
+	Next arch.Addr
+}
+
+// String renders the record compactly for debugging and trace dumps.
+func (r Record) String() string {
+	dir := "T"
+	if !r.Taken {
+		dir = "N"
+	}
+	return fmt.Sprintf("%v %s %s -> %v", r.PC, r.Kind, dir, r.Next)
+}
+
+// Validate reports an error if the record is internally inconsistent: a
+// non-conditional branch marked not-taken, or a not-taken conditional whose
+// Next is not the fall-through address.
+func (r Record) Validate() error {
+	if r.Kind != arch.Cond && !r.Taken {
+		return fmt.Errorf("trace: %v branch at %v marked not-taken", r.Kind, r.PC)
+	}
+	if r.Kind == arch.Cond && !r.Taken && r.Next != r.PC.FallThrough() {
+		return fmt.Errorf("trace: not-taken branch at %v has Next %v, want fall-through %v",
+			r.PC, r.Next, r.PC.FallThrough())
+	}
+	return nil
+}
+
+// Source is a replayable stream of branch records. Next returns false when
+// the stream is exhausted. Reset rewinds the stream to the beginning so it
+// can be replayed; the profiling pipeline (§3.5) replays the profile input
+// many times (once per candidate hash function in step 1 and once per
+// iteration in step 2).
+type Source interface {
+	Next(*Record) bool
+	Reset()
+}
+
+// Buffer is an in-memory Source. The zero value is an empty, ready-to-use
+// buffer.
+type Buffer struct {
+	Records []Record
+	pos     int
+}
+
+// NewBuffer returns a Buffer over the given records.
+func NewBuffer(records []Record) *Buffer { return &Buffer{Records: records} }
+
+// Append adds a record to the end of the buffer.
+func (b *Buffer) Append(r Record) { b.Records = append(b.Records, r) }
+
+// Next implements Source.
+func (b *Buffer) Next(r *Record) bool {
+	if b.pos >= len(b.Records) {
+		return false
+	}
+	*r = b.Records[b.pos]
+	b.pos++
+	return true
+}
+
+// Reset implements Source.
+func (b *Buffer) Reset() { b.pos = 0 }
+
+// Len returns the number of records in the buffer.
+func (b *Buffer) Len() int { return len(b.Records) }
+
+// Collect drains src into a new Buffer, resetting src first. It is a
+// convenience for tests and for materialising generated workloads.
+func Collect(src Source) *Buffer {
+	src.Reset()
+	b := &Buffer{}
+	var r Record
+	for src.Next(&r) {
+		b.Append(r)
+	}
+	return b
+}
+
+// FuncSource adapts a generator function to the Source interface. Calling
+// reset must return a fresh iterator function; each iterator call returns
+// the next record and true, or false at end of stream.
+type FuncSource struct {
+	reset func() func(*Record) bool
+	next  func(*Record) bool
+}
+
+// NewFuncSource builds a Source from a factory of iterator functions.
+func NewFuncSource(reset func() func(*Record) bool) *FuncSource {
+	return &FuncSource{reset: reset, next: reset()}
+}
+
+// Next implements Source.
+func (f *FuncSource) Next(r *Record) bool { return f.next(r) }
+
+// Reset implements Source.
+func (f *FuncSource) Reset() { f.next = f.reset() }
+
+// Limit wraps a Source, truncating it to at most n records per replay.
+type Limit struct {
+	Src Source
+	N   int
+	cnt int
+}
+
+// NewLimit returns a Source yielding at most n records of src per replay.
+func NewLimit(src Source, n int) *Limit { return &Limit{Src: src, N: n} }
+
+// Next implements Source.
+func (l *Limit) Next(r *Record) bool {
+	if l.cnt >= l.N {
+		return false
+	}
+	if !l.Src.Next(r) {
+		return false
+	}
+	l.cnt++
+	return true
+}
+
+// Reset implements Source.
+func (l *Limit) Reset() {
+	l.Src.Reset()
+	l.cnt = 0
+}
+
+// Filter wraps a Source, passing through only records for which keep
+// returns true.
+type Filter struct {
+	Src  Source
+	Keep func(Record) bool
+}
+
+// NewFilter returns a Source yielding only the records of src accepted by
+// keep.
+func NewFilter(src Source, keep func(Record) bool) *Filter {
+	return &Filter{Src: src, Keep: keep}
+}
+
+// Next implements Source.
+func (f *Filter) Next(r *Record) bool {
+	for f.Src.Next(r) {
+		if f.Keep(*r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset implements Source.
+func (f *Filter) Reset() { f.Src.Reset() }

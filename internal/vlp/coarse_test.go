@@ -1,0 +1,89 @@
+package vlp
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestNewCoarseCondValidation(t *testing.T) {
+	if _, err := NewCoarseCond(1024, [][]int{}, nil, 1, 8); err == nil {
+		t.Error("no buckets accepted")
+	}
+	if _, err := NewCoarseCond(1024, [][]int{{1, 2}, {4}}, nil, 1, 8); err == nil {
+		t.Error("ragged buckets accepted")
+	}
+	if _, err := NewCoarseCond(1024, [][]int{{1, 40}}, nil, 1, 8); err == nil {
+		t.Error("out-of-range bucket length accepted")
+	}
+	if _, err := NewCoarseCond(1024, nil, nil, 1, 0); err == nil {
+		t.Error("zero slot width accepted")
+	}
+	if _, err := NewCoarseCond(3000, nil, nil, 1, 8); err == nil {
+		t.Error("bad budget accepted")
+	}
+	c, err := NewCoarseCond(1024, nil, map[arch.Addr]int{0x1004: 7}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeBytes() <= 1024 {
+		t.Errorf("SizeBytes = %d should include score storage", c.SizeBytes())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	c, err := NewCoarseCond(1024, nil, nil, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int]int{1: 0, 2: 0, 3: 0, 5: 1, 8: 1, 12: 1, 20: 2, 32: 2}
+	for l, want := range cases {
+		if got := c.bucketOf(l); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestHintSteersBucket(t *testing.T) {
+	prof := map[arch.Addr]int{0x1004: 1, 0x2008: 32}
+	c, err := NewCoarseCond(4096, nil, prof, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.bucket(0x1004); got[0] != 1 {
+		t.Errorf("short-hint branch got bucket %v", got)
+	}
+	if got := c.bucket(0x2008); got[0] != 16 {
+		t.Errorf("long-hint branch got bucket %v", got)
+	}
+	// Unprofiled branches fall back to the default hint's bucket.
+	if got := c.bucket(0x9999); got[0] != 4 {
+		t.Errorf("default bucket %v, want the one containing 4", got)
+	}
+}
+
+// TestCoarseLearnsLoop: with the hint pointing at the right bucket, the
+// hardware refinement should find a working length for a trip-8 loop.
+func TestCoarseLearnsLoop(t *testing.T) {
+	prof := map[arch.Addr]int{0x1004: 8}
+	c, err := NewCoarseCond(16*1024, nil, prof, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss, total := 0, 0
+	for iter := 0; iter < 800; iter++ {
+		for i := 0; i < 8; i++ {
+			taken := i < 7
+			if iter > 600 {
+				total++
+				if c.Predict(0x1004) != taken {
+					miss++
+				}
+			}
+			c.Update(condRec(0x1004, taken, 0x2008))
+		}
+	}
+	if rate := float64(miss) / float64(total); rate > 0.05 {
+		t.Errorf("coarse-hint miss rate %.3f on trip-8 loop", rate)
+	}
+}

@@ -1,0 +1,95 @@
+package vlp
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestNewDynCondValidation(t *testing.T) {
+	if _, err := NewDynCond(1024, []int{0}, 8, 4); err == nil {
+		t.Error("tracked length 0 accepted")
+	}
+	if _, err := NewDynCond(1024, []int{40}, 8, 4); err == nil {
+		t.Error("tracked length beyond THB accepted")
+	}
+	if _, err := NewDynCond(1024, nil, 0, 4); err == nil {
+		t.Error("zero slot width accepted")
+	}
+	if _, err := NewDynCond(3000, nil, 8, 4); err == nil {
+		t.Error("bad budget accepted")
+	}
+	d, err := NewDynCond(1024, nil, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024B table + 6 tracked lengths * 256 slots * 4 bits = 768B.
+	if got := d.SizeBytes(); got != 1024+768 {
+		t.Errorf("SizeBytes = %d, want %d", got, 1024+768)
+	}
+}
+
+func TestDynCondLearnsLoop(t *testing.T) {
+	// A trip-8 loop needs a longish path; the dynamic selector should
+	// discover a workable length without any profile.
+	d, err := NewDynCond(16*1024, nil, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := arch.Addr(0x1004)
+	miss, total := 0, 0
+	for iter := 0; iter < 800; iter++ {
+		for i := 0; i < 8; i++ {
+			taken := i < 7
+			if iter > 600 {
+				total++
+				if d.Predict(pc) != taken {
+					miss++
+				}
+			}
+			d.Update(condRec(pc, taken, 0x2008))
+		}
+	}
+	if rate := float64(miss) / float64(total); rate > 0.05 {
+		t.Errorf("dynamic selector misprediction rate %.3f on trip-8 loop", rate)
+	}
+}
+
+func TestDynCondAdaptsPerBranch(t *testing.T) {
+	// A biased branch (any length works) interleaved with a shallow
+	// correlated branch; accuracy should end up high for both.
+	d, err := NewDynCond(16*1024, nil, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preA, preB := arch.Addr(0x1004), arch.Addr(0x2008)
+	miss, total := 0, 0
+	for i := 0; i < 6000; i++ {
+		pre := preA
+		if (i*11)%3 == 1 {
+			pre = preB
+		}
+		d.Update(condRec(0x3004, true, pre))
+		want := pre == preA
+		if i > 4000 {
+			total++
+			if d.Predict(0x400c) != want {
+				miss++
+			}
+		}
+		d.Update(condRec(0x400c, want, 0x5010))
+	}
+	if rate := float64(miss) / float64(total); rate > 0.05 {
+		t.Errorf("dynamic selector misprediction rate %.3f on shallow correlation", rate)
+	}
+}
+
+func TestDynCondName(t *testing.T) {
+	d, err := NewDynCond(1024, []int{1, 4}, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "pathcond[dynamic(2 lengths)]-1024B" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}

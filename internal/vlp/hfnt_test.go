@@ -1,0 +1,101 @@
+package vlp
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestHFNTValidation(t *testing.T) {
+	inner, _ := NewCondBits(10, Fixed{L: 4}, Options{})
+	if _, err := NewHFNT(inner, 0); err == nil {
+		t.Error("zero-width HFNT accepted")
+	}
+	if _, err := NewHFNT(inner, 31); err == nil {
+		t.Error("oversized HFNT accepted")
+	}
+	h, err := NewHFNT(inner, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1KB inner table + 256 entries * 5 bits = 160 bytes.
+	if got := h.SizeBytes(); got != inner.SizeBytes()+160 {
+		t.Errorf("SizeBytes = %d", got)
+	}
+}
+
+func TestHFNTLearnsNumbers(t *testing.T) {
+	sel := &PerBranch{Lengths: map[arch.Addr]int{0x1004: 9, 0x2008: 3}, Default: 1}
+	inner, _ := NewCondBits(12, sel, Options{})
+	h, err := NewHFNT(inner, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First prediction: HFNT cold, mismatch expected.
+	h.Predict(0x1004)
+	if h.Repredicts != 1 {
+		t.Errorf("cold lookup repredicts = %d, want 1", h.Repredicts)
+	}
+	h.Update(condRec(0x1004, true, 0x9000))
+	if h.PredictedLength(0x1004) != 9 {
+		t.Errorf("after retire PredictedLength = %d, want 9", h.PredictedLength(0x1004))
+	}
+	// Second prediction: HFNT warm, no repredict.
+	h.Predict(0x1004)
+	if h.Repredicts != 1 {
+		t.Errorf("warm lookup repredicts = %d, want still 1", h.Repredicts)
+	}
+	if h.Lookups != 2 {
+		t.Errorf("Lookups = %d, want 2", h.Lookups)
+	}
+	if got := h.RepredictRate(); got != 0.5 {
+		t.Errorf("RepredictRate = %v, want 0.5", got)
+	}
+}
+
+func TestHFNTAccuracyMatchesInner(t *testing.T) {
+	// The HFNT wrapper must never change the final predictions, only
+	// count re-predictions.
+	sel := &PerBranch{Lengths: map[arch.Addr]int{0x1004: 2}, Default: 1}
+	a, _ := NewCondBits(12, sel, Options{})
+	bInner, _ := NewCondBits(12, sel, Options{})
+	b, _ := NewHFNT(bInner, 8)
+	for i := 0; i < 500; i++ {
+		taken := i%3 != 0
+		pa := a.Predict(0x1004)
+		pb := b.Predict(0x1004)
+		if pa != pb {
+			t.Fatalf("step %d: HFNT prediction %v != inner %v", i, pb, pa)
+		}
+		r := condRec(0x1004, taken, 0x9008)
+		a.Update(r)
+		b.Update(r)
+	}
+}
+
+func TestHFNTAliasedBranchesConflict(t *testing.T) {
+	// Two branches with different hash numbers aliasing to the same HFNT
+	// slot must keep evicting each other, producing repredicts.
+	sel := &PerBranch{Lengths: map[arch.Addr]int{0x1004: 2, 0x1004 + 4*16: 7}, Default: 1}
+	inner, _ := NewCondBits(12, sel, Options{})
+	h, _ := NewHFNT(inner, 4) // 16 slots: pcs 16 words apart alias
+	pcA, pcB := arch.Addr(0x1004), arch.Addr(0x1004+4*16)
+	for i := 0; i < 100; i++ {
+		h.Predict(pcA)
+		h.Update(condRec(pcA, true, 0x9000))
+		h.Predict(pcB)
+		h.Update(condRec(pcB, true, 0x9000))
+	}
+	// Every lookup after the first sees the other branch's number.
+	if h.Repredicts < 150 {
+		t.Errorf("aliased branches repredicted only %d/200 times", h.Repredicts)
+	}
+}
+
+func TestHFNTZeroLookups(t *testing.T) {
+	inner, _ := NewCondBits(10, Fixed{L: 1}, Options{})
+	h, _ := NewHFNT(inner, 4)
+	if h.RepredictRate() != 0 {
+		t.Error("RepredictRate on zero lookups != 0")
+	}
+}

@@ -1,0 +1,74 @@
+package vlp
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestInstrumentedClassification(t *testing.T) {
+	// Small table, fixed L=1: two branches whose single path context
+	// collides in the table when fed the same preceding target.
+	p, err := NewInstrumentedCond(16, Fixed{L: 1}, Options{}) // 64 counters
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := arch.Addr(0x1004)
+	// Branch A always taken; first execution must be a cold miss
+	// (counter init weakly-not-taken).
+	p.Update(condRec(0xa004, true, pre)) // feeder: THB <- pre
+	p.Update(condRec(0xb008, true, 0x900c))
+	if p.Stats.Misses != 2 || p.Stats.Cold != 1 {
+		// First record: THB empty -> index 0 counter cold-missed; the
+		// second trains at compress(pre)'s index.
+		t.Logf("stats after warmup: %+v", p.Stats)
+	}
+	start := p.Stats
+
+	// Same THB context, opposite outcomes, alternating: each trains the
+	// same counter the other just wrote -> interference misses.
+	for i := 0; i < 50; i++ {
+		p.Update(condRec(0xa004, true, pre)) // reset THB to pre
+		p.Update(condRec(0xc00c, true, 0x910c))
+		p.Update(condRec(0xa004, true, pre))
+		p.Update(condRec(0xd010, false, 0x920c))
+	}
+	if p.Stats.Interference <= start.Interference {
+		t.Errorf("no interference recorded: %+v", p.Stats)
+	}
+	if p.Stats.Branches == 0 || p.Stats.Misses == 0 {
+		t.Fatalf("empty stats: %+v", p.Stats)
+	}
+	if got := p.Stats.Cold + p.Stats.Interference + p.Stats.Intrinsic; got != p.Stats.Misses {
+		t.Errorf("classification does not partition misses: %d vs %d", got, p.Stats.Misses)
+	}
+	if p.Stats.Rate() <= 0 || p.Stats.Rate() > 1 {
+		t.Errorf("Rate = %v", p.Stats.Rate())
+	}
+	if p.Stats.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestInstrumentedMatchesPlain(t *testing.T) {
+	// The instrumented predictor must make exactly the plain predictor's
+	// predictions.
+	a, err := NewCondBits(10, Fixed{L: 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInstrumentedCond(256, Fixed{L: 3}, Options{}) // 2^10 counters
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		pc := arch.Addr(0x1004 + 8*(i%17))
+		taken := (i*i)%3 != 0
+		if a.Predict(pc) != b.Predict(pc) {
+			t.Fatalf("step %d: predictions diverge", i)
+		}
+		r := condRec(pc, taken, arch.Addr(0x9004+8*(i%5)))
+		a.Update(r)
+		b.Update(r)
+	}
+}

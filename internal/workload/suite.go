@@ -1,0 +1,351 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cfg"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Benchmark is one named workload with lazily built program structure and
+// distinct profile/test input streams.
+type Benchmark struct {
+	Spec Spec
+	// SPEC marks the eight SPECint95-shaped benchmarks (Figures 5/7)
+	// versus the non-SPEC set (Figures 6/8).
+	SPEC bool
+	// IndirectHeavy marks the eight benchmarks the paper bolds in
+	// Figures 7/8 and tabulates in Table 3.
+	IndirectHeavy bool
+	// DynWeight scales this benchmark's dynamic branch count relative to
+	// the suite base length, mirroring the spread of Table 1's dynamic
+	// columns (m88ksim runs ~8x more branches than compress).
+	DynWeight float64
+
+	once sync.Once
+	prog *cfg.Program
+	err  error
+}
+
+// Name returns the benchmark's name.
+func (b *Benchmark) Name() string { return b.Spec.Name }
+
+// Program builds (once) and returns the benchmark's control-flow graph.
+func (b *Benchmark) Program() (*cfg.Program, error) {
+	b.once.Do(func() { b.prog, b.err = Generate(&b.Spec) })
+	return b.prog, b.err
+}
+
+// MustProgram is Program for contexts where a generation failure is a
+// defect in the suite definition.
+func (b *Benchmark) MustProgram() *cfg.Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Records returns this benchmark's dynamic trace length for a given suite
+// base length.
+func (b *Benchmark) Records(base int) int {
+	n := int(float64(base) * b.DynWeight)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// profileSeed and testSeed derive the two input data sets (§5.1:
+// "different profile and test input sets were used").
+func (b *Benchmark) profileSeed() uint64 { return xrand.Mix64(b.Spec.Seed ^ 0x0f11e) }
+func (b *Benchmark) testSeed() uint64    { return xrand.Mix64(b.Spec.Seed ^ 0x7e57) }
+
+// ProfileSource returns a replayable trace of the profile input with the
+// benchmark's weighted share of base records.
+func (b *Benchmark) ProfileSource(base int) trace.Source {
+	return cfg.NewSource(b.MustProgram(), b.profileSeed(), b.Records(base))
+}
+
+// TestSource returns a replayable trace of the test input.
+func (b *Benchmark) TestSource(base int) trace.Source {
+	return cfg.NewSource(b.MustProgram(), b.testSeed(), b.Records(base))
+}
+
+// suite returns freshly constructed benchmark definitions. Each call
+// returns independent Benchmark values so concurrent users can't share
+// lazy-build state accidentally; Program() is nevertheless safe.
+//
+// Calibration notes: biases are high (0.85-0.99) because real integer
+// codes are dominated by strongly biased branches — this keeps hot paths
+// hot, which is what lets deeper path histories train (Table 2's growth of
+// the best fixed length with table size). Dispatch Markov orders are 2-4
+// with single-digit noise so interpreter dispatch is genuinely learnable
+// from the path, as the paper's perl/li results show. "Hard" benchmarks
+// (go, chess, python) get deeper PathKey correlation and more noise.
+func suite() []*Benchmark {
+	mk := func(spec Spec, isSPEC, heavy bool, w float64) *Benchmark {
+		return &Benchmark{Spec: spec, SPEC: isSPEC, IndirectHeavy: heavy, DynWeight: w}
+	}
+	return []*Benchmark{
+		// --- SPECint95 ---
+		mk(Spec{
+			Name: "go", Seed: 0x90, Funcs: 40, CondSites: 800,
+			WBias: 4.5, WLoop: 1.5, WPathKey: 4, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.78, BiasHi: 0.95, PathDepthLo: 2, PathDepthHi: 12, PathNoise: 0.06,
+			HistDepthLo: 3, HistDepthHi: 9, LoopTripLo: 4, LoopTripHi: 28,
+			DispatchSites: 1, DispatchHandlersLo: 6, DispatchHandlersHi: 9,
+			DispatchOrderLo: 3, DispatchOrderHi: 4, DispatchNoise: 0.15,
+			DispatchTripLo: 15, DispatchTripHi: 40,
+			SwitchSites: 2, SwitchTargetsLo: 4, SwitchTargetsHi: 7,
+			SwitchDepthLo: 2, SwitchDepthHi: 5, SwitchNoise: 0.12,
+			VCallSites: 1, VCallTargetsLo: 2, VCallTargetsHi: 3, VCallPhase: 200,
+		}, true, false, 0.85),
+		mk(Spec{
+			Name: "m88ksim", Seed: 0x88, Funcs: 24, CondSites: 350,
+			WBias: 6, WLoop: 2, WPathKey: 2.5, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.90, BiasHi: 0.99, PathDepthLo: 1, PathDepthHi: 8, PathNoise: 0.02,
+			HistDepthLo: 2, HistDepthHi: 7, LoopTripLo: 4, LoopTripHi: 40,
+			DispatchSites: 2, DispatchHandlersLo: 6, DispatchHandlersHi: 12,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.05,
+			DispatchTripLo: 40, DispatchTripHi: 140,
+			SwitchSites: 1, SwitchTargetsLo: 4, SwitchTargetsHi: 6,
+			SwitchDepthLo: 2, SwitchDepthHi: 4, SwitchNoise: 0.05,
+			VCallSites: 1, VCallTargetsLo: 2, VCallTargetsHi: 3, VCallPhase: 400,
+		}, true, true, 2.8),
+		mk(Spec{
+			Name: "gcc", Seed: 0x9cc, Funcs: 64, CondSites: 1400,
+			WBias: 5, WLoop: 1.5, WPathKey: 3.5, WHistKey: 1.2, WPattern: 0.8,
+			BiasLo: 0.85, BiasHi: 0.97, PathDepthLo: 1, PathDepthHi: 9, PathNoise: 0.02,
+			HistDepthLo: 2, HistDepthHi: 8, LoopTripLo: 4, LoopTripHi: 24,
+			DispatchSites: 5, DispatchHandlersLo: 6, DispatchHandlersHi: 10,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.04,
+			DispatchTripLo: 80, DispatchTripHi: 240,
+			SwitchSites: 6, SwitchTargetsLo: 4, SwitchTargetsHi: 8,
+			SwitchDepthLo: 2, SwitchDepthHi: 5, SwitchNoise: 0.06,
+			VCallSites: 2, VCallTargetsLo: 2, VCallTargetsHi: 4, VCallPhase: 300,
+		}, true, true, 1.0),
+		mk(Spec{
+			Name: "compress", Seed: 0xc0, Funcs: 8, CondSites: 150,
+			WBias: 8, WLoop: 2, WPathKey: 1, WHistKey: 0.7, WPattern: 0.3,
+			BiasLo: 0.86, BiasHi: 0.98, PathDepthLo: 1, PathDepthHi: 5, PathNoise: 0.05,
+			HistDepthLo: 2, HistDepthHi: 6, LoopTripLo: 6, LoopTripHi: 40,
+			DispatchSites: 0,
+			SwitchSites:   1, SwitchTargetsLo: 3, SwitchTargetsHi: 4,
+			SwitchDepthLo: 2, SwitchDepthHi: 4, SwitchNoise: 0.08,
+			VCallSites: 0,
+		}, true, false, 0.5),
+		mk(Spec{
+			Name: "li", Seed: 0x11, Funcs: 20, CondSites: 240,
+			WBias: 5, WLoop: 1.5, WPathKey: 3, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.86, BiasHi: 0.97, PathDepthLo: 1, PathDepthHi: 8, PathNoise: 0.02,
+			HistDepthLo: 2, HistDepthHi: 8, LoopTripLo: 4, LoopTripHi: 20,
+			DispatchSites: 3, DispatchHandlersLo: 8, DispatchHandlersHi: 14,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.04,
+			DispatchTripLo: 120, DispatchTripHi: 350,
+			SwitchSites: 1, SwitchTargetsLo: 4, SwitchTargetsHi: 6,
+			SwitchDepthLo: 2, SwitchDepthHi: 4, SwitchNoise: 0.04,
+			VCallSites: 1, VCallTargetsLo: 2, VCallTargetsHi: 3, VCallPhase: 300,
+		}, true, true, 1.1),
+		mk(Spec{
+			Name: "ijpeg", Seed: 0x1b, Funcs: 24, CondSites: 350,
+			WBias: 6, WLoop: 3, WPathKey: 1.5, WHistKey: 0.8, WPattern: 0.7,
+			BiasLo: 0.90, BiasHi: 0.99, PathDepthLo: 1, PathDepthHi: 6, PathNoise: 0.02,
+			HistDepthLo: 2, HistDepthHi: 6, LoopTripLo: 8, LoopTripHi: 40,
+			DispatchSites: 1, DispatchHandlersLo: 6, DispatchHandlersHi: 9,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.03,
+			DispatchTripLo: 2, DispatchTripHi: 5,
+			SwitchSites: 2, SwitchTargetsLo: 4, SwitchTargetsHi: 7,
+			SwitchDepthLo: 2, SwitchDepthHi: 4, SwitchNoise: 0.04,
+			VCallSites: 2, VCallTargetsLo: 2, VCallTargetsHi: 4, VCallPhase: 500,
+		}, true, false, 0.65),
+		mk(Spec{
+			Name: "perl", Seed: 0x9e, Funcs: 28, CondSites: 420,
+			WBias: 5, WLoop: 1.5, WPathKey: 3.5, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.86, BiasHi: 0.97, PathDepthLo: 1, PathDepthHi: 8, PathNoise: 0.015,
+			HistDepthLo: 2, HistDepthHi: 8, LoopTripLo: 4, LoopTripHi: 20,
+			DispatchSites: 4, DispatchHandlersLo: 8, DispatchHandlersHi: 13,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.01,
+			DispatchTripLo: 200, DispatchTripHi: 500,
+			SwitchSites: 2, SwitchTargetsLo: 4, SwitchTargetsHi: 7,
+			SwitchDepthLo: 2, SwitchDepthHi: 5, SwitchNoise: 0.03,
+			VCallSites: 1, VCallTargetsLo: 2, VCallTargetsHi: 3, VCallPhase: 400,
+		}, true, true, 0.75),
+		mk(Spec{
+			Name: "vortex", Seed: 0x40, Funcs: 56, CondSites: 900,
+			WBias: 6.5, WLoop: 1.5, WPathKey: 2.5, WHistKey: 0.8, WPattern: 0.5,
+			BiasLo: 0.92, BiasHi: 0.995, PathDepthLo: 1, PathDepthHi: 8, PathNoise: 0.01,
+			HistDepthLo: 2, HistDepthHi: 7, LoopTripLo: 4, LoopTripHi: 24,
+			DispatchSites: 1, DispatchHandlersLo: 6, DispatchHandlersHi: 9,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.03,
+			DispatchTripLo: 6, DispatchTripHi: 16,
+			SwitchSites: 2, SwitchTargetsLo: 4, SwitchTargetsHi: 7,
+			SwitchDepthLo: 2, SwitchDepthHi: 4, SwitchNoise: 0.03,
+			VCallSites: 2, VCallTargetsLo: 2, VCallTargetsHi: 4, VCallPhase: 600,
+		}, true, false, 0.8),
+
+		// --- non-SPEC ---
+		mk(Spec{
+			Name: "chess", Seed: 0xc4e, Funcs: 32, CondSites: 500,
+			WBias: 4.5, WLoop: 2, WPathKey: 3.5, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.80, BiasHi: 0.95, PathDepthLo: 2, PathDepthHi: 10, PathNoise: 0.05,
+			HistDepthLo: 3, HistDepthHi: 9, LoopTripLo: 4, LoopTripHi: 32,
+			DispatchSites: 1, DispatchHandlersLo: 6, DispatchHandlersHi: 8,
+			DispatchOrderLo: 3, DispatchOrderHi: 4, DispatchNoise: 0.10,
+			DispatchTripLo: 10, DispatchTripHi: 25,
+			SwitchSites: 1, SwitchTargetsLo: 4, SwitchTargetsHi: 6,
+			SwitchDepthLo: 3, SwitchDepthHi: 5, SwitchNoise: 0.08,
+			VCallSites: 0,
+		}, false, false, 1.6),
+		mk(Spec{
+			Name: "groff", Seed: 0x96f, Funcs: 36, CondSites: 600,
+			WBias: 5, WLoop: 1.5, WPathKey: 3, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.86, BiasHi: 0.97, PathDepthLo: 1, PathDepthHi: 8, PathNoise: 0.02,
+			HistDepthLo: 2, HistDepthHi: 8, LoopTripLo: 4, LoopTripHi: 24,
+			DispatchSites: 4, DispatchHandlersLo: 8, DispatchHandlersHi: 13,
+			DispatchOrderLo: 3, DispatchOrderHi: 4, DispatchNoise: 0.05,
+			DispatchTripLo: 150, DispatchTripHi: 400,
+			SwitchSites: 4, SwitchTargetsLo: 4, SwitchTargetsHi: 8,
+			SwitchDepthLo: 2, SwitchDepthHi: 6, SwitchNoise: 0.08,
+			VCallSites: 4, VCallTargetsLo: 2, VCallTargetsHi: 5, VCallPhase: 150,
+		}, false, true, 0.7),
+		mk(Spec{
+			Name: "gs", Seed: 0x95, Funcs: 48, CondSites: 900,
+			WBias: 5, WLoop: 1.5, WPathKey: 3, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.86, BiasHi: 0.97, PathDepthLo: 1, PathDepthHi: 8, PathNoise: 0.03,
+			HistDepthLo: 2, HistDepthHi: 8, LoopTripLo: 4, LoopTripHi: 24,
+			DispatchSites: 5, DispatchHandlersLo: 8, DispatchHandlersHi: 14,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.06,
+			DispatchTripLo: 100, DispatchTripHi: 300,
+			SwitchSites: 8, SwitchTargetsLo: 4, SwitchTargetsHi: 8,
+			SwitchDepthLo: 2, SwitchDepthHi: 5, SwitchNoise: 0.06,
+			VCallSites: 6, VCallTargetsLo: 2, VCallTargetsHi: 5, VCallPhase: 200,
+		}, false, true, 0.9),
+		mk(Spec{
+			Name: "pgp", Seed: 0x99, Funcs: 20, CondSites: 400,
+			WBias: 7, WLoop: 2.5, WPathKey: 0.8, WHistKey: 0.5, WPattern: 0.4,
+			BiasLo: 0.72, BiasHi: 0.93, PathDepthLo: 1, PathDepthHi: 5, PathNoise: 0.10,
+			HistDepthLo: 2, HistDepthHi: 5, LoopTripLo: 6, LoopTripHi: 40,
+			DispatchSites: 0,
+			SwitchSites:   1, SwitchTargetsLo: 3, SwitchTargetsHi: 5,
+			SwitchDepthLo: 2, SwitchDepthHi: 4, SwitchNoise: 0.12,
+			VCallSites: 1, VCallTargetsLo: 2, VCallTargetsHi: 3, VCallPhase: 800,
+		}, false, false, 0.5),
+		mk(Spec{
+			Name: "plot", Seed: 0x97, Funcs: 28, CondSites: 480,
+			WBias: 6, WLoop: 2.5, WPathKey: 2, WHistKey: 0.8, WPattern: 0.6,
+			BiasLo: 0.88, BiasHi: 0.98, PathDepthLo: 1, PathDepthHi: 8, PathNoise: 0.015,
+			HistDepthLo: 2, HistDepthHi: 7, LoopTripLo: 6, LoopTripHi: 40,
+			DispatchSites: 2, DispatchHandlersLo: 6, DispatchHandlersHi: 10,
+			DispatchOrderLo: 2, DispatchOrderHi: 2, DispatchNoise: 0.02,
+			DispatchTripLo: 50, DispatchTripHi: 150,
+			SwitchSites: 2, SwitchTargetsLo: 4, SwitchTargetsHi: 7,
+			SwitchDepthLo: 2, SwitchDepthHi: 4, SwitchNoise: 0.04,
+			VCallSites: 1, VCallTargetsLo: 2, VCallTargetsHi: 3, VCallPhase: 500,
+		}, false, true, 0.8),
+		mk(Spec{
+			Name: "python", Seed: 0x9c, Funcs: 36, CondSites: 600,
+			WBias: 4.5, WLoop: 1.5, WPathKey: 3.5, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.82, BiasHi: 0.95, PathDepthLo: 2, PathDepthHi: 9, PathNoise: 0.045,
+			HistDepthLo: 2, HistDepthHi: 8, LoopTripLo: 4, LoopTripHi: 20,
+			DispatchSites: 5, DispatchHandlersLo: 10, DispatchHandlersHi: 16,
+			DispatchOrderLo: 3, DispatchOrderHi: 4, DispatchNoise: 0.10,
+			DispatchTripLo: 60, DispatchTripHi: 160,
+			SwitchSites: 4, SwitchTargetsLo: 4, SwitchTargetsHi: 8,
+			SwitchDepthLo: 3, SwitchDepthHi: 6, SwitchNoise: 0.10,
+			VCallSites: 3, VCallTargetsLo: 2, VCallTargetsHi: 5, VCallPhase: 180,
+		}, false, true, 1.0),
+		mk(Spec{
+			Name: "ss", Seed: 0x55, Funcs: 32, CondSites: 550,
+			WBias: 5.5, WLoop: 2, WPathKey: 2.5, WHistKey: 1, WPattern: 0.5,
+			BiasLo: 0.87, BiasHi: 0.97, PathDepthLo: 1, PathDepthHi: 9, PathNoise: 0.02,
+			HistDepthLo: 2, HistDepthHi: 8, LoopTripLo: 4, LoopTripHi: 32,
+			DispatchSites: 2, DispatchHandlersLo: 6, DispatchHandlersHi: 11,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.05,
+			DispatchTripLo: 15, DispatchTripHi: 45,
+			SwitchSites: 2, SwitchTargetsLo: 4, SwitchTargetsHi: 7,
+			SwitchDepthLo: 2, SwitchDepthHi: 5, SwitchNoise: 0.05,
+			VCallSites: 1, VCallTargetsLo: 2, VCallTargetsHi: 3, VCallPhase: 400,
+		}, false, false, 0.7),
+		mk(Spec{
+			Name: "tex", Seed: 0x7e, Funcs: 40, CondSites: 650,
+			WBias: 6, WLoop: 2, WPathKey: 2.5, WHistKey: 0.8, WPattern: 0.7,
+			BiasLo: 0.88, BiasHi: 0.98, PathDepthLo: 1, PathDepthHi: 8, PathNoise: 0.015,
+			HistDepthLo: 2, HistDepthHi: 7, LoopTripLo: 4, LoopTripHi: 28,
+			DispatchSites: 2, DispatchHandlersLo: 6, DispatchHandlersHi: 10,
+			DispatchOrderLo: 2, DispatchOrderHi: 3, DispatchNoise: 0.03,
+			DispatchTripLo: 60, DispatchTripHi: 160,
+			SwitchSites: 3, SwitchTargetsLo: 4, SwitchTargetsHi: 7,
+			SwitchDepthLo: 2, SwitchDepthHi: 4, SwitchNoise: 0.04,
+			VCallSites: 1, VCallTargetsLo: 2, VCallTargetsHi: 3, VCallPhase: 600,
+		}, false, false, 0.65),
+	}
+}
+
+// All returns the full sixteen-benchmark suite in the paper's order (SPEC
+// first).
+func All() []*Benchmark { return suite() }
+
+// ByName returns the named benchmark.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range suite() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names lists the benchmark names in suite order.
+func Names() []string {
+	bs := suite()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// SPEC returns the eight SPECint95-shaped benchmarks.
+func SPEC() []*Benchmark { return filter(func(b *Benchmark) bool { return b.SPEC }) }
+
+// NonSPEC returns the eight non-SPEC benchmarks.
+func NonSPEC() []*Benchmark { return filter(func(b *Benchmark) bool { return !b.SPEC }) }
+
+// IndirectHeavy returns the eight benchmarks with frequent indirect
+// branches (Table 3).
+func IndirectHeavy() []*Benchmark {
+	return filter(func(b *Benchmark) bool { return b.IndirectHeavy })
+}
+
+func filter(keep func(*Benchmark) bool) []*Benchmark {
+	var out []*Benchmark
+	for _, b := range suite() {
+		if keep(b) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Ensure Benchmark sources satisfy the trace interface (compile-time
+// check; NewSource's concrete type is what both methods return).
+var _ trace.Source = (*cfg.Source)(nil)
+
+// InputSource returns a replayable trace under an arbitrary numbered input
+// data set. Input 0 is the test input and input 1 the profile input; higher
+// numbers give further independent inputs for stability studies.
+func (b *Benchmark) InputSource(base int, input uint64) trace.Source {
+	var seed uint64
+	switch input {
+	case 0:
+		seed = b.testSeed()
+	case 1:
+		seed = b.profileSeed()
+	default:
+		seed = xrand.Mix64(b.Spec.Seed ^ xrand.Mix64(0x5eed0000+input))
+	}
+	return cfg.NewSource(b.MustProgram(), seed, b.Records(base))
+}
