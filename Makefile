@@ -1,0 +1,34 @@
+# Repository CI entry points. `make check` is what CI runs; the
+# individual targets exist so a developer can run one stage alone.
+GO ?= go
+RESULTS ?= results
+
+.PHONY: all check fmt vet build test bench-smoke clean
+
+all: check
+
+check: fmt vet build test bench-smoke
+
+# Fail if any file needs reformatting (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# A one-iteration benchmark pass that must emit valid repro-bench/v1
+# reports: BENCH_JSON_DIR routes each artifact benchmark's measured
+# report to $(RESULTS)/bench_<id>.json, and obscheck validates them.
+bench-smoke:
+	BENCH_JSON_DIR=$(RESULTS) $(GO) test -run '^$$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .
+	$(GO) run ./cmd/obscheck -dir $(RESULTS)
+
+clean:
+	rm -f $(RESULTS)/bench_*.json

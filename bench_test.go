@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/arch"
@@ -30,6 +31,13 @@ func benchSuite() *experiments.Suite {
 	return experiments.NewSuite(experiments.Config{BaseRecords: benchScale})
 }
 
+// benchJSONDir, when set via the BENCH_JSON_DIR environment variable,
+// makes every per-artifact benchmark write its final iteration's
+// measured report as <dir>/bench_<id>.json — the same repro-bench/v1
+// schema cmd/paperrepro emits, so CI's -bench smoke produces trajectory
+// records. Empty (the default) disables the writes.
+var benchJSONDir = os.Getenv("BENCH_JSON_DIR")
+
 // runExperiment drives one registry entry per iteration. A fresh suite per
 // iteration makes iterations independent (no memoised profiles), so ns/op
 // reflects the full regeneration cost.
@@ -41,12 +49,18 @@ func runExperiment(b *testing.B, id string, metric func(*experiments.Report) flo
 	}
 	var last float64
 	for i := 0; i < b.N; i++ {
-		rep, err := e.Run(benchSuite())
+		s := benchSuite()
+		rep, err := e.RunMeasured(s)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if metric != nil {
 			last = metric(rep)
+		}
+		if benchJSONDir != "" && i == b.N-1 {
+			if _, err := rep.WriteBench(benchJSONDir, s.Cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	if metric != nil {

@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI pipeline without make: the same stages as `make check`.
+set -eu
+
+echo "== gofmt"
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt -l found unformatted files:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== bench smoke (emits results/bench_*.json)"
+BENCH_JSON_DIR=results go test -run '^$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .
+go run ./cmd/obscheck -dir results
+
+echo "CI OK"

@@ -1,0 +1,72 @@
+// Obscheck validates bench report files against the repro-bench/v1
+// schema and prints a one-line summary per report — the checker CI runs
+// after the benchmark smoke to prove the observability pipeline emitted
+// well-formed records.
+//
+// Validate explicit files:
+//
+//	obscheck results/bench_headline.json results/bench_fig9.json
+//
+// Validate every bench_*.json in a directory:
+//
+//	obscheck -dir results
+//
+// It exits non-zero if any file is missing, unparsable, or fails schema
+// validation, or (with -dir) if the directory holds no reports at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "", "validate every bench_*.json in this directory")
+		quiet = flag.Bool("q", false, "suppress the per-report summary lines")
+	)
+	flag.Parse()
+	if err := run(*dir, flag.Args(), *quiet, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, paths []string, quiet bool, out *os.File) error {
+	var reports []*obs.Report
+	if dir != "" {
+		got, err := obs.GlobReports(dir)
+		if err != nil {
+			return err
+		}
+		if len(got) == 0 {
+			return fmt.Errorf("no bench_*.json reports in %s", dir)
+		}
+		reports = got
+	}
+	for _, path := range paths {
+		r, err := obs.ReadReport(path)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, r)
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("nothing to check: pass report files or -dir")
+	}
+	for _, r := range reports {
+		if quiet {
+			continue
+		}
+		fmt.Fprintf(out, "%-22s ok  %10v wall  %12d branches  %14.0f branches/sec\n",
+			r.Name, r.Metrics.Wall().Round(time.Microsecond), r.Metrics.Branches, r.Metrics.BranchesPerSec)
+	}
+	if !quiet {
+		fmt.Fprintf(out, "%d report(s) valid\n", len(reports))
+	}
+	return nil
+}

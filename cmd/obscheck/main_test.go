@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func writeValid(t *testing.T, dir, name string) string {
+	t.Helper()
+	rep := obs.NewReport(name, "test report")
+	rep.Metrics = obs.RunMetrics{WallNanos: 1000, Branches: 10, BranchesPerSec: 1e7, Workers: 1}
+	path, err := rep.WriteBench(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFilesAndDir(t *testing.T) {
+	dir := t.TempDir()
+	p1 := writeValid(t, dir, "headline")
+	writeValid(t, dir, "fig9")
+	if err := run("", []string{p1}, true, os.Stdout); err != nil {
+		t.Errorf("explicit file: %v", err)
+	}
+	if err := run(dir, nil, true, os.Stdout); err != nil {
+		t.Errorf("dir scan: %v", err)
+	}
+}
+
+func TestCheckRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bench_bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", []string{bad}, true, os.Stdout); err == nil {
+		t.Error("invalid schema accepted")
+	}
+	if err := run(dir, nil, true, os.Stdout); err == nil {
+		t.Error("directory with invalid report accepted")
+	}
+}
+
+func TestCheckEmptyInputs(t *testing.T) {
+	if err := run("", nil, true, os.Stdout); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if err := run(t.TempDir(), nil, true, os.Stdout); err == nil {
+		t.Error("empty directory accepted")
+	}
+	if err := run("", []string{"/no/such.json"}, true, os.Stdout); err == nil {
+		t.Error("missing file accepted")
+	}
+}

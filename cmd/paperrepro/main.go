@@ -13,6 +13,13 @@
 // Experiment IDs follow the paper's artifact names: table1, table2, fig5,
 // fig6, fig7, fig8, table3, fig9, fig10, headline, plus ablation-*.
 // -list prints them all.
+//
+// Observability: every experiment runs inside a measurement span, and
+// -json <dir> (default results, "" to disable) writes one
+// bench_<id>.json per experiment in the repro-bench/v1 schema — wall
+// time, branches simulated, throughput, allocation — alongside the
+// experiment's typed data. -cpuprofile/-memprofile/-exectrace profile
+// the whole regeneration; -v narrates per-experiment progress.
 package main
 
 import (
@@ -21,19 +28,23 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		base = flag.Int("base", 400000, "suite base trace length in records")
-		prof = flag.Int("profbase", 0, "profile input length (default: same as -base)")
-		out  = flag.String("out", "", "also write each report to <out>/<id>.txt")
-		list = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		base    = flag.Int("base", 400000, "suite base trace length in records")
+		prof    = flag.Int("profbase", 0, "profile input length (default: same as -base)")
+		out     = flag.String("out", "", "also write each report to <out>/<id>.txt")
+		jsonDir = flag.String("json", "results", "write bench_<id>.json reports to this directory (\"\" to disable)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verbose = flag.Bool("v", false, "narrate progress to stderr")
 	)
+	var pflags obs.ProfileFlags
+	pflags.Register(flag.CommandLine)
 	flag.Parse()
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -41,13 +52,22 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *base, *prof, *out); err != nil {
+	stop, err := pflags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+	err = run(*exp, *base, *prof, *out, *jsonDir, obs.NewLogger(os.Stderr, *verbose))
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, base, profBase int, out string) error {
+func run(exp string, base, profBase int, out, jsonDir string, log *obs.Logger) error {
 	var entries []experiments.Entry
 	if exp == "" {
 		entries = experiments.Registry()
@@ -67,13 +87,13 @@ func run(exp string, base, profBase int, out string) error {
 	}
 
 	suite := experiments.NewSuite(experiments.Config{BaseRecords: base, ProfileRecords: profBase})
-	for _, e := range entries {
-		start := time.Now()
-		rep, err := e.Run(suite)
+	for i, e := range entries {
+		log.Progressf("experiment %d/%d: %s", i+1, len(entries), e.ID)
+		rep, err := e.RunMeasured(suite)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Printf("===== %s (%s)\n", rep.Title, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("===== %s (%s)\n", rep.Title, rep.Metrics)
 		fmt.Println(rep.Text)
 		if out != "" {
 			path := filepath.Join(out, rep.ID+".txt")
@@ -81,6 +101,13 @@ func run(exp string, base, profBase int, out string) error {
 			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 				return err
 			}
+		}
+		if jsonDir != "" {
+			path, err := rep.WriteBench(jsonDir, suite.Cfg)
+			if err != nil {
+				return err
+			}
+			log.Progressf("wrote %s", path)
 		}
 	}
 	return nil

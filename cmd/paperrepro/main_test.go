@@ -5,11 +5,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("table1", 20000, 0, dir); err != nil {
+	jsonDir := filepath.Join(dir, "results")
+	if err := run("table1", 20000, 0, dir, jsonDir, obs.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
@@ -19,16 +22,45 @@ func TestRunSingleExperiment(t *testing.T) {
 	if !strings.Contains(string(data), "gcc") {
 		t.Error("report missing benchmark rows")
 	}
+	rep, err := obs.ReadReport(obs.BenchPath(jsonDir, "table1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// table1 is a pure workload summary (no predictor runs), so only
+	// wall time is guaranteed non-zero; branch counts are covered by
+	// the headline test below.
+	if rep.Name != "table1" || rep.Metrics.WallNanos <= 0 {
+		t.Errorf("bench report incomplete: %+v", rep.Metrics)
+	}
 }
 
 func TestRunMultipleIDs(t *testing.T) {
-	if err := run("ablation-ras, headline", 20000, 20000, ""); err != nil {
+	jsonDir := t.TempDir()
+	if err := run("ablation-ras, headline", 20000, 20000, "", jsonDir, obs.Discard); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := obs.GlobReports(jsonDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Errorf("got %d bench reports, want 2", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.Name == "headline" && rep.Metrics.Branches <= 0 {
+			t.Errorf("headline simulated no branches: %+v", rep.Metrics)
+		}
+	}
+}
+
+func TestRunJSONDisabled(t *testing.T) {
+	if err := run("ablation-ras", 20000, 0, "", "", obs.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run("figure99", 20000, 0, ""); err == nil {
+	if err := run("figure99", 20000, 0, "", "", obs.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

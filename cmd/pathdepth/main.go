@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,25 +27,41 @@ func main() {
 		n         = flag.Int("n", 200000, "suite base trace length for -bench")
 		top       = flag.Int("top", 5, "show the N branches needing the deepest paths")
 		minExec   = flag.Int64("min", 32, "ignore branches executed fewer times")
+		verbose   = flag.Bool("v", false, "narrate progress to stderr")
 	)
+	var pflags obs.ProfileFlags
+	pflags.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*bench, *input, *tracePath, *n, *top, *minExec); err != nil {
+	stop, err := pflags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pathdepth:", err)
+		os.Exit(1)
+	}
+	err = run(*bench, *input, *tracePath, *n, *top, *minExec,
+		obs.NewLogger(os.Stderr, *verbose))
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pathdepth:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, input, tracePath string, n, top int, minExec int64) error {
+func run(bench, input, tracePath string, n, top int, minExec int64, log *obs.Logger) error {
 	src, err := cliutil.Resolve(cliutil.SourceSpec{
 		Bench: bench, Input: input, Records: n, TracePath: tracePath,
 	})
 	if err != nil {
 		return err
 	}
+	log.Progressf("trace source ready")
+	span := obs.StartSpan()
 	rep, err := analysis.Analyze(src, analysis.Config{MinExecutions: minExec})
 	if err != nil {
 		return err
 	}
+	log.Progressf("ideal-predictor sweep done: %s", span.End())
 	fmt.Printf("analysed %d static conditional branches over %d dynamic executions\n",
 		len(rep.Branches), rep.TotalExecuted)
 

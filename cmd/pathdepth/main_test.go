@@ -1,18 +1,22 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
 
 func TestRunBenchmark(t *testing.T) {
-	if err := run("compress", "test", "", 20000, 3, 16); err != nil {
+	if err := run("compress", "test", "", 20000, 3, 16, obs.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "test", "", 20000, 3, 16); err == nil {
+	if err := run("", "test", "", 20000, 3, 16, obs.Discard); err == nil {
 		t.Error("missing source accepted")
 	}
-	if err := run("nonesuch", "test", "", 20000, 3, 16); err == nil {
+	if err := run("nonesuch", "test", "", 20000, 3, 16, obs.Discard); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -33,21 +34,35 @@ func main() {
 		out     = flag.String("o", "", "write the trace to this file")
 		summary = flag.String("summary", "", "summarise an existing trace file instead of generating")
 		list    = flag.Bool("list", false, "list benchmark names and exit")
+		verbose = flag.Bool("v", false, "narrate progress to stderr")
 	)
+	var pflags obs.ProfileFlags
+	pflags.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*bench, *input, *n, *out, *summary, *list); err != nil {
+	stop, err := pflags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceg:", err)
+		os.Exit(1)
+	}
+	err = run(*bench, *input, *n, *out, *summary, *list,
+		obs.NewLogger(os.Stderr, *verbose))
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, input string, n int, out, summary string, list bool) error {
+func run(bench, input string, n int, out, summary string, list bool, log *obs.Logger) error {
 	if list {
 		for _, name := range workload.Names() {
 			fmt.Println(name)
 		}
 		return nil
 	}
+	span := obs.StartSpan()
 	var src trace.Source
 	var err error
 	if summary != "" {
@@ -58,6 +73,7 @@ func run(bench, input string, n int, out, summary string, list bool) error {
 	if err != nil {
 		return err
 	}
+	log.Progressf("trace materialised: %s", span.End())
 	if out != "" {
 		if err := trace.WriteFile(out, src); err != nil {
 			return err

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
@@ -35,16 +36,29 @@ func main() {
 		iters      = flag.Int("iters", 7, "step 2 iterations")
 		lengths    = flag.String("lengths", "", "comma-separated candidate path lengths (default all 1..32)")
 		out        = flag.String("o", "", "output profile file (required)")
+		verbose    = flag.Bool("v", false, "narrate progress to stderr")
 	)
+	var pflags obs.ProfileFlags
+	pflags.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*bench, *tracePath, *n, *class, *budget, *candidates, *iters, *lengths, *out); err != nil {
+	stop, err := pflags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlpprof:", err)
+		os.Exit(1)
+	}
+	err = run(*bench, *tracePath, *n, *class, *budget, *candidates, *iters, *lengths, *out,
+		obs.NewLogger(os.Stderr, *verbose))
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vlpprof:", err)
 		os.Exit(1)
 	}
 }
 
 func run(bench, tracePath string, n int, class string, budget, candidates, iters int,
-	lengthsCSV, out string) error {
+	lengthsCSV, out string, log *obs.Logger) error {
 	if out == "" {
 		return fmt.Errorf("-o is required")
 	}
@@ -82,6 +96,9 @@ func run(bench, tracePath string, n int, class string, budget, candidates, iters
 		}
 	}
 
+	log.Progressf("profiling %s branches (k=%d, %d candidates, %d iterations)",
+		class, k, cfg.Candidates, cfg.Iterations)
+	span := obs.StartSpan()
 	var prof *profile.Profile
 	var agg profile.Step1Result
 	if indirect {
@@ -92,6 +109,7 @@ func run(bench, tracePath string, n int, class string, budget, candidates, iters
 	if err != nil {
 		return err
 	}
+	log.Progressf("two-step heuristic done: %s", span.End())
 	if err := prof.Save(out); err != nil {
 		return err
 	}

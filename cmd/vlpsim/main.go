@@ -2,18 +2,25 @@
 // misprediction rate — the single-configuration counterpart of
 // cmd/paperrepro.
 //
-// Conditional prediction with gshare:
+// The predictor is named by the factory's spec grammar, either as a bare
+// scheme name configured with flags or as one self-contained string:
 //
 //	vlpsim -bench gcc -class cond -pred gshare -budget 16384
+//	vlpsim -bench gcc -class cond -pred gshare:budget=16KB
 //
 // Variable length path prediction with a profile from cmd/vlpprof:
 //
 //	vlpprof -bench gcc -class cond -budget 16384 -o gcc.prof
-//	vlpsim  -bench gcc -class cond -pred vlp -budget 16384 -profile gcc.prof
+//	vlpsim  -bench gcc -class cond -pred vlp:budget=16KB,profile=gcc.prof
 //
 // Indirect prediction from a trace file:
 //
-//	vlpsim -trace gcc.vlpt -class indirect -pred path -budget 2048
+//	vlpsim -trace gcc.vlpt -class indirect -pred path:budget=2KB
+//
+// Observability: -json writes a bench report (misprediction rate, wall
+// time, branches/sec, allocation) in the repository's stable schema;
+// -cpuprofile/-memprofile/-exectrace capture pprof/runtime-trace data;
+// -v narrates progress to stderr.
 package main
 
 import (
@@ -22,83 +29,173 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/bpred"
 	"repro/internal/cliutil"
 	"repro/internal/factory"
-	"repro/internal/profile"
+	"repro/internal/obs"
 	"repro/internal/sim"
-	"repro/internal/vlp"
 )
 
+// config carries every run parameter; flags parse straight into it.
+type config struct {
+	bench     string
+	input     string
+	tracePath string
+	n         int
+	class     string
+	pred      string
+	budget    int
+	length    int
+	profPath  string
+	returns   bool
+	norotate  bool
+	topMiss   int
+	jsonPath  string
+	log       *obs.Logger
+}
+
 func main() {
-	var (
-		bench     = flag.String("bench", "", "benchmark name")
-		input     = flag.String("input", "test", "input set: test or profile")
-		tracePath = flag.String("trace", "", "trace file (alternative to -bench)")
-		n         = flag.Int("n", 250000, "suite base trace length for -bench")
-		class     = flag.String("class", "cond", "branch class: cond or indirect")
-		pred      = flag.String("pred", "gshare", "predictor: cond ("+strings.Join(factory.CondNames(), ", ")+
+	var cfg config
+	var verbose bool
+	var prof obs.ProfileFlags
+	flag.StringVar(&cfg.bench, "bench", "", "benchmark name")
+	flag.StringVar(&cfg.input, "input", "test", "input set: test or profile")
+	flag.StringVar(&cfg.tracePath, "trace", "", "trace file (alternative to -bench)")
+	flag.IntVar(&cfg.n, "n", 250000, "suite base trace length for -bench")
+	flag.StringVar(&cfg.class, "class", "cond", "branch class: cond or indirect")
+	flag.StringVar(&cfg.pred, "pred", "gshare",
+		"predictor spec, e.g. gshare:budget=16KB; cond ("+strings.Join(factory.CondNames(), ", ")+
 			"); indirect ("+strings.Join(factory.IndirectNames(), ", ")+")")
-		budget   = flag.Int("budget", 16*1024, "hardware budget in bytes")
-		length   = flag.Int("length", 0, "fixed path length for -pred flp")
-		profPath = flag.String("profile", "", "profile file for -pred vlp (from vlpprof)")
-		returns  = flag.Bool("store-returns", false, "insert return targets into the THB (paper §3.2 ablation)")
-		norotate = flag.Bool("no-rotation", false, "disable the per-depth hash rotation (paper §3.3 ablation)")
-		topMiss  = flag.Int("top", 0, "also report the N worst static branches")
-	)
+	flag.IntVar(&cfg.budget, "budget", 16*1024, "hardware budget in bytes (default when the spec has no budget=)")
+	flag.IntVar(&cfg.length, "length", 0, "fixed path length for -pred flp")
+	flag.StringVar(&cfg.profPath, "profile", "", "profile file for -pred vlp (from vlpprof)")
+	flag.BoolVar(&cfg.returns, "store-returns", false, "insert return targets into the THB (paper §3.2 ablation)")
+	flag.BoolVar(&cfg.norotate, "no-rotation", false, "disable the per-depth hash rotation (paper §3.3 ablation)")
+	flag.IntVar(&cfg.topMiss, "top", 0, "also report the N worst static branches")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write a bench report (repro-bench/v1 schema) to this file")
+	flag.BoolVar(&verbose, "v", false, "narrate progress to stderr")
+	prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*bench, *input, *tracePath, *n, *class, *pred, *budget, *length,
-		*profPath, *returns, *norotate, *topMiss); err != nil {
+	cfg.log = obs.NewLogger(os.Stderr, verbose)
+
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlpsim:", err)
+		os.Exit(1)
+	}
+	err = run(cfg)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vlpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, input, tracePath string, n int, class, pred string, budget, length int,
-	profPath string, returns, norotate bool, topMiss int) error {
+// resolveSpec merges the -pred spec string with the individual flags:
+// values inside the spec win, flags fill whatever the spec left unset.
+func resolveSpec(cfg config) (factory.Spec, error) {
+	spec, err := factory.ParseSpec(cfg.pred)
+	if err != nil {
+		return factory.Spec{}, err
+	}
+	if spec.BudgetBytes == 0 {
+		spec.BudgetBytes = cfg.budget
+	}
+	if spec.FixedLength == 0 {
+		spec.FixedLength = cfg.length
+	}
+	if spec.ProfilePath == "" {
+		spec.ProfilePath = cfg.profPath
+	}
+	spec.Options.StoreReturns = spec.Options.StoreReturns || cfg.returns
+	spec.Options.NoRotation = spec.Options.NoRotation || cfg.norotate
+	return spec, nil
+}
+
+// simData is the Data payload of vlpsim's bench report.
+type simData struct {
+	Predictor   string  `json:"predictor"`
+	SizeBytes   int     `json:"size_bytes"`
+	Branches    int64   `json:"branches"`
+	Mispredicts int64   `json:"mispredicts"`
+	MissRate    float64 `json:"miss_rate"`
+	MissPercent float64 `json:"miss_percent"`
+}
+
+func run(cfg config) error {
 	src, err := cliutil.Resolve(cliutil.SourceSpec{
-		Bench: bench, Input: input, Records: n, TracePath: tracePath,
+		Bench: cfg.bench, Input: cfg.input, Records: cfg.n, TracePath: cfg.tracePath,
 	})
 	if err != nil {
 		return err
 	}
-	var prof *profile.Profile
-	if profPath != "" {
-		if prof, err = profile.Load(profPath); err != nil {
-			return err
-		}
+	cfg.log.Progressf("trace source ready")
+	spec, err := resolveSpec(cfg)
+	if err != nil {
+		return err
 	}
-	opts := vlp.Options{StoreReturns: returns, NoRotation: norotate}
 
 	var res sim.Result
-	switch class {
+	var p bpred.Predictor
+	switch cfg.class {
 	case "cond":
-		p, err := factory.NewCond(factory.CondSpec{
-			Name: pred, BudgetBytes: budget, FixedLength: length, Profile: prof, Options: opts,
-		})
+		cp, err := spec.Cond()
 		if err != nil {
 			return err
 		}
-		res = sim.RunCond(p, src, sim.Options{PerPC: topMiss > 0})
+		p = cp
+		cfg.log.Progressf("built %s (%d bytes)", cp.Name(), cp.SizeBytes())
+		res = sim.RunCond(cp, src, sim.Options{PerPC: cfg.topMiss > 0})
 	case "indirect":
-		p, err := factory.NewIndirect(factory.IndirectSpec{
-			Name: pred, BudgetBytes: budget, FixedLength: length, Profile: prof, Options: opts,
-		})
+		ip, err := spec.Indirect()
 		if err != nil {
 			return err
 		}
-		res = sim.RunIndirect(p, src, sim.Options{PerPC: topMiss > 0})
+		p = ip
+		cfg.log.Progressf("built %s (%d bytes)", ip.Name(), ip.SizeBytes())
+		res = sim.RunIndirect(ip, src, sim.Options{PerPC: cfg.topMiss > 0})
 	default:
-		return fmt.Errorf("unknown class %q (want cond or indirect)", class)
+		return fmt.Errorf("unknown class %q (want cond or indirect)", cfg.class)
 	}
+	cfg.log.Progressf("run finished: %s", res.Metrics)
 
 	fmt.Println(res.String())
-	if topMiss > 0 {
-		fmt.Printf("worst %d static branches:\n", topMiss)
-		for _, pc := range res.WorstPCs(topMiss) {
+	fmt.Printf("cost: %s\n", res.Metrics)
+	if cfg.topMiss > 0 {
+		fmt.Printf("worst %d static branches:\n", cfg.topMiss)
+		for _, pc := range res.WorstPCs(cfg.topMiss) {
 			st := res.PerPC[pc]
 			fmt.Printf("  %v  %d/%d mispredicted (%.1f%%)\n",
 				pc, st.Mispredicts, st.Branches, 100*float64(st.Mispredicts)/float64(st.Branches))
 		}
+	}
+
+	if cfg.jsonPath != "" {
+		rep := obs.NewReport("vlpsim", "single predictor run")
+		rep.SetParam("class", cfg.class)
+		rep.SetParam("pred", spec.String())
+		if cfg.tracePath != "" {
+			rep.SetParam("trace", cfg.tracePath)
+		} else {
+			rep.SetParam("bench", cfg.bench)
+			rep.SetParam("input", cfg.input)
+			rep.SetParam("records", cfg.n)
+		}
+		rep.Metrics = res.Metrics
+		rep.Data = simData{
+			Predictor:   res.Predictor,
+			SizeBytes:   p.SizeBytes(),
+			Branches:    res.Branches,
+			Mispredicts: res.Mispredicts,
+			MissRate:    res.Rate(),
+			MissPercent: res.Percent(),
+		}
+		if err := rep.Write(cfg.jsonPath); err != nil {
+			return err
+		}
+		cfg.log.Progressf("wrote %s", cfg.jsonPath)
 	}
 	return nil
 }

@@ -4,12 +4,26 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
+func testConfig() config {
+	return config{
+		bench:  "compress",
+		input:  "test",
+		n:      20000,
+		class:  "cond",
+		pred:   "gshare",
+		budget: 4096,
+	}
+}
+
 func TestRunCondPredictors(t *testing.T) {
 	for _, pred := range []string{"gshare", "bimodal", "flp", "dynamic", "agree", "bimode"} {
-		if err := run("compress", "test", "", 20000, "cond", pred, 4096, 0, "", false, false, 0); err != nil {
+		cfg := testConfig()
+		cfg.pred = pred
+		if err := run(cfg); err != nil {
 			t.Errorf("%s: %v", pred, err)
 		}
 	}
@@ -17,9 +31,25 @@ func TestRunCondPredictors(t *testing.T) {
 
 func TestRunIndirectPredictors(t *testing.T) {
 	for _, pred := range []string{"btb", "pattern", "path", "cascaded", "flp"} {
-		if err := run("perl", "test", "", 20000, "indirect", pred, 2048, 0, "", false, false, 2); err != nil {
+		cfg := testConfig()
+		cfg.bench, cfg.class, cfg.pred, cfg.budget, cfg.topMiss = "perl", "indirect", pred, 2048, 2
+		if err := run(cfg); err != nil {
 			t.Errorf("%s: %v", pred, err)
 		}
+	}
+}
+
+func TestRunSpecStringForm(t *testing.T) {
+	cfg := testConfig()
+	cfg.pred = "gshare:budget=4KB"
+	cfg.budget = 0 // the spec supplies it; the flag default must not be needed
+	if err := run(cfg); err != nil {
+		t.Error(err)
+	}
+	cfg = testConfig()
+	cfg.pred = "flp:budget=4KB,fixed=6,store-returns"
+	if err := run(cfg); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -29,22 +59,68 @@ func TestRunVLPWithProfile(t *testing.T) {
 	if err := prof.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("compress", "test", "", 20000, "cond", "vlp", 4096, 0, path, false, false, 0); err != nil {
+	// Profile via flag.
+	cfg := testConfig()
+	cfg.pred, cfg.profPath = "vlp", path
+	if err := run(cfg); err != nil {
+		t.Error(err)
+	}
+	// Profile via spec key.
+	cfg = testConfig()
+	cfg.pred = "vlp:budget=4KB,profile=" + path
+	if err := run(cfg); err != nil {
 		t.Error(err)
 	}
 }
 
+func TestRunWritesJSONReport(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "out.json")
+	cfg := testConfig()
+	cfg.jsonPath = jsonPath
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ReadReport(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "vlpsim" {
+		t.Errorf("report name = %q", rep.Name)
+	}
+	if rep.Params["pred"] != "gshare:budget=4KB" {
+		t.Errorf("canonical pred spec = %q", rep.Params["pred"])
+	}
+	if rep.Metrics.WallNanos <= 0 || rep.Metrics.Branches <= 0 || rep.Metrics.BranchesPerSec <= 0 {
+		t.Errorf("metrics incomplete: %+v", rep.Metrics)
+	}
+	data, ok := rep.Data.(map[string]any)
+	if !ok {
+		t.Fatalf("data payload type %T", rep.Data)
+	}
+	if _, ok := data["miss_rate"]; !ok {
+		t.Error("data missing miss_rate")
+	}
+	if data["predictor"] == "" {
+		t.Error("data missing predictor name")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("compress", "test", "", 20000, "registers", "gshare", 4096, 0, "", false, false, 0); err == nil {
-		t.Error("bad class accepted")
+	cases := map[string]func(*config){
+		"bad class":           func(c *config) { c.class = "registers" },
+		"bad predictor":       func(c *config) { c.pred = "nonesuch" },
+		"bad spec syntax":     func(c *config) { c.pred = "gshare:budget=lots" },
+		"missing source":      func(c *config) { c.bench = "" },
+		"missing profile":     func(c *config) { c.pred, c.profPath = "vlp", "/no/such.prof" },
+		"vlp without profile": func(c *config) { c.pred = "vlp" },
+		// /dev/null is a file, so MkdirAll on it must fail even as root.
+		"unwritable json": func(c *config) { c.jsonPath = "/dev/null/out.json" },
 	}
-	if err := run("compress", "test", "", 20000, "cond", "nonesuch", 4096, 0, "", false, false, 0); err == nil {
-		t.Error("bad predictor accepted")
-	}
-	if err := run("", "test", "", 20000, "cond", "gshare", 4096, 0, "", false, false, 0); err == nil {
-		t.Error("missing source accepted")
-	}
-	if err := run("compress", "test", "", 20000, "cond", "vlp", 4096, 0, "/no/such.prof", false, false, 0); err == nil {
-		t.Error("missing profile accepted")
+	for name, mutate := range cases {
+		cfg := testConfig()
+		mutate(&cfg)
+		if err := run(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }

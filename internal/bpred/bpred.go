@@ -17,33 +17,37 @@ import (
 	"repro/internal/trace"
 )
 
-// CondPredictor predicts conditional branch directions.
-type CondPredictor interface {
+// Predictor is the class-independent core every predictor implements:
+// identity, training, and hardware accounting. The per-class interfaces
+// embed it and add only their prediction signature, so code that drives,
+// sizes, or reports on predictors — the simulation loop, the factory, the
+// observability layer — can be written once against this interface.
+type Predictor interface {
 	// Name identifies the configuration for reports, e.g. "gshare-16KB".
 	Name() string
-	// Predict returns the predicted direction of the conditional branch
-	// at pc, given all previously observed records.
-	Predict(pc arch.Addr) bool
 	// Update observes one retired branch of any kind, in program order.
-	// For a conditional record the predictor trains with the outcome;
-	// records of other kinds feed history (or are ignored).
+	// For a record of the predictor's own class it trains with the
+	// outcome; records of other kinds feed history (or are ignored).
 	Update(r trace.Record)
 	// SizeBytes reports the hardware budget consumed by the predictor's
 	// second-level table(s), the quantity the paper's size axes use.
 	SizeBytes() int
 }
 
+// CondPredictor predicts conditional branch directions.
+type CondPredictor interface {
+	Predictor
+	// Predict returns the predicted direction of the conditional branch
+	// at pc, given all previously observed records.
+	Predict(pc arch.Addr) bool
+}
+
 // IndirectPredictor predicts the targets of indirect (computed) branches.
 // Returns are excluded, matching the paper (§5.1).
 type IndirectPredictor interface {
-	// Name identifies the configuration for reports.
-	Name() string
+	Predictor
 	// Predict returns the predicted target of the indirect branch at pc.
 	Predict(pc arch.Addr) arch.Addr
-	// Update observes one retired branch of any kind, in program order.
-	Update(r trace.Record)
-	// SizeBytes reports the hardware budget of the target table(s).
-	SizeBytes() int
 }
 
 // Log2Entries converts a table budget in bytes into a power-of-two entry

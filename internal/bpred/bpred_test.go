@@ -19,6 +19,18 @@ func TestLog2Entries(t *testing.T) {
 		{3, 32, 0, true},        // under one entry
 		{24 * 1024, 2, 0, true}, // not a power of two
 		{8, 0, 0, true},         // bad width
+		// Degenerate 1-entry tables: the budget buys exactly one
+		// entry, so the index width is 0 and the table still exists.
+		{4, 32, 0, false}, // one 32-bit target
+		{1, 8, 0, false},  // one 8-bit entry
+		// Non-power-of-two entry counts from odd budget/width pairs.
+		{3000, 2, 0, true}, // 12000 entries
+		{5, 8, 0, true},    // 5 entries
+		// 48 bits / 32-bit entries truncates to one entry: the spare
+		// 16 bits are ignored, as with any non-exact budget division.
+		{6, 32, 0, false},
+		{-1, 32, 0, true}, // negative budget, wide entries
+		{1024, -3, 0, true},
 	}
 	for _, c := range cases {
 		k, err := Log2Entries(c.bytes, c.bits)

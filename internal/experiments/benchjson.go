@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// BenchReport converts the experiment report into the repository's
+// stable bench-report schema (obs.Report), carrying the experiment's
+// typed data and measured cost plus the suite configuration that
+// produced them.
+func (r *Report) BenchReport(cfg Config) *obs.Report {
+	out := obs.NewReport(r.ID, r.Title)
+	out.SetParam("base_records", cfg.base())
+	out.SetParam("profile_records", cfg.profBase())
+	out.Metrics = r.Metrics
+	out.Data = r.Data
+	return out
+}
+
+// WriteBench writes the report to its canonical results path,
+// dir/bench_<id>.json, and returns that path. Every experiment the
+// suite runs emits one such file; they are the inputs the BENCH_*
+// perf-trajectory entries consume.
+func (r *Report) WriteBench(dir string, cfg Config) (string, error) {
+	if r.ID == "" {
+		return "", fmt.Errorf("experiments: report has no ID to name its bench file")
+	}
+	return r.BenchReport(cfg).WriteBench(dir)
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRunMeasuredAttachesMetrics(t *testing.T) {
+	e, err := Find("headline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.RunMeasured(testSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m.WallNanos <= 0 {
+		t.Errorf("WallNanos = %d, want > 0", m.WallNanos)
+	}
+	if m.Branches <= 0 {
+		t.Errorf("Branches = %d, want > 0 (sim runs must be counted)", m.Branches)
+	}
+	if m.BranchesPerSec <= 0 {
+		t.Errorf("BranchesPerSec = %f, want > 0", m.BranchesPerSec)
+	}
+	if m.Workers < 1 {
+		t.Errorf("Workers = %d, want >= 1", m.Workers)
+	}
+}
+
+func TestWriteBenchEmitsSchema(t *testing.T) {
+	e, err := Find("ablation-ras")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSuite()
+	rep, err := e.RunMeasured(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := rep.WriteBench(dir, s.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != obs.BenchPath(dir, "ablation-ras") {
+		t.Errorf("bench path = %s", path)
+	}
+	got, err := obs.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "ablation-ras" || got.Title != rep.Title {
+		t.Errorf("report identity mismatch: %+v", got)
+	}
+	if got.Params["base_records"] != "120000" {
+		t.Errorf("base_records param = %q", got.Params["base_records"])
+	}
+	if got.Metrics != rep.Metrics {
+		t.Errorf("metrics not preserved: %+v vs %+v", got.Metrics, rep.Metrics)
+	}
+	if got.Data == nil {
+		t.Error("typed data dropped from bench report")
+	}
+}
+
+func TestWriteBenchRequiresID(t *testing.T) {
+	r := &Report{Title: "anonymous"}
+	if _, err := r.WriteBench(t.TempDir(), Config{}); err == nil {
+		t.Error("report without ID accepted")
+	}
+}

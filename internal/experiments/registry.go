@@ -1,12 +1,36 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/obs"
+)
 
 // Entry describes one runnable experiment.
 type Entry struct {
 	ID    string
 	Title string
 	Run   func(*Suite) (*Report, error)
+}
+
+// RunMeasured runs the experiment bracketed by an observability span
+// and attaches the measured cost — wall time, dynamic branches
+// simulated across every predictor run inside it, throughput,
+// allocation, GC cycles — to the report. This is how cmd/paperrepro
+// and the root benchmarks execute entries; the raw Run field remains
+// for callers that want the data alone.
+func (e Entry) RunMeasured(s *Suite) (*Report, error) {
+	span := obs.StartSpan()
+	// Experiments fan their (predictor, benchmark) jobs out through
+	// sim.ForEach; GOMAXPROCS is the pool's ceiling.
+	span.SetWorkers(runtime.GOMAXPROCS(0))
+	rep, err := e.Run(s)
+	if err != nil {
+		return nil, err
+	}
+	rep.Metrics = span.End()
+	return rep, nil
 }
 
 // Registry lists every experiment in the order the paper presents them,

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/bpred"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -23,8 +24,8 @@ import (
 // sweep (Figure 9 / Table 2): 1 KB to 256 KB.
 var CondSizesKB = []int{1, 4, 16, 64, 256}
 
-// IndSizesHalfKB are the indirect sweep sizes (Figure 10 / Table 2) in
-// half-KB units: 0.5, 2, 8, 32 KB.
+// IndSizesBytes are the indirect sweep sizes (Figure 10 / Table 2) in
+// bytes: 0.5, 2, 8, 32 KB.
 var IndSizesBytes = []int{512, 2048, 8192, 32768}
 
 // Config sets the scale of the reproduction.
@@ -271,4 +272,8 @@ type Report struct {
 	Text string
 	// Data holds the experiment-specific result struct.
 	Data interface{}
+	// Metrics records what regenerating the experiment cost (wall
+	// time, branches simulated, throughput, allocation). It is filled
+	// by Entry.RunMeasured; a bare Entry.Run leaves it zero.
+	Metrics obs.RunMetrics
 }

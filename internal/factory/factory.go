@@ -1,28 +1,24 @@
-// Package factory constructs predictors by name and hardware budget — the
-// registry behind cmd/vlpsim's -pred flag and any other place predictors
-// are chosen from configuration rather than code.
+// Package factory constructs predictors from declarative specifications —
+// the registry behind cmd/vlpsim's -pred flag and any other place
+// predictors are chosen from configuration rather than code.
+//
+// The native form is the Spec string grammar (see Spec and ParseSpec):
+// one parseable string like "vlp:budget=64KB,profile=gcc.prof" names the
+// scheme and every parameter, so command lines and config files share a
+// single syntax. The CondSpec/IndirectSpec structs predate the grammar
+// and remain as thin wrappers for existing callers.
 package factory
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"repro/internal/bpred"
-	"repro/internal/bpred/agree"
-	"repro/internal/bpred/bimodal"
-	"repro/internal/bpred/bimode"
-	"repro/internal/bpred/cascaded"
-	"repro/internal/bpred/gshare"
-	"repro/internal/bpred/gskew"
-	"repro/internal/bpred/hybrid"
-	"repro/internal/bpred/targetcache"
-	"repro/internal/bpred/twolevel"
 	"repro/internal/profile"
 	"repro/internal/vlp"
 )
 
 // CondSpec configures a conditional predictor.
+//
+// Deprecated-style compatibility shim: new code should build a Spec
+// (or parse one with ParseSpec) and call Spec.Cond.
 type CondSpec struct {
 	// Name selects the scheme; see CondNames.
 	Name string
@@ -36,79 +32,32 @@ type CondSpec struct {
 	Options vlp.Options
 }
 
+// Spec converts the legacy struct to the unified form.
+func (c CondSpec) Spec() Spec {
+	return Spec{
+		Name:        c.Name,
+		BudgetBytes: c.BudgetBytes,
+		FixedLength: c.FixedLength,
+		Profile:     c.Profile,
+		Options:     c.Options,
+	}
+}
+
 // CondNames lists the conditional schemes the factory can build.
 func CondNames() []string {
-	names := []string{"bimodal", "gshare", "gskew", "gas", "pas", "hybrid", "agree", "bimode", "flp", "vlp", "dynamic"}
-	sort.Strings(names)
-	return names
+	return sortedNames([]string{"bimodal", "gshare", "gskew", "gas", "pas",
+		"hybrid", "agree", "bimode", "flp", "vlp", "dynamic"})
 }
 
 // NewCond builds the conditional predictor described by spec.
 func NewCond(spec CondSpec) (bpred.CondPredictor, error) {
-	switch strings.ToLower(spec.Name) {
-	case "bimodal":
-		return bimodal.New(spec.BudgetBytes)
-	case "agree":
-		return agree.New(spec.BudgetBytes, 12)
-	case "bimode":
-		return bimode.New(spec.BudgetBytes)
-	case "gshare":
-		return gshare.New(spec.BudgetBytes)
-	case "gskew":
-		return gskew.New(spec.BudgetBytes)
-	case "gas":
-		k, err := bpred.Log2Entries(spec.BudgetBytes, 2)
-		if err != nil {
-			return nil, err
-		}
-		h := k - 4
-		if h < 1 {
-			h = 1
-		}
-		return twolevel.NewGAs(k, h)
-	case "pas":
-		k, err := bpred.Log2Entries(spec.BudgetBytes, 2)
-		if err != nil {
-			return nil, err
-		}
-		h := k / 2
-		if h < 1 {
-			h = 1
-		}
-		return twolevel.NewPAs(k, 10, h)
-	case "hybrid":
-		g, err := gshare.New(spec.BudgetBytes / 2)
-		if err != nil {
-			return nil, err
-		}
-		b, err := bimodal.New(spec.BudgetBytes / 4)
-		if err != nil {
-			return nil, err
-		}
-		return hybrid.New(g, b, 12), nil
-	case "flp":
-		l := spec.FixedLength
-		if l == 0 {
-			l = 4
-		}
-		return vlp.NewCond(spec.BudgetBytes, vlp.Fixed{L: l}, spec.Options)
-	case "vlp":
-		if spec.Profile == nil {
-			return nil, fmt.Errorf("factory: vlp needs a profile (run vlpprof first)")
-		}
-		if spec.Profile.Kind != "cond" {
-			return nil, fmt.Errorf("factory: profile is for %s branches, want cond", spec.Profile.Kind)
-		}
-		return vlp.NewCond(spec.BudgetBytes, spec.Profile.Selector(), spec.Options)
-	case "dynamic":
-		return vlp.NewDynCond(spec.BudgetBytes, nil, 12, 4)
-	default:
-		return nil, fmt.Errorf("factory: unknown conditional predictor %q (have %s)",
-			spec.Name, strings.Join(CondNames(), ", "))
-	}
+	return spec.Spec().Cond()
 }
 
 // IndirectSpec configures an indirect predictor.
+//
+// Deprecated-style compatibility shim: new code should build a Spec
+// (or parse one with ParseSpec) and call Spec.Indirect.
 type IndirectSpec struct {
 	// Name selects the scheme; see IndirectNames.
 	Name string
@@ -122,52 +71,24 @@ type IndirectSpec struct {
 	Options vlp.Options
 }
 
+// Spec converts the legacy struct to the unified form.
+func (c IndirectSpec) Spec() Spec {
+	return Spec{
+		Name:        c.Name,
+		BudgetBytes: c.BudgetBytes,
+		FixedLength: c.FixedLength,
+		Profile:     c.Profile,
+		Options:     c.Options,
+	}
+}
+
 // IndirectNames lists the indirect schemes the factory can build.
 func IndirectNames() []string {
-	names := []string{"btb", "pattern", "path", "path-peraddr", "cascaded", "flp", "vlp"}
-	sort.Strings(names)
-	return names
+	return sortedNames([]string{"btb", "pattern", "path", "path-peraddr",
+		"cascaded", "flp", "vlp"})
 }
 
 // NewIndirect builds the indirect predictor described by spec.
 func NewIndirect(spec IndirectSpec) (bpred.IndirectPredictor, error) {
-	switch strings.ToLower(spec.Name) {
-	case "btb":
-		return targetcache.NewBTBBudget(spec.BudgetBytes)
-	case "pattern":
-		return targetcache.NewPatternBudget(spec.BudgetBytes)
-	case "path":
-		return targetcache.NewPathBudget(spec.BudgetBytes)
-	case "path-peraddr":
-		// Halve the target table so the per-branch history registers
-		// fit inside the same budget as the global-history variants.
-		k, err := bpred.Log2Entries(spec.BudgetBytes/2, 32)
-		if err != nil {
-			return nil, err
-		}
-		q := k / 3
-		if q == 0 {
-			q = 1
-		}
-		return targetcache.NewPathPerAddr(k, k, 3, q)
-	case "cascaded":
-		return cascaded.NewBudget(spec.BudgetBytes)
-	case "flp":
-		l := spec.FixedLength
-		if l == 0 {
-			l = 8
-		}
-		return vlp.NewIndirect(spec.BudgetBytes, vlp.Fixed{L: l}, spec.Options)
-	case "vlp":
-		if spec.Profile == nil {
-			return nil, fmt.Errorf("factory: vlp needs a profile (run vlpprof first)")
-		}
-		if spec.Profile.Kind != "indirect" {
-			return nil, fmt.Errorf("factory: profile is for %s branches, want indirect", spec.Profile.Kind)
-		}
-		return vlp.NewIndirect(spec.BudgetBytes, spec.Profile.Selector(), spec.Options)
-	default:
-		return nil, fmt.Errorf("factory: unknown indirect predictor %q (have %s)",
-			spec.Name, strings.Join(IndirectNames(), ", "))
-	}
+	return spec.Spec().Indirect()
 }

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger is the progress/log sink the command-line tools share. It
+// separates results (always printed) from progress chatter (printed
+// only in verbose mode, prefixed with the elapsed time) so tools stay
+// quiet in pipelines but can narrate long runs under -v.
+type Logger struct {
+	mu      sync.Mutex
+	w       io.Writer
+	verbose bool
+	start   time.Time
+}
+
+// NewLogger returns a logger writing to w. Progress lines are emitted
+// only when verbose is true.
+func NewLogger(w io.Writer, verbose bool) *Logger {
+	return &Logger{w: w, verbose: verbose, start: time.Now()}
+}
+
+// Discard swallows everything; it is the default for library callers
+// that were not handed a logger.
+var Discard = NewLogger(io.Discard, false)
+
+// Logf writes one line unconditionally.
+func (l *Logger) Logf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, format+"\n", args...)
+}
+
+// Progressf writes one elapsed-time-prefixed line in verbose mode and
+// is a no-op otherwise. It is safe to call from worker goroutines.
+func (l *Logger) Progressf(format string, args ...any) {
+	if l == nil || !l.verbose {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "[%8s] "+format+"\n",
+		append([]any{time.Since(l.start).Round(time.Millisecond)}, args...)...)
+}
+
+// Verbose reports whether progress lines are being emitted.
+func (l *Logger) Verbose() bool { return l != nil && l.verbose }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// ProfileFlags carries the pprof/trace output paths every cmd/ binary
+// exposes. Register it on a FlagSet, then bracket main's work between
+// Start and the stop function it returns:
+//
+//	var prof obs.ProfileFlags
+//	prof.Register(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	...
+//	defer stop()
+//
+// The flag is named -exectrace (not -trace) because several tools
+// already use -trace for their input trace file.
+type ProfileFlags struct {
+	// CPUProfile is the path for a pprof CPU profile, "" to disable.
+	CPUProfile string
+	// MemProfile is the path for a pprof heap profile written at stop
+	// time, "" to disable.
+	MemProfile string
+	// ExecTrace is the path for a runtime execution trace, "" to
+	// disable.
+	ExecTrace string
+}
+
+// Register installs the -cpuprofile, -memprofile, and -exectrace flags
+// on fs.
+func (f *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&f.ExecTrace, "exectrace", "", "write a runtime execution trace to this file")
+}
+
+// Enabled reports whether any profiler was requested.
+func (f *ProfileFlags) Enabled() bool {
+	return f.CPUProfile != "" || f.MemProfile != "" || f.ExecTrace != ""
+}
+
+// Start begins the requested profilers and returns the function that
+// stops them and writes the deferred outputs. The stop function is
+// never nil and is idempotent.
+func (f *ProfileFlags) Start() (stop func() error, err error) {
+	var stops []func() error
+	fail := func(err error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]()
+		}
+		return func() error { return nil }, err
+	}
+
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return fail(fmt.Errorf("obs: start CPU profile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return file.Close()
+		})
+	}
+	if f.ExecTrace != "" {
+		file, err := os.Create(f.ExecTrace)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rtrace.Start(file); err != nil {
+			file.Close()
+			return fail(fmt.Errorf("obs: start execution trace: %w", err))
+		}
+		stops = append(stops, func() error {
+			rtrace.Stop()
+			return file.Close()
+		})
+	}
+	if f.MemProfile != "" {
+		path := f.MemProfile
+		stops = append(stops, func() error {
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer file.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			return pprof.WriteHeapProfile(file)
+		})
+	}
+
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if err := stops[i](); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SchemaVersion tags every report file. Readers reject files whose
+// schema string they do not recognise, so the format can evolve
+// without silently misreading old files.
+const SchemaVersion = "repro-bench/v1"
+
+// Report is the stable on-disk record of one measured run: what ran
+// (Name, Title, Params), what it cost (Metrics), where it ran (Env),
+// and the run's typed payload (Data — e.g. an experiment's result
+// struct, or a simulation summary). The experiments suite writes one
+// as results/bench_<name>.json per experiment; these files are the
+// format the repository's BENCH_* trajectory entries consume.
+type Report struct {
+	Schema string `json:"schema"`
+	// Name is the report's stable identifier: an experiment ID
+	// ("fig9", "ablation-ras") or a tool run name ("vlpsim").
+	Name string `json:"name"`
+	// Title is the human-readable description, if any.
+	Title string `json:"title,omitempty"`
+	// Params records the configuration that produced the run —
+	// predictor spec, benchmark, trace scale — as flat strings.
+	Params map[string]string `json:"params,omitempty"`
+	// Metrics is the measured cost of the run.
+	Metrics RunMetrics `json:"metrics"`
+	// Env is the machine and toolchain the run executed on.
+	Env Env `json:"env"`
+	// Data is the run's typed result payload, marshalled as-is.
+	Data any `json:"data,omitempty"`
+}
+
+// NewReport returns a report stamped with the current schema and
+// environment, ready for the caller to fill in metrics and data.
+func NewReport(name, title string) *Report {
+	return &Report{
+		Schema: SchemaVersion,
+		Name:   name,
+		Title:  title,
+		Params: map[string]string{},
+		Env:    CaptureEnv(),
+	}
+}
+
+// SetParam records one configuration parameter, formatting non-string
+// values with %v.
+func (r *Report) SetParam(key string, value any) {
+	if r.Params == nil {
+		r.Params = map[string]string{}
+	}
+	r.Params[key] = fmt.Sprint(value)
+}
+
+// Write serializes the report as indented JSON at path, creating the
+// directory if needed. The write is atomic (temp file + rename) so a
+// crashed run never leaves a half-written report behind.
+func (r *Report) Write(path string) error {
+	if r.Schema == "" {
+		r.Schema = SchemaVersion
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal report %s: %w", r.Name, err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(dir, ".bench-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// BenchPath returns the canonical report path for a run name inside
+// dir: dir/bench_<name>.json.
+func BenchPath(dir, name string) string {
+	return filepath.Join(dir, "bench_"+name+".json")
+}
+
+// WriteBench writes the report to its canonical bench_<name>.json path
+// under dir and returns that path.
+func (r *Report) WriteBench(dir string) (string, error) {
+	path := BenchPath(dir, r.Name)
+	return path, r.Write(path)
+}
+
+// ReadReport loads and validates one report file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Validate checks the report for the invariants every consumer of the
+// schema relies on.
+func (r *Report) Validate() error {
+	switch {
+	case r.Schema != SchemaVersion:
+		return fmt.Errorf("unknown schema %q (want %q)", r.Schema, SchemaVersion)
+	case r.Name == "":
+		return fmt.Errorf("report has no name")
+	case r.Metrics.WallNanos < 0:
+		return fmt.Errorf("negative wall time %d", r.Metrics.WallNanos)
+	case r.Metrics.Branches < 0:
+		return fmt.Errorf("negative branch count %d", r.Metrics.Branches)
+	case r.Metrics.BranchesPerSec < 0:
+		return fmt.Errorf("negative throughput %f", r.Metrics.BranchesPerSec)
+	}
+	return nil
+}
+
+// GlobReports reads every file matching dir/bench_*.json, sorted by
+// name. It fails on the first invalid report.
+func GlobReports(dir string) ([]*Report, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "bench_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]*Report, 0, len(paths))
+	for _, p := range paths {
+		r, err := ReadReport(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

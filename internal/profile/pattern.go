@@ -7,6 +7,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/bpred/counter"
 	"repro/internal/bpred/varhist"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -77,6 +78,7 @@ func PatternCond(src trace.Source, cfg Config) (*PatternProfile, Step1Result, er
 		}
 		hist.Push(r.Taken)
 	}
+	obs.CountBranches(agg.Total)
 	tables = nil
 
 	candidates := map[arch.Addr][]int{}
@@ -124,10 +126,12 @@ func simulatePatternVarhist(src trace.Source, k uint, assign map[arch.Addr]int, 
 		panic(err)
 	}
 	misses := map[arch.Addr]int64{}
+	var scored int64
 	src.Reset()
 	var r trace.Record
 	for src.Next(&r) {
 		if r.Kind == arch.Cond {
+			scored++
 			if p.Predict(r.PC) != r.Taken {
 				misses[r.PC]++
 			} else if _, ok := misses[r.PC]; !ok {
@@ -136,6 +140,7 @@ func simulatePatternVarhist(src trace.Source, k uint, assign map[arch.Addr]int, 
 		}
 		p.Update(r)
 	}
+	obs.CountBranches(scored)
 	return misses
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/bpred"
 	"repro/internal/bpred/counter"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/vlp"
 )
@@ -206,6 +207,7 @@ func Cond(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
 			hs.Insert(r.Next)
 		}
 	}
+	obs.CountBranches(agg.Total)
 	tables = nil
 
 	candidates := map[arch.Addr][]int{}
@@ -257,10 +259,12 @@ func simulateCondVLP(src trace.Source, k uint, n int, assign map[arch.Addr]int, 
 		panic(err) // configuration was validated by the caller
 	}
 	misses := map[arch.Addr]int64{}
+	var scored int64
 	src.Reset()
 	var r trace.Record
 	for src.Next(&r) {
 		if r.Kind == arch.Cond {
+			scored++
 			if p.Predict(r.PC) != r.Taken {
 				misses[r.PC]++
 			} else if _, ok := misses[r.PC]; !ok {
@@ -269,6 +273,7 @@ func simulateCondVLP(src trace.Source, k uint, n int, assign map[arch.Addr]int, 
 		}
 		p.Update(r)
 	}
+	obs.CountBranches(scored)
 	return misses
 }
 
@@ -314,6 +319,7 @@ func Indirect(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
 			hs.Insert(r.Next)
 		}
 	}
+	obs.CountBranches(agg.Total)
 	tables = nil
 
 	candidates := map[arch.Addr][]int{}
@@ -361,10 +367,12 @@ func simulateIndirectVLP(src trace.Source, k uint, n int, assign map[arch.Addr]i
 		panic(err)
 	}
 	misses := map[arch.Addr]int64{}
+	var scored int64
 	src.Reset()
 	var r trace.Record
 	for src.Next(&r) {
 		if r.Kind.IndirectTarget() {
+			scored++
 			if p.Predict(r.PC) != r.Next {
 				misses[r.PC]++
 			} else if _, ok := misses[r.PC]; !ok {
@@ -373,6 +381,7 @@ func simulateIndirectVLP(src trace.Source, k uint, n int, assign map[arch.Addr]i
 		}
 		p.Update(r)
 	}
+	obs.CountBranches(scored)
 	return misses
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/bpred"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -28,6 +29,9 @@ type Result struct {
 	// PerPC breaks mispredictions down by static branch when the run was
 	// made with per-branch accounting; nil otherwise.
 	PerPC map[arch.Addr]*PCStat
+	// Metrics records what the run cost: wall time, branch throughput,
+	// allocation, and GC activity. It is captured around every run.
+	Metrics obs.RunMetrics
 }
 
 // PCStat is the per-static-branch breakdown.
@@ -61,9 +65,21 @@ type Options struct {
 	PerPC bool
 }
 
-// RunCond replays src (after resetting it) through a conditional
-// predictor.
-func RunCond(p bpred.CondPredictor, src trace.Source, opts Options) Result {
+// Score judges one record for one predictor class. It reports whether
+// the record is scored at all (belongs to the predicted class) and, if
+// so, whether the prediction made at fetch time was correct. Run calls
+// it before Update, so the predictor state the score observes is
+// exactly the pre-retirement state a hardware front end would have.
+type Score func(r *trace.Record) (scored, correct bool)
+
+// Run is the single accounting loop behind both branch classes: it
+// replays src (after resetting it) through the predictor, scoring each
+// record with score and feeding every record to Update in program
+// order. The run is bracketed by an obs span, so the returned Result
+// carries wall-time, throughput, and allocation metrics alongside the
+// misprediction counts.
+func Run(p bpred.Predictor, src trace.Source, opts Options, score Score) Result {
+	span := obs.StartSpan()
 	src.Reset()
 	res := Result{Predictor: p.Name()}
 	if opts.PerPC {
@@ -71,8 +87,7 @@ func RunCond(p bpred.CondPredictor, src trace.Source, opts Options) Result {
 	}
 	var r trace.Record
 	for src.Next(&r) {
-		if r.Kind == arch.Cond {
-			correct := p.Predict(r.PC) == r.Taken
+		if scored, correct := score(&r); scored {
 			res.Branches++
 			if !correct {
 				res.Mispredicts++
@@ -91,41 +106,40 @@ func RunCond(p bpred.CondPredictor, src trace.Source, opts Options) Result {
 		}
 		p.Update(r)
 	}
+	obs.CountBranches(res.Branches)
+	res.Metrics = span.End()
+	// The span counted the process-wide branch delta, which under a
+	// parallel sweep includes other workers' runs; this run knows its
+	// own count exactly, so pin it and recompute the throughput.
+	res.Metrics.Branches = res.Branches
+	res.Metrics.BranchesPerSec = 0
+	if wall := res.Metrics.Wall(); wall > 0 {
+		res.Metrics.BranchesPerSec = float64(res.Branches) / wall.Seconds()
+	}
 	return res
+}
+
+// RunCond replays src (after resetting it) through a conditional
+// predictor.
+func RunCond(p bpred.CondPredictor, src trace.Source, opts Options) Result {
+	return Run(p, src, opts, func(r *trace.Record) (bool, bool) {
+		if r.Kind != arch.Cond {
+			return false, false
+		}
+		return true, p.Predict(r.PC) == r.Taken
+	})
 }
 
 // RunIndirect replays src (after resetting it) through an indirect
 // predictor. Only indirect branches and indirect calls are scored; returns
 // are excluded per §5.1.
 func RunIndirect(p bpred.IndirectPredictor, src trace.Source, opts Options) Result {
-	src.Reset()
-	res := Result{Predictor: p.Name()}
-	if opts.PerPC {
-		res.PerPC = make(map[arch.Addr]*PCStat)
-	}
-	var r trace.Record
-	for src.Next(&r) {
-		if r.Kind.IndirectTarget() {
-			correct := p.Predict(r.PC) == r.Next
-			res.Branches++
-			if !correct {
-				res.Mispredicts++
-			}
-			if res.PerPC != nil {
-				st := res.PerPC[r.PC]
-				if st == nil {
-					st = &PCStat{}
-					res.PerPC[r.PC] = st
-				}
-				st.Branches++
-				if !correct {
-					st.Mispredicts++
-				}
-			}
+	return Run(p, src, opts, func(r *trace.Record) (bool, bool) {
+		if !r.Kind.IndirectTarget() {
+			return false, false
 		}
-		p.Update(r)
-	}
-	return res
+		return true, p.Predict(r.PC) == r.Next
+	})
 }
 
 // WorstPCs returns the static branches with the most mispredictions,
@@ -148,15 +162,23 @@ func (r Result) WorstPCs(n int) []arch.Addr {
 	return pcs
 }
 
+// PoolSize returns the number of workers ForEach uses for n jobs: the
+// machine's CPU count, capped at n. The observability layer records it
+// as the Workers field of experiment metrics.
+func PoolSize(n int) int {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
 // ForEach runs fn(0..n-1) across a worker pool sized to the machine. The
 // experiment drivers use it to sweep predictor configurations and
 // benchmarks in parallel; each job must be self-contained (its own
 // predictor and trace source).
 func ForEach(n int, fn func(i int)) {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
+	workers := PoolSize(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)

@@ -98,6 +98,61 @@ func TestEmptyRate(t *testing.T) {
 	}
 }
 
+func TestRunCapturesMetrics(t *testing.T) {
+	var recs []trace.Record
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, trace.Record{PC: 0x1004, Kind: arch.Cond, Taken: i%3 == 0, Next: 0x9000})
+	}
+	res := RunCond(bimodal.NewBits(8), trace.NewBuffer(recs), Options{})
+	m := res.Metrics
+	if m.Branches != res.Branches {
+		t.Errorf("Metrics.Branches = %d, want %d", m.Branches, res.Branches)
+	}
+	if m.WallNanos <= 0 {
+		t.Errorf("Metrics.WallNanos = %d, want > 0", m.WallNanos)
+	}
+	if m.BranchesPerSec <= 0 {
+		t.Errorf("Metrics.BranchesPerSec = %f, want > 0", m.BranchesPerSec)
+	}
+	if m.Workers != 1 {
+		t.Errorf("Metrics.Workers = %d, want 1", m.Workers)
+	}
+}
+
+// TestRunGenericDriver exercises Run directly with a custom score func:
+// the class-specific wrappers are one-liners over it, so a bespoke
+// scorer (here: score every record as correct) must work too.
+func TestRunGenericDriver(t *testing.T) {
+	recs := []trace.Record{
+		{PC: 0x1004, Kind: arch.Cond, Taken: true, Next: 0x2000},
+		{PC: 0x2008, Kind: arch.Return, Taken: true, Next: 0x3000},
+	}
+	var updates int
+	p := bimodal.NewBits(4)
+	res := Run(p, trace.NewBuffer(recs), Options{}, func(r *trace.Record) (bool, bool) {
+		updates++
+		return true, true
+	})
+	if res.Branches != 2 || res.Mispredicts != 0 {
+		t.Errorf("generic run scored %d/%d", res.Mispredicts, res.Branches)
+	}
+	if updates != 2 {
+		t.Errorf("score called %d times, want 2", updates)
+	}
+	if res.Predictor != p.Name() {
+		t.Errorf("Predictor = %q", res.Predictor)
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if got := PoolSize(1); got != 1 {
+		t.Errorf("PoolSize(1) = %d", got)
+	}
+	if got := PoolSize(1 << 20); got < 1 {
+		t.Errorf("PoolSize(big) = %d", got)
+	}
+}
+
 func TestForEachCoversAll(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 100} {
 		var mask int64
