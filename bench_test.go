@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -50,7 +51,7 @@ func runExperiment(b *testing.B, id string, metric func(*experiments.Report) flo
 	var last float64
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		rep, err := e.RunMeasured(s)
+		rep, err := e.RunMeasured(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -306,7 +307,7 @@ func BenchmarkEndToEndSim(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res := sim.RunCond(p, trace.NewBuffer(buf.Records), sim.Options{})
+		res := sim.RunCond(context.Background(), p, trace.NewBuffer(buf.Records), sim.Options{})
 		if res.Branches == 0 {
 			b.Fatal("empty run")
 		}

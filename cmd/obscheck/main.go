@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -58,15 +59,37 @@ func run(dir string, paths []string, quiet bool, out *os.File) error {
 	if len(reports) == 0 {
 		return fmt.Errorf("nothing to check: pass report files or -dir")
 	}
+	var failures int
 	for _, r := range reports {
+		failures += len(r.Failures)
 		if quiet {
 			continue
 		}
-		fmt.Fprintf(out, "%-22s ok  %10v wall  %12d branches  %14.0f branches/sec\n",
-			r.Name, r.Metrics.Wall().Round(time.Microsecond), r.Metrics.Branches, r.Metrics.BranchesPerSec)
+		status := "ok"
+		if len(r.Failures) > 0 {
+			status = fmt.Sprintf("%d failed", len(r.Failures))
+		}
+		fmt.Fprintf(out, "%-22s %-9s %10v wall  %12d branches  %14.0f branches/sec\n",
+			r.Name, status, r.Metrics.Wall().Round(time.Microsecond), r.Metrics.Branches, r.Metrics.BranchesPerSec)
+		for _, f := range r.Failures {
+			fmt.Fprintf(out, "    failure [%s] %s: %s\n", f.Kind, f.Name, f.Error)
+		}
+		names := make([]string, 0, len(r.Skipped))
+		for name := range r.Skipped {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(out, "    skipped %s: %s\n", name, r.Skipped[name])
+		}
 	}
 	if !quiet {
 		fmt.Fprintf(out, "%d report(s) valid\n", len(reports))
+	}
+	if failures > 0 {
+		// The reports are well-formed, but they record a degraded run;
+		// CI should notice that too.
+		return fmt.Errorf("%d recorded failure(s) across %d report(s)", failures, len(reports))
 	}
 	return nil
 }

@@ -1,18 +1,30 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/runx"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
+
+// testOpts returns the small-scale defaults every test starts from.
+func testOpts(jsonDir string) options {
+	return options{base: 20000, jsonDir: jsonDir, log: obs.Discard}
+}
 
 func TestRunSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
-	jsonDir := filepath.Join(dir, "results")
-	if err := run("table1", 20000, 0, dir, jsonDir, obs.Discard); err != nil {
+	opts := testOpts(filepath.Join(dir, "results"))
+	opts.exp = "table1"
+	opts.out = dir
+	if err := run(context.Background(), opts); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "table1.txt"))
@@ -22,7 +34,7 @@ func TestRunSingleExperiment(t *testing.T) {
 	if !strings.Contains(string(data), "gcc") {
 		t.Error("report missing benchmark rows")
 	}
-	rep, err := obs.ReadReport(obs.BenchPath(jsonDir, "table1"))
+	rep, err := obs.ReadReport(obs.BenchPath(opts.jsonDir, "table1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,35 +44,250 @@ func TestRunSingleExperiment(t *testing.T) {
 	if rep.Name != "table1" || rep.Metrics.WallNanos <= 0 {
 		t.Errorf("bench report incomplete: %+v", rep.Metrics)
 	}
-}
-
-func TestRunMultipleIDs(t *testing.T) {
-	jsonDir := t.TempDir()
-	if err := run("ablation-ras, headline", 20000, 20000, "", jsonDir, obs.Discard); err != nil {
-		t.Fatal(err)
-	}
-	reports, err := obs.GlobReports(jsonDir)
+	// The checkpoint manifest records the success and points at the
+	// bench report.
+	m, err := runx.LoadManifest(runx.ManifestPath(opts.jsonDir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 2 {
-		t.Errorf("got %d bench reports, want 2", len(reports))
+	e, ok := m.Get("table1")
+	if !ok || e.Status != runx.StatusOK || e.Output == "" {
+		t.Errorf("manifest entry incomplete: %+v (present=%v)", e, ok)
+	}
+}
+
+func TestRunMultipleIDs(t *testing.T) {
+	opts := testOpts(t.TempDir())
+	opts.exp = "ablation-ras, headline"
+	opts.profBase = 20000
+	if err := run(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := obs.GlobReports(opts.jsonDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 { // two experiments + the suite summary
+		t.Errorf("got %d bench reports, want 3", len(reports))
 	}
 	for _, rep := range reports {
 		if rep.Name == "headline" && rep.Metrics.Branches <= 0 {
 			t.Errorf("headline simulated no branches: %+v", rep.Metrics)
 		}
+		if len(rep.Failures) > 0 {
+			t.Errorf("%s records failures on a clean run: %+v", rep.Name, rep.Failures)
+		}
 	}
 }
 
 func TestRunJSONDisabled(t *testing.T) {
-	if err := run("ablation-ras", 20000, 0, "", "", obs.Discard); err != nil {
+	opts := testOpts("")
+	opts.exp = "ablation-ras"
+	if err := run(context.Background(), opts); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if err := run("figure99", 20000, 0, "", "", obs.Discard); err == nil {
+	opts := testOpts("")
+	opts.exp = "figure99"
+	if err := run(context.Background(), opts); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// writeTraceDir materialises each benchmark's recorded test trace and
+// corrupts the named one, returning the directory.
+func writeTraceDir(t *testing.T, corrupt string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, b := range workload.All() {
+		path := filepath.Join(dir, b.Name()+".vlpt")
+		if b.Name() == corrupt {
+			if err := os.WriteFile(path, []byte("this is not a trace file"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := trace.WriteFile(path, b.TestSource(20000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestRunSurvivesFaults is the acceptance scenario: one corrupted
+// benchmark trace plus one panicking and one erroring experiment. The
+// run must complete the healthy experiment, record every failure and
+// skip in the suite report, checkpoint all of it, and still return an
+// error.
+func TestRunSurvivesFaults(t *testing.T) {
+	// Corrupt a benchmark the healthy experiment can live without
+	// (ablation-ras sweeps all benchmarks; gcc must stay intact).
+	var corrupt string
+	for _, b := range workload.All() {
+		if b.Name() != "gcc" {
+			corrupt = b.Name()
+			break
+		}
+	}
+	opts := testOpts(t.TempDir())
+	opts.exp = "ablation-ras,selftest-panic,selftest-fail"
+	opts.traceDir = writeTraceDir(t, corrupt)
+	err := run(context.Background(), opts)
+	if err == nil {
+		t.Fatal("run with injected faults returned nil error")
+	}
+	if !strings.Contains(err.Error(), "2 experiment(s) failed") {
+		t.Errorf("error does not count both failures: %v", err)
+	}
+
+	// The healthy experiment still produced its report.
+	if _, err := obs.ReadReport(obs.BenchPath(opts.jsonDir, "ablation-ras")); err != nil {
+		t.Errorf("surviving experiment has no valid report: %v", err)
+	}
+
+	// The suite summary records both failures with their kinds, and the
+	// corrupt trace's skip.
+	summary, err := obs.ReadReport(obs.BenchPath(opts.jsonDir, "suite"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]obs.FailureKind{}
+	for _, f := range summary.Failures {
+		kinds[f.Name] = f.Kind
+	}
+	if kinds["selftest-panic"] != obs.FailurePanic {
+		t.Errorf("selftest-panic kind = %q, want panic (failures: %+v)", kinds["selftest-panic"], summary.Failures)
+	}
+	if kinds["selftest-fail"] != obs.FailureError {
+		t.Errorf("selftest-fail kind = %q, want error (failures: %+v)", kinds["selftest-fail"], summary.Failures)
+	}
+	reason, ok := summary.Skipped["bench:"+corrupt]
+	if !ok || !strings.Contains(reason, "corrupt") {
+		t.Errorf("corrupt benchmark %s not recorded as skipped: %q (skipped: %v)", corrupt, reason, summary.Skipped)
+	}
+
+	// The manifest mirrors the outcome per experiment.
+	m, err := runx.LoadManifest(runx.ManifestPath(opts.jsonDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range map[string]runx.Status{
+		"ablation-ras":   runx.StatusOK,
+		"selftest-panic": runx.StatusFailed,
+		"selftest-fail":  runx.StatusFailed,
+	} {
+		e, ok := m.Get(id)
+		if !ok || e.Status != want {
+			t.Errorf("manifest[%s] = %+v (present=%v), want status %s", id, e, ok, want)
+		}
+	}
+}
+
+// TestRunTimeout bounds a hanging experiment with -timeout and checks
+// it is classified as a timeout while later experiments still run.
+func TestRunTimeout(t *testing.T) {
+	opts := testOpts(t.TempDir())
+	// The deadline applies per experiment; selftest-fail returns
+	// instantly, so only the hang can time out regardless of machine
+	// speed, and its failure record proves the suite kept going.
+	opts.exp = "selftest-hang,selftest-fail"
+	opts.timeout = 100 * time.Millisecond
+	err := run(context.Background(), opts)
+	if err == nil {
+		t.Fatal("hanging experiment did not fail the run")
+	}
+	summary, rerr := obs.ReadReport(obs.BenchPath(opts.jsonDir, "suite"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	kinds := map[string]obs.FailureKind{}
+	for _, f := range summary.Failures {
+		kinds[f.Name] = f.Kind
+	}
+	if kinds["selftest-hang"] != obs.FailureTimeout {
+		t.Errorf("selftest-hang kind = %q, want timeout (failures: %+v)", kinds["selftest-hang"], summary.Failures)
+	}
+	// The experiment after the bounded hang still ran.
+	if kinds["selftest-fail"] != obs.FailureError {
+		t.Errorf("experiment after the timeout did not run (failures: %+v)", summary.Failures)
+	}
+}
+
+// TestRunResume runs a partially failing suite, then resumes: the
+// completed experiment must be skipped (its report untouched) and only
+// the failed one re-run.
+func TestRunResume(t *testing.T) {
+	opts := testOpts(t.TempDir())
+	opts.exp = "ablation-ras,selftest-fail"
+	if err := run(context.Background(), opts); err == nil {
+		t.Fatal("first run should report the injected failure")
+	}
+	benchPath := obs.BenchPath(opts.jsonDir, "ablation-ras")
+	before, err := os.Stat(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.resume = true
+	if err := run(context.Background(), opts); err == nil {
+		t.Fatal("resumed run should still report the injected failure")
+	}
+	summary, err := obs.ReadReport(obs.BenchPath(opts.jsonDir, "suite"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason, ok := summary.Skipped["ablation-ras"]; !ok || !strings.Contains(reason, "resumed") {
+		t.Errorf("completed experiment was not resumed: skipped=%v", summary.Skipped)
+	}
+	after, err := os.Stat(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("resume re-ran the already-completed experiment")
+	}
+
+	// Deleting the completed report invalidates the checkpoint: resume
+	// must re-run it.
+	if err := os.Remove(benchPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), opts); err == nil {
+		t.Fatal("third run should still report the injected failure")
+	}
+	if _, err := obs.ReadReport(benchPath); err != nil {
+		t.Errorf("resume did not regenerate the deleted report: %v", err)
+	}
+}
+
+// TestRunResumeNeedsJSON rejects -resume without a results directory.
+func TestRunResumeNeedsJSON(t *testing.T) {
+	opts := testOpts("")
+	opts.exp = "table1"
+	opts.resume = true
+	if err := run(context.Background(), opts); err == nil {
+		t.Error("-resume without -json accepted")
+	}
+}
+
+// TestRunCanceled checks a pre-canceled context stops before any
+// experiment and reports the interruption.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := testOpts(t.TempDir())
+	opts.exp = "table1"
+	err := run(ctx, opts)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("canceled run returned %v, want interrupted error", err)
+	}
+	summary, rerr := obs.ReadReport(obs.BenchPath(opts.jsonDir, "suite"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if reason, ok := summary.Skipped["table1"]; !ok || !strings.Contains(reason, "canceled") {
+		t.Errorf("unstarted experiment not recorded: skipped=%v", summary.Skipped)
 	}
 }

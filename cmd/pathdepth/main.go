@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cliutil"
 	"repro/internal/obs"
+	"repro/internal/runx"
 )
 
 func main() {
@@ -37,8 +39,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pathdepth:", err)
 		os.Exit(1)
 	}
-	err = run(*bench, *input, *tracePath, *n, *top, *minExec,
+	ctx, cancelSignals := runx.WithSignals(context.Background())
+	err = run(ctx, *bench, *input, *tracePath, *n, *top, *minExec,
 		obs.NewLogger(os.Stderr, *verbose))
+	cancelSignals()
 	if perr := stop(); err == nil {
 		err = perr
 	}
@@ -48,8 +52,8 @@ func main() {
 	}
 }
 
-func run(bench, input, tracePath string, n, top int, minExec int64, log *obs.Logger) error {
-	src, err := cliutil.Resolve(cliutil.SourceSpec{
+func run(ctx context.Context, bench, input, tracePath string, n, top int, minExec int64, log *obs.Logger) error {
+	src, err := cliutil.Resolve(ctx, cliutil.SourceSpec{
 		Bench: bench, Input: input, Records: n, TracePath: tracePath,
 	})
 	if err != nil {

@@ -1,22 +1,23 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/obs"
 )
 
 func TestRunBenchmark(t *testing.T) {
-	if err := run("compress", "test", "", 20000, 3, 16, obs.Discard); err != nil {
+	if err := run(context.Background(), "compress", "test", "", 20000, 3, 16, obs.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "test", "", 20000, 3, 16, obs.Discard); err == nil {
+	if err := run(context.Background(), "", "test", "", 20000, 3, 16, obs.Discard); err == nil {
 		t.Error("missing source accepted")
 	}
-	if err := run("nonesuch", "test", "", 20000, 3, 16, obs.Discard); err == nil {
+	if err := run(context.Background(), "nonesuch", "test", "", 20000, 3, 16, obs.Discard); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }

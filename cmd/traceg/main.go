@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/obs"
+	"repro/internal/runx"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -44,8 +46,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traceg:", err)
 		os.Exit(1)
 	}
-	err = run(*bench, *input, *n, *out, *summary, *list,
+	ctx, cancelSignals := runx.WithSignals(context.Background())
+	err = run(ctx, *bench, *input, *n, *out, *summary, *list,
 		obs.NewLogger(os.Stderr, *verbose))
+	cancelSignals()
 	if perr := stop(); err == nil {
 		err = perr
 	}
@@ -55,7 +59,7 @@ func main() {
 	}
 }
 
-func run(bench, input string, n int, out, summary string, list bool, log *obs.Logger) error {
+func run(ctx context.Context, bench, input string, n int, out, summary string, list bool, log *obs.Logger) error {
 	if list {
 		for _, name := range workload.Names() {
 			fmt.Println(name)
@@ -68,7 +72,7 @@ func run(bench, input string, n int, out, summary string, list bool, log *obs.Lo
 	if summary != "" {
 		src, err = trace.ReadFile(summary)
 	} else {
-		src, err = cliutil.Resolve(cliutil.SourceSpec{Bench: bench, Input: input, Records: n})
+		src, err = cliutil.Resolve(ctx, cliutil.SourceSpec{Bench: bench, Input: input, Records: n})
 	}
 	if err != nil {
 		return err

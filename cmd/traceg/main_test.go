@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"repro/internal/obs"
 
 	"os"
@@ -10,28 +11,28 @@ import (
 
 func TestGenerateAndSummarise(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "c.vlpt")
-	if err := run("compress", "test", 20000, out, "", false, obs.Discard); err != nil {
+	if err := run(context.Background(), "compress", "test", 20000, out, "", false, obs.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
 		t.Fatalf("trace file missing: %v", err)
 	}
-	if err := run("", "", 0, "", out, false, obs.Discard); err != nil {
+	if err := run(context.Background(), "", "", 0, "", out, false, obs.Discard); err != nil {
 		t.Fatalf("summarise: %v", err)
 	}
 }
 
 func TestList(t *testing.T) {
-	if err := run("", "", 0, "", "", true, obs.Discard); err != nil {
+	if err := run(context.Background(), "", "", 0, "", "", true, obs.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run("nonesuch", "test", 1000, "", "", false, obs.Discard); err == nil {
+	if err := run(context.Background(), "nonesuch", "test", 1000, "", "", false, obs.Discard); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run("", "", 0, "", "/no/such.vlpt", false, obs.Discard); err == nil {
+	if err := run(context.Background(), "", "", 0, "", "/no/such.vlpt", false, obs.Discard); err == nil {
 		t.Error("missing summary file accepted")
 	}
 }

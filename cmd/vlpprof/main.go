@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/profile"
+	"repro/internal/runx"
 )
 
 func main() {
@@ -46,8 +48,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vlpprof:", err)
 		os.Exit(1)
 	}
-	err = run(*bench, *tracePath, *n, *class, *budget, *candidates, *iters, *lengths, *out,
+	ctx, cancelSignals := runx.WithSignals(context.Background())
+	err = run(ctx, *bench, *tracePath, *n, *class, *budget, *candidates, *iters, *lengths, *out,
 		obs.NewLogger(os.Stderr, *verbose))
+	cancelSignals()
 	if perr := stop(); err == nil {
 		err = perr
 	}
@@ -57,14 +61,14 @@ func main() {
 	}
 }
 
-func run(bench, tracePath string, n int, class string, budget, candidates, iters int,
+func run(ctx context.Context, bench, tracePath string, n int, class string, budget, candidates, iters int,
 	lengthsCSV, out string, log *obs.Logger) error {
 	if out == "" {
 		return fmt.Errorf("-o is required")
 	}
 	// The profiling pass always reads the PROFILE input set; using the
 	// test input would let training data leak into the evaluation.
-	src, err := cliutil.Resolve(cliutil.SourceSpec{
+	src, err := cliutil.Resolve(ctx, cliutil.SourceSpec{
 		Bench: bench, Input: "profile", Records: n, TracePath: tracePath,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestProfileCondAndIndirect(t *testing.T) {
 	dir := t.TempDir()
 	cond := filepath.Join(dir, "c.prof")
-	if err := run("compress", "", 20000, "cond", 4096, 3, 7, "", cond, obs.Discard); err != nil {
+	if err := run(context.Background(), "compress", "", 20000, "cond", 4096, 3, 7, "", cond, obs.Discard); err != nil {
 		t.Fatal(err)
 	}
 	p, err := profile.Load(cond)
@@ -23,7 +24,7 @@ func TestProfileCondAndIndirect(t *testing.T) {
 	}
 
 	ind := filepath.Join(dir, "i.prof")
-	if err := run("perl", "", 20000, "indirect", 2048, 3, 7, "1,2,4,8", ind, obs.Discard); err != nil {
+	if err := run(context.Background(), "perl", "", 20000, "indirect", 2048, 3, 7, "1,2,4,8", ind, obs.Discard); err != nil {
 		t.Fatal(err)
 	}
 	pi, err := profile.Load(ind)
@@ -42,16 +43,16 @@ func TestProfileCondAndIndirect(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("compress", "", 1000, "cond", 4096, 3, 7, "", "", obs.Discard); err == nil {
+	if err := run(context.Background(), "compress", "", 1000, "cond", 4096, 3, 7, "", "", obs.Discard); err == nil {
 		t.Error("missing -o accepted")
 	}
-	if err := run("compress", "", 1000, "registers", 4096, 3, 7, "", filepath.Join(dir, "x"), obs.Discard); err == nil {
+	if err := run(context.Background(), "compress", "", 1000, "registers", 4096, 3, 7, "", filepath.Join(dir, "x"), obs.Discard); err == nil {
 		t.Error("bad class accepted")
 	}
-	if err := run("compress", "", 1000, "cond", 4096, 3, 7, "1,zz", filepath.Join(dir, "x"), obs.Discard); err == nil {
+	if err := run(context.Background(), "compress", "", 1000, "cond", 4096, 3, 7, "1,zz", filepath.Join(dir, "x"), obs.Discard); err == nil {
 		t.Error("bad lengths accepted")
 	}
-	if err := run("compress", "", 1000, "cond", 3000, 3, 7, "", filepath.Join(dir, "x"), obs.Discard); err == nil {
+	if err := run(context.Background(), "compress", "", 1000, "cond", 3000, 3, 7, "", filepath.Join(dir, "x"), obs.Discard); err == nil {
 		t.Error("bad budget accepted")
 	}
 }

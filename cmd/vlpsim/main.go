@@ -24,15 +24,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bpred"
 	"repro/internal/cliutil"
 	"repro/internal/factory"
 	"repro/internal/obs"
+	"repro/internal/runx"
 	"repro/internal/sim"
 )
 
@@ -51,6 +54,7 @@ type config struct {
 	norotate  bool
 	topMiss   int
 	jsonPath  string
+	timeout   time.Duration
 	log       *obs.Logger
 }
 
@@ -73,6 +77,7 @@ func main() {
 	flag.BoolVar(&cfg.norotate, "no-rotation", false, "disable the per-depth hash rotation (paper §3.3 ablation)")
 	flag.IntVar(&cfg.topMiss, "top", 0, "also report the N worst static branches")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a bench report (repro-bench/v1 schema) to this file")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C cancels cleanly either way")
 	flag.BoolVar(&verbose, "v", false, "narrate progress to stderr")
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -83,7 +88,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vlpsim:", err)
 		os.Exit(1)
 	}
-	err = run(cfg)
+	ctx, cancelSignals := runx.WithSignals(context.Background())
+	if cfg.timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, cfg.timeout)
+		defer cancelTimeout()
+	}
+	err = run(ctx, cfg)
+	cancelSignals()
 	if perr := stop(); err == nil {
 		err = perr
 	}
@@ -124,8 +136,8 @@ type simData struct {
 	MissPercent float64 `json:"miss_percent"`
 }
 
-func run(cfg config) error {
-	src, err := cliutil.Resolve(cliutil.SourceSpec{
+func run(ctx context.Context, cfg config) error {
+	src, err := cliutil.Resolve(ctx, cliutil.SourceSpec{
 		Bench: cfg.bench, Input: cfg.input, Records: cfg.n, TracePath: cfg.tracePath,
 	})
 	if err != nil {
@@ -147,7 +159,7 @@ func run(cfg config) error {
 		}
 		p = cp
 		cfg.log.Progressf("built %s (%d bytes)", cp.Name(), cp.SizeBytes())
-		res = sim.RunCond(cp, src, sim.Options{PerPC: cfg.topMiss > 0})
+		res = sim.RunCond(ctx, cp, src, sim.Options{PerPC: cfg.topMiss > 0})
 	case "indirect":
 		ip, err := spec.Indirect()
 		if err != nil {
@@ -155,9 +167,14 @@ func run(cfg config) error {
 		}
 		p = ip
 		cfg.log.Progressf("built %s (%d bytes)", ip.Name(), ip.SizeBytes())
-		res = sim.RunIndirect(ip, src, sim.Options{PerPC: cfg.topMiss > 0})
+		res = sim.RunIndirect(ctx, ip, src, sim.Options{PerPC: cfg.topMiss > 0})
 	default:
 		return fmt.Errorf("unknown class %q (want cond or indirect)", cfg.class)
+	}
+	if res.Err != nil {
+		// A canceled or truncated run measured only part of the trace;
+		// refuse to report the partial counts as a result.
+		return fmt.Errorf("run aborted after %d branches: %w", res.Branches, res.Err)
 	}
 	cfg.log.Progressf("run finished: %s", res.Metrics)
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestRunCondPredictors(t *testing.T) {
 	for _, pred := range []string{"gshare", "bimodal", "flp", "dynamic", "agree", "bimode"} {
 		cfg := testConfig()
 		cfg.pred = pred
-		if err := run(cfg); err != nil {
+		if err := run(context.Background(), cfg); err != nil {
 			t.Errorf("%s: %v", pred, err)
 		}
 	}
@@ -33,7 +34,7 @@ func TestRunIndirectPredictors(t *testing.T) {
 	for _, pred := range []string{"btb", "pattern", "path", "cascaded", "flp"} {
 		cfg := testConfig()
 		cfg.bench, cfg.class, cfg.pred, cfg.budget, cfg.topMiss = "perl", "indirect", pred, 2048, 2
-		if err := run(cfg); err != nil {
+		if err := run(context.Background(), cfg); err != nil {
 			t.Errorf("%s: %v", pred, err)
 		}
 	}
@@ -43,12 +44,12 @@ func TestRunSpecStringForm(t *testing.T) {
 	cfg := testConfig()
 	cfg.pred = "gshare:budget=4KB"
 	cfg.budget = 0 // the spec supplies it; the flag default must not be needed
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Error(err)
 	}
 	cfg = testConfig()
 	cfg.pred = "flp:budget=4KB,fixed=6,store-returns"
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Error(err)
 	}
 }
@@ -62,13 +63,13 @@ func TestRunVLPWithProfile(t *testing.T) {
 	// Profile via flag.
 	cfg := testConfig()
 	cfg.pred, cfg.profPath = "vlp", path
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Error(err)
 	}
 	// Profile via spec key.
 	cfg = testConfig()
 	cfg.pred = "vlp:budget=4KB,profile=" + path
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Error(err)
 	}
 }
@@ -77,7 +78,7 @@ func TestRunWritesJSONReport(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "out.json")
 	cfg := testConfig()
 	cfg.jsonPath = jsonPath
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := obs.ReadReport(jsonPath)
@@ -119,7 +120,7 @@ func TestRunErrors(t *testing.T) {
 	for name, mutate := range cases {
 		cfg := testConfig()
 		mutate(&cfg)
-		if err := run(cfg); err == nil {
+		if err := run(context.Background(), cfg); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}

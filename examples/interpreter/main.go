@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,7 +70,7 @@ func main() {
 	const budget = 2 * 1024 // the paper's Figure 7/8 budget
 
 	run := func(p bpred.IndirectPredictor) {
-		fmt.Println(sim.RunIndirect(p, trace.NewBuffer(testInput.Records), sim.Options{}))
+		fmt.Println(sim.RunIndirect(context.Background(), p, trace.NewBuffer(testInput.Records), sim.Options{}))
 	}
 
 	btb, err := targetcache.NewBTBBudget(budget)

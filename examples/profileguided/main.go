@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -63,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res := sim.RunCond(hfnt, bench.TestSource(200000), sim.Options{})
+	res := sim.RunCond(context.Background(), hfnt, bench.TestSource(200000), sim.Options{})
 	fmt.Println(res)
 	fmt.Printf("HFNT re-predictions: %d of %d lookups (%.2f%%)\n",
 		hfnt.Repredicts, hfnt.Lookups, 100*hfnt.RepredictRate())

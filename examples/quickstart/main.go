@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(sim.RunCond(g, testInput, sim.Options{}))
+	fmt.Println(sim.RunCond(context.Background(), g, testInput, sim.Options{}))
 
 	// Fixed length path predictor: same hardware as VLP, one global hash
 	// function, no profiling needed.
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(sim.RunCond(flp, testInput, sim.Options{}))
+	fmt.Println(sim.RunCond(context.Background(), flp, testInput, sim.Options{}))
 
 	// Variable length path predictor: run the two-step profiling
 	// heuristic on the profile input, then deploy on the test input.
@@ -55,5 +56,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(sim.RunCond(v, testInput, sim.Options{}))
+	fmt.Println(sim.RunCond(context.Background(), v, testInput, sim.Options{}))
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -42,13 +43,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		series[0].Values = append(series[0].Values, sim.RunCond(g, test, sim.Options{}).Percent())
+		series[0].Values = append(series[0].Values, sim.RunCond(context.Background(), g, test, sim.Options{}).Percent())
 
 		flp, err := vlp.NewCond(budget, vlp.Fixed{L: 4}, vlp.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		series[1].Values = append(series[1].Values, sim.RunCond(flp, test, sim.Options{}).Percent())
+		series[1].Values = append(series[1].Values, sim.RunCond(context.Background(), flp, test, sim.Options{}).Percent())
 
 		k := uint(0)
 		for 1<<k < budget*4 {
@@ -62,7 +63,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		series[2].Values = append(series[2].Values, sim.RunCond(v, test, sim.Options{}).Percent())
+		series[2].Values = append(series[2].Values, sim.RunCond(context.Background(), v, test, sim.Options{}).Percent())
 
 		xs = append(xs, float64(kb))
 	}

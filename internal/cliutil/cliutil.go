@@ -4,8 +4,10 @@
 package cliutil
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/runx"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -24,13 +26,26 @@ type SourceSpec struct {
 	TracePath string
 }
 
-// Resolve returns a replayable in-memory source for the spec.
-func Resolve(spec SourceSpec) (trace.Source, error) {
+// Resolve returns a replayable in-memory source for the spec. Trace
+// files are loaded through a short retry loop so a transient I/O error
+// (an interrupted read, a momentarily exhausted fd table) does not kill
+// a tool that would succeed a moment later; permanent failures — a
+// missing file or corrupt data (trace.ErrCorrupt) — fail immediately.
+func Resolve(ctx context.Context, spec SourceSpec) (trace.Source, error) {
 	switch {
 	case spec.Bench != "" && spec.TracePath != "":
 		return nil, fmt.Errorf("cliutil: -bench and -trace are mutually exclusive")
 	case spec.TracePath != "":
-		return trace.ReadFile(spec.TracePath)
+		var buf *trace.Buffer
+		err := runx.Retry(ctx, runx.DefaultBackoff(), func() error {
+			var err error
+			buf, err = trace.ReadFile(spec.TracePath)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return buf, nil
 	case spec.Bench != "":
 		b, err := workload.ByName(spec.Bench)
 		if err != nil {

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func TestResolveBench(t *testing.T) {
-	src, err := Resolve(SourceSpec{Bench: "compress", Records: 5000})
+	src, err := Resolve(context.Background(), SourceSpec{Bench: "compress", Records: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestResolveBench(t *testing.T) {
 	}
 	// Profile and test inputs must differ.
 	testBuf := trace.Collect(src)
-	profSrc, err := Resolve(SourceSpec{Bench: "compress", Input: "profile", Records: 5000})
+	profSrc, err := Resolve(context.Background(), SourceSpec{Bench: "compress", Input: "profile", Records: 5000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestResolveTraceFile(t *testing.T) {
 	if err := trace.WriteFile(path, trace.NewBuffer(recs)); err != nil {
 		t.Fatal(err)
 	}
-	src, err := Resolve(SourceSpec{TracePath: path})
+	src, err := Resolve(context.Background(), SourceSpec{TracePath: path})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,14 +68,14 @@ func TestResolveErrors(t *testing.T) {
 		{TracePath: "/nonexistent/trace.vlpt"}, // missing file
 	}
 	for i, spec := range cases {
-		if _, err := Resolve(spec); err == nil {
+		if _, err := Resolve(context.Background(), spec); err == nil {
 			t.Errorf("case %d: spec %+v accepted", i, spec)
 		}
 	}
 }
 
 func TestResolveDefaultRecords(t *testing.T) {
-	src, err := Resolve(SourceSpec{Bench: "compress"})
+	src, err := Resolve(context.Background(), SourceSpec{Bench: "compress"})
 	if err != nil {
 		t.Fatal(err)
 	}

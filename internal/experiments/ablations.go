@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -45,7 +46,7 @@ func (r *AblationResult) table() string {
 
 // runCondVariants measures conditional misprediction for one predictor
 // constructor per variant, across the ablation benchmarks, in parallel.
-func (s *Suite) runCondVariants(benchNames []string, variants []string,
+func (s *Suite) runCondVariants(ctx context.Context, benchNames []string, variants []string,
 	mk func(variant int, bench string) (bpred.CondPredictor, error)) (*AblationResult, error) {
 	res := &AblationResult{
 		Benchmarks: benchNames,
@@ -59,30 +60,29 @@ func (s *Suite) runCondVariants(benchNames []string, variants []string,
 			jobs = append(jobs, job{v, b})
 		}
 	}
-	errs := make([]error, len(jobs))
-	sim.ForEach(len(jobs), func(i int) {
+	err := sim.ForEach(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		p, err := mk(j.v, benchNames[j.b])
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		test, err := s.TestSource(benchNames[j.b])
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[j.v][j.b] = sim.RunCond(p, test, sim.Options{}).Percent()
+		var jerr error
+		res.Rates[j.v][j.b], jerr = condPercent(ctx, p, test)
+		return jerr
 	})
-	return res, firstErr(errs)
+	return res, err
 }
 
 // AblationRotation measures the §3.3 design choice: rotating each target
 // by its depth before XOR (order-preserving) versus a plain XOR fold.
-func (s *Suite) AblationRotation() (*Report, error) {
+func (s *Suite) AblationRotation(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ablationBenches,
+	res, err := s.runCondVariants(ctx, ablationBenches,
 		[]string{"VLP (rotated)", "VLP (no rotation)"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			prof, err := s.Profile(bench, false, k)
@@ -104,10 +104,10 @@ func (s *Suite) AblationRotation() (*Report, error) {
 
 // AblationReturns measures the §3.2 claim that storing return targets in
 // the THB does not strongly matter.
-func (s *Suite) AblationReturns() (*Report, error) {
+func (s *Suite) AblationReturns(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ablationBenches,
+	res, err := s.runCondVariants(ctx, ablationBenches,
 		[]string{"returns excluded", "returns stored"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			prof, err := s.Profile(bench, false, k)
@@ -129,11 +129,11 @@ func (s *Suite) AblationReturns() (*Report, error) {
 
 // AblationSubset profiles with only the hash functions {1,2,4,8,16,32}
 // implemented (§3.1's reduced-cost implementation) versus all 32.
-func (s *Suite) AblationSubset() (*Report, error) {
+func (s *Suite) AblationSubset(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
 	subset := []int{1, 2, 4, 8, 16, 32}
-	res, err := s.runCondVariants(ablationBenches,
+	res, err := s.runCondVariants(ctx, ablationBenches,
 		[]string{"all 32 hash functions", "subset {1,2,4,8,16,32}"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			if v == 0 {
@@ -166,7 +166,7 @@ func (s *Suite) AblationSubset() (*Report, error) {
 
 // AblationHeuristic varies the profiling heuristic's candidate and
 // iteration counts around the paper's 3-candidates/7-iterations setting.
-func (s *Suite) AblationHeuristic() (*Report, error) {
+func (s *Suite) AblationHeuristic(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
 	type setting struct{ cands, iters int }
@@ -175,7 +175,7 @@ func (s *Suite) AblationHeuristic() (*Report, error) {
 	for i, c := range settings {
 		variants[i] = fmt.Sprintf("%d cand / %d iter", c.cands, c.iters)
 	}
-	res, err := s.runCondVariants(ablationBenches, variants,
+	res, err := s.runCondVariants(ctx, ablationBenches, variants,
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			src, err := s.ProfileSource(bench)
 			if err != nil {
@@ -211,7 +211,7 @@ type HFNTResult struct {
 
 // AblationHFNT measures how often the pipelined predictor's hash function
 // number prediction misses, forcing the two-cycle re-predict path (§4.3).
-func (s *Suite) AblationHFNT() (*Report, error) {
+func (s *Suite) AblationHFNT(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
 	res := &HFNTResult{Benchmarks: ablationBenches, EntryBits: []uint{6, 8, 10, 12}}
@@ -223,34 +223,32 @@ func (s *Suite) AblationHFNT() (*Report, error) {
 			jobs = append(jobs, job{j, b})
 		}
 	}
-	errs := make([]error, len(jobs))
-	sim.ForEach(len(jobs), func(i int) {
+	err := sim.ForEach(ctx, len(jobs), func(i int) error {
 		jb := jobs[i]
 		bench := res.Benchmarks[jb.b]
 		prof, err := s.Profile(bench, false, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		inner, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		h, err := vlp.NewHFNT(inner, res.EntryBits[jb.j])
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		test, err := s.TestSource(bench)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		sim.RunCond(h, test, sim.Options{})
+		if r := sim.RunCond(ctx, h, test, sim.Options{}); r.Err != nil {
+			return r.Err
+		}
 		res.RepredictPct[jb.j][jb.b] = 100 * h.RepredictRate()
+		return nil
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	tb := tablefmt.New(append([]string{"HFNT entries"}, res.Benchmarks...)...)
@@ -271,7 +269,7 @@ func (s *Suite) AblationHFNT() (*Report, error) {
 
 // AblationDynSel compares the §3.4 hardware-selection alternative with the
 // profiled predictor and the fixed length baseline.
-func (s *Suite) AblationDynSel() (*Report, error) {
+func (s *Suite) AblationDynSel(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
 	all, err := s.benches(workload.All())
@@ -282,7 +280,7 @@ func (s *Suite) AblationDynSel() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.runCondVariants(ablationBenches,
+	res, err := s.runCondVariants(ctx, ablationBenches,
 		[]string{"fixed length path", "dynamic selection (hw)", "variable length path (profiled)"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			switch v {
@@ -311,10 +309,10 @@ func (s *Suite) AblationDynSel() (*Report, error) {
 
 // AblationHistStack measures the §6 future-work history stack: saving the
 // path registers across calls and restoring them on returns.
-func (s *Suite) AblationHistStack() (*Report, error) {
+func (s *Suite) AblationHistStack(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ablationBenches,
+	res, err := s.runCondVariants(ctx, ablationBenches,
 		[]string{"flat history", "stack (restore)", "stack (combine 2)"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			prof, err := s.Profile(bench, false, k)
@@ -343,10 +341,10 @@ func (s *Suite) AblationHistStack() (*Report, error) {
 // GAs, PAs, gshare, and a gshare+bimodal hybrid, all near the 16 KB
 // budget. (The hybrid splits its budget across components and chooser, as
 // McFarling's design must.)
-func (s *Suite) AblationCompetitors() (*Report, error) {
+func (s *Suite) AblationCompetitors(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ablationBenches,
+	res, err := s.runCondVariants(ctx, ablationBenches,
 		[]string{"bimodal", "GAs", "PAs", "gshare", "agree", "bi-mode", "gskew", "hybrid", "FLP(tuned)", "VLP"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			switch v {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -16,7 +17,7 @@ import (
 // pattern/path target caches, the Driesen-Hölzle-style cascaded predictor
 // ("the best competing predictor" family the paper references), and the
 // fixed/variable length path predictors.
-func (s *Suite) AblationIndField() (*Report, error) {
+func (s *Suite) AblationIndField(ctx context.Context) (*Report, error) {
 	const budget = 2048
 	k := indK(budget)
 	heavy, err := s.benches(workload.IndirectHeavy())
@@ -44,8 +45,7 @@ func (s *Suite) AblationIndField() (*Report, error) {
 			jobs = append(jobs, job{v, b})
 		}
 	}
-	errs := make([]error, len(jobs))
-	sim.ForEach(len(jobs), func(i int) {
+	err = sim.ForEach(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		bench := heavy[j.b].Name()
 		var p bpred.IndirectPredictor
@@ -57,8 +57,7 @@ func (s *Suite) AblationIndField() (*Report, error) {
 		case "VLP":
 			prof, perr := s.Profile(bench, true, k)
 			if perr != nil {
-				errs[i] = perr
-				return
+				return perr
 			}
 			p, err = factory.NewIndirect(factory.IndirectSpec{
 				Name: "vlp", BudgetBytes: budget, Profile: prof})
@@ -67,17 +66,17 @@ func (s *Suite) AblationIndField() (*Report, error) {
 				Name: variants[j.v], BudgetBytes: budget})
 		}
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		test, err := s.TestSource(bench)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[j.v][j.b] = sim.RunIndirect(p, test, sim.Options{}).Percent()
+		var jerr error
+		res.Rates[j.v][j.b], jerr = indirectPercent(ctx, p, test)
+		return jerr
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	return &Report{
@@ -101,7 +100,7 @@ type RASResult struct {
 // AblationRAS quantifies the premise behind the paper's exclusion of
 // returns from the indirect counts (§5.1): a return address stack predicts
 // them, nearly perfectly once deep enough for the program's call nesting.
-func (s *Suite) AblationRAS() (*Report, error) {
+func (s *Suite) AblationRAS(ctx context.Context) (*Report, error) {
 	bs, err := s.benches(workload.All())
 	if err != nil {
 		return nil, err
@@ -119,23 +118,21 @@ func (s *Suite) AblationRAS() (*Report, error) {
 			jobs = append(jobs, job{d, b})
 		}
 	}
-	errs := make([]error, len(jobs))
-	sim.ForEach(len(jobs), func(i int) {
+	err = sim.ForEach(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		src, err := s.TestSource(bs[j.b].Name())
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		st, err := ras.Run(src, res.Depths[j.d])
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		res.HitPct[j.d][j.b] = 100 * st.HitRate()
 		res.Returns[j.b] = st.Returns
+		return nil
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	header := []string{"Benchmark", "returns"}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/bpred"
 	"repro/internal/bpred/dhlf"
 	"repro/internal/bpred/gshare"
@@ -22,7 +24,7 @@ import (
 // The paper's thesis decomposes into two deltas this table exposes: path
 // beats pattern at equal adaptivity, and per-branch selection beats fixed
 // at equal history kind.
-func (s *Suite) AblationAdaptivity() (*Report, error) {
+func (s *Suite) AblationAdaptivity(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
 	all, err := s.benches(workload.All())
@@ -33,7 +35,7 @@ func (s *Suite) AblationAdaptivity() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.runCondVariants(ablationBenches,
+	res, err := s.runCondVariants(ctx, ablationBenches,
 		[]string{"gshare", "DHLF [12]", "elastic pattern [21]", "FLP", "VLP"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			switch v {

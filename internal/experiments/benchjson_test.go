@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/obs"
@@ -11,7 +12,7 @@ func TestRunMeasuredAttachesMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := e.RunMeasured(testSuite())
+	rep, err := e.RunMeasured(context.Background(), testSuite())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestWriteBenchEmitsSchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := testSuite()
-	rep, err := e.RunMeasured(s)
+	rep, err := e.RunMeasured(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

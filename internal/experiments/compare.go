@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/bpred/targetcache"
 	"repro/internal/sim"
 	"repro/internal/textplot"
+	"repro/internal/trace"
 	"repro/internal/vlp"
 	"repro/internal/workload"
 )
@@ -86,7 +88,7 @@ func (r *BenchSeries) MeanReduction(from, to string) (float64, error) {
 // condComparison produces the gshare / fixed length path / variable length
 // path comparison of Figures 5-6 for the given benchmarks and hardware
 // budget.
-func (s *Suite) condComparison(bs []*workload.Benchmark, budgetBytes int) (*BenchSeries, error) {
+func (s *Suite) condComparison(ctx context.Context, bs []*workload.Benchmark, budgetBytes int) (*BenchSeries, error) {
 	bs, err := s.benches(bs)
 	if err != nil {
 		return nil, err
@@ -108,46 +110,45 @@ func (s *Suite) condComparison(bs []*workload.Benchmark, budgetBytes int) (*Benc
 		Benchmarks: names(bs),
 		Rates:      newRates(3, len(bs)),
 	}
-	errs := make([]error, len(bs))
-	sim.ForEach(len(bs), func(i int) {
+	err = sim.ForEach(ctx, len(bs), func(i int) error {
 		b := bs[i]
 		test, err := s.TestSource(b.Name())
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		g, err := gshare.New(budgetBytes)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		out.Rates[0][i] = sim.RunCond(g, test, sim.Options{}).Percent()
+		if out.Rates[0][i], err = condPercent(ctx, g, test); err != nil {
+			return err
+		}
 
 		flp, err := vlp.NewCond(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		out.Rates[1][i] = sim.RunCond(flp, test, sim.Options{}).Percent()
+		if out.Rates[1][i], err = condPercent(ctx, flp, test); err != nil {
+			return err
+		}
 
 		prof, err := s.Profile(b.Name(), false, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		vp, err := vlp.NewCond(budgetBytes, prof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		out.Rates[2][i] = sim.RunCond(vp, test, sim.Options{}).Percent()
+		out.Rates[2][i], err = condPercent(ctx, vp, test)
+		return err
 	})
-	return out, firstErr(errs)
+	return out, err
 }
 
 // indirectComparison produces the Chang-Hao-Patt path & pattern versus
 // fixed/variable length path comparison of Figures 7-8.
-func (s *Suite) indirectComparison(bs []*workload.Benchmark, budgetBytes int) (*BenchSeries, error) {
+func (s *Suite) indirectComparison(ctx context.Context, bs []*workload.Benchmark, budgetBytes int) (*BenchSeries, error) {
 	bs, err := s.benches(bs)
 	if err != nil {
 		return nil, err
@@ -168,51 +169,51 @@ func (s *Suite) indirectComparison(bs []*workload.Benchmark, budgetBytes int) (*
 		Benchmarks: names(bs),
 		Rates:      newRates(4, len(bs)),
 	}
-	errs := make([]error, len(bs))
-	sim.ForEach(len(bs), func(i int) {
+	err = sim.ForEach(ctx, len(bs), func(i int) error {
 		b := bs[i]
 		test, err := s.TestSource(b.Name())
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		runOne := func(p bpred.IndirectPredictor) float64 {
-			return sim.RunIndirect(p, test, sim.Options{}).Percent()
+		runOne := func(p bpred.IndirectPredictor) (float64, error) {
+			return indirectPercent(ctx, p, test)
 		}
 		path, err := targetcache.NewPathBudget(budgetBytes)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		out.Rates[0][i] = runOne(path)
+		if out.Rates[0][i], err = runOne(path); err != nil {
+			return err
+		}
 
 		pattern, err := targetcache.NewPatternBudget(budgetBytes)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		out.Rates[1][i] = runOne(pattern)
+		if out.Rates[1][i], err = runOne(pattern); err != nil {
+			return err
+		}
 
 		flp, err := vlp.NewIndirect(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		out.Rates[2][i] = runOne(flp)
+		if out.Rates[2][i], err = runOne(flp); err != nil {
+			return err
+		}
 
 		prof, err := s.Profile(b.Name(), true, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		vp, err := vlp.NewIndirect(budgetBytes, prof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		out.Rates[3][i] = runOne(vp)
+		out.Rates[3][i], err = runOne(vp)
+		return err
 	})
-	return out, firstErr(errs)
+	return out, err
 }
 
 func names(bs []*workload.Benchmark) []string {
@@ -231,11 +232,16 @@ func newRates(p, b int) [][]float64 {
 	return out
 }
 
-func firstErr(errs []error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// condPercent and indirectPercent run a predictor over a source and
+// return its misprediction percentage, refusing to report a partial
+// run (canceled context or failed source) as a measurement.
+
+func condPercent(ctx context.Context, p bpred.CondPredictor, src trace.Source) (float64, error) {
+	res := sim.RunCond(ctx, p, src, sim.Options{})
+	return res.Percent(), res.Err
+}
+
+func indirectPercent(ctx context.Context, p bpred.IndirectPredictor, src trace.Source) (float64, error) {
+	res := sim.RunIndirect(ctx, p, src, sim.Options{})
+	return res.Percent(), res.Err
 }

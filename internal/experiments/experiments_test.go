@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	rep, err := testSuite().Table1()
+	rep, err := testSuite().Table1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	rep, err := testSuite().Table2()
+	rep, err := testSuite().Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,8 +105,8 @@ func TestTable2Shape(t *testing.T) {
 // length path predictor beats gshare on every benchmark, and the fixed
 // length path predictor is at least competitive on average.
 func TestFigure5Ordering(t *testing.T) {
-	for _, fig := range []func(*Suite) (*Report, error){(*Suite).Figure5, (*Suite).Figure6} {
-		rep, err := fig(testSuite())
+	for _, fig := range []func(*Suite, context.Context) (*Report, error){(*Suite).Figure5, (*Suite).Figure6} {
+		rep, err := fig(testSuite(), context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func TestFigure5Ordering(t *testing.T) {
 // indirect-heavy benchmarks, both path predictors dominate the Chang, Hao
 // and Patt baselines, and profiling helps on average.
 func TestIndirectOrdering(t *testing.T) {
-	rep, err := testSuite().Table3()
+	rep, err := testSuite().Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestIndirectOrdering(t *testing.T) {
 // TestFigure9Shape: rates fall with size for every predictor, and VLP
 // dominates gshare across the sweep.
 func TestFigure9Shape(t *testing.T) {
-	rep, err := testSuite().Figure9()
+	rep, err := testSuite().Figure9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestFigure9Shape(t *testing.T) {
 // size ("for all sizes, both the variable and the fixed length path
 // predictors perform outrageously better than the competing predictors").
 func TestFigure10Shape(t *testing.T) {
-	rep, err := testSuite().Figure10()
+	rep, err := testSuite().Figure10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestHeadline(t *testing.T) {
-	rep, err := testSuite().Headline()
+	rep, err := testSuite().Headline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestAblationsSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := e.Run(s)
+		rep, err := e.Run(s, context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -304,7 +305,7 @@ func TestAblationsSmoke(t *testing.T) {
 // TestRASAblationJustifiesExclusion: the deepest stack must predict
 // essentially all returns on every benchmark (§5.1's premise).
 func TestRASAblationJustifiesExclusion(t *testing.T) {
-	rep, err := testSuite().AblationRAS()
+	rep, err := testSuite().AblationRAS(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestRASAblationJustifiesExclusion(t *testing.T) {
 // shrink (§4.2): full number <= bucket hint <= hardware only, within a
 // small tolerance per benchmark.
 func TestISABitsMonotone(t *testing.T) {
-	rep, err := testSuite().AblationISABits()
+	rep, err := testSuite().AblationISABits(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

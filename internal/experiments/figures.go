@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/workload"
@@ -10,8 +11,8 @@ import (
 // misprediction rates on the SPEC benchmarks with a 16 KB predictor, for
 // gshare, the fixed length path predictor, and the variable length path
 // predictor.
-func (s *Suite) Figure5() (*Report, error) {
-	series, err := s.condComparison(workload.SPEC(), 16*1024)
+func (s *Suite) Figure5(ctx context.Context) (*Report, error) {
+	series, err := s.condComparison(ctx, workload.SPEC(), 16*1024)
 	if err != nil {
 		return nil, err
 	}
@@ -29,8 +30,8 @@ func (s *Suite) Figure5() (*Report, error) {
 }
 
 // Figure6 is Figure 5 for the non-SPEC benchmarks.
-func (s *Suite) Figure6() (*Report, error) {
-	series, err := s.condComparison(workload.NonSPEC(), 16*1024)
+func (s *Suite) Figure6(ctx context.Context) (*Report, error) {
+	series, err := s.condComparison(ctx, workload.NonSPEC(), 16*1024)
 	if err != nil {
 		return nil, err
 	}
@@ -53,8 +54,8 @@ func (s *Suite) Figure6() (*Report, error) {
 // path predictors. Benchmarks that execute no indirect branches under the
 // configured trace length report 0% for every predictor, mirroring the
 // near-empty bars the paper shows for compress.
-func (s *Suite) Figure7() (*Report, error) {
-	series, err := s.indirectComparison(workload.SPEC(), 2048)
+func (s *Suite) Figure7(ctx context.Context) (*Report, error) {
+	series, err := s.indirectComparison(ctx, workload.SPEC(), 2048)
 	if err != nil {
 		return nil, err
 	}
@@ -67,8 +68,8 @@ func (s *Suite) Figure7() (*Report, error) {
 }
 
 // Figure8 is Figure 7 for the non-SPEC benchmarks.
-func (s *Suite) Figure8() (*Report, error) {
-	series, err := s.indirectComparison(workload.NonSPEC(), 2048)
+func (s *Suite) Figure8(ctx context.Context) (*Report, error) {
+	series, err := s.indirectComparison(ctx, workload.NonSPEC(), 2048)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred/gshare"
@@ -76,7 +77,7 @@ func kbLabels(sizes []int) []string {
 // fixed length path predictor (suite-wide length), the per-benchmark
 // tuned fixed length path predictor, and the variable length path
 // predictor.
-func (s *Suite) Figure9() (*Report, error) {
+func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
 	const bench = "gcc"
 	all, err := s.benches(workload.All())
 	if err != nil {
@@ -91,59 +92,57 @@ func (s *Suite) Figure9() (*Report, error) {
 	}
 	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
 
-	errs := make([]error, len(res.SizesBytes))
-	sim.ForEach(len(res.SizesBytes), func(i int) {
+	err = sim.ForEach(ctx, len(res.SizesBytes), func(i int) error {
 		budget := res.SizesBytes[i]
 		k := condK(budget)
 		test, err := s.TestSource(bench)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		g, err := gshare.New(budget)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[0][i] = sim.RunCond(g, test, sim.Options{}).Percent()
+		if res.Rates[0][i], err = condPercent(ctx, g, test); err != nil {
+			return err
+		}
 
 		suiteLen, err := s.SuiteFixedLength(all, false, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		flp, err := vlp.NewCond(budget, vlp.Fixed{L: suiteLen}, vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[1][i] = sim.RunCond(flp, test, sim.Options{}).Percent()
+		if res.Rates[1][i], err = condPercent(ctx, flp, test); err != nil {
+			return err
+		}
 
 		tunedLen, err := s.TunedFixedLength(bench, false, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		tuned, err := vlp.NewCond(budget, vlp.Fixed{L: tunedLen}, vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[2][i] = sim.RunCond(tuned, test, sim.Options{}).Percent()
+		if res.Rates[2][i], err = condPercent(ctx, tuned, test); err != nil {
+			return err
+		}
 
 		prof, err := s.Profile(bench, false, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		vp, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[3][i] = sim.RunCond(vp, test, sim.Options{}).Percent()
+		res.Rates[3][i], err = condPercent(ctx, vp, test)
+		return err
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	return &Report{
@@ -158,7 +157,7 @@ func (s *Suite) Figure9() (*Report, error) {
 // misprediction versus predictor size (0.5 KB to 32 KB) for the Chang,
 // Hao and Patt path and pattern caches and the fixed, tuned-fixed, and
 // variable length path predictors.
-func (s *Suite) Figure10() (*Report, error) {
+func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
 	const bench = "gcc"
 	all, err := s.benches(workload.All())
 	if err != nil {
@@ -172,66 +171,65 @@ func (s *Suite) Figure10() (*Report, error) {
 	}
 	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
 
-	errs := make([]error, len(res.SizesBytes))
-	sim.ForEach(len(res.SizesBytes), func(i int) {
+	err = sim.ForEach(ctx, len(res.SizesBytes), func(i int) error {
 		budget := res.SizesBytes[i]
 		k := indK(budget)
 		test, err := s.TestSource(bench)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		path, err := targetcache.NewPathBudget(budget)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[0][i] = sim.RunIndirect(path, test, sim.Options{}).Percent()
+		if res.Rates[0][i], err = indirectPercent(ctx, path, test); err != nil {
+			return err
+		}
 
 		pattern, err := targetcache.NewPatternBudget(budget)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[1][i] = sim.RunIndirect(pattern, test, sim.Options{}).Percent()
+		if res.Rates[1][i], err = indirectPercent(ctx, pattern, test); err != nil {
+			return err
+		}
 
 		suiteLen, err := s.SuiteFixedLength(all, true, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		flp, err := vlp.NewIndirect(budget, vlp.Fixed{L: suiteLen}, vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[2][i] = sim.RunIndirect(flp, test, sim.Options{}).Percent()
+		if res.Rates[2][i], err = indirectPercent(ctx, flp, test); err != nil {
+			return err
+		}
 
 		tunedLen, err := s.TunedFixedLength(bench, true, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		tuned, err := vlp.NewIndirect(budget, vlp.Fixed{L: tunedLen}, vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[3][i] = sim.RunIndirect(tuned, test, sim.Options{}).Percent()
+		if res.Rates[3][i], err = indirectPercent(ctx, tuned, test); err != nil {
+			return err
+		}
 
 		prof, err := s.Profile(bench, true, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		vp, err := vlp.NewIndirect(budget, prof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.Rates[4][i] = sim.RunIndirect(vp, test, sim.Options{}).Percent()
+		res.Rates[4][i], err = indirectPercent(ctx, vp, test)
+		return err
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	return &Report{
@@ -254,7 +252,7 @@ type HeadlineResult struct {
 
 // Headline reproduces the abstract's gcc numbers (paper: 4.3% vs 8.8%
 // conditional at 4 KB; 27.7% vs 44.2% indirect at 512 bytes).
-func (s *Suite) Headline() (*Report, error) {
+func (s *Suite) Headline(ctx context.Context) (*Report, error) {
 	const bench = "gcc"
 	res := &HeadlineResult{}
 
@@ -266,7 +264,9 @@ func (s *Suite) Headline() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.CondGshare = sim.RunCond(g, test, sim.Options{}).Percent()
+	if res.CondGshare, err = condPercent(ctx, g, test); err != nil {
+		return nil, err
+	}
 	prof, err := s.Profile(bench, false, condK(4*1024))
 	if err != nil {
 		return nil, err
@@ -275,18 +275,26 @@ func (s *Suite) Headline() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.CondVLP = sim.RunCond(vp, test, sim.Options{}).Percent()
+	if res.CondVLP, err = condPercent(ctx, vp, test); err != nil {
+		return nil, err
+	}
 
 	path, err := targetcache.NewPathBudget(512)
 	if err != nil {
 		return nil, err
 	}
-	pathRate := sim.RunIndirect(path, test, sim.Options{}).Percent()
+	pathRate, err := indirectPercent(ctx, path, test)
+	if err != nil {
+		return nil, err
+	}
 	pattern, err := targetcache.NewPatternBudget(512)
 	if err != nil {
 		return nil, err
 	}
-	patternRate := sim.RunIndirect(pattern, test, sim.Options{}).Percent()
+	patternRate, err := indirectPercent(ctx, pattern, test)
+	if err != nil {
+		return nil, err
+	}
 	res.IndBestCompeting, res.IndBestCompetingName = pathRate, "path"
 	if patternRate < pathRate {
 		res.IndBestCompeting, res.IndBestCompetingName = patternRate, "pattern"
@@ -299,7 +307,9 @@ func (s *Suite) Headline() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.IndVLP = sim.RunIndirect(ivp, test, sim.Options{}).Percent()
+	if res.IndVLP, err = indirectPercent(ctx, ivp, test); err != nil {
+		return nil, err
+	}
 
 	text := fmt.Sprintf(
 		"gcc conditional @ 4KB:  VLP %.2f%%  vs  gshare %.2f%%   (paper: 4.3%% vs 8.8%%)\n"+

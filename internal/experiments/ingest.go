@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/runx"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TracePath returns the recorded test-trace file for a benchmark under
+// dir: "<dir>/<name>.vlpt", or the ".vlpt.gz" variant when only that
+// exists.
+func TracePath(dir, name string) string {
+	plain := filepath.Join(dir, name+".vlpt")
+	if _, err := os.Stat(plain); err == nil {
+		return plain
+	}
+	gz := plain + ".gz"
+	if _, err := os.Stat(gz); err == nil {
+		return gz
+	}
+	return plain
+}
+
+// IngestTraces pre-loads every benchmark's recorded test trace from
+// Cfg.TraceDir, priming the suite's test-trace cache. It is the suite's
+// hardened ingestion boundary:
+//
+//   - transient I/O failures (interrupted reads, EAGAIN, fd exhaustion)
+//     are retried with exponential backoff;
+//   - permanent failures — a missing file, denied permission, or a
+//     corrupt/truncated trace (trace.ErrCorrupt) — mark the benchmark
+//     skipped with the reason recorded, and every other benchmark still
+//     ingests, so one bad trace degrades the suite instead of killing it.
+//
+// It returns the skip map (also available later via Skipped). With no
+// TraceDir configured it is a no-op: traces are generated in process as
+// before.
+func (s *Suite) IngestTraces(ctx context.Context) (map[string]string, error) {
+	if s.Cfg.TraceDir == "" {
+		return nil, nil
+	}
+	if _, err := os.Stat(s.Cfg.TraceDir); err != nil {
+		return nil, fmt.Errorf("experiments: trace directory: %w", err)
+	}
+	for _, b := range workload.All() {
+		if err := ctx.Err(); err != nil {
+			return s.Skipped(), err
+		}
+		name := b.Name()
+		path := TracePath(s.Cfg.TraceDir, name)
+		var buf *trace.Buffer
+		err := runx.Retry(ctx, runx.DefaultBackoff(), func() error {
+			var err error
+			buf, err = trace.ReadFile(path)
+			return err
+		})
+		switch {
+		case err == nil:
+			s.mu.Lock()
+			s.testBufs[name] = buf.Records
+			s.mu.Unlock()
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return s.Skipped(), err
+		case errors.Is(err, trace.ErrCorrupt):
+			s.Skip(name, fmt.Sprintf("corrupt trace %s: %v", path, err))
+		default:
+			s.Skip(name, fmt.Sprintf("unreadable trace %s: %v", path, err))
+		}
+	}
+	return s.Skipped(), nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred/gshare"
@@ -27,7 +28,7 @@ type InterferenceResult struct {
 // training times and less interference"). Every predictor-table entry is
 // tagged with the static branch that last trained it, and each miss is
 // classified by what it hit.
-func (s *Suite) AblationInterference() (*Report, error) {
+func (s *Suite) AblationInterference(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
 	all, err := s.benches(workload.All())
@@ -42,35 +43,35 @@ func (s *Suite) AblationInterference() (*Report, error) {
 		Benchmarks: ablationBenches,
 		Rows:       make([][]vlp.MissBreakdown, len(ablationBenches)),
 	}
-	errs := make([]error, len(res.Benchmarks))
-	sim.ForEach(len(res.Benchmarks), func(i int) {
+	err = sim.ForEach(ctx, len(res.Benchmarks), func(i int) error {
 		bench := res.Benchmarks[i]
 		test, err := s.TestSource(bench)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		flp, err := vlp.NewInstrumentedCond(budget, vlp.Fixed{L: fixedLen}, vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		sim.RunCond(flp, test, sim.Options{})
+		if r := sim.RunCond(ctx, flp, test, sim.Options{}); r.Err != nil {
+			return r.Err
+		}
 
 		prof, err := s.Profile(bench, false, k)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		vp, err := vlp.NewInstrumentedCond(budget, prof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		sim.RunCond(vp, test, sim.Options{})
+		if r := sim.RunCond(ctx, vp, test, sim.Options{}); r.Err != nil {
+			return r.Err
+		}
 		res.Rows[i] = []vlp.MissBreakdown{flp.Stats, vp.Stats}
+		return nil
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	tb := tablefmt.New("Benchmark", "FLP", "VLP")
@@ -98,7 +99,7 @@ type StabilityResult struct {
 // independent input data sets (the profile stays fixed to the profile
 // input, as deployment would) and reports mean ± 95% CI. The paper's
 // single-input numbers are meaningful only if this spread is small.
-func (s *Suite) AblationStability() (*Report, error) {
+func (s *Suite) AblationStability(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	const inputs = 5
 	k := condK(budget)
@@ -115,8 +116,7 @@ func (s *Suite) AblationStability() (*Report, error) {
 		GshareRates: make([]float64, inputs),
 		VLPRates:    make([]float64, inputs),
 	}
-	errs := make([]error, inputs)
-	sim.ForEach(inputs, func(i int) {
+	err = sim.ForEach(ctx, inputs, func(i int) error {
 		// Inputs 0 and 2..5: skip 1, which is the profiling input.
 		input := uint64(i)
 		if input >= 1 {
@@ -125,18 +125,19 @@ func (s *Suite) AblationStability() (*Report, error) {
 		src := trace.Collect(bench.InputSource(s.Cfg.base(), input))
 		g, err := gshare.New(budget)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.GshareRates[i] = sim.RunCond(g, src, sim.Options{}).Percent()
+		if res.GshareRates[i], err = condPercent(ctx, g, src); err != nil {
+			return err
+		}
 		vp, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
-		res.VLPRates[i] = sim.RunCond(vp, src, sim.Options{}).Percent()
+		res.VLPRates[i], err = condPercent(ctx, vp, src)
+		return err
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	text := fmt.Sprintf("gcc conditional @ 16KB over %d independent inputs (profile held fixed):\n"+

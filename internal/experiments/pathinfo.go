@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -27,28 +28,26 @@ type PathInfoResult struct {
 // concentration of weight at shallow depths — with a long tail needing
 // deep paths — is exactly the distribution that makes per-branch length
 // selection profitable.
-func (s *Suite) AblationPathInfo() (*Report, error) {
+func (s *Suite) AblationPathInfo(ctx context.Context) (*Report, error) {
 	res := &PathInfoResult{Benchmarks: ablationBenches}
 	res.Weight = make([][]float64, len(res.Benchmarks))
 	res.MeanAcc = make([][]float64, len(res.Benchmarks))
-	errs := make([]error, len(res.Benchmarks))
-	sim.ForEach(len(res.Benchmarks), func(i int) {
+	err := sim.ForEach(ctx, len(res.Benchmarks), func(i int) error {
 		src, err := s.TestSource(res.Benchmarks[i])
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		rep, err := analysis.Analyze(src, analysis.Config{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		depths, weight := rep.SufficientDepthHistogram()
 		res.Depths = depths
 		res.Weight[i] = weight
 		res.MeanAcc[i] = rep.MeanAccuracyAt()
+		return nil
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 

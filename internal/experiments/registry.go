@@ -1,17 +1,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
 	"repro/internal/obs"
+	"repro/internal/runx"
 )
 
 // Entry describes one runnable experiment.
 type Entry struct {
 	ID    string
 	Title string
-	Run   func(*Suite) (*Report, error)
+	// Run regenerates the experiment. The receiver-first signature
+	// lets the registry list method expressions directly; the context
+	// carries the per-experiment deadline and cancellation.
+	Run func(*Suite, context.Context) (*Report, error)
 }
 
 // RunMeasured runs the experiment bracketed by an observability span
@@ -20,13 +25,27 @@ type Entry struct {
 // allocation, GC cycles — to the report. This is how cmd/paperrepro
 // and the root benchmarks execute entries; the raw Run field remains
 // for callers that want the data alone.
-func (e Entry) RunMeasured(s *Suite) (*Report, error) {
+//
+// RunMeasured is also the experiment-level fault boundary: the body
+// runs under recover, so a panicking experiment comes back as a
+// structured *runx.PanicError instead of tearing down the sweep, and a
+// canceled or expired context surfaces as that context's error even if
+// the body swallowed it.
+func (e Entry) RunMeasured(ctx context.Context, s *Suite) (*Report, error) {
 	span := obs.StartSpan()
 	// Experiments fan their (predictor, benchmark) jobs out through
 	// sim.ForEach; GOMAXPROCS is the pool's ceiling.
 	span.SetWorkers(runtime.GOMAXPROCS(0))
-	rep, err := e.Run(s)
+	var rep *Report
+	err := runx.Safe(func() error {
+		var err error
+		rep, err = e.Run(s, ctx)
+		return err
+	})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	rep.Metrics = span.End()
@@ -67,9 +86,40 @@ func Registry() []Entry {
 	}
 }
 
-// Find returns the registry entry with the given ID.
+// FaultRegistry lists synthetic fault-injection entries that exercise
+// the execution layer's failure paths end to end: a panicking
+// experiment body, a plain error, and a body that blocks until its
+// deadline. They are addressable through Find (so
+// `paperrepro -exp headline,selftest-panic` can demonstrate panic
+// isolation) but excluded from Registry, so default suite runs never
+// execute them.
+func FaultRegistry() []Entry {
+	return []Entry{
+		{"selftest-panic", "Fault injection: panics mid-experiment",
+			func(*Suite, context.Context) (*Report, error) {
+				panic("selftest-panic: injected experiment panic")
+			}},
+		{"selftest-fail", "Fault injection: returns an error",
+			func(*Suite, context.Context) (*Report, error) {
+				return nil, fmt.Errorf("selftest-fail: injected experiment error")
+			}},
+		{"selftest-hang", "Fault injection: blocks until the context expires",
+			func(_ *Suite, ctx context.Context) (*Report, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}},
+	}
+}
+
+// Find returns the entry with the given ID, searching the registry and
+// then the fault-injection entries.
 func Find(id string) (Entry, error) {
 	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	for _, e := range FaultRegistry() {
 		if e.ID == id {
 			return e, nil
 		}

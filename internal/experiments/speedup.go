@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -28,7 +29,7 @@ type SpeedupResult struct {
 // a 4-wide fetch engine with a 10-cycle redirect penalty, comparing the
 // gshare + pattern-cache baseline against the profiled variable length
 // path predictors, with a return address stack in both configurations.
-func (s *Suite) AblationSpeedup() (*Report, error) {
+func (s *Suite) AblationSpeedup(ctx context.Context) (*Report, error) {
 	const condBudget, indBudget = 16 * 1024, 2 * 1024
 	kc, ki := condK(condBudget), indK(indBudget)
 	benches := ablationBenches
@@ -40,8 +41,7 @@ func (s *Suite) AblationSpeedup() (*Report, error) {
 		VLPMPKI:    make([]float64, len(benches)),
 		Speedup:    make([]float64, len(benches)),
 	}
-	errs := make([]error, len(benches))
-	sim.ForEach(len(benches), func(i int) {
+	err := sim.ForEach(ctx, len(benches), func(i int) error {
 		bench := benches[i]
 		mk := func(cond bpred.CondPredictor, ind bpred.IndirectPredictor) (pipeline.Result, error) {
 			src, err := s.TestSource(bench)
@@ -53,51 +53,44 @@ func (s *Suite) AblationSpeedup() (*Report, error) {
 
 		g, err := gshare.New(condBudget)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		pat, err := targetcache.NewPatternBudget(indBudget)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		base, err := mk(g, pat)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 
 		cprof, err := s.Profile(bench, false, kc)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		vc, err := vlp.NewCond(condBudget, cprof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		iprof, err := s.Profile(bench, true, ki)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		vi, err := vlp.NewIndirect(indBudget, iprof.Selector(), vlp.Options{})
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		vres, err := mk(vc, vi)
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 
 		res.BaseIPC[i], res.VLPIPC[i] = base.IPC(), vres.IPC()
 		res.BaseMPKI[i], res.VLPMPKI[i] = base.MPKI(), vres.MPKI()
 		res.Speedup[i] = vres.Speedup(base)
+		return nil
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	tb := tablefmt.New("Benchmark", "base IPC", "base MPKI", "VLP IPC", "VLP MPKI", "speedup")
@@ -116,10 +109,10 @@ func (s *Suite) AblationSpeedup() (*Report, error) {
 // AblationISABits measures §4.2's degradation path as the ISA carries
 // fewer hash-number bits: the full profiled number, a coarse bucket hint
 // refined by hardware, and no hint at all (pure hardware selection).
-func (s *Suite) AblationISABits() (*Report, error) {
+func (s *Suite) AblationISABits(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ablationBenches,
+	res, err := s.runCondVariants(ctx, ablationBenches,
 		[]string{"full number (5 bits)", "bucket hint + hw refine (2 bits)", "hardware only (0 bits)"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			switch v {

@@ -38,6 +38,12 @@ type Config struct {
 	BaseRecords int
 	// ProfileRecords is the profile input length; 0 means BaseRecords.
 	ProfileRecords int
+	// TraceDir, when set, names a directory of recorded test-input
+	// traces (<benchmark>.vlpt, optionally .vlpt.gz) to replay instead
+	// of generating test traces in process. IngestTraces validates and
+	// loads them up front; benchmarks whose trace is missing or corrupt
+	// are skipped with a recorded reason rather than failing the suite.
+	TraceDir string
 }
 
 func (c Config) base() int {
@@ -65,6 +71,10 @@ type Suite struct {
 	step1     map[cacheKey]profile.Step1Result
 	profiles  map[cacheKey]*profile.Profile
 	benchmark map[string]*workload.Benchmark
+	// skipped maps benchmark name → why its trace could not be
+	// ingested. Sweep experiments drop skipped benchmarks (benches);
+	// benchmark-specific experiments fail with the reason (bench).
+	skipped map[string]string
 }
 
 type cacheKey struct {
@@ -82,12 +92,42 @@ func NewSuite(cfg Config) *Suite {
 		step1:     map[cacheKey]profile.Step1Result{},
 		profiles:  map[cacheKey]*profile.Profile{},
 		benchmark: map[string]*workload.Benchmark{},
+		skipped:   map[string]string{},
 	}
+}
+
+// Skip records that a benchmark is excluded from this run and why.
+func (s *Suite) Skip(name, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.skipped[name] = reason
+}
+
+// Skipped returns a copy of the benchmark → reason map of exclusions.
+func (s *Suite) Skipped() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.skipped))
+	for k, v := range s.skipped {
+		out[k] = v
+	}
+	return out
+}
+
+// skipReason returns the recorded exclusion reason, if any.
+func (s *Suite) skipReason(name string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.skipped[name]
+	return r, ok
 }
 
 // bench returns the shared Benchmark instance for a name, so the lazily
 // built program is constructed once per suite.
 func (s *Suite) bench(name string) (*workload.Benchmark, error) {
+	if reason, ok := s.skipReason(name); ok {
+		return nil, fmt.Errorf("experiments: benchmark %s skipped: %s", name, reason)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if b, ok := s.benchmark[name]; ok {
@@ -101,15 +141,23 @@ func (s *Suite) bench(name string) (*workload.Benchmark, error) {
 	return b, nil
 }
 
-// benches resolves a list of workload benchmarks through the suite cache.
+// benches resolves a list of workload benchmarks through the suite
+// cache, dropping benchmarks whose traces were skipped at ingestion so
+// suite-wide sweeps degrade gracefully instead of failing outright.
 func (s *Suite) benches(bs []*workload.Benchmark) ([]*workload.Benchmark, error) {
-	out := make([]*workload.Benchmark, len(bs))
-	for i, b := range bs {
+	out := make([]*workload.Benchmark, 0, len(bs))
+	for _, b := range bs {
+		if _, skip := s.skipReason(b.Name()); skip {
+			continue
+		}
 		cached, err := s.bench(b.Name())
 		if err != nil {
 			return nil, err
 		}
-		out[i] = cached
+		out = append(out, cached)
+	}
+	if len(out) == 0 && len(bs) > 0 {
+		return nil, fmt.Errorf("experiments: every requested benchmark was skipped")
 	}
 	return out, nil
 }

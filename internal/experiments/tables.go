@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -26,18 +27,16 @@ type Table1Result struct {
 // Table1 reproduces the paper's Table 1: dynamic and static counts of
 // conditional and indirect branches per benchmark on the test input
 // (returns excluded from the indirect counts, §5.1).
-func (s *Suite) Table1() (*Report, error) {
+func (s *Suite) Table1(ctx context.Context) (*Report, error) {
 	bs, err := s.benches(workload.All())
 	if err != nil {
 		return nil, err
 	}
 	res := &Table1Result{Rows: make([]Table1Row, len(bs))}
-	errs := make([]error, len(bs))
-	sim.ForEach(len(bs), func(i int) {
+	err = sim.ForEach(ctx, len(bs), func(i int) error {
 		src, err := s.TestSource(bs[i].Name())
 		if err != nil {
-			errs[i] = err
-			return
+			return err
 		}
 		sum := trace.Summarize(src)
 		res.Rows[i] = Table1Row{
@@ -47,8 +46,9 @@ func (s *Suite) Table1() (*Report, error) {
 			IndirectDynamic: sum.DynamicIndirect(),
 			IndirectStatic:  sum.StaticIndirect,
 		}
+		return nil
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	tb := tablefmt.New("Benchmark", "cond dynamic", "cond static", "indirect dynamic", "indirect static").
@@ -79,7 +79,7 @@ type Table2Result struct {
 // Table2 reproduces the paper's Table 2: for each hardware budget, the
 // fixed path length with the lowest average misprediction rate over all
 // benchmarks, determined on the profile inputs (§5.1).
-func (s *Suite) Table2() (*Report, error) {
+func (s *Suite) Table2(ctx context.Context) (*Report, error) {
 	all, err := s.benches(workload.All())
 	if err != nil {
 		return nil, err
@@ -98,16 +98,17 @@ func (s *Suite) Table2() (*Report, error) {
 		jobs = append(jobs, job{b, true})
 	}
 	lengths := make([]int, len(jobs))
-	errs := make([]error, len(jobs))
-	sim.ForEach(len(jobs), func(i int) {
+	err = sim.ForEach(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		k := condK(j.bytes)
 		if j.indirect {
 			k = indK(j.bytes)
 		}
-		lengths[i], errs[i] = s.SuiteFixedLength(all, j.indirect, k)
+		var jerr error
+		lengths[i], jerr = s.SuiteFixedLength(all, j.indirect, k)
+		return jerr
 	})
-	if err := firstErr(errs); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	for i, j := range jobs {
@@ -140,8 +141,8 @@ func (s *Suite) Table2() (*Report, error) {
 // the eight indirect-heavy benchmarks at the 2 KB budget, for the Chang-
 // Hao-Patt path and pattern caches and the fixed/variable length path
 // predictors.
-func (s *Suite) Table3() (*Report, error) {
-	series, err := s.indirectComparison(workload.IndirectHeavy(), 2048)
+func (s *Suite) Table3(ctx context.Context) (*Report, error) {
+	series, err := s.indirectComparison(ctx, workload.IndirectHeavy(), 2048)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,56 @@
+package factory
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary strings at the predictor-spec grammar.
+// Parsing must never panic, must be deterministic, must never accept an
+// empty scheme name or a non-positive budget, and any accepted spec
+// must survive a String() → ParseSpec round trip.
+func FuzzParseSpec(f *testing.F) {
+	for _, s := range []string{
+		"gshare",
+		"gshare:budget=16KB",
+		"vlp:budget=64KB,profile=gcc.prof",
+		"flp:budget=2048,fixed=8",
+		"ttc:store-returns,no-rotation",
+		"flp:length=4,budget=0.5KB",
+		":=",
+		"vlp:budget=",
+		"x:unknown=1",
+		"gshare:budget=-16KB",
+		"flp:fixed=999999999999999999999",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return // rejected input; nothing more to check
+		}
+		if spec.Name == "" {
+			t.Fatalf("ParseSpec(%q) accepted an empty scheme name", s)
+		}
+		if spec.BudgetBytes < 0 {
+			t.Fatalf("ParseSpec(%q) accepted negative budget %d", s, spec.BudgetBytes)
+		}
+		again, err := ParseSpec(s)
+		if err != nil || !reflect.DeepEqual(spec, again) {
+			t.Fatalf("ParseSpec(%q) not deterministic: %+v / %+v (err %v)", s, spec, again, err)
+		}
+		// The canonical rendering must parse back to the same spec.
+		// (Negative fixed lengths are unrepresentable in the grammar's
+		// canonical form; Validate rejects them downstream.)
+		if spec.FixedLength >= 0 {
+			back, err := ParseSpec(spec.String())
+			if err != nil {
+				t.Fatalf("ParseSpec(%q).String() = %q does not re-parse: %v", s, spec.String(), err)
+			}
+			if !reflect.DeepEqual(spec, back) {
+				t.Fatalf("round trip via %q changed spec: %+v vs %+v", spec.String(), spec, back)
+			}
+		}
+	})
+}

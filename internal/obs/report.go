@@ -35,6 +35,49 @@ type Report struct {
 	Env Env `json:"env"`
 	// Data is the run's typed result payload, marshalled as-is.
 	Data any `json:"data,omitempty"`
+	// Failures records sub-runs (experiments of a suite run) that did
+	// not complete: the error is preserved verbatim and Kind classifies
+	// it (see FailureKind). A report with failures is still a valid,
+	// complete record — of a degraded run.
+	Failures []Failure `json:"failures,omitempty"`
+	// Skipped maps sub-run or input names (benchmarks whose trace could
+	// not be ingested, experiments already satisfied by a resumed
+	// checkpoint) to the reason they were not run.
+	Skipped map[string]string `json:"skipped,omitempty"`
+}
+
+// FailureKind classifies a recorded failure.
+type FailureKind string
+
+const (
+	// FailurePanic is a recovered panic (runx.PanicError).
+	FailurePanic FailureKind = "panic"
+	// FailureTimeout is a deadline expiry.
+	FailureTimeout FailureKind = "timeout"
+	// FailureCanceled is an interrupt/cancellation.
+	FailureCanceled FailureKind = "canceled"
+	// FailureError is any other error.
+	FailureError FailureKind = "error"
+)
+
+// Failure is one failed sub-run inside an otherwise-completed report.
+type Failure struct {
+	Name  string      `json:"name"`
+	Kind  FailureKind `json:"kind"`
+	Error string      `json:"error"`
+}
+
+// AddFailure appends a failure record.
+func (r *Report) AddFailure(name string, kind FailureKind, err error) {
+	r.Failures = append(r.Failures, Failure{Name: name, Kind: kind, Error: err.Error()})
+}
+
+// AddSkip records one skipped sub-run or input and why.
+func (r *Report) AddSkip(name, reason string) {
+	if r.Skipped == nil {
+		r.Skipped = map[string]string{}
+	}
+	r.Skipped[name] = reason
 }
 
 // NewReport returns a report stamped with the current schema and
@@ -135,6 +178,16 @@ func (r *Report) Validate() error {
 		return fmt.Errorf("negative branch count %d", r.Metrics.Branches)
 	case r.Metrics.BranchesPerSec < 0:
 		return fmt.Errorf("negative throughput %f", r.Metrics.BranchesPerSec)
+	}
+	for i, f := range r.Failures {
+		if f.Name == "" || f.Error == "" {
+			return fmt.Errorf("failure %d missing name or error: %+v", i, f)
+		}
+		switch f.Kind {
+		case FailurePanic, FailureTimeout, FailureCanceled, FailureError:
+		default:
+			return fmt.Errorf("failure %q has unknown kind %q", f.Name, f.Kind)
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -108,7 +109,7 @@ func TestProfileGeneralises(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vlpRes := sim.RunCond(vlpPred, testSrc, sim.Options{})
+	vlpRes := sim.RunCond(context.Background(), vlpPred, testSrc, sim.Options{})
 
 	bestFixed := 1.0
 	for _, l := range []int{1, 2, 4, 8, 16} {
@@ -116,7 +117,7 @@ func TestProfileGeneralises(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if r := sim.RunCond(fp, testSrc, sim.Options{}).Rate(); r < bestFixed {
+		if r := sim.RunCond(context.Background(), fp, testSrc, sim.Options{}).Rate(); r < bestFixed {
 			bestFixed = r
 		}
 	}

@@ -1,0 +1,122 @@
+package runx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"syscall"
+	"time"
+)
+
+// Backoff shapes a retry loop: up to Attempts tries, sleeping Initial
+// and multiplying by Factor (capped at Max) between them. The zero
+// value is not useful; start from DefaultBackoff.
+type Backoff struct {
+	Attempts int
+	Initial  time.Duration
+	Max      time.Duration
+	Factor   float64
+	// Sleep replaces time.Sleep in tests; nil means a real
+	// context-aware sleep.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// DefaultBackoff is the trace-ingestion policy: three tries, 50ms
+// doubling to a 1s cap. Trace loads are seconds-long at most, so a
+// short, bounded schedule beats a long one — a persistent failure
+// should surface as a skip reason quickly.
+func DefaultBackoff() Backoff {
+	return Backoff{Attempts: 3, Initial: 50 * time.Millisecond, Max: time.Second, Factor: 2}
+}
+
+func (b Backoff) sleep(ctx context.Context, d time.Duration) error {
+	if b.Sleep != nil {
+		return b.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retry runs fn until it succeeds, fails permanently, or the attempts
+// or context run out. Only transient errors (see IsTransient) are
+// retried: a corrupt file decodes identically every time, so retrying
+// it would just triple the latency of the failure.
+func Retry(ctx context.Context, b Backoff, fn func() error) error {
+	if b.Attempts < 1 {
+		b.Attempts = 1
+	}
+	delay := b.Initial
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return fmt.Errorf("%w (canceled after %d attempt(s): %v)", err, attempt-1, cerr)
+			}
+			return cerr
+		}
+		err = fn()
+		if err == nil || !IsTransient(err) || attempt == b.Attempts {
+			return err
+		}
+		if serr := b.sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("%w (canceled during backoff: %v)", err, serr)
+		}
+		delay = time.Duration(float64(delay) * b.Factor)
+		if b.Max > 0 && delay > b.Max {
+			delay = b.Max
+		}
+	}
+}
+
+// transientError marks an error as retryable regardless of its type.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so IsTransient reports true for it — the
+// escape hatch for callers that know a failure is worth retrying even
+// though the error value itself does not say so.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient classifies an error as plausibly-transient I/O: timeouts
+// and the handful of errnos that mean "busy right now" rather than
+// "this data is wrong". Decode failures, missing files, and permission
+// errors are permanent — retrying them cannot help.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var marked *transientError
+	if errors.As(err, &marked) {
+		return true
+	}
+	if errors.Is(err, fs.ErrNotExist) || errors.Is(err, fs.ErrPermission) {
+		return false
+	}
+	if os.IsTimeout(err) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.EINTR, syscall.EAGAIN, syscall.EBUSY,
+		syscall.EMFILE, syscall.ENFILE, syscall.EIO,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}

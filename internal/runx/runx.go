@@ -1,0 +1,137 @@
+// Package runx is the fault-tolerance layer under the simulation
+// drivers: panic isolation for sweep jobs, retry with backoff for
+// transient I/O, a checkpoint manifest for resumable suite runs, and
+// signal-driven cancellation. The design goal is that one bad
+// (predictor, benchmark) cell — a panicking predictor, a corrupt trace
+// file, a hung experiment — degrades that cell, not the whole sweep:
+// everything else completes, every failure is recorded with a reason,
+// and a later run can resume from what already finished.
+package runx
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"syscall"
+)
+
+// PanicError is a panic converted into a value: the recovered payload
+// plus the goroutine stack at the point of the panic. Safe and the sim
+// sweep drivers produce it so one panicking job surfaces as a
+// structured per-job error instead of tearing the process down.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack captured inside recover.
+	Stack []byte
+}
+
+// Error summarises the panic; the stack is kept out of the one-line
+// message and available via the Stack field for verbose reporting.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Safe runs fn, converting a panic into a *PanicError return. It is
+// the single recover point the execution layer shares: experiment
+// bodies, sweep jobs, and any other code that must not take down its
+// siblings run under it.
+func Safe(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// JobError records one failed job of a sweep by its index.
+type JobError struct {
+	Index int
+	Err   error
+}
+
+func (e JobError) Error() string {
+	return fmt.Sprintf("job %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e JobError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every failure of a ForEach-style sweep: the
+// per-job errors (sorted by index) and, when the sweep was cut short,
+// the context error that stopped it. A sweep with a SweepError still
+// ran every job it could — callers can report the failed cells and use
+// the cells that completed.
+type SweepError struct {
+	// Jobs holds the failed jobs, sorted by index.
+	Jobs []JobError
+	// Canceled is the context error when cancellation stopped the
+	// sweep before every job was dispatched, nil otherwise.
+	Canceled error
+}
+
+// Error lists the first few failed jobs and the total.
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	switch {
+	case e.Canceled != nil && len(e.Jobs) == 0:
+		return fmt.Sprintf("sweep canceled: %v", e.Canceled)
+	case e.Canceled != nil:
+		fmt.Fprintf(&b, "sweep canceled (%v) with %d failed job(s)", e.Canceled, len(e.Jobs))
+	default:
+		fmt.Fprintf(&b, "%d of sweep's job(s) failed", len(e.Jobs))
+	}
+	for i, j := range e.Jobs {
+		if i == 3 {
+			fmt.Fprintf(&b, "; ...")
+			break
+		}
+		fmt.Fprintf(&b, "; %v", j)
+	}
+	return b.String()
+}
+
+// Unwrap exposes every job error (and the cancellation cause) so
+// errors.Is(err, context.Canceled) and errors.As(err, *PanicError)
+// work through the aggregate.
+func (e *SweepError) Unwrap() []error {
+	out := make([]error, 0, len(e.Jobs)+1)
+	for _, j := range e.Jobs {
+		out = append(out, j)
+	}
+	if e.Canceled != nil {
+		out = append(out, e.Canceled)
+	}
+	return out
+}
+
+// NewSweepError builds a SweepError from a dense per-job error slice
+// (nil entries mean the job succeeded). It returns nil when nothing
+// failed and canceled is nil, so callers can return it directly.
+func NewSweepError(errs []error, canceled error) error {
+	var jobs []JobError
+	for i, err := range errs {
+		if err != nil {
+			jobs = append(jobs, JobError{Index: i, Err: err})
+		}
+	}
+	if len(jobs) == 0 && canceled == nil {
+		return nil
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Index < jobs[j].Index })
+	return &SweepError{Jobs: jobs, Canceled: canceled}
+}
+
+// WithSignals returns a copy of parent that is canceled on SIGINT or
+// SIGTERM (Ctrl-C and the container runtime's polite kill). The second
+// signal falls through to Go's default handling — an immediate exit —
+// so a wedged drain can still be interrupted. The returned stop
+// function releases the signal registration.
+func WithSignals(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

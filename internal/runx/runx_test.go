@@ -1,0 +1,183 @@
+package runx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestSafeConvertsPanic(t *testing.T) {
+	err := Safe(func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Safe returned %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("PanicError = %v", pe)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError has no stack")
+	}
+}
+
+func TestSafePassesThrough(t *testing.T) {
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Errorf("Safe(nil fn) = %v", err)
+	}
+	want := errors.New("plain")
+	if err := Safe(func() error { return want }); err != want {
+		t.Errorf("Safe passed %v, want %v", err, want)
+	}
+}
+
+func TestSweepErrorAggregation(t *testing.T) {
+	if err := NewSweepError([]error{nil, nil}, nil); err != nil {
+		t.Errorf("clean sweep produced %v", err)
+	}
+	errs := []error{nil, errors.New("a"), nil, &PanicError{Value: "b"}}
+	err := NewSweepError(errs, nil)
+	var sw *SweepError
+	if !errors.As(err, &sw) || len(sw.Jobs) != 2 {
+		t.Fatalf("NewSweepError = %v", err)
+	}
+	if sw.Jobs[0].Index != 1 || sw.Jobs[1].Index != 3 {
+		t.Errorf("job indices = %v", sw.Jobs)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Error("errors.As cannot reach the PanicError through the sweep")
+	}
+	canceled := NewSweepError(nil, context.Canceled)
+	if !errors.Is(canceled, context.Canceled) {
+		t.Error("errors.Is cannot see the cancellation cause")
+	}
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	calls := 0
+	b := DefaultBackoff()
+	b.Sleep = func(context.Context, time.Duration) error { return nil }
+	err := Retry(context.Background(), b, func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Errorf("Retry = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryPermanentFailsFast(t *testing.T) {
+	calls := 0
+	b := DefaultBackoff()
+	b.Sleep = func(context.Context, time.Duration) error { return nil }
+	perm := errors.New("corrupt")
+	err := Retry(context.Background(), b, func() error { calls++; return perm })
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Errorf("Retry = %v after %d calls, want the permanent error after 1", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	b := Backoff{Attempts: 4, Initial: time.Nanosecond, Factor: 2,
+		Sleep: func(context.Context, time.Duration) error { return nil }}
+	err := Retry(context.Background(), b, func() error {
+		calls++
+		return MarkTransient(fmt.Errorf("still down"))
+	})
+	if err == nil || calls != 4 {
+		t.Errorf("Retry = %v after %d calls, want failure after 4", err, calls)
+	}
+}
+
+func TestRetryHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, DefaultBackoff(), func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Errorf("Retry on canceled ctx = %v after %d calls", err, calls)
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("decode failure"), false},
+		{fs.ErrNotExist, false},
+		{fs.ErrPermission, false},
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{syscall.EIO, true},
+		{fmt.Errorf("open: %w", syscall.EMFILE), true},
+		{MarkTransient(errors.New("anything")), true},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := ManifestPath(dir)
+	m := NewManifest()
+	m.Set(ManifestEntry{ID: "fig9", Status: StatusOK, Output: "results/bench_fig9.json"})
+	m.Set(ManifestEntry{ID: "table1", Status: StatusFailed, Error: "panic: boom"})
+	m.Set(ManifestEntry{ID: "fig5", Status: StatusSkipped, Error: "trace corrupt"})
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("loaded %d entries", len(got.Entries))
+	}
+	e, ok := got.Get("fig9")
+	if !ok || e.Status != StatusOK || e.Output != "results/bench_fig9.json" {
+		t.Errorf("fig9 entry = %+v", e)
+	}
+	if ids := got.IDs(); len(ids) != 3 || ids[0] != "fig5" {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestManifestRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	m := &Manifest{Schema: "something/else", Entries: map[string]ManifestEntry{}}
+	// Save stamps an empty schema but must preserve a wrong one so the
+	// loader can reject it.
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Error("LoadManifest accepted an unknown schema")
+	}
+	if _, err := LoadManifest(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadManifest accepted a missing file")
+	}
+}
+
+func TestWithSignals(t *testing.T) {
+	ctx, stop := WithSignals(context.Background())
+	if ctx.Err() != nil {
+		t.Error("fresh signal context already canceled")
+	}
+	stop()
+}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/bpred"
 	"repro/internal/obs"
+	"repro/internal/runx"
 	"repro/internal/trace"
 )
 
@@ -32,6 +34,12 @@ type Result struct {
 	// Metrics records what the run cost: wall time, branch throughput,
 	// allocation, and GC activity. It is captured around every run.
 	Metrics obs.RunMetrics
+	// Err is non-nil when the run ended early: the source failed
+	// mid-stream (a truncated or corrupt trace) or the context was
+	// canceled. The counts cover only the records replayed before the
+	// failure, so a Result with Err set must not be reported as a
+	// clean measurement.
+	Err error
 }
 
 // PCStat is the per-static-branch breakdown.
@@ -72,21 +80,39 @@ type Options struct {
 // exactly the pre-retirement state a hardware front end would have.
 type Score func(r *trace.Record) (scored, correct bool)
 
+// cancelStride is how many records Run replays between context
+// checks: frequent enough that cancellation lands within microseconds,
+// rare enough that the atomic load cost vanishes in the loop.
+const cancelStride = 1 << 16
+
 // Run is the single accounting loop behind both branch classes: it
 // replays src (after resetting it) through the predictor, scoring each
 // record with score and feeding every record to Update in program
 // order. The run is bracketed by an obs span, so the returned Result
 // carries wall-time, throughput, and allocation metrics alongside the
 // misprediction counts.
-func Run(p bpred.Predictor, src trace.Source, opts Options, score Score) Result {
+//
+// Run honours ctx: a canceled context stops the replay at the next
+// stride boundary with Result.Err set to the context's error. It also
+// refuses to mistake a broken source for a short trace — when the
+// source reports a decoding error (see trace.Reader.Err), Result.Err
+// carries it, so a corrupt trace cannot masquerade as a clean
+// low-branch run.
+func Run(ctx context.Context, p bpred.Predictor, src trace.Source, opts Options, score Score) Result {
 	span := obs.StartSpan()
 	src.Reset()
 	res := Result{Predictor: p.Name()}
 	if opts.PerPC {
 		res.PerPC = make(map[arch.Addr]*PCStat)
 	}
+	var replayed int64
 	var r trace.Record
 	for src.Next(&r) {
+		replayed++
+		if replayed%cancelStride == 0 && ctx.Err() != nil {
+			res.Err = ctx.Err()
+			break
+		}
 		if scored, correct := score(&r); scored {
 			res.Branches++
 			if !correct {
@@ -106,6 +132,15 @@ func Run(p bpred.Predictor, src trace.Source, opts Options, score Score) Result 
 		}
 		p.Update(r)
 	}
+	// Next returns false both at a clean end of stream and on a decode
+	// failure; sources that can fail expose the distinction via an
+	// Err method (trace.Reader does). Surface it so truncation is an
+	// error, not a suspiciously easy workload.
+	if res.Err == nil {
+		if ec, ok := src.(interface{ Err() error }); ok {
+			res.Err = ec.Err()
+		}
+	}
 	obs.CountBranches(res.Branches)
 	res.Metrics = span.End()
 	// The span counted the process-wide branch delta, which under a
@@ -121,8 +156,8 @@ func Run(p bpred.Predictor, src trace.Source, opts Options, score Score) Result 
 
 // RunCond replays src (after resetting it) through a conditional
 // predictor.
-func RunCond(p bpred.CondPredictor, src trace.Source, opts Options) Result {
-	return Run(p, src, opts, func(r *trace.Record) (bool, bool) {
+func RunCond(ctx context.Context, p bpred.CondPredictor, src trace.Source, opts Options) Result {
+	return Run(ctx, p, src, opts, func(r *trace.Record) (bool, bool) {
 		if r.Kind != arch.Cond {
 			return false, false
 		}
@@ -133,8 +168,8 @@ func RunCond(p bpred.CondPredictor, src trace.Source, opts Options) Result {
 // RunIndirect replays src (after resetting it) through an indirect
 // predictor. Only indirect branches and indirect calls are scored; returns
 // are excluded per §5.1.
-func RunIndirect(p bpred.IndirectPredictor, src trace.Source, opts Options) Result {
-	return Run(p, src, opts, func(r *trace.Record) (bool, bool) {
+func RunIndirect(ctx context.Context, p bpred.IndirectPredictor, src trace.Source, opts Options) Result {
+	return Run(ctx, p, src, opts, func(r *trace.Record) (bool, bool) {
 		if !r.Kind.IndirectTarget() {
 			return false, false
 		}
@@ -177,13 +212,28 @@ func PoolSize(n int) int {
 // experiment drivers use it to sweep predictor configurations and
 // benchmarks in parallel; each job must be self-contained (its own
 // predictor and trace source).
-func ForEach(n int, fn func(i int)) {
+//
+// ForEach is the sweep's fault boundary. A job that returns an error or
+// panics fails alone: the panic is recovered into a structured
+// *runx.PanicError, every other job still runs, and the aggregated
+// *runx.SweepError (nil when all jobs succeed) names each failed index
+// so the caller can mark those cells instead of dying. Canceling ctx
+// stops dispatching new jobs — in-flight jobs drain cleanly — and the
+// returned error then also wraps the context's error.
+func ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	run := func(i int) {
+		errs[i] = runx.Safe(func() error { return fn(i) })
+	}
 	workers := PoolSize(n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return runx.NewSweepError(errs, err)
+			}
+			run(i)
 		}
-		return
+		return runx.NewSweepError(errs, ctx.Err())
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -192,13 +242,27 @@ func ForEach(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				run(i)
 			}
 		}()
 	}
+	var canceled error
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			canceled = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if canceled == nil {
+		// Cancellation can land after the last job was dispatched but
+		// before the workers drained; the partial in-flight results
+		// must not pass for a completed sweep.
+		canceled = ctx.Err()
+	}
+	return runx.NewSweepError(errs, canceled)
 }

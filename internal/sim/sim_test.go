@@ -1,12 +1,15 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/bpred/bimodal"
 	"repro/internal/bpred/targetcache"
+	"repro/internal/runx"
 	"repro/internal/trace"
 )
 
@@ -23,7 +26,7 @@ func TestRunCondCountsAndRate(t *testing.T) {
 		recs = append(recs, trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next})
 		recs = append(recs, trace.Record{PC: 0x200, Kind: arch.Return, Taken: true, Next: 0x300})
 	}
-	res := RunCond(bimodal.NewBits(8), trace.NewBuffer(recs), Options{PerPC: true})
+	res := RunCond(context.Background(), bimodal.NewBits(8), trace.NewBuffer(recs), Options{PerPC: true})
 	if res.Branches != 100 {
 		t.Errorf("Branches = %d, want 100 (returns must not count)", res.Branches)
 	}
@@ -50,7 +53,7 @@ func TestRunCondResetsSource(t *testing.T) {
 	src := trace.NewBuffer(recs)
 	var r trace.Record
 	src.Next(&r) // exhaust
-	res := RunCond(bimodal.NewBits(4), src, Options{})
+	res := RunCond(context.Background(), bimodal.NewBits(4), src, Options{})
 	if res.Branches != 1 {
 		t.Errorf("RunCond did not reset the source: %d branches", res.Branches)
 	}
@@ -64,7 +67,7 @@ func TestRunIndirectScoresOnlyIndirect(t *testing.T) {
 		{PC: 0x300c, Kind: arch.Return, Taken: true, Next: 0x7000},
 		{PC: 0x4010, Kind: arch.Cond, Taken: true, Next: 0x8000},
 	}
-	res := RunIndirect(targetcache.NewBTB(8), trace.NewBuffer(recs), Options{PerPC: true})
+	res := RunIndirect(context.Background(), targetcache.NewBTB(8), trace.NewBuffer(recs), Options{PerPC: true})
 	if res.Branches != 3 {
 		t.Errorf("Branches = %d, want 3 (returns and conds excluded)", res.Branches)
 	}
@@ -103,7 +106,7 @@ func TestRunCapturesMetrics(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		recs = append(recs, trace.Record{PC: 0x1004, Kind: arch.Cond, Taken: i%3 == 0, Next: 0x9000})
 	}
-	res := RunCond(bimodal.NewBits(8), trace.NewBuffer(recs), Options{})
+	res := RunCond(context.Background(), bimodal.NewBits(8), trace.NewBuffer(recs), Options{})
 	m := res.Metrics
 	if m.Branches != res.Branches {
 		t.Errorf("Metrics.Branches = %d, want %d", m.Branches, res.Branches)
@@ -129,7 +132,7 @@ func TestRunGenericDriver(t *testing.T) {
 	}
 	var updates int
 	p := bimodal.NewBits(4)
-	res := Run(p, trace.NewBuffer(recs), Options{}, func(r *trace.Record) (bool, bool) {
+	res := Run(context.Background(), p, trace.NewBuffer(recs), Options{}, func(r *trace.Record) (bool, bool) {
 		updates++
 		return true, true
 	})
@@ -157,17 +160,144 @@ func TestForEachCoversAll(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 100} {
 		var mask int64
 		var count int64
-		ForEach(n, func(i int) {
+		err := ForEach(context.Background(), n, func(i int) error {
 			atomic.AddInt64(&count, 1)
 			if n <= 63 {
 				atomic.OrInt64(&mask, 1<<uint(i))
 			}
+			return nil
 		})
+		if err != nil {
+			t.Errorf("ForEach(%d) = %v", n, err)
+		}
 		if count != int64(n) {
 			t.Errorf("ForEach(%d) ran %d jobs", n, count)
 		}
 		if n > 0 && n <= 63 && mask != (1<<uint(n))-1 {
 			t.Errorf("ForEach(%d) missed indices: mask %#x", n, mask)
+		}
+	}
+}
+
+// failingSource yields n records then fails like a truncated trace file:
+// Next returns false with Err set, the shape trace.Reader produces.
+type failingSource struct {
+	n, emitted int
+	err        error
+}
+
+func (f *failingSource) Next(r *trace.Record) bool {
+	if f.emitted >= f.n {
+		return false
+	}
+	f.emitted++
+	*r = trace.Record{PC: 0x1004, Kind: arch.Cond, Taken: true, Next: 0x2000}
+	return true
+}
+func (f *failingSource) Reset()     { f.emitted = 0 }
+func (f *failingSource) Err() error { return f.err }
+
+// TestRunSurfacesSourceError is the silent-truncation regression test: a
+// source that dies mid-stream must not produce a clean-looking Result.
+func TestRunSurfacesSourceError(t *testing.T) {
+	want := errors.New("record 3: unexpected EOF")
+	src := &failingSource{n: 3, err: want}
+	res := RunCond(context.Background(), bimodal.NewBits(4), src, Options{})
+	if !errors.Is(res.Err, want) {
+		t.Errorf("Result.Err = %v, want the source error", res.Err)
+	}
+	if res.Branches != 3 {
+		t.Errorf("Branches = %d, want the 3 replayed before failure", res.Branches)
+	}
+	clean := &failingSource{n: 3}
+	if res := RunCond(context.Background(), bimodal.NewBits(4), clean, Options{}); res.Err != nil {
+		t.Errorf("clean source produced Err = %v", res.Err)
+	}
+}
+
+// TestRunHonorsCancellation: a canceled context stops the replay at a
+// stride boundary with Result.Err set.
+func TestRunHonorsCancellation(t *testing.T) {
+	recs := make([]trace.Record, cancelStride+1000)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 0x1004, Kind: arch.Cond, Taken: true, Next: 0x2000}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := RunCond(ctx, bimodal.NewBits(4), trace.NewBuffer(recs), Options{})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Errorf("Result.Err = %v, want context.Canceled", res.Err)
+	}
+	if res.Branches >= int64(len(recs)) {
+		t.Errorf("run completed all %d records despite cancellation", len(recs))
+	}
+}
+
+// TestForEachPanicIsolation: one panicking job must not kill the sweep —
+// the other jobs run and the panic comes back as a structured error.
+func TestForEachPanicIsolation(t *testing.T) {
+	const n = 8
+	var ran int64
+	err := ForEach(context.Background(), n, func(i int) error {
+		if i == 3 {
+			panic("job 3 exploded")
+		}
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if ran != n-1 {
+		t.Errorf("%d healthy jobs ran, want %d", ran, n-1)
+	}
+	var pe *runx.PanicError
+	if !errors.As(err, &pe) || pe.Value != "job 3 exploded" {
+		t.Fatalf("ForEach = %v, want a *runx.PanicError", err)
+	}
+	var sw *runx.SweepError
+	if !errors.As(err, &sw) || len(sw.Jobs) != 1 || sw.Jobs[0].Index != 3 {
+		t.Errorf("sweep error does not name the failed job: %v", err)
+	}
+}
+
+// TestForEachCancellationStopsDispatch: canceling mid-sweep stops new
+// jobs, drains in-flight ones, and reports the cancellation.
+func TestForEachCancellationStopsDispatch(t *testing.T) {
+	const n = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	err := ForEach(ctx, n, func(i int) error {
+		if atomic.AddInt64(&ran, 1) == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ForEach = %v, want context.Canceled", err)
+	}
+	if ran == n {
+		t.Log("all jobs ran before cancellation landed (legal but unexpected at this size)")
+	}
+}
+
+// TestForEachErrorAggregation: every failed index is reported, successes
+// are not.
+func TestForEachErrorAggregation(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 6, func(i int) error {
+		if i%2 == 1 {
+			return boom
+		}
+		return nil
+	})
+	var sw *runx.SweepError
+	if !errors.As(err, &sw) {
+		t.Fatalf("ForEach = %v, want *runx.SweepError", err)
+	}
+	if len(sw.Jobs) != 3 {
+		t.Errorf("sweep reports %d failed jobs, want 3", len(sw.Jobs))
+	}
+	for _, j := range sw.Jobs {
+		if j.Index%2 != 1 || !errors.Is(j.Err, boom) {
+			t.Errorf("unexpected job error %+v", j)
 		}
 	}
 }

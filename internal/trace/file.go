@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/arch"
@@ -35,6 +36,97 @@ const (
 	fileMagic   = "VLPT"
 	fileVersion = 1
 )
+
+// ErrCorrupt classifies structural decode failures — bad magic, an
+// unsupported version, a truncated stream, an invalid record — as
+// distinct from transient I/O errors. Corrupt data decodes identically
+// on every attempt, so ingestion layers must not retry it; they check
+// errors.Is(err, ErrCorrupt) to pick between "retry" and "skip with
+// reason".
+var ErrCorrupt = errors.New("corrupt trace data")
+
+// corruptError wraps a decode failure so both the underlying error and
+// the ErrCorrupt classification are reachable through errors.Is/As
+// without changing the error message.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string   { return e.err.Error() }
+func (e *corruptError) Unwrap() []error { return []error{e.err, ErrCorrupt} }
+
+func corruptf(format string, args ...any) error {
+	return &corruptError{err: fmt.Errorf(format, args...)}
+}
+
+// classifyRead marks end-of-stream read failures as corruption (the
+// header promised more data than the stream holds) while leaving other
+// I/O errors — which may be transient — unclassified.
+func classifyRead(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// readUvarint mirrors binary.ReadUvarint but returns a corrupt-classified
+// error on overflow: a varint longer than 64 bits is structurally bad
+// data, and the standard library's unexported overflow error would read
+// as retryable I/O to the ingestion layer.
+func readUvarint(br io.ByteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, corruptf("varint overflows a 64-bit integer")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, corruptf("varint overflows a 64-bit integer")
+}
+
+// readVarint is the zig-zag signed companion to readUvarint.
+func readVarint(br io.ByteReader) (int64, error) {
+	ux, err := readUvarint(br)
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, err
+}
+
+// maxPreallocRecords caps how many records a file header can make
+// ReadFile preallocate before a single byte of payload has been
+// decoded. A hostile or scrambled header can declare 2^60 records; the
+// slice still grows to the real decoded size on demand, so the cap
+// costs nothing on honest files. 1M records ≈ 24 MB of slice.
+const maxPreallocRecords = 1 << 20
+
+// minRecordBytes is the smallest possible encoded record: one header
+// byte plus a one-byte PC delta (the fall-through bit elides Next).
+// A file of N bytes therefore holds at most N/minRecordBytes records,
+// which bounds the preallocation for uncompressed files exactly.
+const minRecordBytes = 2
+
+// preallocCount returns a safe capacity hint for a declared record
+// count: bounded by what dataBytes of payload could possibly encode
+// (when known; pass < 0 for unseekable/compressed streams) and by the
+// absolute maxPreallocRecords cap.
+func preallocCount(declared uint64, dataBytes int64) int {
+	n := declared
+	if dataBytes >= 0 {
+		if max := uint64(dataBytes) / minRecordBytes; n > max {
+			n = max
+		}
+	}
+	if n > maxPreallocRecords {
+		n = maxPreallocRecords
+	}
+	return int(n)
+}
 
 const (
 	hdrKindMask    = 0x07
@@ -127,21 +219,29 @@ func NewReader(rs io.ReadSeeker) (*Reader, error) {
 	br := bufio.NewReaderSize(rs, 1<<16)
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
+		if classifyRead(err) {
+			return nil, corruptf("trace: reading magic: %w", err)
+		}
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if string(magic) != fileMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
+		return nil, corruptf("trace: bad magic %q", magic)
 	}
-	version, err := binary.ReadUvarint(br)
+	version, err := readUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading version: %w", err)
+		return nil, corruptf("trace: reading version: %w", err)
 	}
 	if version != fileVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", version)
+		return nil, corruptf("trace: unsupported version %d", version)
 	}
-	count, err := binary.ReadUvarint(br)
+	count, err := readUvarint(br)
+	if err == nil && count > math.MaxInt {
+		// Count() reports int; a count that cannot even be represented
+		// is a scrambled header, not a plausible trace.
+		err = corruptf("implausible record count %d", count)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, corruptf("trace: reading count: %w", err)
 	}
 	// Record where the data section starts so Reset can seek back to it.
 	pos, err := rs.Seek(0, io.SeekCurrent)
@@ -160,6 +260,16 @@ func (r *Reader) Count() int { return int(r.count) }
 // distinguish check Err.
 func (r *Reader) Err() error { return r.err }
 
+// decodeErr formats a per-record decode failure, classifying premature
+// end of stream as corruption (the header declared records the stream
+// does not hold).
+func (r *Reader) decodeErr(what string, err error) error {
+	if classifyRead(err) {
+		return corruptf("trace: "+what+": %w", r.read, err)
+	}
+	return fmt.Errorf("trace: "+what+": %w", r.read, err)
+}
+
 // Next implements Source.
 func (r *Reader) Next(rec *Record) bool {
 	if r.err != nil || r.read >= r.count {
@@ -167,17 +277,17 @@ func (r *Reader) Next(rec *Record) bool {
 	}
 	hdr, err := r.br.ReadByte()
 	if err != nil {
-		r.err = fmt.Errorf("trace: record %d header: %w", r.read, err)
+		r.err = r.decodeErr("record %d header", err)
 		return false
 	}
 	kind := arch.BranchKind(hdr & hdrKindMask)
 	if int(kind) >= arch.NumKinds {
-		r.err = fmt.Errorf("trace: record %d has invalid kind %d", r.read, kind)
+		r.err = corruptf("trace: record %d has invalid kind %d", r.read, kind)
 		return false
 	}
-	delta, err := binary.ReadVarint(r.br)
+	delta, err := readVarint(r.br)
 	if err != nil {
-		r.err = fmt.Errorf("trace: record %d pc delta: %w", r.read, err)
+		r.err = r.decodeErr("record %d pc delta", err)
 		return false
 	}
 	pc := arch.Addr(int64(r.prevPC) + delta*arch.InstrBytes)
@@ -185,9 +295,9 @@ func (r *Reader) Next(rec *Record) bool {
 	if hdr&hdrFallThrough != 0 {
 		next = pc.FallThrough()
 	} else {
-		u, err := binary.ReadUvarint(r.br)
+		u, err := readUvarint(r.br)
 		if err != nil {
-			r.err = fmt.Errorf("trace: record %d next: %w", r.read, err)
+			r.err = r.decodeErr("record %d next", err)
 			return false
 		}
 		next = arch.Addr(u * arch.InstrBytes)
@@ -253,7 +363,14 @@ func ReadFile(path string) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := &Buffer{Records: make([]Record, 0, r.Count())}
+	// The header's declared count is untrusted input: cap the
+	// preallocation by what the file's actual size could encode so a
+	// scrambled count cannot demand gigabytes up front.
+	dataBytes := int64(-1)
+	if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() {
+		dataBytes = fi.Size()
+	}
+	buf := &Buffer{Records: make([]Record, 0, preallocCount(uint64(r.count), dataBytes))}
 	var rec Record
 	for r.Next(&rec) {
 		buf.Append(rec)
@@ -262,7 +379,7 @@ func ReadFile(path string) (*Buffer, error) {
 		return nil, r.Err()
 	}
 	if buf.Len() != r.Count() {
-		return nil, fmt.Errorf("trace: %s: decoded %d records, header declared %d",
+		return nil, corruptf("trace: %s: decoded %d records, header declared %d",
 			path, buf.Len(), r.Count())
 	}
 	return buf, nil

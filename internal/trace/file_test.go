@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -19,18 +21,12 @@ type seekBuffer struct {
 
 func (s *seekBuffer) Read(p []byte) (int, error) {
 	if s.pos >= int64(len(s.data)) {
-		return 0, errEOF
+		return 0, io.EOF
 	}
 	n := copy(p, s.data[s.pos:])
 	s.pos += int64(n)
 	return n, nil
 }
-
-var errEOF = eofError{}
-
-type eofError struct{}
-
-func (eofError) Error() string { return "EOF" }
 
 func (s *seekBuffer) Seek(offset int64, whence int) (int64, error) {
 	switch whence {
@@ -282,5 +278,92 @@ func TestGzipRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadFile(path); err == nil {
 		t.Error("garbage .gz accepted")
+	}
+}
+
+// corruptFixtures enumerates on-disk failure shapes the ingestion layer
+// must classify as corrupt (no-retry) rather than transient I/O.
+func corruptFixtures(t *testing.T) map[string][]byte {
+	t.Helper()
+	valid := encodeAll(t, randomRecords(11, 20))
+	return map[string][]byte{
+		"bad-magic":      []byte("NOPE\x01\x00"),
+		"short-magic":    []byte("VL"),
+		"bad-version":    []byte("VLPT\x09\x00"),
+		"truncated":      valid[:len(valid)-4],
+		"empty":          {},
+		"overflow-count": []byte("VLPT\x01\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80"),
+		"huge-count":     []byte("VLPT\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"),
+		"bad-kind":       append([]byte("VLPT\x01\x01"), 0x07, 0x02),
+	}
+}
+
+func TestReadFileClassifiesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	for name, data := range corruptFixtures(t) {
+		path := filepath.Join(dir, name+".vlpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadFile(path)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error not classified corrupt: %v", name, err)
+		}
+	}
+	// A missing file is an I/O failure, not corruption: the retry layer
+	// must be allowed to treat it differently.
+	if _, err := ReadFile(filepath.Join(dir, "nope.vlpt")); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing file misclassified: %v", err)
+	}
+}
+
+func TestReaderErrIsCorruptOnTruncation(t *testing.T) {
+	data := encodeAll(t, randomRecords(12, 10))
+	r, err := NewReader(&seekBuffer{data: data[:len(data)-3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	for r.Next(&rec) {
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("truncation error not classified corrupt: %v", r.Err())
+	}
+}
+
+func TestPreallocCount(t *testing.T) {
+	cases := []struct {
+		declared  uint64
+		dataBytes int64
+		want      int
+	}{
+		{0, 100, 0},
+		{10, 100, 10},                     // honest header: exact
+		{1 << 60, 100, 50},                // lying header, known size: bounded by payload
+		{1 << 60, -1, maxPreallocRecords}, // lying header, unknown size: absolute cap
+		{maxPreallocRecords + 1, -1, maxPreallocRecords},
+		{5, -1, 5},
+	}
+	for _, c := range cases {
+		if got := preallocCount(c.declared, c.dataBytes); got != c.want {
+			t.Errorf("preallocCount(%d, %d) = %d, want %d", c.declared, c.dataBytes, got, c.want)
+		}
+	}
+}
+
+func TestReadFileHugeCountDoesNotPreallocate(t *testing.T) {
+	// A tiny file whose header declares 2^40 records must fail fast on
+	// decode, not try to allocate a multi-terabyte slice first.
+	path := filepath.Join(t.TempDir(), "huge.vlpt")
+	header := []byte("VLPT\x01\x80\x80\x80\x80\x80\x80\x80\x80\x01") // count uvarint = 2^56
+	if err := os.WriteFile(path, header, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge-count file not rejected as corrupt: %v", err)
 	}
 }

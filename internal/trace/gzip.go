@@ -63,7 +63,10 @@ func readFileGz(path string) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := &Buffer{Records: make([]Record, 0, r.Count())}
+	// The decompressed size is unknowable up front, so only the
+	// absolute preallocation cap protects against a hostile count here;
+	// the slice grows to the real size as records decode.
+	buf := &Buffer{Records: make([]Record, 0, preallocCount(uint64(r.Count()), -1))}
 	var rec Record
 	for r.Next(&rec) {
 		buf.Append(rec)
@@ -72,7 +75,7 @@ func readFileGz(path string) (*Buffer, error) {
 		return nil, r.Err()
 	}
 	if buf.Len() != r.Count() {
-		return nil, fmt.Errorf("trace: %s: decoded %d records, header declared %d",
+		return nil, corruptf("trace: %s: decoded %d records, header declared %d",
 			path, buf.Len(), r.Count())
 	}
 	return buf, nil
