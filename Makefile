@@ -3,7 +3,7 @@
 GO ?= go
 RESULTS ?= results
 
-.PHONY: all check fmt vet build test bench-smoke clean
+.PHONY: all check fmt vet build test bench-smoke bench-compare clean
 
 all: check
 
@@ -30,5 +30,11 @@ bench-smoke:
 	BENCH_JSON_DIR=$(RESULTS) $(GO) test -run '^$$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .
 	$(GO) run ./cmd/obscheck -dir $(RESULTS)
 
+# Run the hot-path micro-benchmarks (-count=5) and diff against the
+# recorded baseline: benchstat when installed, plain mean deltas
+# otherwise. The first run on a machine seeds the baseline file.
+bench-compare:
+	RESULTS=$(RESULTS) ./scripts/bench_compare.sh
+
 clean:
-	rm -f $(RESULTS)/bench_*.json
+	rm -f $(RESULTS)/bench_*.json $(RESULTS)/bench_micro*.txt

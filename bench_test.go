@@ -166,6 +166,7 @@ func BenchmarkGshareLookupUpdate(b *testing.B) {
 		b.Fatal(err)
 	}
 	recs := buf.Records
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := recs[i%len(recs)]
@@ -183,6 +184,7 @@ func BenchmarkVLPCondLookupUpdate(b *testing.B) {
 		b.Fatal(err)
 	}
 	recs := buf.Records
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := recs[i%len(recs)]
@@ -200,6 +202,7 @@ func BenchmarkVLPIndirectLookupUpdate(b *testing.B) {
 		b.Fatal(err)
 	}
 	recs := buf.Records
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := recs[i%len(recs)]
@@ -217,6 +220,7 @@ func BenchmarkTargetCachePath(b *testing.B) {
 		b.Fatal(err)
 	}
 	recs := buf.Records
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := recs[i%len(recs)]
@@ -228,20 +232,35 @@ func BenchmarkTargetCachePath(b *testing.B) {
 }
 
 // BenchmarkHashSetInsert measures the cost of the incremental partial-sum
-// update (§4.1) across all 32 registers.
+// update (§4.1): the full 32-register bank, and the bank bounded to the 8
+// registers a Fixed{L:8} predictor actually reads (SetMaxNeeded).
 func BenchmarkHashSetInsert(b *testing.B) {
-	hs, err := vlp.NewHashSet(14, 32)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := xrand.New(1)
-	addrs := make([]arch.Addr, 1024)
-	for i := range addrs {
-		addrs[i] = arch.Addr(rng.Uint64() & 0xffffff)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		hs.Insert(addrs[i%len(addrs)])
+	for _, c := range []struct {
+		name    string
+		bounded int
+	}{
+		{"full32", 0},
+		{"bounded8", 8},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			hs, err := vlp.NewHashSet(14, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c.bounded > 0 {
+				hs.SetMaxNeeded(c.bounded)
+			}
+			rng := xrand.New(1)
+			addrs := make([]arch.Addr, 1024)
+			for i := range addrs {
+				addrs[i] = arch.Addr(rng.Uint64() & 0xffffff)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hs.Insert(addrs[i%len(addrs)])
+			}
+		})
 	}
 }
 
@@ -256,6 +275,7 @@ func BenchmarkHashSetDirect(b *testing.B) {
 	for i := 0; i < 64; i++ {
 		hs.Insert(arch.Addr(rng.Uint64() & 0xffffff))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = hs.DirectIndex(32)
@@ -270,6 +290,7 @@ func BenchmarkProfilingPipeline(b *testing.B) {
 		b.Fatal(err)
 	}
 	buf := trace.Collect(bench.ProfileSource(benchScale))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := profile.Cond(trace.NewBuffer(buf.Records), profile.Config{TableBits: 14}); err != nil {
@@ -285,10 +306,9 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog := bench.MustProgram()
-	_ = prog
 	var r trace.Record
 	src := bench.TestSource(1 << 30) // effectively unbounded
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if !src.Next(&r) {
@@ -301,6 +321,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 // statistics, and trace replay.
 func BenchmarkEndToEndSim(b *testing.B) {
 	buf := benchTrace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := gshare.New(16 * 1024)

@@ -23,11 +23,14 @@ echo "== fuzz smoke (decoder + spec grammar)"
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzParseSpec$' -fuzztime 10s ./internal/factory
 
-echo "== cancellation + fault-tolerance under race"
-go test -race -count=1 -run 'Cancel|Canceled|Fault|Resume|Timeout|PanicIsolation' ./internal/sim ./internal/experiments ./cmd/paperrepro
+echo "== cancellation + fault-tolerance + singleflight under race"
+go test -race -count=1 -run 'Cancel|Canceled|Fault|Resume|Timeout|PanicIsolation|Singleflight' ./internal/sim ./internal/experiments ./cmd/paperrepro
 
 echo "== bench smoke (emits results/bench_*.json)"
 BENCH_JSON_DIR=results go test -run '^$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .
 go run ./cmd/obscheck -dir results
+
+echo "== bench compare (micro subset vs recorded baseline)"
+COUNT=2 BENCHTIME=50ms ./scripts/bench_compare.sh
 
 echo "CI OK"

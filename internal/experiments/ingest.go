@@ -62,9 +62,7 @@ func (s *Suite) IngestTraces(ctx context.Context) (map[string]string, error) {
 		})
 		switch {
 		case err == nil:
-			s.mu.Lock()
-			s.testBufs[name] = buf.Records
-			s.mu.Unlock()
+			s.primeTestRecords(name, buf.Records)
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			return s.Skipped(), err
 		case errors.Is(err, trace.ErrCorrupt):

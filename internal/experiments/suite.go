@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bpred"
 	"repro/internal/obs"
@@ -60,21 +61,69 @@ func (c Config) profBase() int {
 	return c.ProfileRecords
 }
 
+// flight is a once-guarded computation cell: the first caller runs the
+// work, every concurrent or later caller blocks on (and shares) the same
+// result. The suite's caches used to generate outside the lock and
+// discard duplicates, so concurrent sweep cells asking for the same
+// artifact could each burn a full profiling pass; with per-key flights
+// the work runs exactly once.
+type flight[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+func (f *flight[V]) do(fn func() (V, error)) (V, error) {
+	f.once.Do(func() { f.val, f.err = fn() })
+	return f.val, f.err
+}
+
+// doneFlight returns a flight already resolved to v, for priming caches
+// with externally produced artifacts (trace ingestion).
+func doneFlight[V any](v V) *flight[V] {
+	f := &flight[V]{}
+	f.once.Do(func() { f.val = v })
+	return f
+}
+
+// getFlight returns the flight cell for key, creating it under mu if this
+// is the first request. The lock covers only the map access; the
+// computation itself runs outside it, serialised per key by the cell.
+func getFlight[K comparable, V any](mu *sync.Mutex, m map[K]*flight[V], key K) *flight[V] {
+	mu.Lock()
+	defer mu.Unlock()
+	f, ok := m[key]
+	if !ok {
+		f = &flight[V]{}
+		m[key] = f
+	}
+	return f
+}
+
 // Suite carries the configuration and memoises the expensive artifacts:
-// generated traces, step-1 sweeps, and two-step profiles.
+// generated traces, step-1 sweeps, and two-step profiles. Each cache is
+// singleflighted: no matter how many sweep cells race for the same key,
+// the artifact is computed once and latecomers block on the result.
 type Suite struct {
 	Cfg Config
 
 	mu        sync.Mutex
-	profBufs  map[string][]trace.Record
-	testBufs  map[string][]trace.Record
-	step1     map[cacheKey]profile.Step1Result
-	profiles  map[cacheKey]*profile.Profile
+	profBufs  map[string]*flight[[]trace.Record]
+	testBufs  map[string]*flight[[]trace.Record]
+	step1     map[cacheKey]*flight[profile.Step1Result]
+	profiles  map[cacheKey]*flight[*profile.Profile]
 	benchmark map[string]*workload.Benchmark
 	// skipped maps benchmark name → why its trace could not be
 	// ingested. Sweep experiments drop skipped benchmarks (benches);
 	// benchmark-specific experiments fail with the reason (bench).
 	skipped map[string]string
+
+	// Cache-miss counters: how many times each artifact class was
+	// actually computed rather than served from a flight. The
+	// singleflight concurrency tests pin these to one per key.
+	computedRecords  atomic.Int64
+	computedStep1    atomic.Int64
+	computedProfiles atomic.Int64
 }
 
 type cacheKey struct {
@@ -87,13 +136,29 @@ type cacheKey struct {
 func NewSuite(cfg Config) *Suite {
 	return &Suite{
 		Cfg:       cfg,
-		profBufs:  map[string][]trace.Record{},
-		testBufs:  map[string][]trace.Record{},
-		step1:     map[cacheKey]profile.Step1Result{},
-		profiles:  map[cacheKey]*profile.Profile{},
+		profBufs:  map[string]*flight[[]trace.Record]{},
+		testBufs:  map[string]*flight[[]trace.Record]{},
+		step1:     map[cacheKey]*flight[profile.Step1Result]{},
+		profiles:  map[cacheKey]*flight[*profile.Profile]{},
 		benchmark: map[string]*workload.Benchmark{},
 		skipped:   map[string]string{},
 	}
+}
+
+// ComputeCounts reports how many trace generations, step-1 sweeps, and
+// two-step profiles the suite has actually executed (cache misses, not
+// lookups). Under the singleflight caches each key computes exactly once
+// however many goroutines ask for it.
+func (s *Suite) ComputeCounts() (records, step1, profiles int64) {
+	return s.computedRecords.Load(), s.computedStep1.Load(), s.computedProfiles.Load()
+}
+
+// primeTestRecords installs pre-ingested test-trace records for a
+// benchmark, so later TestSource calls are served without generation.
+func (s *Suite) primeTestRecords(name string, recs []trace.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.testBufs[name] = doneFlight(recs)
 }
 
 // Skip records that a benchmark is excluded from this run and why.
@@ -184,90 +249,64 @@ func (s *Suite) TestSource(name string) (trace.Source, error) {
 }
 
 func (s *Suite) records(name string, profileInput bool) ([]trace.Record, error) {
-	b, err := s.bench(name)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
 	cache := s.testBufs
 	if profileInput {
 		cache = s.profBufs
 	}
-	if recs, ok := cache[name]; ok {
-		s.mu.Unlock()
-		return recs, nil
-	}
-	s.mu.Unlock()
-
-	// Generate outside the lock; benchmarks generate in parallel.
-	var src trace.Source
-	if profileInput {
-		src = b.ProfileSource(s.Cfg.profBase())
-	} else {
-		src = b.TestSource(s.Cfg.base())
-	}
-	recs := trace.Collect(src).Records
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := cache[name]; ok {
-		return prev, nil
-	}
-	cache[name] = recs
-	return recs, nil
+	f := getFlight(&s.mu, cache, name)
+	return f.do(func() ([]trace.Record, error) {
+		b, err := s.bench(name)
+		if err != nil {
+			return nil, err
+		}
+		s.computedRecords.Add(1)
+		var src trace.Source
+		if profileInput {
+			src = b.ProfileSource(s.Cfg.profBase())
+		} else {
+			src = b.TestSource(s.Cfg.base())
+		}
+		return trace.Collect(src).Records, nil
+	})
 }
 
 // Step1 returns the cached step-1 sweep (all 32 fixed lengths, private
-// tables) of one benchmark's profile input at index width k.
+// tables) of one benchmark's profile input at index width k. Concurrent
+// callers for the same key share a single computation.
 func (s *Suite) Step1(name string, indirect bool, k uint) (profile.Step1Result, error) {
-	key := cacheKey{name, indirect, k}
-	s.mu.Lock()
-	if r, ok := s.step1[key]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
-	src, err := s.ProfileSource(name)
-	if err != nil {
-		return profile.Step1Result{}, err
-	}
-	_, agg, err := profile.BestFixedLength(src, profile.Config{TableBits: k}, indirect)
-	if err != nil {
-		return profile.Step1Result{}, err
-	}
-	s.mu.Lock()
-	s.step1[key] = agg
-	s.mu.Unlock()
-	return agg, nil
+	f := getFlight(&s.mu, s.step1, cacheKey{name, indirect, k})
+	return f.do(func() (profile.Step1Result, error) {
+		src, err := s.ProfileSource(name)
+		if err != nil {
+			return profile.Step1Result{}, err
+		}
+		s.computedStep1.Add(1)
+		_, agg, err := profile.BestFixedLength(src, profile.Config{TableBits: k}, indirect)
+		return agg, err
+	})
 }
 
 // Profile returns the cached two-step profile of one benchmark at index
-// width k.
+// width k. Concurrent callers for the same key share a single
+// computation — a full two-step profiling pass is the most expensive
+// artifact the suite produces, so duplicate passes are the first thing
+// a parallel sweep would otherwise burn time on.
 func (s *Suite) Profile(name string, indirect bool, k uint) (*profile.Profile, error) {
-	key := cacheKey{name, indirect, k}
-	s.mu.Lock()
-	if p, ok := s.profiles[key]; ok {
-		s.mu.Unlock()
-		return p, nil
-	}
-	s.mu.Unlock()
-	src, err := s.ProfileSource(name)
-	if err != nil {
-		return nil, err
-	}
-	var p *profile.Profile
-	if indirect {
-		p, _, err = profile.Indirect(src, profile.Config{TableBits: k})
-	} else {
-		p, _, err = profile.Cond(src, profile.Config{TableBits: k})
-	}
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.profiles[key] = p
-	s.mu.Unlock()
-	return p, nil
+	f := getFlight(&s.mu, s.profiles, cacheKey{name, indirect, k})
+	return f.do(func() (*profile.Profile, error) {
+		src, err := s.ProfileSource(name)
+		if err != nil {
+			return nil, err
+		}
+		s.computedProfiles.Add(1)
+		var p *profile.Profile
+		if indirect {
+			p, _, err = profile.Indirect(src, profile.Config{TableBits: k})
+		} else {
+			p, _, err = profile.Cond(src, profile.Config{TableBits: k})
+		}
+		return p, err
+	})
 }
 
 // SuiteFixedLength returns the paper's Table 2 value for one table size:

@@ -17,6 +17,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/bpred/counter"
 	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vlp"
 )
@@ -167,38 +169,106 @@ func topCandidates(lengths []int, correct []int64, n int) []int {
 // profile input and returns the per-branch assignment together with the
 // step-1 aggregate.
 func Cond(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, Step1Result{}, err
-	}
-	lengths := cfg.lengths()
-	k, n := cfg.TableBits, cfg.maxPath()
+	return twoStep(src, cfg, false)
+}
 
-	// --- Step 1: one FLP predictor per candidate, private tables. ---
+// Indirect runs the full two-step heuristic for indirect branches.
+func Indirect(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
+	return twoStep(src, cfg, true)
+}
+
+// --- Hot-path kernels -----------------------------------------------------
+//
+// Both steps replay the profile input many times (once per candidate hash
+// function in step 1, once per iteration in step 2), so the replay loops
+// are the pipeline's cost. Three structural choices keep them cheap:
+//
+//   - the input is materialised once into a record slice and every pass
+//     iterates it directly — no Source.Next interface call per record;
+//   - static branches are interned into dense ids up front (one map
+//     lookup per record, once), so every pass indexes flat arrays
+//     instead of touching a map per dynamic branch;
+//   - step 1's per-candidate predictors are independent by construction
+//     (private tables, private THB replay), so the candidate set is
+//     sharded across a sim.PoolSize worker pool, each worker replaying
+//     the shared record slice against its private table subset.
+
+// asRecords exposes the record slice behind src, materialising non-buffer
+// sources once so every profiling pass can iterate the slice directly.
+// Profiling sources must be replayable anyway (the heuristic replays the
+// input many times), so buffering them is a net saving.
+func asRecords(src trace.Source) []trace.Record {
+	if b, ok := src.(*trace.Buffer); ok {
+		return b.Records
+	}
+	return trace.Collect(src).Records
+}
+
+// internPCs assigns dense ids to the static branches of the scored class,
+// in first-sight order. recIDs holds one entry per record: the branch's id
+// for scored records, -1 otherwise. pcs maps ids back to addresses, and
+// scored counts the dynamic branches of the class.
+func internPCs(recs []trace.Record, indirect bool) (recIDs []int32, pcs []arch.Addr, scored int64) {
+	ids := map[arch.Addr]int32{}
+	recIDs = make([]int32, len(recs))
+	for j := range recs {
+		r := &recs[j]
+		in := r.Kind == arch.Cond
+		if indirect {
+			in = r.Kind.IndirectTarget()
+		}
+		if !in {
+			recIDs[j] = -1
+			continue
+		}
+		id, ok := ids[r.PC]
+		if !ok {
+			id = int32(len(pcs))
+			ids[r.PC] = id
+			pcs = append(pcs, r.PC)
+		}
+		recIDs[j] = id
+		scored++
+	}
+	return recIDs, pcs, scored
+}
+
+func maxLength(lengths []int) int {
+	max := 0
+	for _, l := range lengths {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// step1CondKernel replays recs against one private FLP counter table per
+// candidate length in sub, accumulating per-(branch,length) correct counts
+// into a flat numPCs×len(sub) matrix. The worker's hash bank is bounded to
+// the deepest length it evaluates.
+func step1CondKernel(recs []trace.Record, recIDs []int32, numPCs int, k uint, n int, sub []int) (counts, correct []int64, err error) {
 	hs, err := vlp.NewHashSet(k, n)
 	if err != nil {
-		return nil, Step1Result{}, err
+		return nil, nil, err
 	}
-	tables := make([]*counter.Array, len(lengths))
+	hs.SetMaxNeeded(maxLength(sub))
+	tables := make([]*counter.Array, len(sub))
 	for i := range tables {
 		tables[i] = counter.NewArray(1<<k, 2, 1)
 	}
-	perPC := map[arch.Addr][]int64{}
-	agg := Step1Result{Lengths: append([]int(nil), lengths...), Correct: make([]int64, len(lengths))}
-	src.Reset()
-	var r trace.Record
-	for src.Next(&r) {
-		if r.Kind == arch.Cond {
-			counts := perPC[r.PC]
-			if counts == nil {
-				counts = make([]int64, len(lengths))
-				perPC[r.PC] = counts
-			}
-			agg.Total++
-			for i, l := range lengths {
+	w := len(sub)
+	counts = make([]int64, numPCs*w)
+	correct = make([]int64, w)
+	for j := range recs {
+		r := &recs[j]
+		if id := recIDs[j]; id >= 0 {
+			row := counts[int(id)*w : int(id)*w+w]
+			for i, l := range sub {
 				idx := int(hs.Index(l))
 				if tables[i].Taken(idx) == r.Taken {
-					counts[i]++
-					agg.Correct[i]++
+					row[i]++
+					correct[i]++
 				}
 				tables[i].Train(idx, r.Taken)
 			}
@@ -207,182 +277,211 @@ func Cond(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
 			hs.Insert(r.Next)
 		}
 	}
-	obs.CountBranches(agg.Total)
-	tables = nil
-
-	candidates := map[arch.Addr][]int{}
-	for pc, counts := range perPC {
-		candidates[pc] = topCandidates(lengths, counts, cfg.candidates())
-	}
-	def := agg.BestLength()
-
-	// --- Step 2: iterate the shared-table VLP simulation. ---
-	record := map[arch.Addr][]int64{} // per branch, per candidate: fewest misses seen
-	for pc, cands := range candidates {
-		record[pc] = make([]int64, len(cands))
-	}
-	assign := make(map[arch.Addr]int, len(candidates))
-	for iter := 0; iter < cfg.iterations(); iter++ {
-		chosenIdx := map[arch.Addr]int{}
-		for pc, cands := range candidates {
-			ci := argmin(record[pc])
-			chosenIdx[pc] = ci
-			assign[pc] = cands[ci]
-		}
-		misses := simulateCondVLP(src, k, n, assign, def)
-		for pc, m := range misses {
-			if ci, ok := chosenIdx[pc]; ok {
-				record[pc][ci] = m
-			}
-		}
-		// Branches assigned but never executed this iteration recorded
-		// zero misses implicitly, matching the paper's initialisation.
-		for pc, ci := range chosenIdx {
-			if _, executed := misses[pc]; !executed {
-				record[pc][ci] = 0
-			}
-		}
-	}
-	final := make(map[arch.Addr]int, len(candidates))
-	for pc, cands := range candidates {
-		final[pc] = cands[argmin(record[pc])]
-	}
-	return &Profile{Kind: "cond", TableBits: k, Lengths: final, Default: def}, agg, nil
+	return counts, correct, nil
 }
 
-// simulateCondVLP runs one shared-table VLP pass and returns per-branch
-// misprediction counts.
-func simulateCondVLP(src trace.Source, k uint, n int, assign map[arch.Addr]int, def int) map[arch.Addr]int64 {
-	sel := &vlp.PerBranch{Lengths: assign, Default: def}
-	p, err := vlp.NewCondBits(k, sel, vlp.Options{MaxPath: n})
-	if err != nil {
-		panic(err) // configuration was validated by the caller
-	}
-	misses := map[arch.Addr]int64{}
-	var scored int64
-	src.Reset()
-	var r trace.Record
-	for src.Next(&r) {
-		if r.Kind == arch.Cond {
-			scored++
-			if p.Predict(r.PC) != r.Taken {
-				misses[r.PC]++
-			} else if _, ok := misses[r.PC]; !ok {
-				misses[r.PC] = 0
-			}
-		}
-		p.Update(r)
-	}
-	obs.CountBranches(scored)
-	return misses
-}
-
-// Indirect runs the full two-step heuristic for indirect branches.
-func Indirect(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, Step1Result{}, err
-	}
-	lengths := cfg.lengths()
-	k, n := cfg.TableBits, cfg.maxPath()
-
-	// --- Step 1 ---
+// step1IndirectKernel is step1CondKernel for the indirect class: private
+// target-register tables, last-target-match scoring.
+func step1IndirectKernel(recs []trace.Record, recIDs []int32, numPCs int, k uint, n int, sub []int) (counts, correct []int64, err error) {
 	hs, err := vlp.NewHashSet(k, n)
 	if err != nil {
-		return nil, Step1Result{}, err
+		return nil, nil, err
 	}
-	tables := make([][]uint32, len(lengths))
+	hs.SetMaxNeeded(maxLength(sub))
+	tables := make([][]uint32, len(sub))
 	for i := range tables {
 		tables[i] = make([]uint32, 1<<k)
 	}
-	perPC := map[arch.Addr][]int64{}
-	agg := Step1Result{Lengths: append([]int(nil), lengths...), Correct: make([]int64, len(lengths))}
-	src.Reset()
-	var r trace.Record
-	for src.Next(&r) {
-		if r.Kind.IndirectTarget() {
-			counts := perPC[r.PC]
-			if counts == nil {
-				counts = make([]int64, len(lengths))
-				perPC[r.PC] = counts
-			}
-			agg.Total++
-			for i, l := range lengths {
+	w := len(sub)
+	counts = make([]int64, numPCs*w)
+	correct = make([]int64, w)
+	for j := range recs {
+		r := &recs[j]
+		if id := recIDs[j]; id >= 0 {
+			row := counts[int(id)*w : int(id)*w+w]
+			target := uint32(r.Next)
+			for i, l := range sub {
 				idx := hs.Index(l)
-				if tables[i][idx] == uint32(r.Next) {
-					counts[i]++
-					agg.Correct[i]++
+				if tables[i][idx] == target {
+					row[i]++
+					correct[i]++
 				}
-				tables[i][idx] = uint32(r.Next)
+				tables[i][idx] = target
 			}
 		}
 		if r.Kind.RecordsInTHB() {
 			hs.Insert(r.Next)
 		}
 	}
-	obs.CountBranches(agg.Total)
-	tables = nil
+	return counts, correct, nil
+}
 
-	candidates := map[arch.Addr][]int{}
-	for pc, counts := range perPC {
-		candidates[pc] = topCandidates(lengths, counts, cfg.candidates())
+// step1Flat runs the step-1 sweep over all candidate lengths, sharding the
+// candidate set across a worker pool when the machine has one to offer.
+// The returned matrix is numPCs×len(lengths), row-major by dense id, with
+// columns in candidate order — bit-identical to a sequential sweep, since
+// each candidate's predictor is private either way.
+func step1Flat(recs []trace.Record, recIDs []int32, numPCs int, indirect bool, k uint, n int, lengths []int) (counts, correct []int64, err error) {
+	kernel := step1CondKernel
+	if indirect {
+		kernel = step1IndirectKernel
+	}
+	w := len(lengths)
+	workers := sim.PoolSize(w)
+	if workers <= 1 {
+		return kernel(recs, recIDs, numPCs, k, n, lengths)
+	}
+	type shard struct {
+		off             int
+		sub             []int
+		counts, correct []int64
+	}
+	shards := make([]shard, 0, workers)
+	for i := 0; i < workers; i++ {
+		lo, hi := i*w/workers, (i+1)*w/workers
+		if lo < hi {
+			shards = append(shards, shard{off: lo, sub: lengths[lo:hi]})
+		}
+	}
+	if err := sim.ForEach(context.Background(), len(shards), func(i int) error {
+		s := &shards[i]
+		var err error
+		s.counts, s.correct, err = kernel(recs, recIDs, numPCs, k, n, s.sub)
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	counts = make([]int64, numPCs*w)
+	correct = make([]int64, w)
+	for _, s := range shards {
+		sw := len(s.sub)
+		copy(correct[s.off:s.off+sw], s.correct)
+		for id := 0; id < numPCs; id++ {
+			copy(counts[id*w+s.off:id*w+s.off+sw], s.counts[id*sw:(id+1)*sw])
+		}
+	}
+	return counts, correct, nil
+}
+
+// twoStep is the shared driver behind Cond and Indirect.
+func twoStep(src trace.Source, cfg Config, indirect bool) (*Profile, Step1Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, Step1Result{}, err
+	}
+	lengths := cfg.lengths()
+	k, n := cfg.TableBits, cfg.maxPath()
+	kind := "cond"
+	if indirect {
+		kind = "indirect"
+	}
+
+	recs := asRecords(src)
+	recIDs, pcs, scored := internPCs(recs, indirect)
+
+	// --- Step 1: one FLP predictor per candidate, private tables. ---
+	counts, correct, err := step1Flat(recs, recIDs, len(pcs), indirect, k, n, lengths)
+	if err != nil {
+		return nil, Step1Result{}, err
+	}
+	agg := Step1Result{
+		Lengths: append([]int(nil), lengths...),
+		Correct: correct,
+		Total:   scored,
+	}
+	obs.CountBranches(agg.Total)
+
+	w := len(lengths)
+	cands := make([][]int, len(pcs))
+	for id := range pcs {
+		cands[id] = topCandidates(lengths, counts[id*w:(id+1)*w], cfg.candidates())
 	}
 	def := agg.BestLength()
 
-	// --- Step 2 ---
-	record := map[arch.Addr][]int64{}
-	for pc, cands := range candidates {
-		record[pc] = make([]int64, len(cands))
+	// --- Step 2: iterate the shared-table VLP simulation. ---
+	// The test input of each pass is the profile input itself, so every
+	// profiled branch executes in every pass: the candidate chosen for a
+	// branch always has its misprediction count written back (untested
+	// candidates keep their implicit zero, matching the paper's
+	// initialisation, so they are tried first in candidate rank order).
+	record := make([][]int64, len(pcs)) // per branch, per candidate: fewest misses seen
+	for id := range record {
+		record[id] = make([]int64, len(cands[id]))
 	}
-	assign := make(map[arch.Addr]int, len(candidates))
+	chosen := make([]int, len(pcs))
+	assign := make([]int, len(pcs))
 	for iter := 0; iter < cfg.iterations(); iter++ {
-		chosenIdx := map[arch.Addr]int{}
-		for pc, cands := range candidates {
-			ci := argmin(record[pc])
-			chosenIdx[pc] = ci
-			assign[pc] = cands[ci]
+		for id := range cands {
+			ci := argmin(record[id])
+			chosen[id] = ci
+			assign[id] = cands[id][ci]
 		}
-		misses := simulateIndirectVLP(src, k, n, assign, def)
-		for pc, m := range misses {
-			if ci, ok := chosenIdx[pc]; ok {
-				record[pc][ci] = m
-			}
+		misses, err := simulateVLPFlat(recs, recIDs, assign, indirect, k, n)
+		if err != nil {
+			return nil, Step1Result{}, err
 		}
-		for pc, ci := range chosenIdx {
-			if _, executed := misses[pc]; !executed {
-				record[pc][ci] = 0
-			}
+		for id, ci := range chosen {
+			record[id][ci] = misses[id]
 		}
 	}
-	final := make(map[arch.Addr]int, len(candidates))
-	for pc, cands := range candidates {
-		final[pc] = cands[argmin(record[pc])]
+	final := make(map[arch.Addr]int, len(pcs))
+	for id, pc := range pcs {
+		final[pc] = cands[id][argmin(record[id])]
 	}
-	return &Profile{Kind: "indirect", TableBits: k, Lengths: final, Default: def}, agg, nil
+	return &Profile{Kind: kind, TableBits: k, Lengths: final, Default: def}, agg, nil
 }
 
-func simulateIndirectVLP(src trace.Source, k uint, n int, assign map[arch.Addr]int, def int) map[arch.Addr]int64 {
-	sel := &vlp.PerBranch{Lengths: assign, Default: def}
-	p, err := vlp.NewIndirectBits(k, sel, vlp.Options{MaxPath: n})
+// simulateVLPFlat runs one shared-table VLP pass over the record slice and
+// returns per-branch misprediction counts indexed by dense id. It is the
+// devirtualised equivalent of replaying a vlp.Cond/Indirect built from a
+// PerBranch selector over assign: same table, same update order, but the
+// per-branch length comes from a flat array instead of a map lookup, and
+// the hash bank is bounded to the deepest assigned length.
+func simulateVLPFlat(recs []trace.Record, recIDs []int32, assign []int, indirect bool, k uint, n int) ([]int64, error) {
+	hs, err := vlp.NewHashSet(k, n)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	misses := map[arch.Addr]int64{}
+	hs.SetMaxNeeded(maxLength(assign))
+	misses := make([]int64, len(assign))
 	var scored int64
-	src.Reset()
-	var r trace.Record
-	for src.Next(&r) {
-		if r.Kind.IndirectTarget() {
-			scored++
-			if p.Predict(r.PC) != r.Next {
-				misses[r.PC]++
-			} else if _, ok := misses[r.PC]; !ok {
-				misses[r.PC] = 0
+	if indirect {
+		table := make([]uint32, 1<<k)
+		for j := range recs {
+			r := &recs[j]
+			if id := recIDs[j]; id >= 0 {
+				scored++
+				idx := hs.Index(assign[id])
+				// The register holds the low 32 target bits (§3.1
+				// footnote) but the prediction it implies is a full
+				// address — mirror vlp.Indirect.Predict exactly.
+				if arch.Addr(table[idx]) != r.Next {
+					misses[id]++
+				}
+				table[idx] = uint32(r.Next)
+			}
+			if r.Kind.RecordsInTHB() {
+				hs.Insert(r.Next)
 			}
 		}
-		p.Update(r)
+	} else {
+		pht := counter.NewArray(1<<k, 2, 1)
+		for j := range recs {
+			r := &recs[j]
+			if id := recIDs[j]; id >= 0 {
+				scored++
+				idx := int(hs.Index(assign[id]))
+				if pht.Taken(idx) != r.Taken {
+					misses[id]++
+				}
+				pht.Train(idx, r.Taken)
+			}
+			if r.Kind.RecordsInTHB() {
+				hs.Insert(r.Next)
+			}
+		}
 	}
 	obs.CountBranches(scored)
-	return misses
+	return misses, nil
 }
 
 // argmin returns the index of the smallest value (first on ties, which

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bpred/bimodal"
+	"repro/internal/bpred/targetcache"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// opaqueSource hides a Source's concrete type so Run cannot take the
+// *trace.Buffer fast path — it is the reference generic loop on demand.
+type opaqueSource struct{ src trace.Source }
+
+func (o opaqueSource) Next(r *trace.Record) bool { return o.src.Next(r) }
+func (o opaqueSource) Reset()                    { o.src.Reset() }
+
+// mixedRecords builds a deterministic pseudo-random trace mixing every
+// branch kind, long enough to cross at least one cancellation stride.
+func mixedRecords(n int) []trace.Record {
+	rng := xrand.New(42)
+	recs := make([]trace.Record, 0, n)
+	pcs := []arch.Addr{0x1004, 0x2008, 0x300c, 0x4010, 0x5014, 0x6018}
+	for i := 0; i < n; i++ {
+		pc := pcs[rng.Uint64()%uint64(len(pcs))]
+		switch rng.Uint64() % 4 {
+		case 0:
+			taken := rng.Bool(0.6)
+			next := pc.FallThrough()
+			if taken {
+				next = arch.Addr(0x9000 + (rng.Uint64()&0x3)*16)
+			}
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next})
+		case 1:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Indirect, Taken: true,
+				Next: arch.Addr(0xa000 + (rng.Uint64()&0x7)*16)})
+		case 2:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Call, Taken: true, Next: 0xb000})
+		default:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Return, Taken: true, Next: 0xc000})
+		}
+	}
+	return recs
+}
+
+func sameResult(t *testing.T, name string, batched, generic Result) {
+	t.Helper()
+	if batched.Branches != generic.Branches {
+		t.Errorf("%s: Branches %d (batched) != %d (generic)", name, batched.Branches, generic.Branches)
+	}
+	if batched.Mispredicts != generic.Mispredicts {
+		t.Errorf("%s: Mispredicts %d (batched) != %d (generic)", name, batched.Mispredicts, generic.Mispredicts)
+	}
+	if !reflect.DeepEqual(batched.PerPC, generic.PerPC) {
+		t.Errorf("%s: PerPC maps differ", name)
+	}
+}
+
+// TestBatchedRunMatchesGeneric pins the *trace.Buffer fast path to the
+// generic Source loop: identical traces and predictors must produce
+// identical Result counts, per-PC breakdowns included.
+func TestBatchedRunMatchesGeneric(t *testing.T) {
+	recs := mixedRecords(int(cancelStride) + 5000)
+	for _, perPC := range []bool{false, true} {
+		opts := Options{PerPC: perPC}
+		batched := RunCond(context.Background(), bimodal.NewBits(10), trace.NewBuffer(recs), opts)
+		generic := RunCond(context.Background(), bimodal.NewBits(10), opaqueSource{trace.NewBuffer(recs)}, opts)
+		if batched.Err != nil || generic.Err != nil {
+			t.Fatalf("clean runs errored: %v / %v", batched.Err, generic.Err)
+		}
+		sameResult(t, "cond", batched, generic)
+
+		bi := RunIndirect(context.Background(), targetcache.NewBTB(8), trace.NewBuffer(recs), opts)
+		gi := RunIndirect(context.Background(), targetcache.NewBTB(8), opaqueSource{trace.NewBuffer(recs)}, opts)
+		sameResult(t, "indirect", bi, gi)
+	}
+}
+
+// TestBatchedRunMatchesGenericOnCancellation: with an already-canceled
+// context both paths must stop at the same stride boundary, having scored
+// exactly the same records.
+func TestBatchedRunMatchesGenericOnCancellation(t *testing.T) {
+	recs := mixedRecords(int(cancelStride)*2 + 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	batched := RunCond(ctx, bimodal.NewBits(10), trace.NewBuffer(recs), Options{PerPC: true})
+	generic := RunCond(ctx, bimodal.NewBits(10), opaqueSource{trace.NewBuffer(recs)}, Options{PerPC: true})
+	if !errors.Is(batched.Err, context.Canceled) || !errors.Is(generic.Err, context.Canceled) {
+		t.Fatalf("Err = %v (batched) / %v (generic), want context.Canceled", batched.Err, generic.Err)
+	}
+	sameResult(t, "canceled", batched, generic)
+	if batched.Branches == 0 {
+		t.Error("canceled run scored nothing; stride boundary should land after one stride of records")
+	}
+}
+
+// TestBatchedRunMatchesTruncatedGeneric: a source that fails mid-stream
+// replays exactly the records before the failure, so its counts must
+// equal a batched run over that prefix — plus the surfaced error.
+func TestBatchedRunMatchesTruncatedGeneric(t *testing.T) {
+	recs := mixedRecords(3000)
+	const cut = 1700
+	want := errors.New("record 1700: unexpected EOF")
+	failing := &recFailingSource{recs: recs[:cut], err: want}
+	generic := RunCond(context.Background(), bimodal.NewBits(10), failing, Options{PerPC: true})
+	if !errors.Is(generic.Err, want) {
+		t.Fatalf("generic.Err = %v, want the source error", generic.Err)
+	}
+	batched := RunCond(context.Background(), bimodal.NewBits(10), trace.NewBuffer(recs[:cut]), Options{PerPC: true})
+	if batched.Err != nil {
+		t.Fatalf("batched prefix run errored: %v", batched.Err)
+	}
+	sameResult(t, "truncated", batched, generic)
+}
+
+// recFailingSource replays a fixed prefix then reports a decode error,
+// the shape trace.Reader produces for a truncated file.
+type recFailingSource struct {
+	recs []trace.Record
+	pos  int
+	err  error
+}
+
+func (f *recFailingSource) Next(r *trace.Record) bool {
+	if f.pos >= len(f.recs) {
+		return false
+	}
+	*r = f.recs[f.pos]
+	f.pos++
+	return true
+}
+func (f *recFailingSource) Reset()     { f.pos = 0 }
+func (f *recFailingSource) Err() error { return f.err }
+
+// TestBatchedRunConsumesBuffer: the fast path must leave the buffer in
+// the same exhausted state the generic Next loop would.
+func TestBatchedRunConsumesBuffer(t *testing.T) {
+	buf := trace.NewBuffer(mixedRecords(100))
+	RunCond(context.Background(), bimodal.NewBits(4), buf, Options{})
+	var r trace.Record
+	if buf.Next(&r) {
+		t.Error("buffer still yields records after a batched run; Consume not applied")
+	}
+	buf.Reset()
+	if !buf.Next(&r) {
+		t.Error("Reset after a batched run did not rewind the buffer")
+	}
+}

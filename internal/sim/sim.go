@@ -105,32 +105,10 @@ func Run(ctx context.Context, p bpred.Predictor, src trace.Source, opts Options,
 	if opts.PerPC {
 		res.PerPC = make(map[arch.Addr]*PCStat)
 	}
-	var replayed int64
-	var r trace.Record
-	for src.Next(&r) {
-		replayed++
-		if replayed%cancelStride == 0 && ctx.Err() != nil {
-			res.Err = ctx.Err()
-			break
-		}
-		if scored, correct := score(&r); scored {
-			res.Branches++
-			if !correct {
-				res.Mispredicts++
-			}
-			if res.PerPC != nil {
-				st := res.PerPC[r.PC]
-				if st == nil {
-					st = &PCStat{}
-					res.PerPC[r.PC] = st
-				}
-				st.Branches++
-				if !correct {
-					st.Mispredicts++
-				}
-			}
-		}
-		p.Update(r)
+	if buf, ok := src.(*trace.Buffer); ok {
+		runBatched(ctx, p, buf, &res, score)
+	} else {
+		runGeneric(ctx, p, src, &res, score)
 	}
 	// Next returns false both at a clean end of stream and on a decode
 	// failure; sources that can fail expose the distinction via an
@@ -152,6 +130,76 @@ func Run(ctx context.Context, p bpred.Predictor, src trace.Source, opts Options,
 		res.Metrics.BranchesPerSec = float64(res.Branches) / wall.Seconds()
 	}
 	return res
+}
+
+// runGeneric is the reference replay loop over the Source interface: one
+// devirtualised Next call per record, with a cancellation check every
+// cancelStride records (taken before the stride-boundary record is
+// scored). runBatched must stay observably equivalent to this loop; the
+// differential tests in batch_test.go pin the two together.
+func runGeneric(ctx context.Context, p bpred.Predictor, src trace.Source, res *Result, score Score) {
+	var replayed int64
+	var r trace.Record
+	for src.Next(&r) {
+		replayed++
+		if replayed%cancelStride == 0 && ctx.Err() != nil {
+			res.Err = ctx.Err()
+			break
+		}
+		scoreRecord(p, &r, res, score)
+	}
+}
+
+// runBatched is the fast path for in-memory traces: it iterates the
+// record slice directly in chunks, paying the Source.Next interface call
+// and the cancellation check once per chunk instead of once per record.
+// Chunk boundaries fall exactly where runGeneric checks the context (one
+// record before each cancelStride multiple), so a canceled run stops
+// after the same number of records on either path.
+func runBatched(ctx context.Context, p bpred.Predictor, buf *trace.Buffer, res *Result, score Score) {
+	recs := buf.Records
+	next := int(cancelStride) - 1 // index of the first unscored record on cancellation
+	i := 0
+	for i < len(recs) {
+		end := len(recs)
+		if next < end {
+			end = next
+		}
+		for ; i < end; i++ {
+			scoreRecord(p, &recs[i], res, score)
+		}
+		if i == next {
+			if ctx.Err() != nil {
+				res.Err = ctx.Err()
+				break
+			}
+			next += int(cancelStride)
+		}
+	}
+	buf.Consume(i)
+}
+
+// scoreRecord scores and replays one record — the shared per-record body
+// of the generic and batched loops.
+func scoreRecord(p bpred.Predictor, r *trace.Record, res *Result, score Score) {
+	if scored, correct := score(r); scored {
+		res.Branches++
+		if !correct {
+			res.Mispredicts++
+		}
+		if res.PerPC != nil {
+			st := res.PerPC[r.PC]
+			if st == nil {
+				st = &PCStat{}
+				res.PerPC[r.PC] = st
+			}
+			st.Branches++
+			if !correct {
+				st.Mispredicts++
+			}
+		}
+	}
+	p.Update(*r)
 }
 
 // RunCond replays src (after resetting it) through a conditional
@@ -226,6 +274,7 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 		errs[i] = runx.Safe(func() error { return fn(i) })
 	}
 	workers := PoolSize(n)
+	obs.RecordWorkers(workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

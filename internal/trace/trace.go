@@ -94,6 +94,21 @@ func (b *Buffer) Reset() { b.pos = 0 }
 // Len returns the number of records in the buffer.
 func (b *Buffer) Len() int { return len(b.Records) }
 
+// Consume advances the read position by n records, as if Next had been
+// called n times. Batched replay loops that iterate Records directly use
+// it to keep the stream position consistent with what they consumed, so a
+// caller that mixes direct iteration with Next sees the same exhaustion
+// behaviour either way.
+func (b *Buffer) Consume(n int) {
+	b.pos += n
+	if b.pos > len(b.Records) {
+		b.pos = len(b.Records)
+	}
+	if b.pos < 0 {
+		b.pos = 0
+	}
+}
+
 // Collect drains src into a new Buffer, resetting src first. It is a
 // convenience for tests and for materialising generated workloads.
 func Collect(src Source) *Buffer {

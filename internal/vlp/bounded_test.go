@@ -1,0 +1,198 @@
+package vlp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// TestBoundedBankMatchesDirect is the bounded-bank variant of the §4.1
+// equivalence: with Insert maintaining only the first m partial-sum
+// registers, every index within the bound must still equal the full
+// rotate-and-XOR recomputation over the (always fully maintained) THB.
+func TestBoundedBankMatchesDirect(t *testing.T) {
+	f := func(seed uint64, kRaw, nRaw, mRaw, steps uint8) bool {
+		k := uint(kRaw)%16 + 1 // 1..16
+		n := int(nRaw)%32 + 1  // 1..32
+		h, err := NewHashSet(k, n)
+		if err != nil {
+			return false
+		}
+		m := int(mRaw)%n + 1 // 1..n
+		h.SetMaxNeeded(m)
+		if h.MaxNeeded() != m {
+			return false
+		}
+		rng := xrand.New(seed)
+		for s := 0; s < int(steps); s++ {
+			h.Insert(arch.Addr(rng.Uint64() & 0xfffffff))
+			for l := 1; l <= m; l++ {
+				if h.Index(l) != h.DirectIndex(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetMaxNeededOutOfRangeKeepsFullBank: 0, negative, and beyond-depth
+// bounds all mean "unknown" and leave every register live.
+func TestSetMaxNeededOutOfRangeKeepsFullBank(t *testing.T) {
+	h, _ := NewHashSet(12, 16)
+	for _, m := range []int{0, -3, 17, 1000} {
+		h.SetMaxNeeded(8)
+		h.SetMaxNeeded(m)
+		if h.MaxNeeded() != 16 {
+			t.Errorf("SetMaxNeeded(%d): MaxNeeded = %d, want full bank 16", m, h.MaxNeeded())
+		}
+	}
+}
+
+// TestBoundedIndexPanicsBeyondBound: reading a stale register past the
+// bound must panic rather than silently return garbage.
+func TestBoundedIndexPanicsBeyondBound(t *testing.T) {
+	h, _ := NewHashSet(12, 16)
+	h.SetMaxNeeded(6)
+	h.Insert(0x1004)
+	_ = h.Index(6) // within bound: fine
+	defer func() {
+		if recover() == nil {
+			t.Error("Index past the bank bound did not panic")
+		}
+	}()
+	h.Index(7)
+}
+
+// TestSelectorMaxNeeded pins the MaxNeeder hints the bank bound derives
+// from: Fixed reports its length, PerBranch the deepest length it can
+// return, and a selector without the refinement reports "unknown".
+func TestSelectorMaxNeeded(t *testing.T) {
+	if got := MaxNeededOf(Fixed{L: 8}); got != 8 {
+		t.Errorf("Fixed{8} MaxNeeded = %d", got)
+	}
+	pb := &PerBranch{Lengths: map[arch.Addr]int{0x1004: 3, 0x2008: 11}, Default: 5}
+	if got := MaxNeededOf(pb); got != 11 {
+		t.Errorf("PerBranch MaxNeeded = %d, want deepest profiled length 11", got)
+	}
+	pb2 := &PerBranch{Lengths: map[arch.Addr]int{0x1004: 3}, Default: 9}
+	if got := MaxNeededOf(pb2); got != 9 {
+		t.Errorf("PerBranch MaxNeeded = %d, want default 9", got)
+	}
+	if got := MaxNeededOf(plainSelector{}); got != 0 {
+		t.Errorf("hint-less selector MaxNeeded = %d, want 0 (unknown)", got)
+	}
+}
+
+// plainSelector implements Selector without the MaxNeeder refinement.
+type plainSelector struct{}
+
+func (plainSelector) Length(arch.Addr) int { return 4 }
+func (plainSelector) Name() string         { return "plain" }
+
+// boundedTrace builds a deterministic mix of conditionals, indirect
+// branches, calls, and returns — calls and returns included so the
+// history-stack variant exercises Snapshot/Restore over a bounded bank.
+func boundedTrace(n int) []trace.Record {
+	rng := xrand.New(99)
+	pcs := []arch.Addr{0x1004, 0x2008, 0x300c, 0x4010}
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		pc := pcs[rng.Uint64()%uint64(len(pcs))]
+		switch rng.Uint64() % 6 {
+		case 0, 1, 2:
+			taken := rng.Bool(0.55)
+			next := pc.FallThrough()
+			if taken {
+				next = arch.Addr(0x8000 + (rng.Uint64()&0x7)*16)
+			}
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next})
+		case 3:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Indirect, Taken: true,
+				Next: arch.Addr(0x9000 + (rng.Uint64()&0x3)*16)})
+		case 4:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Call, Taken: true, Next: 0xa000})
+		default:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Return, Taken: true, Next: 0xb000})
+		}
+	}
+	return recs
+}
+
+// TestBoundedCondMatchesFullBank replays identical traces through two
+// Fixed{8} conditional predictors — one auto-bounded to 8 registers via
+// the selector hint, one explicitly kept at the full 32-register bank —
+// and requires bit-identical predictions on every conditional. The bound
+// is a simulation-cost knob only; any divergence is a bug.
+func TestBoundedCondMatchesFullBank(t *testing.T) {
+	for _, opts := range []Options{{}, {HistoryStack: true}, {HistoryStack: true, HistoryCombine: 2}} {
+		full := opts
+		full.MaxNeeded = DefaultMaxPath // explicit full bank
+		bounded, err := NewCondBits(12, Fixed{L: 8}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := NewCondBits(12, Fixed{L: 8}, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bounded.HashSet().MaxNeeded() != 8 {
+			t.Fatalf("selector hint not applied: MaxNeeded = %d", bounded.HashSet().MaxNeeded())
+		}
+		if reference.HashSet().MaxNeeded() != DefaultMaxPath {
+			t.Fatalf("explicit full bank not applied: MaxNeeded = %d", reference.HashSet().MaxNeeded())
+		}
+		for i, r := range boundedTrace(20000) {
+			if r.Kind == arch.Cond && bounded.Predict(r.PC) != reference.Predict(r.PC) {
+				t.Fatalf("opts %+v: record %d: bounded and full-bank predictions diverge", opts, i)
+			}
+			bounded.Update(r)
+			reference.Update(r)
+		}
+	}
+}
+
+// TestBoundedIndirectMatchesFullBank is the indirect-branch counterpart.
+func TestBoundedIndirectMatchesFullBank(t *testing.T) {
+	bounded, err := NewIndirectBits(10, Fixed{L: 6}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := NewIndirectBits(10, Fixed{L: 6}, Options{MaxNeeded: DefaultMaxPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.HashSet().MaxNeeded() != 6 || reference.HashSet().MaxNeeded() != DefaultMaxPath {
+		t.Fatalf("bank bounds = %d / %d, want 6 / %d",
+			bounded.HashSet().MaxNeeded(), reference.HashSet().MaxNeeded(), DefaultMaxPath)
+	}
+	for i, r := range boundedTrace(20000) {
+		if r.Kind.IndirectTarget() && bounded.Predict(r.PC) != reference.Predict(r.PC) {
+			t.Fatalf("record %d: bounded and full-bank targets diverge", i)
+		}
+		bounded.Update(r)
+		reference.Update(r)
+	}
+}
+
+// TestRot1MatchesRotl pins the specialised one-bit rotation against the
+// general rotl it replaced, across every index width including k=1 where
+// the shift form degenerates to the identity.
+func TestRot1MatchesRotl(t *testing.T) {
+	for k := uint(1); k <= 32; k++ {
+		h := &HashSet{k: k, mask: uint32(uint64(1)<<k - 1)}
+		rng := xrand.New(uint64(k))
+		for i := 0; i < 200; i++ {
+			v := uint32(rng.Uint64())
+			if got, want := h.rot1(v), h.rotl(v, 1); got != want {
+				t.Fatalf("k=%d: rot1(%#x) = %#x, want rotl(v,1) = %#x", k, v, got, want)
+			}
+		}
+	}
+}

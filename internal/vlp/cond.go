@@ -31,6 +31,13 @@ type Cond struct {
 type Options struct {
 	// MaxPath is the THB depth N; 0 means DefaultMaxPath (32).
 	MaxPath int
+	// MaxNeeded bounds the bank of partial-sum registers maintained per
+	// THB insert (§4.1) when the caller knows no deeper index is ever
+	// read. 0 derives the bound from the selector's MaxNeeder hint when
+	// it provides one; values outside 1..MaxPath keep the full bank.
+	// This is purely a simulation-cost knob: bounded registers are never
+	// read, so predictions are bit-identical to the full bank.
+	MaxNeeded int
 	// NoRotation disables the per-depth rotation of §3.3, so target
 	// order is no longer encoded in the index (ablation).
 	NoRotation bool
@@ -59,6 +66,18 @@ func (o Options) maxPath() int {
 	return o.MaxPath
 }
 
+// boundBank applies the register-bank bound to a freshly built HashSet:
+// the explicit Options.MaxNeeded when set, else the selector's hint. The
+// NoRotation ablation recomputes indices from the THB ring rather than
+// the registers, so the bound is moot there but still harmless.
+func (o Options) boundBank(hs *HashSet, sel Selector) {
+	m := o.MaxNeeded
+	if m == 0 {
+		m = MaxNeededOf(sel)
+	}
+	hs.SetMaxNeeded(m)
+}
+
 // NewCond returns a conditional path predictor whose counter table fits
 // the given hardware budget in bytes (2-bit entries; the budget must map
 // to a power-of-two table).
@@ -80,6 +99,7 @@ func NewCondBits(k uint, sel Selector, opts Options) (*Cond, error) {
 	if f, ok := sel.(Fixed); ok && (f.L < 1 || f.L > hs.MaxPath()) {
 		return nil, fmt.Errorf("vlp: fixed path length %d out of range 1..%d", f.L, hs.MaxPath())
 	}
+	opts.boundBank(hs, sel)
 	return &Cond{
 		pht:  counter.NewArray(1<<k, 2, 1),
 		hs:   hs,

@@ -33,6 +33,7 @@ const DefaultMaxPath = 32
 type HashSet struct {
 	k     uint
 	n     int
+	live  int // partial-sum registers maintained by Insert (<= n)
 	mask  uint32
 	idx   []uint32 // idx[x-1] = I_x
 	thb   []uint32 // ring of compressed targets
@@ -52,6 +53,7 @@ func NewHashSet(k uint, n int) (*HashSet, error) {
 	return &HashSet{
 		k:    k,
 		n:    n,
+		live: n,
 		mask: uint32(1<<k - 1),
 		idx:  make([]uint32, n),
 		thb:  make([]uint32, n),
@@ -64,6 +66,22 @@ func (h *HashSet) K() uint { return h.k }
 
 // MaxPath returns the THB depth N.
 func (h *HashSet) MaxPath() int { return h.n }
+
+// SetMaxNeeded bounds the bank of partial-sum registers Insert maintains
+// to the first m, for callers that know they will never ask for an index
+// deeper than m (a Fixed{L:8} selector needs 8 registers, not 32). Values
+// outside 1..MaxPath mean "unknown" and keep the full bank. The THB ring
+// is always maintained in full, so DirectIndex and Target still work at
+// any depth; only Index is restricted to lengths within the bound.
+func (h *HashSet) SetMaxNeeded(m int) {
+	if m < 1 || m > h.n {
+		m = h.n
+	}
+	h.live = m
+}
+
+// MaxNeeded returns the number of partial-sum registers Insert maintains.
+func (h *HashSet) MaxNeeded() int { return h.live }
 
 // compress reduces a target address to k bits. The always-zero low two PC
 // bits are discarded first, then the high-order bits, the paper's "simply
@@ -81,30 +99,29 @@ func (h *HashSet) rotl(v uint32, r uint) uint32 {
 	return (v<<r | v>>(h.k-r)) & h.mask
 }
 
+// rot1 is rotl(v, 1) without the modulo and the zero-rotation branch: the
+// incremental update rotates by exactly one bit per stage, and for k == 1
+// the plain shift form already reduces to the identity, so the hot loop
+// needs neither the `%` nor the branch.
+func (h *HashSet) rot1(v uint32) uint32 {
+	return (v<<1 | v>>(h.k-1)) & h.mask
+}
+
 // Insert records a new branch target into the THB, updating every index
 // incrementally (§4.1). Callers insert the targets of conditional and
 // indirect branches only (§3.2); unconditional branches and returns carry
 // no path information.
 func (h *HashSet) Insert(target arch.Addr) {
-	t := h.compress(target)
-	// I_X = rot1(I_{X-1}) XOR t, evaluated from deep to shallow so each
-	// update reads the previous insertion's value.
-	for x := h.n - 1; x >= 1; x-- {
-		h.idx[x] = h.rotl(h.idx[x-1], 1) ^ t
-	}
-	h.idx[0] = t
-	h.head = (h.head + 1) % h.n
-	h.thb[h.head] = t
-	if h.count < h.n {
-		h.count++
-	}
+	h.InsertCompressed(h.compress(target))
 }
 
 // Index returns I_length, the predictor-table index produced by hash
-// function HF_length. length must be in 1..MaxPath.
+// function HF_length. length must be in 1..MaxNeeded (which is MaxPath
+// unless the bank was bounded with SetMaxNeeded).
 func (h *HashSet) Index(length int) uint32 {
-	if length < 1 || length > h.n {
-		panic(fmt.Sprintf("vlp: path length %d out of range 1..%d", length, h.n))
+	if length < 1 || length > h.live {
+		panic(fmt.Sprintf("vlp: path length %d out of range 1..%d (bank bounded to %d of %d registers)",
+			length, h.live, h.live, h.n))
 	}
 	return h.idx[length-1]
 }
@@ -138,13 +155,22 @@ func (h *HashSet) DirectIndex(length int) uint32 {
 // is already compressed to k bits — used when re-playing targets captured
 // from the THB ring (the history-stack combine variant re-inserts the last
 // few callee targets on top of the restored caller history).
+//
+// Only the first MaxNeeded partial-sum registers are updated: I_X =
+// rot1(I_{X-1}) XOR t, evaluated from deep to shallow so each update reads
+// the previous insertion's value. Registers past the bound go stale, which
+// is fine because Index refuses to read them.
 func (h *HashSet) InsertCompressed(t uint32) {
 	t &= h.mask
-	for x := h.n - 1; x >= 1; x-- {
-		h.idx[x] = h.rotl(h.idx[x-1], 1) ^ t
+	idx := h.idx[:h.live]
+	for x := len(idx) - 1; x >= 1; x-- {
+		idx[x] = h.rot1(idx[x-1]) ^ t
 	}
-	h.idx[0] = t
-	h.head = (h.head + 1) % h.n
+	idx[0] = t
+	h.head++
+	if h.head == h.n {
+		h.head = 0
+	}
 	h.thb[h.head] = t
 	if h.count < h.n {
 		h.count++

@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_compare.sh — run the hot-path micro-benchmark subset and compare
+# it against a recorded baseline.
+#
+# Usage:
+#   scripts/bench_compare.sh [baseline-file]
+#
+# The subset (predictor kernels, the §4.1 hash update, the two-step
+# profiling pipeline, and the end-to-end simulation loop) runs with
+# -count=5 so the comparison has variance to work with. The run is saved
+# to $RESULTS/bench_micro.txt; with BENCH_JSON_DIR exported the artifact
+# benchmarks in the subset also emit repro-bench/v1 JSON reports there.
+#
+# Comparison: benchstat when it is on PATH (statistically sound), else a
+# plain per-benchmark mean-ns/op delta table. If the baseline file does
+# not exist yet, the current run is recorded as the baseline and the
+# script exits cleanly — so the first run on a machine seeds the baseline
+# and later runs diff against it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RESULTS="${RESULTS:-results}"
+BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim}"
+COUNT="${COUNT:-5}"
+BENCHTIME="${BENCHTIME:-100ms}"
+baseline="${1:-$RESULTS/bench_micro_baseline.txt}"
+current="$RESULTS/bench_micro.txt"
+
+mkdir -p "$RESULTS"
+echo "== bench-compare: go test -bench (count=$COUNT, benchtime=$BENCHTIME)"
+go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$current"
+
+if [ ! -f "$baseline" ]; then
+	cp "$current" "$baseline"
+	echo "== bench-compare: no baseline found; recorded this run as $baseline"
+	exit 0
+fi
+
+if command -v benchstat >/dev/null 2>&1; then
+	echo "== bench-compare: benchstat $baseline $current"
+	benchstat "$baseline" "$current"
+else
+	echo "== bench-compare: benchstat not installed; mean ns/op deltas"
+	awk '
+		FNR == 1 { file++ }
+		$1 ~ /^Benchmark/ && $4 == "ns/op" {
+			name = $1; v = $3
+			if (file == 1) { osum[name] += v; on[name]++ }
+			else           { nsum[name] += v; nn[name]++ }
+		}
+		END {
+			for (name in nsum) {
+				n = nsum[name] / nn[name]
+				if (on[name] > 0) {
+					o = osum[name] / on[name]
+					printf "%-50s %14.2f %14.2f %+8.1f%%\n", name, o, n, (n - o) / o * 100
+				} else {
+					printf "%-50s %14s %14.2f %9s\n", name, "-", n, "new"
+				}
+			}
+		}
+	' "$baseline" "$current" | sort
+fi
