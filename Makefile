@@ -3,11 +3,11 @@
 GO ?= go
 RESULTS ?= results
 
-.PHONY: all check fmt vet build test bench-smoke bench-compare clean
+.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke clean
 
 all: check
 
-check: fmt vet build test bench-smoke
+check: fmt vet build test bench-smoke serve-smoke
 
 # Fail if any file needs reformatting (prints the offenders).
 fmt:
@@ -30,6 +30,12 @@ bench-smoke:
 	BENCH_JSON_DIR=$(RESULTS) $(GO) test -run '^$$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .
 	$(GO) run ./cmd/obscheck -dir $(RESULTS)
 
+# End-to-end check of the prediction service: vlpserve on a random
+# port, vlpload replay, served rate byte-identical to batch vlpsim,
+# /metrics schema-valid, clean drain on SIGTERM.
+serve-smoke:
+	RESULTS=$(RESULTS) ./scripts/serve_smoke.sh
+
 # Run the hot-path micro-benchmarks (-count=5) and diff against the
 # recorded baseline: benchstat when installed, plain mean deltas
 # otherwise. The first run on a machine seeds the baseline file.
@@ -38,3 +44,4 @@ bench-compare:
 
 clean:
 	rm -f $(RESULTS)/bench_*.json $(RESULTS)/bench_micro*.txt
+	rm -rf $(RESULTS)/serve_smoke_bin $(RESULTS)/serve_smoke_*

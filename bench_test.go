@@ -10,6 +10,8 @@ package repro
 
 import (
 	"context"
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"testing"
 
@@ -17,7 +19,9 @@ import (
 	"repro/internal/bpred/gshare"
 	"repro/internal/bpred/targetcache"
 	"repro/internal/experiments"
+	"repro/internal/loadgen"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vlp"
@@ -315,6 +319,42 @@ func BenchmarkTraceGeneration(b *testing.B) {
 			b.Fatal("source exhausted")
 		}
 	}
+}
+
+// BenchmarkServeEndToEnd measures the prediction service round trip:
+// chunk encoding, HTTP transport, server-side decode, and batched
+// replay, driven by the same load generator cmd/vlpload ships. Each
+// iteration streams the whole trace through a fresh session, so ns/op
+// is the cost of serving one complete workload.
+func BenchmarkServeEndToEnd(b *testing.B) {
+	limits := serve.DefaultLimits()
+	limits.Workers = 16
+	srv, err := serve.New(limits, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	buf := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:      ts.URL,
+			SessionID:    fmt.Sprintf("bench-%d", i),
+			Class:        "cond",
+			Spec:         "gshare:budget=16KB",
+			Clients:      4,
+			ChunkRecords: 8192,
+		}, trace.NewBuffer(buf.Records))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failures != 0 || res.Records != int64(buf.Len()) {
+			b.Fatalf("degraded run: %+v", res)
+		}
+	}
+	b.StopTimer()
 }
 
 // BenchmarkEndToEndSim measures the simulation loop as a whole: predictor,

@@ -19,12 +19,19 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== fuzz smoke (decoder + spec grammar)"
+echo "== fuzz smoke (decoder + spec grammar + session requests)"
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzParseSpec$' -fuzztime 10s ./internal/factory
+go test -run '^$' -fuzz '^FuzzSessionSpec$' -fuzztime 10s ./internal/serve
 
 echo "== cancellation + fault-tolerance + singleflight under race"
 go test -race -count=1 -run 'Cancel|Canceled|Fault|Resume|Timeout|PanicIsolation|Singleflight' ./internal/sim ./internal/experiments ./cmd/paperrepro
+
+echo "== service concurrency (hammer + drain) under race"
+go test -race -count=1 -run 'Hammer|Saturation|GracefulShutdown' ./internal/serve ./internal/loadgen
+
+echo "== serve smoke (served rates byte-identical to batch)"
+./scripts/serve_smoke.sh
 
 echo "== bench smoke (emits results/bench_*.json)"
 BENCH_JSON_DIR=results go test -run '^$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .

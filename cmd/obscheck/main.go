@@ -11,6 +11,10 @@
 //
 //	obscheck -dir results
 //
+// Scrape and validate a live vlpserve metrics endpoint:
+//
+//	obscheck -url http://127.0.0.1:8080/metrics
+//
 // It exits non-zero if any file is missing, unparsable, or fails schema
 // validation, or (with -dir) if the directory holds no reports at all.
 package main
@@ -18,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
 	"time"
@@ -28,16 +34,41 @@ import (
 func main() {
 	var (
 		dir   = flag.String("dir", "", "validate every bench_*.json in this directory")
+		url   = flag.String("url", "", "fetch and validate a live /metrics endpoint")
 		quiet = flag.Bool("q", false, "suppress the per-report summary lines")
 	)
 	flag.Parse()
-	if err := run(*dir, flag.Args(), *quiet, os.Stdout); err != nil {
+	if err := run(*dir, *url, flag.Args(), *quiet, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "obscheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, paths []string, quiet bool, out *os.File) error {
+// fetchReport scrapes url and holds the body to the same schema checks a
+// bench report file gets: a /metrics endpoint is just a report served
+// over HTTP.
+func fetchReport(url string) (*obs.Report, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	r, err := obs.DecodeReport(body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return r, nil
+}
+
+func run(dir, url string, paths []string, quiet bool, out *os.File) error {
 	var reports []*obs.Report
 	if dir != "" {
 		got, err := obs.GlobReports(dir)
@@ -49,6 +80,13 @@ func run(dir string, paths []string, quiet bool, out *os.File) error {
 		}
 		reports = got
 	}
+	if url != "" {
+		r, err := fetchReport(url)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, r)
+	}
 	for _, path := range paths {
 		r, err := obs.ReadReport(path)
 		if err != nil {
@@ -57,7 +95,7 @@ func run(dir string, paths []string, quiet bool, out *os.File) error {
 		reports = append(reports, r)
 	}
 	if len(reports) == 0 {
-		return fmt.Errorf("nothing to check: pass report files or -dir")
+		return fmt.Errorf("nothing to check: pass report files, -dir, or -url")
 	}
 	var failures int
 	for _, r := range reports {

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func writeValid(t *testing.T, dir, name string) string {
@@ -23,10 +26,10 @@ func TestCheckFilesAndDir(t *testing.T) {
 	dir := t.TempDir()
 	p1 := writeValid(t, dir, "headline")
 	writeValid(t, dir, "fig9")
-	if err := run("", []string{p1}, true, os.Stdout); err != nil {
+	if err := run("", "", []string{p1}, true, os.Stdout); err != nil {
 		t.Errorf("explicit file: %v", err)
 	}
-	if err := run(dir, nil, true, os.Stdout); err != nil {
+	if err := run(dir, "", nil, true, os.Stdout); err != nil {
 		t.Errorf("dir scan: %v", err)
 	}
 }
@@ -37,22 +40,51 @@ func TestCheckRejectsInvalid(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", []string{bad}, true, os.Stdout); err == nil {
+	if err := run("", "", []string{bad}, true, os.Stdout); err == nil {
 		t.Error("invalid schema accepted")
 	}
-	if err := run(dir, nil, true, os.Stdout); err == nil {
+	if err := run(dir, "", nil, true, os.Stdout); err == nil {
 		t.Error("directory with invalid report accepted")
 	}
 }
 
 func TestCheckEmptyInputs(t *testing.T) {
-	if err := run("", nil, true, os.Stdout); err == nil {
+	if err := run("", "", nil, true, os.Stdout); err == nil {
 		t.Error("no inputs accepted")
 	}
-	if err := run(t.TempDir(), nil, true, os.Stdout); err == nil {
+	if err := run(t.TempDir(), "", nil, true, os.Stdout); err == nil {
 		t.Error("empty directory accepted")
 	}
-	if err := run("", []string{"/no/such.json"}, true, os.Stdout); err == nil {
+	if err := run("", "", []string{"/no/such.json"}, true, os.Stdout); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestCheckURL scrapes a live vlpserve /metrics endpoint — the check CI
+// runs after serve-smoke to prove the server's observability output is
+// schema-valid, not just well-intentioned.
+func TestCheckURL(t *testing.T) {
+	s, err := serve.New(serve.DefaultLimits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := run("", ts.URL+"/metrics", nil, true, os.Stdout); err != nil {
+		t.Errorf("live metrics: %v", err)
+	}
+
+	// A URL that serves junk must fail, as must a down server.
+	junk := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"schema":"nope"}`))
+	}))
+	defer junk.Close()
+	if err := run("", junk.URL, nil, true, os.Stdout); err == nil {
+		t.Error("junk endpoint accepted")
+	}
+	down := httptest.NewServer(nil)
+	down.Close()
+	if err := run("", down.URL, nil, true, os.Stdout); err == nil {
+		t.Error("unreachable endpoint accepted")
 	}
 }

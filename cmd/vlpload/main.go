@@ -1,0 +1,144 @@
+// Vlpload is the load generator for the prediction service: it splits a
+// workload trace into wire-format chunks and streams them at a running
+// vlpserve from N concurrent clients, optionally paced to a target
+// request rate, then reports throughput and latency percentiles.
+//
+// Replay a generated benchmark trace through a served session:
+//
+//	vlpload -url http://127.0.0.1:8080 -bench gcc -n 250000 \
+//	    -pred gshare:budget=16KB -clients 1 -chunk 8192
+//
+// Drive an open-loop stress run and keep the JSON artifact:
+//
+//	vlpload -url http://127.0.0.1:8080 -trace gcc.vlpt -clients 16 \
+//	    -rps 200 -json results/bench_vlpload.json
+//
+// With -clients 1 and no -rps the chunks arrive strictly in order, and
+// the session's final misprediction rate is bit-identical to batch
+// vlpsim over the same trace and spec — the property the serve-smoke CI
+// stage asserts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/factory"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/runx"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://127.0.0.1:8080", "base URL of the vlpserve instance")
+		session = flag.String("session", "", "session id to create (empty lets the server assign one)")
+		class   = flag.String("class", "cond", "branch class: cond or indirect")
+		pred    = flag.String("pred", "gshare:budget=16KB",
+			"predictor spec, e.g. gshare:budget=16KB; cond ("+strings.Join(factory.CondNames(), ", ")+
+				"); indirect ("+strings.Join(factory.IndirectNames(), ", ")+")")
+		bench     = flag.String("bench", "", "benchmark name (generates the trace locally)")
+		input     = flag.String("input", "test", "input set for -bench: test or profile")
+		n         = flag.Int("n", 250000, "suite base trace length for -bench")
+		tracePath = flag.String("trace", "", "trace file (alternative to -bench)")
+		clients   = flag.Int("clients", 1, "concurrent client connections")
+		rps       = flag.Float64("rps", 0, "open-loop target requests/sec across all clients (0 = closed loop)")
+		chunk     = flag.Int("chunk", 65536, "records per request chunk")
+		gz        = flag.Bool("gzip", false, "gzip request bodies")
+		attempts  = flag.Int("attempts", 3, "attempts per chunk (429/503 and network failures retry)")
+		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
+		jsonPath  = flag.String("json", "", "write a bench report (repro-bench/v1 schema) to this file")
+		verbose   = flag.Bool("v", false, "narrate progress to stderr")
+	)
+	flag.Parse()
+	log := obs.NewLogger(os.Stderr, *verbose)
+
+	ctx, cancelSignals := runx.WithSignals(context.Background())
+	defer cancelSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	cfg := loadgen.Config{
+		BaseURL:      strings.TrimRight(*url, "/"),
+		SessionID:    *session,
+		Class:        *class,
+		Spec:         *pred,
+		Clients:      *clients,
+		TargetRPS:    *rps,
+		ChunkRecords: *chunk,
+		Gzip:         *gz,
+		Attempts:     *attempts,
+		Log:          log,
+	}
+	if err := run(ctx, cfg, *bench, *input, *n, *tracePath, *jsonPath, log); err != nil {
+		fmt.Fprintln(os.Stderr, "vlpload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, cfg loadgen.Config, bench, input string, n int, tracePath, jsonPath string, log *obs.Logger) error {
+	src, err := cliutil.Resolve(ctx, cliutil.SourceSpec{
+		Bench: bench, Input: input, Records: n, TracePath: tracePath,
+	})
+	if err != nil {
+		return err
+	}
+	log.Progressf("trace source ready")
+
+	span := obs.StartSpan()
+	res, err := loadgen.Run(ctx, cfg, src)
+	if err != nil {
+		return err
+	}
+	metrics := span.End()
+
+	fmt.Printf("session %s: %d/%d mispredicted (%.2f%%) over %d records\n",
+		res.Session, res.Mispredicts, res.Branches, res.MissPercent, res.Records)
+	fmt.Printf("load: %d requests (%d chunks, %d clients), %d retries, %d rejected, %d failed\n",
+		res.Requests, res.Chunks, res.Clients, res.Retries, res.Rejected, res.Failures)
+	fmt.Printf("throughput: %.1f req/s over %v\n",
+		res.AchievedRPS, time.Duration(res.WallNanos).Round(time.Millisecond))
+	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		time.Duration(res.Latency.P50Nanos).Round(time.Microsecond),
+		time.Duration(res.Latency.P95Nanos).Round(time.Microsecond),
+		time.Duration(res.Latency.P99Nanos).Round(time.Microsecond),
+		time.Duration(res.Latency.MaxNanos).Round(time.Microsecond))
+
+	if jsonPath != "" {
+		rep := obs.NewReport("vlpload", "prediction service load run")
+		rep.SetParam("url", cfg.BaseURL)
+		rep.SetParam("class", cfg.Class)
+		rep.SetParam("pred", cfg.Spec)
+		rep.SetParam("clients", cfg.Clients)
+		rep.SetParam("rps", cfg.TargetRPS)
+		rep.SetParam("chunk", cfg.ChunkRecords)
+		if tracePath != "" {
+			rep.SetParam("trace", tracePath)
+		} else {
+			rep.SetParam("bench", bench)
+			rep.SetParam("input", input)
+			rep.SetParam("records", n)
+		}
+		rep.Metrics = metrics
+		rep.Data = res
+		if res.Failures > 0 {
+			rep.AddFailure("chunks", obs.FailureError,
+				fmt.Errorf("%d of %d chunks failed after retries", res.Failures, res.Requests))
+		}
+		if err := rep.Write(jsonPath); err != nil {
+			return err
+		}
+		log.Progressf("wrote %s", jsonPath)
+	}
+	if res.Failures > 0 {
+		return fmt.Errorf("%d of %d chunks failed", res.Failures, res.Requests)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.DefaultLimits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunWritesReport replays a generated benchmark through a live
+// handler and checks the JSON artifact is a valid bench report carrying
+// the run's data.
+func TestRunWritesReport(t *testing.T) {
+	ts := testServer(t)
+	jsonPath := filepath.Join(t.TempDir(), "bench_vlpload.json")
+	cfg := loadgen.Config{
+		BaseURL:      ts.URL,
+		SessionID:    "cli",
+		Class:        "cond",
+		Spec:         "gshare:budget=16KB",
+		Clients:      2,
+		ChunkRecords: 4096,
+	}
+	if err := run(context.Background(), cfg, "gcc", "test", 20000, "", jsonPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := obs.ReadReport(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "vlpload" || len(rep.Failures) != 0 {
+		t.Fatalf("report %q with %d failures", rep.Name, len(rep.Failures))
+	}
+	if rep.Params["pred"] != "gshare:budget=16KB" || rep.Params["bench"] != "gcc" {
+		t.Fatalf("params %v missing run identity", rep.Params)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	ts := testServer(t)
+	ctx := context.Background()
+	base := loadgen.Config{BaseURL: ts.URL, Class: "cond", Spec: "gshare:budget=16KB"}
+	if err := run(ctx, base, "", "test", 0, "", "", nil); err == nil {
+		t.Error("no trace source accepted")
+	}
+	if err := run(ctx, base, "no-such-bench", "test", 100, "", "", nil); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	bad := base
+	bad.Spec = "nope:budget=1KB"
+	if err := run(ctx, bad, "gcc", "test", 100, "", "", nil); err == nil {
+		t.Error("bad spec accepted")
+	}
+	down := base
+	down.BaseURL = "http://127.0.0.1:1"
+	if err := run(ctx, down, "gcc", "test", 100, "", "", nil); err == nil {
+		t.Error("unreachable server accepted")
+	}
+}

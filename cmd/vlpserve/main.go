@@ -1,0 +1,97 @@
+// Vlpserve runs the prediction service: a long-lived HTTP server that
+// holds named predictor sessions and replays streamed trace chunks
+// through them (see internal/serve and DESIGN.md §10).
+//
+// Start with the default degradation policy:
+//
+//	vlpserve -addr 127.0.0.1:8080
+//
+// Tune the policy with the limits grammar:
+//
+//	vlpserve -addr :8080 -limits max-sessions=128,idle-ttl=30s,max-body=4MB,workers=16
+//
+// Then create a session and stream chunks at it (cmd/vlpload automates
+// this):
+//
+//	curl -d '{"id":"s1","class":"cond","spec":"gshare:budget=16KB"}' \
+//	    http://127.0.0.1:8080/v1/sessions
+//	curl --data-binary @chunk.vlpt http://127.0.0.1:8080/v1/sessions/s1/predict
+//	curl http://127.0.0.1:8080/metrics
+//
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly; -addr-file
+// writes the bound address (for -addr :0 orchestration, as the
+// serve-smoke CI stage does).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/runx"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
+		limits   = flag.String("limits", "", "degradation policy overrides, e.g. max-sessions=128,idle-ttl=30s,max-body=4MB,workers=16,drain=5s")
+		verbose  = flag.Bool("v", false, "narrate requests and evictions to stderr")
+	)
+	var prof obs.ProfileFlags
+	prof.Register(flag.CommandLine)
+	flag.Parse()
+	log := obs.NewLogger(os.Stderr, *verbose)
+
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlpserve:", err)
+		os.Exit(1)
+	}
+	ctx, cancelSignals := runx.WithSignals(context.Background())
+	err = run(ctx, *addr, *addrFile, *limits, log)
+	cancelSignals()
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, addr, addrFile, limitsStr string, log *obs.Logger) error {
+	limits, err := serve.ParseLimits(serve.DefaultLimits(), limitsStr)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(limits, log)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		// Atomic write (temp + rename) so a watcher never reads a
+		// half-written address.
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Printf("vlpserve: listening on %s (max-sessions=%d idle-ttl=%v max-body=%d workers=%d)\n",
+		bound, limits.MaxSessions, limits.IdleTTL, limits.MaxBodyBytes, limits.Workers)
+	return srv.Serve(ctx, ln)
+}

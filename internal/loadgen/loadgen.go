@@ -1,0 +1,389 @@
+// Package loadgen drives the prediction service (internal/serve) with
+// concurrent clients — the workload-generator half of the serving
+// benchmark, shaped after ReqBench's generator/backend split: a target
+// request rate is turned into an open-loop arrival schedule, N clients
+// drain it, and the result is throughput plus request-latency
+// percentiles (exact, from recorded samples — the server's /metrics
+// histogram is the coarser, always-on view of the same quantity).
+//
+// With one client and no rate pacing the generator degrades to an
+// in-order sequential stream, which is the configuration whose final
+// misprediction rate is bit-identical to a batch vlpsim run over the
+// same records and spec: same chunks, same order, same predictor state
+// path. cmd/vlpload and BenchmarkServeEndToEnd are both thin wrappers
+// over Run.
+package loadgen
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runx"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// SessionID names the session to create; empty lets the server
+	// assign one.
+	SessionID string
+	// Class is the branch class ("cond" or "indirect").
+	Class string
+	// Spec is the predictor in the factory grammar.
+	Spec string
+	// Clients is the number of concurrent senders (default 1).
+	Clients int
+	// TargetRPS is the open-loop arrival rate across all clients; 0
+	// sends closed-loop (each client fires as soon as it is free).
+	TargetRPS float64
+	// ChunkRecords is how many records each request carries (default
+	// 65536).
+	ChunkRecords int
+	// Gzip compresses request bodies (Content-Encoding: gzip).
+	Gzip bool
+	// Attempts bounds the retry loop for retryable responses (429/503
+	// and network failures); default 3. Corrupt/invalid responses are
+	// never retried — the server's classification says they cannot
+	// succeed.
+	Attempts int
+	// Timeout bounds each HTTP request (default 30s).
+	Timeout time.Duration
+	// Log narrates progress; nil means silent.
+	Log *obs.Logger
+}
+
+func (c *Config) fill() {
+	if c.Clients < 1 {
+		c.Clients = 1
+	}
+	if c.ChunkRecords < 1 {
+		c.ChunkRecords = 65536
+	}
+	if c.Attempts < 1 {
+		c.Attempts = 3
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = obs.Discard
+	}
+}
+
+// Percentiles summarises the recorded request latencies exactly (the
+// samples are sorted, not bucketed).
+type Percentiles struct {
+	Count     int64   `json:"count"`
+	MeanNanos float64 `json:"mean_ns"`
+	P50Nanos  int64   `json:"p50_ns"`
+	P95Nanos  int64   `json:"p95_ns"`
+	P99Nanos  int64   `json:"p99_ns"`
+	MaxNanos  int64   `json:"max_ns"`
+}
+
+// Result is the outcome of one load run — the Data payload of
+// cmd/vlpload's JSON artifact.
+type Result struct {
+	Session     string  `json:"session"`
+	Clients     int     `json:"clients"`
+	TargetRPS   float64 `json:"target_rps"`
+	Chunks      int     `json:"chunks"`
+	Requests    int64   `json:"requests"`
+	Retries     int64   `json:"retries"`
+	Rejected    int64   `json:"rejected"`
+	Failures    int64   `json:"failures"`
+	Records     int64   `json:"records"`
+	Branches    int64   `json:"branches"`
+	Mispredicts int64   `json:"mispredicts"`
+	// MissRate is the session's final accumulated rate, the number the
+	// serve-smoke stage compares byte-for-byte against batch vlpsim.
+	MissRate    float64     `json:"miss_rate"`
+	MissPercent float64     `json:"miss_percent"`
+	WallNanos   int64       `json:"wall_ns"`
+	AchievedRPS float64     `json:"achieved_rps"`
+	Latency     Percentiles `json:"latency"`
+}
+
+// Run splits src into chunks, creates a session, streams every chunk at
+// the configured concurrency and rate, and returns the aggregate. The
+// returned error is non-nil only when the run as a whole could not
+// proceed (session creation failed, every chunk failed, ctx canceled);
+// partial failures are counted in Result.Failures.
+func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
+	cfg.fill()
+	buf := trace.Collect(src)
+	if buf.Len() == 0 {
+		return Result{}, fmt.Errorf("loadgen: empty trace")
+	}
+	chunks, err := encodeChunks(buf, cfg.ChunkRecords, cfg.Gzip)
+	if err != nil {
+		return Result{}, err
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	sessionID, err := createSession(ctx, client, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg.Log.Progressf("loadgen: session %q ready, %d chunks x <=%d records, %d clients, target %.0f rps",
+		sessionID, len(chunks), cfg.ChunkRecords, cfg.Clients, cfg.TargetRPS)
+
+	res := Result{
+		Session:   sessionID,
+		Clients:   cfg.Clients,
+		TargetRPS: cfg.TargetRPS,
+		Chunks:    len(chunks),
+	}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	var counters struct {
+		sync.Mutex
+		requests, retries, rejected, failures int64
+	}
+	jobs := make(chan int, len(chunks))
+	start := time.Now()
+	go func() {
+		defer close(jobs)
+		if cfg.TargetRPS <= 0 {
+			for i := range chunks {
+				jobs <- i
+			}
+			return
+		}
+		// Open-loop pacing: chunk i becomes due at start + i/RPS,
+		// regardless of how the previous requests are faring — the
+		// backlog lands in the jobs buffer and the server's 429 policy,
+		// not in a slowed-down generator.
+		interval := time.Duration(float64(time.Second) / cfg.TargetRPS)
+		for i := range chunks {
+			due := start.Add(time.Duration(i) * interval)
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
+			jobs <- i
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				lat, retries, rejected, err := sendChunk(ctx, client, cfg, sessionID, chunks[i])
+				counters.Lock()
+				counters.requests++
+				counters.retries += retries
+				counters.rejected += rejected
+				if err != nil {
+					counters.failures++
+				}
+				counters.Unlock()
+				if err != nil {
+					cfg.Log.Progressf("loadgen: chunk %d failed: %v", i, err)
+					continue
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.WallNanos = int64(time.Since(start))
+
+	counters.Lock()
+	res.Requests = counters.requests
+	res.Retries = counters.retries
+	res.Rejected = counters.rejected
+	res.Failures = counters.failures
+	counters.Unlock()
+	if res.WallNanos > 0 {
+		res.AchievedRPS = float64(res.Requests-res.Failures) / (float64(res.WallNanos) / float64(time.Second))
+	}
+	res.Latency = percentiles(latencies)
+
+	info, err := getSession(ctx, client, cfg.BaseURL, sessionID)
+	if err != nil {
+		return res, fmt.Errorf("loadgen: reading final session totals: %w", err)
+	}
+	res.Records = info.Records
+	res.Branches = info.Branches
+	res.Mispredicts = info.Mispredicts
+	res.MissRate = info.MissRate
+	res.MissPercent = 100 * info.MissRate
+	if res.Failures == res.Requests && res.Requests > 0 {
+		return res, fmt.Errorf("loadgen: all %d chunks failed", res.Requests)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// encodeChunks slices buf into self-contained VLPT payloads of at most
+// n records each. Each chunk re-encodes from a fresh PC origin, so the
+// decoded concatenation is exactly buf.Records.
+func encodeChunks(buf *trace.Buffer, n int, gz bool) ([][]byte, error) {
+	recs := buf.Records
+	chunks := make([][]byte, 0, (len(recs)+n-1)/n)
+	for off := 0; off < len(recs); off += n {
+		end := off + n
+		if end > len(recs) {
+			end = len(recs)
+		}
+		data, err := trace.Encode(trace.NewBuffer(recs[off:end]))
+		if err != nil {
+			return nil, err
+		}
+		if gz {
+			var zbuf bytes.Buffer
+			zw := gzip.NewWriter(&zbuf)
+			if _, err := zw.Write(data); err != nil {
+				return nil, err
+			}
+			if err := zw.Close(); err != nil {
+				return nil, err
+			}
+			data = zbuf.Bytes()
+		}
+		chunks = append(chunks, data)
+	}
+	return chunks, nil
+}
+
+func createSession(ctx context.Context, client *http.Client, cfg Config) (string, error) {
+	reqBody, err := json.Marshal(serve.SessionRequest{ID: cfg.SessionID, Class: cfg.Class, Spec: cfg.Spec})
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		cfg.BaseURL+"/v1/sessions", bytes.NewReader(reqBody))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("loadgen: creating session: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("loadgen: creating session: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var info serve.SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return "", fmt.Errorf("loadgen: bad session response: %w", err)
+	}
+	return info.ID, nil
+}
+
+func getSession(ctx context.Context, client *http.Client, baseURL, id string) (serve.SessionInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return serve.SessionInfo{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return serve.SessionInfo{}, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return serve.SessionInfo{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var info serve.SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return serve.SessionInfo{}, err
+	}
+	return info, nil
+}
+
+// sendChunk posts one chunk, retrying retryable refusals (429/503,
+// network failures) through runx.Retry's transient classification. The
+// returned latency is the successful attempt's.
+func sendChunk(ctx context.Context, client *http.Client, cfg Config, sessionID string, data []byte) (lat time.Duration, retries, rejected int64, err error) {
+	url := cfg.BaseURL + "/v1/sessions/" + sessionID + "/predict"
+	attempt := 0
+	b := runx.Backoff{Attempts: cfg.Attempts, Initial: 25 * time.Millisecond, Max: 500 * time.Millisecond, Factor: 2}
+	err = runx.Retry(ctx, b, func() error {
+		attempt++
+		if attempt > 1 {
+			retries++
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		if cfg.Gzip {
+			req.Header.Set("Content-Encoding", "gzip")
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return runx.MarkTransient(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			lat = time.Since(start)
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			rejected++
+			return runx.MarkTransient(fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)))
+		default:
+			return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+		}
+	})
+	return lat, retries, rejected, err
+}
+
+// percentiles computes the exact latency summary from the samples.
+func percentiles(lats []time.Duration) Percentiles {
+	if len(lats) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	at := func(p float64) int64 {
+		idx := int(p*float64(len(lats))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(lats) {
+			idx = len(lats) - 1
+		}
+		return int64(lats[idx])
+	}
+	return Percentiles{
+		Count:     int64(len(lats)),
+		MeanNanos: float64(sum) / float64(len(lats)),
+		P50Nanos:  at(0.50),
+		P95Nanos:  at(0.95),
+		P99Nanos:  at(0.99),
+		MaxNanos:  int64(lats[len(lats)-1]),
+	}
+}

@@ -1,0 +1,165 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/factory"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	limits := serve.DefaultLimits()
+	limits.Workers = 16
+	s, err := serve.New(limits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func gccTrace(t testing.TB, n int) *trace.Buffer {
+	t.Helper()
+	b, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Collect(b.TestSource(n))
+}
+
+// TestRunSequentialMatchesBatch is the loadgen half of the serve-smoke
+// invariant: one client, closed loop, in-order chunks — the reported
+// rate must be bit-identical to a local batch run.
+func TestRunSequentialMatchesBatch(t *testing.T) {
+	ts := testServer(t)
+	buf := gccTrace(t, 20000)
+	const specStr = "gshare:budget=16KB"
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		SessionID:    "seq",
+		Class:        "cond",
+		Spec:         specStr,
+		Clients:      1,
+		ChunkRecords: 3000,
+	}, trace.NewBuffer(buf.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.Requests != int64(res.Chunks) {
+		t.Fatalf("run degraded: %+v", res)
+	}
+	if res.Records != int64(buf.Len()) {
+		t.Fatalf("streamed %d records, trace has %d", res.Records, buf.Len())
+	}
+	spec, err := factory.ParseSpec(specStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Cond()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sim.RunCond(context.Background(), p, trace.NewBuffer(buf.Records), sim.Options{})
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	if res.Branches != ref.Branches || res.Mispredicts != ref.Mispredicts {
+		t.Fatalf("served totals %d/%d != batch %d/%d",
+			res.Mispredicts, res.Branches, ref.Mispredicts, ref.Branches)
+	}
+	if res.MissRate != ref.Rate() {
+		t.Fatalf("served rate %v != batch rate %v (must be bit-identical)", res.MissRate, ref.Rate())
+	}
+	if res.Latency.Count != int64(res.Chunks) || res.Latency.P50Nanos <= 0 {
+		t.Fatalf("latency summary %+v does not cover the run", res.Latency)
+	}
+}
+
+// TestRunConcurrentGzip drives several clients with gzip bodies and
+// rate pacing; totals must cover every record exactly once even though
+// chunk order is arbitrary.
+func TestRunConcurrentGzip(t *testing.T) {
+	ts := testServer(t)
+	buf := gccTrace(t, 12000)
+	res, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Class:        "cond",
+		Spec:         "bimodal:budget=4KB",
+		Clients:      4,
+		TargetRPS:    500,
+		ChunkRecords: 1000,
+		Gzip:         true,
+	}, trace.NewBuffer(buf.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("failures under concurrency: %+v", res)
+	}
+	if res.Records != int64(buf.Len()) {
+		t.Fatalf("streamed %d records, trace has %d", res.Records, buf.Len())
+	}
+	if res.Session == "" || res.Chunks != 12 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+// TestRunEmptyTrace must refuse to report a rate over nothing.
+func TestRunEmptyTrace(t *testing.T) {
+	ts := testServer(t)
+	if _, err := Run(context.Background(), Config{BaseURL: ts.URL, Class: "cond", Spec: "gshare:budget=16KB"},
+		trace.NewBuffer(nil)); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+// TestRunBadSpec surfaces session-creation failures as run errors.
+func TestRunBadSpec(t *testing.T) {
+	ts := testServer(t)
+	if _, err := Run(context.Background(), Config{BaseURL: ts.URL, Class: "cond", Spec: "nope:budget=1KB"},
+		gccTrace(t, 100)); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+// TestRunCanceled stops a paced run early and reports the cancellation.
+func TestRunCanceled(t *testing.T) {
+	ts := testServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, Config{
+		BaseURL:      ts.URL,
+		Class:        "cond",
+		Spec:         "gshare:budget=16KB",
+		TargetRPS:    2, // ~10s of schedule: cannot finish inside the deadline
+		ChunkRecords: 500,
+	}, gccTrace(t, 10000))
+	if err == nil {
+		t.Fatal("canceled run reported success")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	p := percentiles(lats)
+	if p.Count != 100 || p.P50Nanos != int64(50*time.Millisecond) ||
+		p.P95Nanos != int64(95*time.Millisecond) || p.P99Nanos != int64(99*time.Millisecond) ||
+		p.MaxNanos != int64(100*time.Millisecond) {
+		t.Fatalf("percentiles = %+v", p)
+	}
+	if z := percentiles(nil); z.Count != 0 || z.MaxNanos != 0 {
+		t.Fatalf("empty percentiles = %+v", z)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is one bucket per power of two of nanoseconds: bucket i
+// holds observations with bits.Len64(ns) == i, i.e. durations in
+// [2^(i-1), 2^i). 64 buckets cover every representable duration.
+const histBuckets = 64
+
+// Histogram accumulates a latency distribution with lock-free atomic
+// counters, cheap enough to sit on every request path of the prediction
+// service. Buckets are powers of two of nanoseconds, so quantile
+// estimates are exact to within a factor of two — the right trade for a
+// server-side health signal (the load generator reports exact
+// percentiles from its own recorded samples).
+//
+// The zero value is ready to use and safe for concurrent observers.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns how many observations the histogram holds.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns an upper bound for the p-quantile (p in [0, 1]): the
+// top of the bucket holding the p*count-th observation. It returns 0
+// for an empty histogram.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			upper := time.Duration(1) << i // exclusive top of [2^(i-1), 2^i)
+			if max := time.Duration(h.max.Load()); upper > max {
+				upper = max
+			}
+			return upper
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// HistSummary is the JSON form of a histogram snapshot — the shape the
+// /metrics payload and the load generator's artifact share.
+type HistSummary struct {
+	Count     int64   `json:"count"`
+	MeanNanos float64 `json:"mean_ns"`
+	P50Nanos  int64   `json:"p50_ns"`
+	P95Nanos  int64   `json:"p95_ns"`
+	P99Nanos  int64   `json:"p99_ns"`
+	MaxNanos  int64   `json:"max_ns"`
+}
+
+// Summary snapshots the histogram. Concurrent Observe calls may land
+// between the field reads; the summary is a health signal, not an
+// accounting invariant.
+func (h *Histogram) Summary() HistSummary {
+	s := HistSummary{
+		Count:    h.count.Load(),
+		P50Nanos: int64(h.Quantile(0.50)),
+		P95Nanos: int64(h.Quantile(0.95)),
+		P99Nanos: int64(h.Quantile(0.99)),
+		MaxNanos: h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.MeanNanos = float64(h.sum.Load()) / float64(s.Count)
+	}
+	return s
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	// 90 fast observations and 10 slow ones: the median lands in the
+	// fast bucket, the p99 in the slow one. Buckets are powers of two,
+	// so assert bucket-level placement, not exact values.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 100*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Fatalf("p50 = %v, want within the [64µs, 128µs) bucket's bound", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 50*time.Millisecond || p99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want within the slow bucket's bound", p99)
+	}
+	if max := h.Quantile(1); max != 50*time.Millisecond {
+		t.Fatalf("p100 = %v, want the recorded max", max)
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.MaxNanos != int64(50*time.Millisecond) || s.MeanNanos <= 0 {
+		t.Fatalf("summary %+v inconsistent", s)
+	}
+	if s.P50Nanos != int64(p50) || s.P99Nanos != int64(p99) {
+		t.Fatalf("summary percentiles %+v disagree with Quantile", s)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	h.Observe(0)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("all-zero quantile = %v, want 0", q)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines under
+// -race; totals must come out exact.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("Count = %d, want %d", got, workers*per)
+	}
+	if s := h.Summary(); s.MaxNanos != int64(workers*int(time.Millisecond)) {
+		t.Fatalf("max %d, want %d", s.MaxNanos, workers*int(time.Millisecond))
+	}
+}

@@ -154,12 +154,22 @@ func ReadReport(path string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	var r Report
-	if err := json.Unmarshal(data, &r); err != nil {
+	r, err := DecodeReport(data)
+	if err != nil {
 		return nil, fmt.Errorf("obs: %s: %w", path, err)
 	}
+	return r, nil
+}
+
+// DecodeReport parses and validates a serialized report, wherever the
+// bytes came from — a file, a /metrics scrape, a CI artifact.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
 	if err := r.Validate(); err != nil {
-		return nil, fmt.Errorf("obs: %s: %w", path, err)
+		return nil, err
 	}
 	return &r, nil
 }

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzSessionSpec throws arbitrary inputs at the two server-side
+// parsing seams — the session-create request (class + factory spec) and
+// the limits grammar. Neither may panic; both must be deterministic;
+// anything they accept must satisfy the validation invariants the
+// handlers rely on (a buildable class, a class-valid spec, limits under
+// which the server can make progress). Seeds include the FuzzParseSpec
+// corpus strings so the factory grammar's interesting shapes reach the
+// wrapped parser.
+func FuzzSessionSpec(f *testing.F) {
+	specSeeds := []string{
+		// From the factory FuzzParseSpec seed corpus.
+		"gshare",
+		"gshare:budget=16KB",
+		"vlp:budget=64KB,profile=gcc.prof",
+		"flp:budget=2048,fixed=8",
+		"ttc:store-returns,no-rotation",
+		"flp:length=4,budget=0.5KB",
+		":=",
+		"vlp:budget=",
+		"x:unknown=1",
+		"gshare:budget=-16KB",
+		"flp:fixed=999999999999999999999",
+	}
+	limitSeeds := []string{
+		"",
+		"max-sessions=128,idle-ttl=30s,max-body=4MB,workers=16,drain=5s",
+		"max-sessions=0",
+		"idle-ttl=-1s",
+		"max-body=1GB",
+		"workers=,drain=1ns",
+		"nope=1",
+	}
+	for i, spec := range specSeeds {
+		f.Add("s1", "cond", spec, limitSeeds[i%len(limitSeeds)])
+		f.Add("", "indirect", spec, limitSeeds[(i+1)%len(limitSeeds)])
+	}
+	f.Fuzz(func(t *testing.T, id, class, spec, limits string) {
+		gotClass, gotSpec, err := ParseSessionRequest(SessionRequest{ID: id, Class: class, Spec: spec})
+		if err == nil {
+			if err := gotSpec.Validate(gotClass); err != nil {
+				t.Fatalf("accepted spec (%q, %q) fails validation: %v", class, spec, err)
+			}
+			again, againSpec, err := ParseSessionRequest(SessionRequest{ID: id, Class: class, Spec: spec})
+			if err != nil || again != gotClass || againSpec.String() != gotSpec.String() {
+				t.Fatalf("ParseSessionRequest(%q, %q) not deterministic", class, spec)
+			}
+		}
+		l, err := ParseLimits(DefaultLimits(), limits)
+		if err == nil {
+			if err := l.Validate(); err != nil {
+				t.Fatalf("ParseLimits(%q) accepted invalid limits %+v: %v", limits, l, err)
+			}
+			again, err := ParseLimits(DefaultLimits(), limits)
+			if err != nil || again != l {
+				t.Fatalf("ParseLimits(%q) not deterministic: %+v / %+v (err %v)", limits, l, again, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,454 @@
+// Package serve is the prediction-as-a-service layer: a long-lived HTTP
+// server that amortizes predictor construction across many requests.
+// Clients create named sessions — each owning one predictor built from
+// the factory spec grammar — and stream trace chunks (the internal/trace
+// VLPT wire format, gzip accepted) at them; every chunk is replayed
+// through the same batched sim.Run fast path the batch tools use, so a
+// session's accumulated misprediction rate is bit-identical to a vlpsim
+// run over the concatenated records (the serve-smoke CI stage pins
+// this).
+//
+// The layer threads through the existing substrate rather than
+// duplicating it: internal/runx supplies graceful shutdown on
+// SIGINT/SIGTERM with connection draining, per-request panic isolation,
+// and the retry classification behind the HTTP status mapping (corrupt
+// chunks are 400 and must not be retried; saturation and transient
+// failures are 429/503 and may be); internal/obs supplies the /metrics
+// payload (repro-bench/v1 JSON) and request-latency histograms. The
+// degradation policy — session LRU + idle TTL, request body caps, a
+// bounded worker pool that answers saturation with 429 — lives in
+// Limits. DESIGN.md §10 describes the whole model.
+package serve
+
+import (
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runx"
+	"repro/internal/trace"
+)
+
+// Server holds the session registry, the worker pool, and the server-
+// wide counters. Build one with New, mount Handler on any http.Server
+// (the tests use httptest), or let Serve run the full lifecycle.
+type Server struct {
+	limits Limits
+	log    *obs.Logger
+	reg    *registry
+	// sem is the bounded worker pool: a predict request must take a
+	// slot without blocking or be rejected with 429, so saturation
+	// degrades into fast, retryable refusals instead of an unbounded
+	// queue of slow ones.
+	sem  chan struct{}
+	span *obs.Span
+	hist obs.Histogram
+
+	requests    atomic.Int64
+	predicts    atomic.Int64
+	rejected    atomic.Int64
+	clientErrs  atomic.Int64
+	serverErrs  atomic.Int64
+	panics      atomic.Int64
+	bytesIn     atomic.Int64
+	recordsIn   atomic.Int64
+	branchesRun atomic.Int64
+
+	// testHookPredict, when set by a test, runs while the request holds
+	// its worker slot — the seam the saturation and drain tests use to
+	// hold a request in flight deterministically.
+	testHookPredict func()
+}
+
+// New builds a server with the given degradation policy. A nil logger
+// means silent.
+func New(limits Limits, log *obs.Logger) (*Server, error) {
+	if err := limits.Validate(); err != nil {
+		return nil, err
+	}
+	if log == nil {
+		log = obs.Discard
+	}
+	return &Server{
+		limits: limits,
+		log:    log,
+		reg:    newRegistry(limits.MaxSessions, limits.IdleTTL),
+		sem:    make(chan struct{}, limits.Workers),
+		span:   obs.StartSpan(),
+	}, nil
+}
+
+// apiError is the JSON error body every failed request carries.
+// Retryable mirrors the runx classification: true only for failures a
+// client may meaningfully retry (saturation, transient I/O,
+// cancellation) — never for corrupt payloads or bad specs, which fail
+// identically every time.
+type apiError struct {
+	Error     string `json:"error"`
+	Kind      string `json:"kind"`
+	Retryable bool   `json:"retryable"`
+}
+
+// classify maps an error to its HTTP status and wire classification.
+func classify(err error) (status int, kind string, retryable bool) {
+	var mbe *http.MaxBytesError
+	var pe *runx.PanicError
+	switch {
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge, "too-large", false
+	case errors.Is(err, trace.ErrCorrupt):
+		return http.StatusBadRequest, "corrupt", false
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, "panic", false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "canceled", true
+	case runx.IsTransient(err):
+		return http.StatusServiceUnavailable, "transient", true
+	default:
+		return http.StatusBadRequest, "invalid", false
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, kind, retryable := classify(err)
+	if status >= 500 {
+		s.serverErrs.Add(1)
+	} else {
+		s.clientErrs.Add(1)
+	}
+	if retryable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, apiError{Error: err.Error(), Kind: kind, Retryable: retryable})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to salvage
+}
+
+// Handler returns the routed handler. Every route runs under the panic
+// boundary: a panicking predictor turns into a structured 500 on that
+// request, and the server keeps serving.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/predict", s.handlePredict)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s.recoverable(mux)
+}
+
+// recoverable is the per-request fault boundary: it counts the request
+// and converts a handler panic into a *runx.PanicError 500 via the same
+// runx.Safe recover point the batch sweeps use.
+func (s *Server) recoverable(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		start := time.Now()
+		err := runx.Safe(func() error {
+			next.ServeHTTP(w, r)
+			return nil
+		})
+		s.hist.Observe(time.Since(start))
+		if err != nil {
+			var pe *runx.PanicError
+			if errors.As(err, &pe) {
+				s.panics.Add(1)
+				s.log.Logf("serve: panic on %s %s: %v", r.Method, r.URL.Path, pe.Value)
+			}
+			// The handler may have already written; this is best-effort
+			// for the common case where the panic hit before any write.
+			s.writeError(w, err)
+		}
+	})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<10))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req SessionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.writeError(w, fmt.Errorf("serve: bad session request: %w", err))
+		return
+	}
+	class, spec, err := ParseSessionRequest(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sess, err := newSession(req.ID, class, spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	evicted, err := s.reg.add(sess)
+	if err != nil {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error(), Kind: "conflict"})
+		return
+	}
+	if evicted != "" {
+		s.log.Progressf("serve: session %q evicted (LRU) for %q", evicted, sess.ID)
+	}
+	s.log.Progressf("serve: session %q created: %s %s (%d bytes)",
+		sess.ID, class, spec.String(), sess.pred.SizeBytes())
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.snapshot()
+	infos := make([]SessionInfo, len(sessions))
+	for i, sess := range sessions {
+		infos[i] = sess.info()
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such session", Kind: "not-found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.remove(r.PathValue("id")) {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such session", Kind: "not-found"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// PredictResponse is the JSON body of a successful predict call: the
+// chunk's own counts plus the session's accumulated totals. TotalMissRate
+// over a whole in-order stream equals the batch vlpsim miss_rate for the
+// same records and spec, computed by the same division.
+type PredictResponse struct {
+	Session          string  `json:"session"`
+	Records          int     `json:"records"`
+	Branches         int64   `json:"branches"`
+	Mispredicts      int64   `json:"mispredicts"`
+	MissRate         float64 `json:"miss_rate"`
+	TotalRecords     int64   `json:"total_records"`
+	TotalBranches    int64   `json:"total_branches"`
+	TotalMispredicts int64   `json:"total_mispredicts"`
+	TotalMissRate    float64 `json:"total_miss_rate"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// Backpressure first: take a worker slot without blocking or turn
+	// the request away while it is still cheap.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			apiError{Error: "all workers busy", Kind: "saturated", Retryable: true})
+		return
+	}
+	if s.testHookPredict != nil {
+		s.testHookPredict()
+	}
+	sess, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		s.clientErrs.Add(1)
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such session", Kind: "not-found"})
+		return
+	}
+	start := time.Now()
+	var body io.Reader = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("serve: bad gzip frame: %w", trace.ErrCorrupt))
+			return
+		}
+		defer zr.Close()
+		body = zr
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	buf, err := trace.Decode(data)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	res, err := sess.predict(r.Context(), buf)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sess.hist.Observe(time.Since(start))
+	s.predicts.Add(1)
+	s.bytesIn.Add(int64(len(data)))
+	s.recordsIn.Add(int64(buf.Len()))
+	s.branchesRun.Add(res.Branches)
+	in := sess.info()
+	resp := PredictResponse{
+		Session:          sess.ID,
+		Records:          buf.Len(),
+		Branches:         res.Branches,
+		Mispredicts:      res.Mispredicts,
+		MissRate:         res.Rate(),
+		TotalRecords:     in.Records,
+		TotalBranches:    in.Branches,
+		TotalMispredicts: in.Mispredicts,
+		TotalMissRate:    in.MissRate,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MetricsData is the Data payload of the /metrics report: the server-
+// wide counters, the request-latency histogram, eviction totals, and a
+// snapshot of every live session.
+type MetricsData struct {
+	Sessions        []SessionInfo   `json:"sessions"`
+	LiveSessions    int             `json:"live_sessions"`
+	Requests        int64           `json:"requests"`
+	Predicts        int64           `json:"predicts"`
+	Rejected        int64           `json:"rejected"`
+	ClientErrors    int64           `json:"client_errors"`
+	ServerErrors    int64           `json:"server_errors"`
+	Panics          int64           `json:"panics"`
+	EvictedLRU      int64           `json:"evicted_lru"`
+	EvictedTTL      int64           `json:"evicted_ttl"`
+	BytesIn         int64           `json:"bytes_in"`
+	RecordsIn       int64           `json:"records_in"`
+	BranchesScored  int64           `json:"branches_scored"`
+	RequestLatency  obs.HistSummary `json:"request_latency"`
+	WorkerPoolSize  int             `json:"worker_pool_size"`
+	WorkersInFlight int             `json:"workers_in_flight"`
+}
+
+// MetricsReport builds the /metrics payload: a repro-bench/v1 report
+// whose Metrics span covers the server's whole lifetime, so cmd/obscheck
+// validates a scrape exactly as it validates a bench file.
+func (s *Server) MetricsReport() *obs.Report {
+	rep := obs.NewReport("vlpserve", "prediction service metrics")
+	rep.SetParam("max-sessions", s.limits.MaxSessions)
+	rep.SetParam("idle-ttl", s.limits.IdleTTL)
+	rep.SetParam("max-body", s.limits.MaxBodyBytes)
+	rep.SetParam("workers", s.limits.Workers)
+	rep.Metrics = s.span.End()
+	sessions := s.reg.snapshot()
+	infos := make([]SessionInfo, len(sessions))
+	for i, sess := range sessions {
+		infos[i] = sess.info()
+	}
+	live, lru, ttl := s.reg.stats()
+	rep.Data = MetricsData{
+		Sessions:        infos,
+		LiveSessions:    live,
+		Requests:        s.requests.Load(),
+		Predicts:        s.predicts.Load(),
+		Rejected:        s.rejected.Load(),
+		ClientErrors:    s.clientErrs.Load(),
+		ServerErrors:    s.serverErrs.Load(),
+		Panics:          s.panics.Load(),
+		EvictedLRU:      lru,
+		EvictedTTL:      ttl,
+		BytesIn:         s.bytesIn.Load(),
+		RecordsIn:       s.recordsIn.Load(),
+		BranchesScored:  s.branchesRun.Load(),
+		RequestLatency:  s.hist.Summary(),
+		WorkerPoolSize:  s.limits.Workers,
+		WorkersInFlight: len(s.sem),
+	}
+	return rep
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsReport())
+}
+
+// sweepInterval is how often the janitor scans for idle sessions: a
+// quarter of the TTL, clamped so tests with tiny TTLs still sweep
+// promptly and production TTLs do not scan more than every 15s.
+func (s *Server) sweepInterval() time.Duration {
+	iv := s.limits.IdleTTL / 4
+	if iv < 10*time.Millisecond {
+		iv = 10 * time.Millisecond
+	}
+	if iv > 15*time.Second {
+		iv = 15 * time.Second
+	}
+	return iv
+}
+
+// Serve runs the full server lifecycle on ln: the HTTP accept loop and
+// the idle-session janitor, until ctx is canceled (cmd/vlpserve hands
+// it a runx.WithSignals context, so SIGINT/SIGTERM land here). Shutdown
+// is graceful: the listener closes immediately, in-flight requests
+// drain for up to Limits.DrainTimeout, and a clean drain returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	janitorDone := make(chan struct{})
+	janitorStop := make(chan struct{})
+	go func() {
+		defer close(janitorDone)
+		if s.limits.IdleTTL <= 0 {
+			return
+		}
+		t := time.NewTicker(s.sweepInterval())
+		defer t.Stop()
+		for {
+			select {
+			case <-janitorStop:
+				return
+			case now := <-t.C:
+				for _, id := range s.reg.sweep(now) {
+					s.log.Progressf("serve: session %q evicted (idle TTL)", id)
+				}
+			}
+		}
+	}()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.log.Progressf("serve: draining (timeout %v)", s.limits.DrainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.limits.DrainTimeout)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(drainCtx)
+	}()
+	err := srv.Serve(ln)
+	close(janitorStop)
+	<-janitorDone
+	if errors.Is(err, http.ErrServerClosed) {
+		// Shutdown owns the real outcome: nil after a clean drain, or
+		// the drain-timeout error when in-flight requests overstayed.
+		err = <-shutdownErr
+	}
+	return err
+}

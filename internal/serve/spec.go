@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/factory"
+)
+
+// SessionRequest is the JSON body of POST /v1/sessions: which branch
+// class to serve and which predictor to build, in the factory's spec
+// grammar. The ID is optional; the server assigns one when empty.
+type SessionRequest struct {
+	// ID names the session; it appears in every later request path.
+	ID string `json:"id,omitempty"`
+	// Class is "cond" or "indirect".
+	Class string `json:"class"`
+	// Spec is the predictor in the factory grammar, e.g.
+	// "gshare:budget=16KB" or "vlp:budget=64KB,profile=gcc.prof".
+	Spec string `json:"spec"`
+}
+
+// maxSessionIDLen bounds session IDs so a hostile creator cannot make
+// the registry (and every log line and metrics payload) carry
+// arbitrarily large keys.
+const maxSessionIDLen = 128
+
+// ParseSessionRequest validates the class/spec pair of a session-create
+// request without building anything: the class must be known, the spec
+// must parse under the factory grammar, and it must validate for the
+// class. It is the pure half of session creation — predictor
+// construction (which may read a profile file) happens only after this
+// accepts. FuzzSessionSpec drives it with arbitrary inputs.
+func ParseSessionRequest(req SessionRequest) (factory.Class, factory.Spec, error) {
+	var class factory.Class
+	switch strings.ToLower(strings.TrimSpace(req.Class)) {
+	case "cond", "":
+		class = factory.Cond
+	case "indirect":
+		class = factory.Indirect
+	default:
+		return 0, factory.Spec{}, fmt.Errorf("serve: unknown class %q (want cond or indirect)", req.Class)
+	}
+	if len(req.ID) > maxSessionIDLen {
+		return 0, factory.Spec{}, fmt.Errorf("serve: session id longer than %d bytes", maxSessionIDLen)
+	}
+	if strings.ContainsAny(req.ID, "/?#% \t\n\r") {
+		return 0, factory.Spec{}, fmt.Errorf("serve: session id %q contains a character that cannot appear in a request path", req.ID)
+	}
+	spec, err := factory.ParseSpec(req.Spec)
+	if err != nil {
+		return 0, factory.Spec{}, err
+	}
+	if err := spec.Validate(class); err != nil {
+		return 0, factory.Spec{}, err
+	}
+	return class, spec, nil
+}
+
+// Limits is the server's degradation policy: how many sessions it
+// holds, how long an idle one survives, how large a request body may
+// be, and how many predict requests run concurrently before new ones
+// are turned away with 429.
+type Limits struct {
+	// MaxSessions caps the registry; creating one more evicts the
+	// least recently used session.
+	MaxSessions int
+	// IdleTTL evicts sessions untouched for this long (0 disables).
+	IdleTTL time.Duration
+	// MaxBodyBytes caps a request body (enforced before decoding).
+	MaxBodyBytes int64
+	// Workers bounds concurrent predict replays; requests beyond it
+	// are rejected with 429 instead of queueing without bound.
+	Workers int
+	// DrainTimeout bounds the graceful-shutdown drain.
+	DrainTimeout time.Duration
+}
+
+// DefaultLimits is the policy vlpserve starts from.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxSessions:  64,
+		IdleTTL:      5 * time.Minute,
+		MaxBodyBytes: 8 << 20,
+		Workers:      8,
+		DrainTimeout: 10 * time.Second,
+	}
+}
+
+// ParseLimits overlays a comma-separated key=value limits string — e.g.
+// "max-sessions=128,idle-ttl=30s,max-body=4MB,workers=16,drain=5s" —
+// onto base and validates the result. An empty string returns base
+// unchanged. Sizes take the factory's budget suffixes (B/KB/MB);
+// durations take Go syntax. FuzzSessionSpec drives it with arbitrary
+// inputs.
+func ParseLimits(base Limits, s string) (Limits, error) {
+	l := base
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, value, hasValue := strings.Cut(part, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		if !hasValue || value == "" {
+			return Limits{}, fmt.Errorf("serve: limits %q: %s needs a value", s, key)
+		}
+		switch key {
+		case "max-sessions":
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return Limits{}, fmt.Errorf("serve: limits %q: bad max-sessions %q", s, value)
+			}
+			l.MaxSessions = n
+		case "idle-ttl":
+			d, err := time.ParseDuration(value)
+			if err != nil {
+				return Limits{}, fmt.Errorf("serve: limits %q: bad idle-ttl %q", s, value)
+			}
+			l.IdleTTL = d
+		case "max-body":
+			b, err := factory.ParseBudget(value)
+			if err != nil {
+				return Limits{}, fmt.Errorf("serve: limits %q: %w", s, err)
+			}
+			l.MaxBodyBytes = int64(b)
+		case "workers":
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return Limits{}, fmt.Errorf("serve: limits %q: bad workers %q", s, value)
+			}
+			l.Workers = n
+		case "drain":
+			d, err := time.ParseDuration(value)
+			if err != nil {
+				return Limits{}, fmt.Errorf("serve: limits %q: bad drain %q", s, value)
+			}
+			l.DrainTimeout = d
+		default:
+			return Limits{}, fmt.Errorf("serve: limits %q: unknown key %q (want max-sessions, idle-ttl, max-body, workers, drain)", s, key)
+		}
+	}
+	if err := l.Validate(); err != nil {
+		return Limits{}, err
+	}
+	return l, nil
+}
+
+// Validate rejects limits under which the server cannot make progress.
+func (l Limits) Validate() error {
+	switch {
+	case l.MaxSessions < 1:
+		return fmt.Errorf("serve: max-sessions must be at least 1, got %d", l.MaxSessions)
+	case l.IdleTTL < 0:
+		return fmt.Errorf("serve: idle-ttl must not be negative, got %v", l.IdleTTL)
+	case l.MaxBodyBytes < 16:
+		return fmt.Errorf("serve: max-body %d below the smallest possible chunk", l.MaxBodyBytes)
+	case l.Workers < 1:
+		return fmt.Errorf("serve: workers must be at least 1, got %d", l.Workers)
+	case l.DrainTimeout <= 0:
+		return fmt.Errorf("serve: drain timeout must be positive, got %v", l.DrainTimeout)
+	}
+	return nil
+}

@@ -6,7 +6,8 @@
 #   scripts/bench_compare.sh [baseline-file]
 #
 # The subset (predictor kernels, the §4.1 hash update, the two-step
-# profiling pipeline, and the end-to-end simulation loop) runs with
+# profiling pipeline, the end-to-end simulation loop, and the served
+# prediction round trip) runs with
 # -count=5 so the comparison has variance to work with. The run is saved
 # to $RESULTS/bench_micro.txt; with BENCH_JSON_DIR exported the artifact
 # benchmarks in the subset also emit repro-bench/v1 JSON reports there.
@@ -21,7 +22,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 RESULTS="${RESULTS:-results}"
-BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim}"
+BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim|BenchmarkServeEndToEnd}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-100ms}"
 baseline="${1:-$RESULTS/bench_micro_baseline.txt}"

@@ -1,0 +1,87 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end check of the prediction service: start
+# vlpserve on a random port, replay a generated trace through it with
+# vlpload (one client, in-order chunks), and assert the served
+# misprediction rate is byte-for-byte identical to batch vlpsim over the
+# same trace and predictor spec. Also scrapes /metrics through obscheck
+# and verifies the server drains cleanly on SIGTERM (exit 0).
+#
+# Usage:
+#   scripts/serve_smoke.sh
+#
+# Env: RESULTS (artifact dir, default results), BENCH, N, PRED, CHUNK.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RESULTS="${RESULTS:-results}"
+BENCH="${BENCH:-gcc}"
+N="${N:-60000}"
+PRED="${PRED:-gshare:budget=16KB}"
+CHUNK="${CHUNK:-7000}"
+
+mkdir -p "$RESULTS"
+BIN="$RESULTS/serve_smoke_bin"
+mkdir -p "$BIN"
+
+echo "== serve-smoke: building binaries"
+go build -o "$BIN" ./cmd/traceg ./cmd/vlpsim ./cmd/vlpserve ./cmd/vlpload ./cmd/obscheck
+
+trace="$RESULTS/serve_smoke_$BENCH.vlpt"
+batch_json="$RESULTS/bench_serve_smoke_batch.json"
+served_json="$RESULTS/bench_serve_smoke_served.json"
+addr_file="$RESULTS/serve_smoke_addr"
+rm -f "$addr_file"
+
+echo "== serve-smoke: generating $BENCH trace ($N records)"
+"$BIN/traceg" -bench "$BENCH" -n "$N" -o "$trace"
+
+echo "== serve-smoke: batch reference (vlpsim -pred $PRED)"
+"$BIN/vlpsim" -trace "$trace" -class cond -pred "$PRED" -json "$batch_json" >/dev/null
+
+echo "== serve-smoke: starting vlpserve on :0"
+"$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr_file" &
+server_pid=$!
+trap 'kill "$server_pid" 2>/dev/null || true' EXIT
+
+# Wait for the atomically-renamed address file.
+i=0
+while [ ! -f "$addr_file" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ] || ! kill -0 "$server_pid" 2>/dev/null; then
+		echo "serve-smoke: vlpserve failed to come up" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr="$(cat "$addr_file")"
+echo "== serve-smoke: server at $addr"
+
+echo "== serve-smoke: streaming trace with vlpload (1 client, chunk=$CHUNK)"
+"$BIN/vlpload" -url "http://$addr" -session smoke -class cond -pred "$PRED" \
+	-trace "$trace" -clients 1 -chunk "$CHUNK" -json "$served_json"
+
+# The invariant the subsystem promises: the served rate is the batch
+# rate, bit-identical — so the JSON encodings of the float must match
+# byte-for-byte.
+batch_rate="$(grep -o '"miss_rate":[^,}]*' "$batch_json" | head -n 1)"
+served_rate="$(grep -o '"miss_rate":[^,}]*' "$served_json" | head -n 1)"
+if [ -z "$batch_rate" ] || [ "$batch_rate" != "$served_rate" ]; then
+	echo "serve-smoke: FAIL: served rate differs from batch" >&2
+	echo "  batch:  $batch_rate" >&2
+	echo "  served: $served_rate" >&2
+	exit 1
+fi
+echo "== serve-smoke: rates identical ($batch_rate)"
+
+echo "== serve-smoke: validating /metrics"
+"$BIN/obscheck" -q -url "http://$addr/metrics"
+
+echo "== serve-smoke: SIGTERM, expecting clean drain"
+kill -TERM "$server_pid"
+trap - EXIT
+if ! wait "$server_pid"; then
+	echo "serve-smoke: FAIL: vlpserve exited non-zero on SIGTERM" >&2
+	exit 1
+fi
+echo "== serve-smoke: OK"
