@@ -3,11 +3,11 @@
 GO ?= go
 RESULTS ?= results
 
-.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke clean
+.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke dist-smoke clean
 
 all: check
 
-check: fmt vet build test bench-smoke serve-smoke
+check: fmt vet build test bench-smoke serve-smoke dist-smoke
 
 # Fail if any file needs reformatting (prints the offenders).
 fmt:
@@ -36,6 +36,12 @@ bench-smoke:
 serve-smoke:
 	RESULTS=$(RESULTS) ./scripts/serve_smoke.sh
 
+# End-to-end check of distributed sweep execution: two vlpserve
+# workers, vlpsweep across them, merged artifacts byte-identical to an
+# in-process paperrepro run, bench JSONs schema-valid, clean drain.
+dist-smoke:
+	RESULTS=$(RESULTS) ./scripts/dist_smoke.sh
+
 # Run the hot-path micro-benchmarks (-count=5) and diff against the
 # recorded baseline: benchstat when installed, plain mean deltas
 # otherwise. The first run on a machine seeds the baseline file.
@@ -45,3 +51,4 @@ bench-compare:
 clean:
 	rm -f $(RESULTS)/bench_*.json $(RESULTS)/bench_micro*.txt
 	rm -rf $(RESULTS)/serve_smoke_bin $(RESULTS)/serve_smoke_*
+	rm -rf $(RESULTS)/dist_smoke_bin $(RESULTS)/dist_smoke_*

@@ -33,6 +33,9 @@ go test -race -count=1 -run 'Hammer|Saturation|GracefulShutdown' ./internal/serv
 echo "== serve smoke (served rates byte-identical to batch)"
 ./scripts/serve_smoke.sh
 
+echo "== dist smoke (merged sweep artifacts byte-identical to in-process)"
+./scripts/dist_smoke.sh
+
 echo "== bench smoke (emits results/bench_*.json)"
 BENCH_JSON_DIR=results go test -run '^$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .
 go run ./cmd/obscheck -dir results

@@ -13,7 +13,7 @@
 //
 // Scrape and validate a live vlpserve metrics endpoint:
 //
-//	obscheck -url http://127.0.0.1:8080/metrics
+//	obscheck -url http://127.0.0.1:8080/v1/metrics
 //
 // It exits non-zero if any file is missing, unparsable, or fails schema
 // validation, or (with -dir) if the directory holds no reports at all.
@@ -34,7 +34,7 @@ import (
 func main() {
 	var (
 		dir   = flag.String("dir", "", "validate every bench_*.json in this directory")
-		url   = flag.String("url", "", "fetch and validate a live /metrics endpoint")
+		url   = flag.String("url", "", "fetch and validate a live /v1/metrics endpoint")
 		quiet = flag.Bool("q", false, "suppress the per-report summary lines")
 	)
 	flag.Parse()
@@ -45,7 +45,7 @@ func main() {
 }
 
 // fetchReport scrapes url and holds the body to the same schema checks a
-// bench report file gets: a /metrics endpoint is just a report served
+// bench report file gets: a /v1/metrics endpoint is just a report served
 // over HTTP.
 func fetchReport(url string) (*obs.Report, error) {
 	client := &http.Client{Timeout: 10 * time.Second}

@@ -43,7 +43,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
 
@@ -120,31 +119,18 @@ func classify(err error) obs.FailureKind {
 	}
 }
 
-// satisfied reports whether a manifest entry proves the experiment
-// already has a valid output on disk: the checkpoint says it succeeded
-// AND its bench report still reads back clean (the same validation
-// cmd/obscheck applies), so a deleted or corrupted report file re-runs.
-func satisfied(m *runx.Manifest, id string) bool {
-	e, ok := m.Get(id)
-	if !ok || e.Status != runx.StatusOK || e.Output == "" {
-		return false
-	}
-	_, err := obs.ReadReport(e.Output)
-	return err == nil
+// validReport is the resume gate's output validation: the bench report
+// must still read back clean (the same validation cmd/obscheck
+// applies), so a deleted or corrupted report file re-runs.
+func validReport(path string) error {
+	_, err := obs.ReadReport(path)
+	return err
 }
 
 func run(ctx context.Context, opts options) error {
-	var entries []experiments.Entry
-	if opts.exp == "" {
-		entries = experiments.Registry()
-	} else {
-		for _, id := range strings.Split(opts.exp, ",") {
-			e, err := experiments.Find(strings.TrimSpace(id))
-			if err != nil {
-				return err
-			}
-			entries = append(entries, e)
-		}
+	entries, err := experiments.Select(opts.exp)
+	if err != nil {
+		return err
 	}
 	if opts.out != "" {
 		if err := os.MkdirAll(opts.out, 0o755); err != nil {
@@ -211,7 +197,7 @@ func run(ctx context.Context, opts options) error {
 			}
 			break
 		}
-		if opts.resume && satisfied(manifest, e.ID) {
+		if opts.resume && manifest.Satisfied(e.ID, validReport) {
 			opts.log.Progressf("experiment %d/%d: %s already complete, skipping", i+1, len(entries), e.ID)
 			summary.AddSkip(e.ID, "resumed: valid report already on disk")
 			continue
@@ -252,9 +238,7 @@ func run(ctx context.Context, opts options) error {
 		fmt.Printf("===== %s (%s)\n", rep.Title, rep.Metrics)
 		fmt.Println(rep.Text)
 		if opts.out != "" {
-			path := filepath.Join(opts.out, rep.ID+".txt")
-			content := rep.Title + "\n\n" + rep.Text
-			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			if _, err := experiments.WriteText(opts.out, rep.ID, rep.Title, rep.Text); err != nil {
 				return err
 			}
 		}

@@ -101,8 +101,8 @@ func run(ctx context.Context, cfg loadgen.Config, bench, input string, n int, tr
 
 	fmt.Printf("session %s: %d/%d mispredicted (%.2f%%) over %d records\n",
 		res.Session, res.Mispredicts, res.Branches, res.MissPercent, res.Records)
-	fmt.Printf("load: %d requests (%d chunks, %d clients), %d retries, %d rejected, %d failed\n",
-		res.Requests, res.Chunks, res.Clients, res.Retries, res.Rejected, res.Failures)
+	fmt.Printf("load: %d requests (%d chunks, %d clients), %d retries (%d server-paced), %d rejected, %d failed\n",
+		res.Requests, res.Chunks, res.Clients, res.Retries, res.RetryAfterWaits, res.Rejected, res.Failures)
 	fmt.Printf("throughput: %.1f req/s over %v\n",
 		res.AchievedRPS, time.Duration(res.WallNanos).Round(time.Millisecond))
 	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  max %v\n",

@@ -15,8 +15,17 @@
 //
 //	curl -d '{"id":"s1","class":"cond","spec":"gshare:budget=16KB"}' \
 //	    http://127.0.0.1:8080/v1/sessions
-//	curl --data-binary @chunk.vlpt http://127.0.0.1:8080/v1/sessions/s1/predict
-//	curl http://127.0.0.1:8080/metrics
+//	curl --data-binary @chunk.vlpt http://127.0.0.1:8080/v1/sessions/s1/chunks
+//	curl http://127.0.0.1:8080/v1/metrics
+//
+// Every route lives under /v1/; the pre-versioning spellings
+// (/metrics, /healthz, /v1/sessions/{id}/predict) still answer but
+// carry a Deprecation header. Failed requests share one JSON error
+// envelope: {"code", "message", "retryable"}.
+//
+// The server is also a sweep worker: POST /v1/jobs runs one experiment
+// cell for the cmd/vlpsweep coordinator (disable with -jobs=false;
+// -tracedir points cells at recorded benchmark traces).
 //
 // SIGINT/SIGTERM drain in-flight requests and exit cleanly; -addr-file
 // writes the bound address (for -addr :0 orchestration, as the
@@ -30,6 +39,7 @@ import (
 	"net"
 	"os"
 
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/runx"
 	"repro/internal/serve"
@@ -40,6 +50,8 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
 		limits   = flag.String("limits", "", "degradation policy overrides, e.g. max-sessions=128,idle-ttl=30s,max-body=4MB,workers=16,drain=5s")
+		jobs     = flag.Bool("jobs", true, "serve POST /v1/jobs sweep cells (cmd/vlpsweep workers)")
+		traceDir = flag.String("tracedir", "", "recorded benchmark traces for sweep cells (<dir>/<bench>.vlpt)")
 		verbose  = flag.Bool("v", false, "narrate requests and evictions to stderr")
 	)
 	var prof obs.ProfileFlags
@@ -53,7 +65,7 @@ func main() {
 		os.Exit(1)
 	}
 	ctx, cancelSignals := runx.WithSignals(context.Background())
-	err = run(ctx, *addr, *addrFile, *limits, log)
+	err = run(ctx, *addr, *addrFile, *limits, *jobs, *traceDir, log)
 	cancelSignals()
 	if perr := stop(); err == nil {
 		err = perr
@@ -64,7 +76,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, addr, addrFile, limitsStr string, log *obs.Logger) error {
+func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, traceDir string, log *obs.Logger) error {
 	limits, err := serve.ParseLimits(serve.DefaultLimits(), limitsStr)
 	if err != nil {
 		return err
@@ -72,6 +84,9 @@ func run(ctx context.Context, addr, addrFile, limitsStr string, log *obs.Logger)
 	srv, err := serve.New(limits, log)
 	if err != nil {
 		return err
+	}
+	if jobs {
+		srv.SetJobRunner(dist.NewRunner(traceDir, log))
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,470 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/runx"
+	"repro/internal/serve"
+)
+
+// Options configures one coordinated sweep.
+type Options struct {
+	// Workers are the base URLs of the vlpserve workers
+	// ("http://127.0.0.1:9001"). At least one is required.
+	Workers []string
+	// Exp selects experiments as in paperrepro -exp; empty means the
+	// full registry.
+	Exp string
+	// BaseRecords/ProfileRecords pin the suite scale of every cell
+	// (0 = suite defaults), shipped verbatim in each job request.
+	BaseRecords    int
+	ProfileRecords int
+	// OutDir, when set, receives <id>.txt rendered artifacts.
+	OutDir string
+	// JSONDir, when set, receives bench_<id>.json reports, the
+	// bench_sweep.json summary, and the resume manifest.
+	JSONDir string
+	// Resume skips cells whose manifest entry points at a bench report
+	// that still reads back clean (needs JSONDir).
+	Resume bool
+	// HealthInterval is the worker health-probe period; 0 means 500ms.
+	HealthInterval time.Duration
+	// Backoff shapes per-worker retries of saturated/transient cells;
+	// the zero value means defaultJobBackoff.
+	Backoff runx.Backoff
+	// Log narrates progress; nil means silent.
+	Log *obs.Logger
+}
+
+// defaultJobBackoff retries a refused cell on the same worker a few
+// times before giving up on it; Max is above the server's 1s
+// Retry-After hint so the hint is honored, not clamped away.
+func defaultJobBackoff() runx.Backoff {
+	return runx.Backoff{Attempts: 4, Initial: 200 * time.Millisecond, Max: 5 * time.Second, Factor: 2}
+}
+
+// WorkerStats is one worker's share of the sweep, recorded in the
+// summary report.
+type WorkerStats struct {
+	URL string `json:"url"`
+	// Jobs is how many cells the worker completed successfully.
+	Jobs int64 `json:"jobs"`
+	// Requeues counts cells taken back from this worker because it died
+	// mid-cell (or refused service permanently).
+	Requeues int64 `json:"requeues"`
+	// Alive is the worker's liveness at sweep end.
+	Alive bool `json:"alive"`
+	// Latency is the per-cell round-trip distribution.
+	Latency obs.HistSummary `json:"latency"`
+}
+
+// SweepData is the Data payload of the bench_sweep.json summary.
+type SweepData struct {
+	Workers []WorkerStats `json:"workers"`
+	// Cells is how many cells the sweep dispatched (after resume
+	// skips).
+	Cells int `json:"cells"`
+	// Failed lists cells that terminally failed.
+	Failed []string `json:"failed,omitempty"`
+}
+
+// cell is one queued unit: the experiment plus the wire request that
+// reproduces it.
+type cell struct {
+	id  string
+	req serve.JobRequest
+}
+
+// worker is the coordinator's view of one vlpserve process.
+type worker struct {
+	url    string
+	client *http.Client
+	alive  atomic.Bool
+
+	jobs     atomic.Int64
+	requeues atomic.Int64
+	hist     obs.Histogram
+}
+
+// validReport gates resume: a manifest entry only satisfies its cell if
+// the bench report it points at still reads back clean.
+func validReport(path string) error {
+	_, err := obs.ReadReport(path)
+	return err
+}
+
+// Sweep runs the whole coordinated sweep: enumerate cells, dispatch
+// them work-stealing over the workers, merge results into OutDir and
+// JSONDir, and write the bench_sweep.json summary. It returns the
+// summary report; the error is non-nil if any cell terminally failed
+// or the context was canceled, but — like paperrepro — only after
+// every other cell has run.
+func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers given")
+	}
+	if opts.Resume && opts.JSONDir == "" {
+		return nil, fmt.Errorf("dist: resume needs a json dir to know where prior results live")
+	}
+	log := opts.Log
+	if log == nil {
+		log = obs.Discard
+	}
+	entries, err := experiments.Select(opts.Exp)
+	if err != nil {
+		return nil, err
+	}
+	backoff := opts.Backoff
+	if backoff.Attempts == 0 {
+		backoff = defaultJobBackoff()
+	}
+	healthInterval := opts.HealthInterval
+	if healthInterval <= 0 {
+		healthInterval = 500 * time.Millisecond
+	}
+
+	// The checkpoint manifest is the same file paperrepro writes, so a
+	// sweep can resume a partial in-process run and vice versa.
+	var manifest *runx.Manifest
+	var manifestPath string
+	if opts.JSONDir != "" {
+		manifestPath = runx.ManifestPath(opts.JSONDir)
+		if prior, err := runx.LoadManifest(manifestPath); err == nil {
+			manifest = prior
+		} else {
+			manifest = runx.NewManifest()
+		}
+	}
+
+	summary := obs.NewReport("sweep", "distributed sweep run")
+	summary.SetParam("base_records", opts.BaseRecords)
+	summary.SetParam("profile_records", opts.ProfileRecords)
+	summary.SetParam("workers", len(opts.Workers))
+
+	var cells []cell
+	for _, e := range entries {
+		if opts.Resume && manifest.Satisfied(e.ID, validReport) {
+			log.Progressf("dist: %s already complete, skipping", e.ID)
+			summary.AddSkip(e.ID, "resumed: valid report already on disk")
+			continue
+		}
+		cells = append(cells, cell{id: e.ID, req: serve.JobRequest{
+			Exp:            e.ID,
+			BaseRecords:    opts.BaseRecords,
+			ProfileRecords: opts.ProfileRecords,
+		}})
+	}
+
+	workers := make([]*worker, len(opts.Workers))
+	for i, url := range opts.Workers {
+		workers[i] = &worker{url: url, client: &http.Client{}}
+		workers[i].alive.Store(true)
+	}
+
+	span := obs.StartSpan()
+	span.SetWorkers(len(workers))
+	var failed []string
+
+	if len(cells) > 0 {
+		// The queue is the work-stealing heart: every cell sits in one
+		// shared buffered channel and each worker pulls as it frees up.
+		// Capacity covers every cell so a requeue never blocks (each
+		// cell occupies at most one slot at a time).
+		queue := make(chan cell, len(cells))
+		for _, c := range cells {
+			queue <- c
+		}
+
+		// pending counts cells not yet terminally recorded. The last
+		// done() closes the queue, which is what stops the pullers.
+		var mu sync.Mutex
+		pending := len(cells)
+		done := func() {
+			mu.Lock()
+			pending--
+			if pending == 0 {
+				close(queue)
+			}
+			mu.Unlock()
+		}
+		checkpoint := func(e runx.ManifestEntry) error {
+			if manifest == nil {
+				return nil
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			manifest.Set(e)
+			return manifest.Save(manifestPath)
+		}
+		recordFailure := func(id string, err error) {
+			mu.Lock()
+			failed = append(failed, id)
+			summary.AddFailure(id, classifyFailure(err), err)
+			mu.Unlock()
+			log.Logf("dist: cell %s failed: %v", id, err)
+			if cerr := checkpoint(runx.ManifestEntry{ID: id, Status: runx.StatusFailed, Error: err.Error()}); cerr != nil {
+				log.Logf("dist: checkpoint: %v", cerr)
+			}
+			done()
+		}
+
+		// Health probers: two consecutive failed /v1/healthz probes
+		// retire a worker, so cells stop flowing to it even between
+		// jobs.
+		probeStop := make(chan struct{})
+		var probeWG sync.WaitGroup
+		for _, w := range workers {
+			probeWG.Add(1)
+			go func(w *worker) {
+				defer probeWG.Done()
+				w.probe(probeStop, healthInterval, log)
+			}(w)
+		}
+
+		var pullWG sync.WaitGroup
+		for _, w := range workers {
+			pullWG.Add(1)
+			go func(w *worker) {
+				defer pullWG.Done()
+				w.pull(ctx, queue, backoff, log, func(c cell, res serve.JobResponse, err error) {
+					if err != nil {
+						recordFailure(c.id, err)
+						return
+					}
+					benchPath, err := mergeCell(opts, res)
+					if err != nil {
+						recordFailure(c.id, err)
+						return
+					}
+					log.Progressf("dist: %s done on %s", c.id, w.url)
+					if cerr := checkpoint(runx.ManifestEntry{
+						ID: c.id, Status: runx.StatusOK, Output: benchPath, WallNanos: res.WallNanos,
+					}); cerr != nil {
+						log.Logf("dist: checkpoint: %v", cerr)
+					}
+					done()
+				})
+			}(w)
+		}
+		pullWG.Wait()
+		close(probeStop)
+		probeWG.Wait()
+
+		// Every puller has exited. Any cell still pending is sitting in
+		// the queue (a dying worker requeues its in-flight cell before
+		// exiting): the context was canceled, or every worker died.
+		mu.Lock()
+		remaining := pending
+		mu.Unlock()
+		if remaining > 0 {
+			canceled := ctx.Err() != nil
+			for i := 0; i < remaining; i++ {
+				c := <-queue
+				if canceled {
+					summary.AddSkip(c.id, "canceled before completion")
+				} else {
+					recordFailure(c.id, fmt.Errorf("dist: no live workers left"))
+					continue
+				}
+				done()
+			}
+		}
+	}
+
+	summary.Metrics = span.End()
+	stats := make([]WorkerStats, len(workers))
+	for i, w := range workers {
+		stats[i] = WorkerStats{
+			URL:      w.url,
+			Jobs:     w.jobs.Load(),
+			Requeues: w.requeues.Load(),
+			Alive:    w.alive.Load(),
+			Latency:  w.hist.Summary(),
+		}
+	}
+	summary.Data = SweepData{Workers: stats, Cells: len(cells), Failed: failed}
+
+	if opts.JSONDir != "" {
+		path, err := summary.WriteBench(opts.JSONDir)
+		if err != nil {
+			return summary, err
+		}
+		log.Progressf("dist: wrote %s", path)
+	}
+	if err := ctx.Err(); err != nil {
+		return summary, fmt.Errorf("dist: interrupted: %w", err)
+	}
+	if len(failed) > 0 {
+		return summary, fmt.Errorf("dist: %d cell(s) failed: %v", len(failed), failed)
+	}
+	return summary, nil
+}
+
+// classifyFailure maps a cell error to the summary's failure kind,
+// mirroring cmd/paperrepro's classification.
+func classifyFailure(err error) obs.FailureKind {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return obs.FailureTimeout
+	case errors.Is(err, context.Canceled):
+		return obs.FailureCanceled
+	default:
+		return obs.FailureError
+	}
+}
+
+// mergeCell lands one finished cell in the results directories: the
+// rendered text exactly as paperrepro writes it, and the worker's bench
+// blob re-validated through the report decoder.
+func mergeCell(opts Options, res serve.JobResponse) (benchPath string, err error) {
+	if opts.OutDir != "" {
+		if _, err := experiments.WriteText(opts.OutDir, res.Exp, res.Title, res.Text); err != nil {
+			return "", err
+		}
+	}
+	if opts.JSONDir != "" {
+		benchPath, err = experiments.WriteBenchBlob(opts.JSONDir, res.Exp, res.Bench)
+		if err != nil {
+			return "", err
+		}
+	}
+	return benchPath, nil
+}
+
+// pull is one worker's dispatch loop: take the next cell, run it to a
+// verdict, hand the verdict to record. A dead worker requeues its
+// in-flight cell and exits, leaving the queue to the survivors.
+func (w *worker) pull(ctx context.Context, queue chan cell, b runx.Backoff,
+	log *obs.Logger, record func(cell, serve.JobResponse, error)) {
+	for {
+		if !w.alive.Load() || ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case c, ok := <-queue:
+			if !ok {
+				return
+			}
+			start := time.Now()
+			res, dead, err := w.runCell(ctx, b, c)
+			if dead {
+				// The cell is not lost: put it back for the other
+				// workers and retire this one.
+				w.alive.Store(false)
+				w.requeues.Add(1)
+				log.Logf("dist: worker %s lost mid-cell (%s): %v — requeueing", w.url, c.id, err)
+				queue <- c
+				return
+			}
+			if err == nil {
+				w.jobs.Add(1)
+				w.hist.Observe(time.Since(start))
+			}
+			record(c, res, err)
+		case <-time.After(50 * time.Millisecond):
+			// Idle tick: re-check liveness so a probed-out worker stops
+			// pulling even while the queue is empty.
+		}
+	}
+}
+
+// runCell posts one cell to the worker, retrying saturated/transient
+// refusals in place (honoring Retry-After). dead=true means the worker
+// itself is gone — connection failures, or a worker that answers
+// jobs-disabled — and the cell should move to another worker. A non-nil
+// err with dead=false is the cell's own terminal failure.
+func (w *worker) runCell(ctx context.Context, b runx.Backoff, c cell) (res serve.JobResponse, dead bool, err error) {
+	body, err := json.Marshal(c.req)
+	if err != nil {
+		return res, false, err
+	}
+	err = runx.Retry(ctx, b, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client.Do(req)
+		if err != nil {
+			dead = true
+			return fmt.Errorf("dist: worker %s unreachable: %w", w.url, err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			dead = true
+			return fmt.Errorf("dist: worker %s died mid-response: %w", w.url, err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			dead = false
+			return json.Unmarshal(raw, &res)
+		}
+		env, ok := serve.DecodeEnvelope(raw)
+		if !ok {
+			return fmt.Errorf("dist: worker %s: status %d with non-envelope body %.80q", w.url, resp.StatusCode, raw)
+		}
+		envErr := fmt.Errorf("dist: worker %s: %s: %s", w.url, env.Code, env.Message)
+		if env.Code == serve.CodeJobsDisabled {
+			// Not a cell failure: this worker can never run jobs, so
+			// retire it and let the cell move on.
+			dead = true
+			return envErr
+		}
+		if env.Retryable {
+			dead = false
+			if d, ok := serve.ParseRetryAfter(resp); ok {
+				return runx.RetryAfter(envErr, d)
+			}
+			return runx.MarkTransient(envErr)
+		}
+		return envErr
+	})
+	return res, dead, err
+}
+
+// probe retires the worker after two consecutive failed health checks,
+// so a silently dead worker stops receiving cells even when it has
+// none in flight.
+func (w *worker) probe(stop <-chan struct{}, interval time.Duration, log *obs.Logger) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	fails := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if !w.alive.Load() {
+				return
+			}
+			resp, err := client.Get(w.url + "/v1/healthz")
+			if err == nil {
+				resp.Body.Close()
+			}
+			if err != nil || resp.StatusCode != http.StatusOK {
+				fails++
+			} else {
+				fails = 0
+			}
+			if fails >= 2 {
+				log.Logf("dist: worker %s failed %d health checks — retiring it", w.url, fails)
+				w.alive.Store(false)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/runx"
+	"repro/internal/serve"
+)
+
+// testScale keeps the cells fast while still exercising real
+// experiments end to end.
+const (
+	testBase     = 30000
+	testProfBase = 15000
+)
+
+// testExps are the cells the sweep tests dispatch.
+const testExps = "headline,table1,table2"
+
+// newWorker starts one real vlpserve worker: a serve.Server with a
+// dist Runner mounted, exactly what `vlpserve -jobs` runs.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := serve.New(serve.DefaultLimits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJobRunner(NewRunner("", nil))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// referenceArtifacts runs the cells in process — the paperrepro path —
+// and returns id → rendered artifact bytes.
+func referenceArtifacts(t *testing.T, exps string) map[string][]byte {
+	t.Helper()
+	entries, err := experiments.Select(exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := experiments.NewSuite(experiments.Config{
+		BaseRecords: testBase, ProfileRecords: testProfBase,
+	})
+	ref := map[string][]byte{}
+	for _, e := range entries {
+		rep, err := e.RunMeasured(context.Background(), suite)
+		if err != nil {
+			t.Fatalf("in-process %s: %v", e.ID, err)
+		}
+		ref[e.ID] = experiments.RenderText(rep.Title, rep.Text)
+	}
+	return ref
+}
+
+// assertMergedArtifacts compares every merged .txt byte-for-byte with
+// the in-process reference and validates every bench report.
+func assertMergedArtifacts(t *testing.T, outDir, jsonDir string, ref map[string][]byte) {
+	t.Helper()
+	for id, want := range ref {
+		got, err := os.ReadFile(filepath.Join(outDir, id+".txt"))
+		if err != nil {
+			t.Errorf("merged artifact missing: %v", err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s.txt differs from the in-process run (%d vs %d bytes)", id, len(got), len(want))
+		}
+		rep, err := obs.ReadReport(obs.BenchPath(jsonDir, id))
+		if err != nil {
+			t.Errorf("bench report for %s: %v", id, err)
+			continue
+		}
+		if rep.Name != id || rep.Params["base_records"] == "" {
+			t.Errorf("bench report for %s malformed: name %q params %v", id, rep.Name, rep.Params)
+		}
+	}
+}
+
+// TestSweepMatchesInProcess is the acceptance invariant: a sweep over
+// two workers produces rendered artifacts byte-identical to the
+// in-process paperrepro path, plus valid bench reports, a manifest,
+// and a sweep summary.
+func TestSweepMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiment cells")
+	}
+	w1, w2 := newWorker(t), newWorker(t)
+	outDir, jsonDir := t.TempDir(), t.TempDir()
+
+	summary, err := Sweep(context.Background(), Options{
+		Workers:        []string{w1.URL, w2.URL},
+		Exp:            testExps,
+		BaseRecords:    testBase,
+		ProfileRecords: testProfBase,
+		OutDir:         outDir,
+		JSONDir:        jsonDir,
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	assertMergedArtifacts(t, outDir, jsonDir, referenceArtifacts(t, testExps))
+
+	data, ok := summary.Data.(SweepData)
+	if !ok {
+		t.Fatalf("summary data is %T", summary.Data)
+	}
+	if data.Cells != 3 || len(data.Failed) != 0 {
+		t.Fatalf("sweep data %+v, want 3 cells and no failures", data)
+	}
+	var totalJobs int64
+	for _, ws := range data.Workers {
+		totalJobs += ws.Jobs
+		if !ws.Alive {
+			t.Errorf("worker %s reported dead", ws.URL)
+		}
+	}
+	if totalJobs != 3 {
+		t.Fatalf("workers ran %d jobs, want 3", totalJobs)
+	}
+
+	// The manifest records every cell as ok with a readable output.
+	m, err := runx.LoadManifest(runx.ManifestPath(jsonDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"headline", "table1", "table2"} {
+		if !m.Satisfied(id, validReport) {
+			t.Errorf("manifest does not satisfy %s", id)
+		}
+	}
+	if _, err := obs.ReadReport(obs.BenchPath(jsonDir, "sweep")); err != nil {
+		t.Errorf("sweep summary report: %v", err)
+	}
+
+	// Resume over the finished directory runs nothing.
+	summary2, err := Sweep(context.Background(), Options{
+		Workers: []string{w1.URL}, Exp: testExps,
+		BaseRecords: testBase, ProfileRecords: testProfBase,
+		OutDir: outDir, JSONDir: jsonDir, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if data2 := summary2.Data.(SweepData); data2.Cells != 0 {
+		t.Fatalf("resumed sweep dispatched %d cells, want 0", data2.Cells)
+	}
+	if len(summary2.Skipped) != 3 {
+		t.Fatalf("resumed sweep skipped %v, want all 3", summary2.Skipped)
+	}
+}
+
+// killableWorker wraps a real worker handler; once killed, every
+// request (jobs and health checks alike) aborts its connection, which
+// is what a crashed process looks like to the coordinator.
+type killableWorker struct {
+	inner    http.Handler
+	jobsSeen atomic.Int32
+	// killOnJob aborts the Nth job request mid-handling (1-based).
+	killOnJob int32
+	dead      atomic.Bool
+}
+
+func (k *killableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		if k.jobsSeen.Add(1) == k.killOnJob {
+			k.dead.Store(true)
+			panic(http.ErrAbortHandler)
+		}
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+// TestSweepSurvivesWorkerDeath kills one of two workers on its first
+// cell and asserts the sweep still completes with every artifact
+// byte-identical to the in-process run — the dead worker's cell is
+// requeued onto the survivor.
+func TestSweepSurvivesWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiment cells")
+	}
+	healthy := newWorker(t)
+
+	s, err := serve.New(serve.DefaultLimits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJobRunner(NewRunner("", nil))
+	killer := &killableWorker{inner: s.Handler(), killOnJob: 1}
+	doomed := httptest.NewServer(killer)
+	t.Cleanup(doomed.Close)
+
+	outDir, jsonDir := t.TempDir(), t.TempDir()
+	summary, err := Sweep(context.Background(), Options{
+		Workers:        []string{healthy.URL, doomed.URL},
+		Exp:            testExps,
+		BaseRecords:    testBase,
+		ProfileRecords: testProfBase,
+		OutDir:         outDir,
+		JSONDir:        jsonDir,
+		HealthInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Sweep with dying worker: %v", err)
+	}
+	if !killer.dead.Load() {
+		t.Fatal("the doomed worker never saw a job; the test exercised nothing")
+	}
+	assertMergedArtifacts(t, outDir, jsonDir, referenceArtifacts(t, testExps))
+
+	data := summary.Data.(SweepData)
+	var deadStats *WorkerStats
+	for i := range data.Workers {
+		if data.Workers[i].URL == doomed.URL {
+			deadStats = &data.Workers[i]
+		}
+	}
+	if deadStats == nil || deadStats.Alive || deadStats.Requeues != 1 {
+		t.Fatalf("doomed worker stats %+v, want dead with one requeue", deadStats)
+	}
+	if len(data.Failed) != 0 {
+		t.Fatalf("cells failed despite a live survivor: %v", data.Failed)
+	}
+}
+
+// TestSweepAllWorkersDead asserts a sweep against only unreachable
+// workers fails every cell instead of hanging.
+func TestSweepAllWorkersDead(t *testing.T) {
+	// A closed server: connections are refused immediately.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+
+	_, err := Sweep(context.Background(), Options{
+		Workers:     []string{url},
+		Exp:         "headline",
+		BaseRecords: testBase,
+		OutDir:      t.TempDir(),
+	})
+	if err == nil {
+		t.Fatal("sweep against a dead worker reported success")
+	}
+}
+
+// TestSweepRecordsDeterministicFailures asserts a cell that fails on
+// the worker (fault-injection experiment) is recorded once as failed —
+// not retried, not bounced to the other worker — while healthy cells
+// still complete.
+func TestSweepRecordsDeterministicFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiment cells")
+	}
+	w1, w2 := newWorker(t), newWorker(t)
+	outDir, jsonDir := t.TempDir(), t.TempDir()
+	summary, err := Sweep(context.Background(), Options{
+		Workers:     []string{w1.URL, w2.URL},
+		Exp:         "headline,selftest-fail",
+		BaseRecords: testBase, ProfileRecords: testProfBase,
+		OutDir: outDir, JSONDir: jsonDir,
+	})
+	if err == nil {
+		t.Fatal("sweep with a failing cell reported success")
+	}
+	data := summary.Data.(SweepData)
+	if len(data.Failed) != 1 || data.Failed[0] != "selftest-fail" {
+		t.Fatalf("failed cells %v, want [selftest-fail]", data.Failed)
+	}
+	if len(summary.Failures) != 1 {
+		t.Fatalf("summary failures %+v", summary.Failures)
+	}
+	// The healthy cell still landed.
+	if _, err := os.ReadFile(filepath.Join(outDir, "headline.txt")); err != nil {
+		t.Errorf("healthy cell missing: %v", err)
+	}
+	m, err := runx.LoadManifest(runx.ManifestPath(jsonDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := m.Get("selftest-fail"); !ok || e.Status != runx.StatusFailed {
+		t.Fatalf("manifest entry for the failed cell: %+v (ok=%v)", e, ok)
+	}
+}
+
+// TestSweepValidation covers the option errors.
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(context.Background(), Options{}); err == nil {
+		t.Error("no workers accepted")
+	}
+	if _, err := Sweep(context.Background(), Options{
+		Workers: []string{"http://127.0.0.1:1"}, Resume: true,
+	}); err == nil {
+		t.Error("resume without a json dir accepted")
+	}
+	if _, err := Sweep(context.Background(), Options{
+		Workers: []string{"http://127.0.0.1:1"}, Exp: "nope",
+	}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunnerMatchesInProcess pins the worker-side rendering: RunJob's
+// text equals the in-process report's, and its bench blob decodes to a
+// report named after the cell carrying the scale params.
+func TestRunnerMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment cell")
+	}
+	r := NewRunner("", nil)
+	res, err := r.RunJob(context.Background(), serve.JobRequest{
+		Exp: "headline", BaseRecords: testBase, ProfileRecords: testProfBase,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceArtifacts(t, "headline")
+	if string(experiments.RenderText(res.Title, res.Text)) != string(ref["headline"]) {
+		t.Error("runner text differs from the in-process run")
+	}
+	rep, err := obs.DecodeReport(res.Bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "headline" || rep.Params["base_records"] != "30000" || rep.Params["profile_records"] != "15000" {
+		t.Fatalf("bench blob report: name %q params %v", rep.Name, rep.Params)
+	}
+	if res.WallNanos <= 0 {
+		t.Error("runner reported no wall time")
+	}
+
+	// Unknown cells and failing cells classify distinctly.
+	if _, err := r.RunJob(context.Background(), serve.JobRequest{Exp: "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	_, err = r.RunJob(context.Background(), serve.JobRequest{Exp: "selftest-fail"})
+	var jfe *serve.JobFailedError
+	if !errors.As(err, &jfe) || jfe.Exp != "selftest-fail" {
+		t.Errorf("failing cell returned %v, want *serve.JobFailedError", err)
+	}
+}

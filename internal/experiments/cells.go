@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// This file is the shared surface between the two execution paths: the
+// in-process suite loop (cmd/paperrepro) and the distributed sweep
+// (internal/dist behind cmd/vlpsweep). Both enumerate the same entries
+// through Select and land the same artifact bytes through
+// RenderText/WriteText, which is what makes the dist smoke's
+// byte-identity diff meaningful.
+
+// Select resolves a comma-separated experiment list ("headline,fig9")
+// to registry entries, preserving order. An empty list selects the full
+// registry.
+func Select(list string) ([]Entry, error) {
+	if strings.TrimSpace(list) == "" {
+		return Registry(), nil
+	}
+	var entries []Entry
+	for _, id := range strings.Split(list, ",") {
+		e, err := Find(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// RenderText is the canonical encoding of a rendered experiment
+// artifact (<out>/<id>.txt): title, blank line, body.
+func RenderText(title, text string) []byte {
+	return []byte(title + "\n\n" + text)
+}
+
+// WriteText writes the rendered artifact to <dir>/<id>.txt and returns
+// that path.
+func WriteText(dir, id, title, text string) (string, error) {
+	if id == "" {
+		return "", fmt.Errorf("experiments: artifact has no ID to name its file")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, id+".txt")
+	return path, os.WriteFile(path, RenderText(title, text), 0o644)
+}
+
+// WriteBenchBlob validates a serialized bench report (as shipped in a
+// JobResponse) and writes it to the canonical bench_<id>.json path
+// under dir in the standard report encoding. The blob is decoded rather
+// than copied verbatim so a worker cannot land an invalid or misnamed
+// report in the results directory.
+func WriteBenchBlob(dir, id string, blob []byte) (string, error) {
+	rep, err := obs.DecodeReport(blob)
+	if err != nil {
+		return "", fmt.Errorf("experiments: bench blob for %s: %w", id, err)
+	}
+	if rep.Name != id {
+		return "", fmt.Errorf("experiments: bench blob names %q, want %q", rep.Name, id)
+	}
+	return rep.WriteBench(dir)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(Registry()) {
+		t.Fatalf("Select(\"\") = %d entries, %v; want the full registry", len(all), err)
+	}
+	got, err := Select(" headline , fig9 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "headline" || got[1].ID != "fig9" {
+		t.Fatalf("Select = %v", got)
+	}
+	// Fault-injection entries resolve too (paperrepro exposes them).
+	if _, err := Select("selftest-panic"); err != nil {
+		t.Errorf("fault entry not selectable: %v", err)
+	}
+	if _, err := Select("headline,nope"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteText(dir, "headline", "Headline", "body\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != filepath.Join(dir, "headline.txt") {
+		t.Fatalf("path = %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "Headline\n\nbody\n" || string(data) != string(RenderText("Headline", "body\n")) {
+		t.Fatalf("artifact bytes %q", data)
+	}
+	if _, err := WriteText(dir, "", "t", "x"); err == nil {
+		t.Error("empty ID accepted")
+	}
+}
+
+func TestWriteBenchBlob(t *testing.T) {
+	dir := t.TempDir()
+	rep := obs.NewReport("headline", "Abstract's gcc numbers")
+	blob, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := WriteBenchBlob(dir, "headline", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != obs.BenchPath(dir, "headline") {
+		t.Fatalf("path = %q", path)
+	}
+	back, err := obs.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "headline" || back.Title != rep.Title {
+		t.Fatalf("round trip lost content: %+v", back)
+	}
+	if _, err := WriteBenchBlob(dir, "fig9", blob); err == nil ||
+		!strings.Contains(err.Error(), "names") {
+		t.Errorf("misnamed blob accepted: %v", err)
+	}
+	if _, err := WriteBenchBlob(dir, "headline", []byte("not json")); err == nil {
+		t.Error("invalid blob accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package factory
+
+import (
+	"fmt"
+	"strings"
+)
+
+// KVError is the typed grammar error every comma-separated key=value
+// parser in the repository returns — the factory spec grammar
+// ("gshare:budget=16KB,...") and the serve limits grammar
+// ("max-sessions=128,idle-ttl=30s,...") speak the same language, so
+// they fail the same way. Callers that care which key broke (API error
+// envelopes, tests) unwrap it with errors.As.
+type KVError struct {
+	// Input is the full string being parsed, for context.
+	Input string
+	// Key is the offending key ("" when the value list itself is
+	// malformed rather than one key).
+	Key string
+	// Msg describes what is wrong with the key or value.
+	Msg string
+}
+
+func (e *KVError) Error() string {
+	if e.Key == "" {
+		return fmt.Sprintf("factory: %q: %s", e.Input, e.Msg)
+	}
+	return fmt.Sprintf("factory: %q: %s %s", e.Input, e.Key, e.Msg)
+}
+
+// ErrUnknownKey builds the canonical unknown-key error, naming the keys
+// the grammar does accept.
+func ErrUnknownKey(input, key string, want []string) error {
+	return &KVError{Input: input, Key: key,
+		Msg: fmt.Sprintf("is an unknown key (want %s)", strings.Join(want, ", "))}
+}
+
+// ErrNeedsValue builds the canonical missing-value error.
+func ErrNeedsValue(input, key string) error {
+	return &KVError{Input: input, Key: key, Msg: "needs a value"}
+}
+
+// ErrBadValue builds the canonical malformed-value error.
+func ErrBadValue(input, key, value string) error {
+	return &KVError{Input: input, Key: key, Msg: fmt.Sprintf("has a bad value %q", value)}
+}
+
+// EachKV tokenizes a comma-separated key[=value] list and calls fn once
+// per pair with the key lowercased and both sides trimmed. Empty parts
+// are skipped, so trailing commas are harmless. hasValue distinguishes
+// a bare flag ("store-returns") from an explicit one
+// ("store-returns=true"). input is the full original string, carried
+// into the errors fn builds; fn's first error stops the scan.
+//
+// This is the single tokenizer behind ParseSpec and serve.ParseLimits:
+// both grammars accept exactly the same surface language and return the
+// same *KVError type for grammar faults.
+func EachKV(input, list string, fn func(key, value string, hasValue bool) error) error {
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, value, hasValue := strings.Cut(part, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		if err := fn(key, value, hasValue); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseClass parses the branch-class names the -class flags and the
+// service API accept: "cond" (or empty, the default) and "indirect".
+func ParseClass(s string) (Class, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "cond", "":
+		return Cond, nil
+	case "indirect":
+		return Indirect, nil
+	default:
+		return 0, fmt.Errorf("factory: unknown class %q (want cond or indirect)", s)
+	}
+}

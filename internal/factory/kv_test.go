@@ -1,0 +1,105 @@
+package factory
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestEachKV pins the tokenizer both the spec grammar and the serve
+// limits grammar are built on: lowercased trimmed keys, trimmed values,
+// skipped empty parts, bare-flag detection, and error propagation.
+func TestEachKV(t *testing.T) {
+	type pair struct {
+		key, value string
+		hasValue   bool
+	}
+	var got []pair
+	err := EachKV("in", " Budget=16KB , ,store-returns,  FIXED = 8 ,", func(k, v string, hv bool) error {
+		got = append(got, pair{k, v, hv})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []pair{
+		{"budget", "16KB", true},
+		{"store-returns", "", false},
+		{"fixed", "8", true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("EachKV visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pair %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	stop := errors.New("stop")
+	calls := 0
+	err = EachKV("in", "a=1,b=2,c=3", func(k, v string, hv bool) error {
+		calls++
+		if k == "b" {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || calls != 2 {
+		t.Fatalf("EachKV did not stop on fn error: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestSpecGrammarTypedErrors asserts ParseSpec reports grammar faults
+// as *KVError with the offending key attached — the same typed error
+// serve.ParseLimits returns, so API clients see one failure shape.
+func TestSpecGrammarTypedErrors(t *testing.T) {
+	cases := map[string]string{ // spec -> expected KVError.Key
+		"gshare:budget":          "budget",
+		"gshare:budget=zzz":      "budget",
+		"flp:fixed=abc":          "fixed",
+		"vlp:profile=":           "profile",
+		"gshare:nope=1":          "nope",
+		"vlp:store-returns=huh":  "store-returns",
+		"gshare:budget=16KB,,x":  "x",
+		"flp:length=":            "length",
+		"vlp:no-rotation=maybe":  "no-rotation",
+		"gshare:budget=999999GB": "budget",
+	}
+	for in, key := range cases {
+		_, err := ParseSpec(in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+			continue
+		}
+		var kv *KVError
+		if !errors.As(err, &kv) {
+			t.Errorf("ParseSpec(%q) error %T %v, want *KVError", in, err, err)
+			continue
+		}
+		if kv.Key != key || kv.Input != in {
+			t.Errorf("ParseSpec(%q) KVError key=%q input=%q, want key=%q", in, kv.Key, kv.Input, key)
+		}
+		if !strings.Contains(err.Error(), "factory:") {
+			t.Errorf("ParseSpec(%q) error %q lost the factory prefix", in, err)
+		}
+	}
+}
+
+// TestParseClass covers the shared class parser the serve layer and the
+// CLI flags use.
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{
+		"cond": Cond, "": Cond, " COND ": Cond,
+		"indirect": Indirect, "Indirect": Indirect,
+	} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"sideways", "both", "cond,indirect"} {
+		if _, err := ParseClass(bad); err == nil {
+			t.Errorf("ParseClass(%q) accepted", bad)
+		}
+	}
+}

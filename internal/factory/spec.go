@@ -98,53 +98,51 @@ func ParseSpec(s string) (Spec, error) {
 	if !hasParams {
 		return spec, nil
 	}
-	for _, part := range strings.Split(rest, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		key, value, hasValue := strings.Cut(part, "=")
-		key = strings.ToLower(strings.TrimSpace(key))
-		value = strings.TrimSpace(value)
+	specKeys := []string{"budget", "fixed", "profile", "store-returns", "no-rotation"}
+	err := EachKV(s, rest, func(key, value string, hasValue bool) error {
 		switch key {
 		case "budget":
 			if !hasValue {
-				return Spec{}, fmt.Errorf("factory: spec %q: budget needs a value", s)
+				return ErrNeedsValue(s, key)
 			}
 			b, err := ParseBudget(value)
 			if err != nil {
-				return Spec{}, fmt.Errorf("factory: spec %q: %w", s, err)
+				return ErrBadValue(s, key, value)
 			}
 			spec.BudgetBytes = b
 		case "fixed", "length":
 			if !hasValue {
-				return Spec{}, fmt.Errorf("factory: spec %q: %s needs a value", s, key)
+				return ErrNeedsValue(s, key)
 			}
 			l, err := strconv.Atoi(value)
 			if err != nil {
-				return Spec{}, fmt.Errorf("factory: spec %q: bad %s %q", s, key, value)
+				return ErrBadValue(s, key, value)
 			}
 			spec.FixedLength = l
 		case "profile":
 			if !hasValue || value == "" {
-				return Spec{}, fmt.Errorf("factory: spec %q: profile needs a path", s)
+				return ErrNeedsValue(s, key)
 			}
 			spec.ProfilePath = value
 		case "store-returns":
 			b, err := parseBoolValue(value, hasValue)
 			if err != nil {
-				return Spec{}, fmt.Errorf("factory: spec %q: %w", s, err)
+				return ErrBadValue(s, key, value)
 			}
 			spec.Options.StoreReturns = b
 		case "no-rotation":
 			b, err := parseBoolValue(value, hasValue)
 			if err != nil {
-				return Spec{}, fmt.Errorf("factory: spec %q: %w", s, err)
+				return ErrBadValue(s, key, value)
 			}
 			spec.Options.NoRotation = b
 		default:
-			return Spec{}, fmt.Errorf("factory: spec %q: unknown key %q (want budget, fixed, profile, store-returns, no-rotation)", s, key)
+			return ErrUnknownKey(s, key, specKeys)
 		}
+		return nil
+	})
+	if err != nil {
+		return Spec{}, err
 	}
 	return spec, nil
 }

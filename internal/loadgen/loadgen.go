@@ -96,17 +96,20 @@ type Percentiles struct {
 // Result is the outcome of one load run — the Data payload of
 // cmd/vlpload's JSON artifact.
 type Result struct {
-	Session     string  `json:"session"`
-	Clients     int     `json:"clients"`
-	TargetRPS   float64 `json:"target_rps"`
-	Chunks      int     `json:"chunks"`
-	Requests    int64   `json:"requests"`
-	Retries     int64   `json:"retries"`
-	Rejected    int64   `json:"rejected"`
-	Failures    int64   `json:"failures"`
-	Records     int64   `json:"records"`
-	Branches    int64   `json:"branches"`
-	Mispredicts int64   `json:"mispredicts"`
+	Session   string  `json:"session"`
+	Clients   int     `json:"clients"`
+	TargetRPS float64 `json:"target_rps"`
+	Chunks    int     `json:"chunks"`
+	Requests  int64   `json:"requests"`
+	Retries   int64   `json:"retries"`
+	Rejected  int64   `json:"rejected"`
+	// RetryAfterWaits counts retries that were paced by a server
+	// Retry-After hint instead of the client's own backoff schedule.
+	RetryAfterWaits int64 `json:"retry_after_waits"`
+	Failures        int64 `json:"failures"`
+	Records         int64 `json:"records"`
+	Branches        int64 `json:"branches"`
+	Mispredicts     int64 `json:"mispredicts"`
 	// MissRate is the session's final accumulated rate, the number the
 	// serve-smoke stage compares byte-for-byte against batch vlpsim.
 	MissRate    float64     `json:"miss_rate"`
@@ -151,7 +154,7 @@ func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
 	)
 	var counters struct {
 		sync.Mutex
-		requests, retries, rejected, failures int64
+		requests, retries, rejected, hinted, failures int64
 	}
 	jobs := make(chan int, len(chunks))
 	start := time.Now()
@@ -187,11 +190,12 @@ func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				lat, retries, rejected, err := sendChunk(ctx, client, cfg, sessionID, chunks[i])
+				lat, retries, rejected, hinted, err := sendChunk(ctx, client, cfg, sessionID, chunks[i])
 				counters.Lock()
 				counters.requests++
 				counters.retries += retries
 				counters.rejected += rejected
+				counters.hinted += hinted
 				if err != nil {
 					counters.failures++
 				}
@@ -213,6 +217,7 @@ func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
 	res.Requests = counters.requests
 	res.Retries = counters.retries
 	res.Rejected = counters.rejected
+	res.RetryAfterWaits = counters.hinted
 	res.Failures = counters.failures
 	counters.Unlock()
 	if res.WallNanos > 0 {
@@ -318,12 +323,15 @@ func getSession(ctx context.Context, client *http.Client, baseURL, id string) (s
 }
 
 // sendChunk posts one chunk, retrying retryable refusals (429/503,
-// network failures) through runx.Retry's transient classification. The
-// returned latency is the successful attempt's.
-func sendChunk(ctx context.Context, client *http.Client, cfg Config, sessionID string, data []byte) (lat time.Duration, retries, rejected int64, err error) {
-	url := cfg.BaseURL + "/v1/sessions/" + sessionID + "/predict"
+// network failures) through runx.Retry's transient classification. A
+// refusal's error envelope drives the decision — retryable envelopes
+// with a Retry-After header pace the retry on the server's own hint
+// (runx.RetryAfter) instead of the client's backoff guess. The returned
+// latency is the successful attempt's.
+func sendChunk(ctx context.Context, client *http.Client, cfg Config, sessionID string, data []byte) (lat time.Duration, retries, rejected, hinted int64, err error) {
+	url := cfg.BaseURL + "/v1/sessions/" + sessionID + "/chunks"
 	attempt := 0
-	b := runx.Backoff{Attempts: cfg.Attempts, Initial: 25 * time.Millisecond, Max: 500 * time.Millisecond, Factor: 2}
+	b := runx.Backoff{Attempts: cfg.Attempts, Initial: 25 * time.Millisecond, Max: 2 * time.Second, Factor: 2}
 	err = runx.Retry(ctx, b, func() error {
 		attempt++
 		if attempt > 1 {
@@ -344,18 +352,31 @@ func sendChunk(ctx context.Context, client *http.Client, cfg Config, sessionID s
 		}
 		defer resp.Body.Close()
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-		switch {
-		case resp.StatusCode == http.StatusOK:
+		if resp.StatusCode == http.StatusOK {
 			lat = time.Since(start)
 			return nil
-		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
-			rejected++
-			return runx.MarkTransient(fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)))
-		default:
-			return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
 		}
+		refusal := fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if env, ok := serve.DecodeEnvelope(body); ok {
+			// The envelope's classification is authoritative where
+			// present: a proxy may 503 a permanent failure, but the
+			// server never marks one retryable.
+			refusal = fmt.Errorf("%s: %s: %s", resp.Status, env.Code, env.Message)
+			retryable = env.Retryable
+		}
+		if !retryable {
+			return refusal
+		}
+		rejected++
+		if d, ok := serve.ParseRetryAfter(resp); ok {
+			hinted++
+			return runx.RetryAfter(refusal, d)
+		}
+		return runx.MarkTransient(refusal)
 	})
-	return lat, retries, rejected, err
+	return lat, retries, rejected, hinted, err
 }
 
 // percentiles computes the exact latency summary from the samples.

@@ -101,18 +101,29 @@ func (r *Report) SetParam(key string, value any) {
 	r.Params[key] = fmt.Sprint(value)
 }
 
-// Write serializes the report as indented JSON at path, creating the
-// directory if needed. The write is atomic (temp file + rename) so a
-// crashed run never leaves a half-written report behind.
-func (r *Report) Write(path string) error {
+// Marshal serializes the report in the canonical file encoding —
+// schema stamped, two-space indent, trailing newline — the exact bytes
+// Write lands on disk. The serve job endpoint ships these blobs over
+// the wire.
+func (r *Report) Marshal() ([]byte, error) {
 	if r.Schema == "" {
 		r.Schema = SchemaVersion
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
-		return fmt.Errorf("obs: marshal report %s: %w", r.Name, err)
+		return nil, fmt.Errorf("obs: marshal report %s: %w", r.Name, err)
 	}
-	data = append(data, '\n')
+	return append(data, '\n'), nil
+}
+
+// Write serializes the report as indented JSON at path, creating the
+// directory if needed. The write is atomic (temp file + rename) so a
+// crashed run never leaves a half-written report behind.
+func (r *Report) Write(path string) error {
+	data, err := r.Marshal()
+	if err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	if dir != "." && dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {

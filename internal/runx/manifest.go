@@ -96,6 +96,26 @@ func (m *Manifest) Get(id string) (ManifestEntry, bool) {
 	return e, ok
 }
 
+// Satisfied reports whether the manifest proves the unit already has a
+// valid output on disk: the checkpoint says it succeeded AND validate
+// (when non-nil) accepts the recorded output path — so a deleted or
+// corrupted output re-runs instead of being trusted. Both the
+// single-process suite resume (cmd/paperrepro) and the distributed
+// sweep resume (internal/dist) gate on this.
+func (m *Manifest) Satisfied(id string, validate func(outputPath string) error) bool {
+	if m == nil {
+		return false
+	}
+	e, ok := m.Get(id)
+	if !ok || e.Status != StatusOK || e.Output == "" {
+		return false
+	}
+	if validate == nil {
+		return true
+	}
+	return validate(e.Output) == nil
+}
+
 // IDs returns the recorded IDs in sorted order.
 func (m *Manifest) IDs() []string {
 	out := make([]string, 0, len(m.Entries))

@@ -66,7 +66,18 @@ func Retry(ctx context.Context, b Backoff, fn func() error) error {
 		if err == nil || !IsTransient(err) || attempt == b.Attempts {
 			return err
 		}
-		if serr := b.sleep(ctx, delay); serr != nil {
+		// A server-suggested delay (Retry-After) overrides this step of
+		// the backoff schedule: the server knows when capacity returns,
+		// the schedule is only a guess. The cap still applies so a
+		// hostile or confused hint cannot stall the loop.
+		sleepFor := delay
+		if hint, ok := SuggestedDelay(err); ok {
+			sleepFor = hint
+			if b.Max > 0 && sleepFor > b.Max {
+				sleepFor = b.Max
+			}
+		}
+		if serr := b.sleep(ctx, sleepFor); serr != nil {
 			return fmt.Errorf("%w (canceled during backoff: %v)", err, serr)
 		}
 		delay = time.Duration(float64(delay) * b.Factor)
@@ -90,6 +101,39 @@ func MarkTransient(err error) error {
 		return nil
 	}
 	return &transientError{err: err}
+}
+
+// delayedError is a transient error carrying a server-suggested retry
+// delay (an HTTP Retry-After, translated).
+type delayedError struct {
+	err   error
+	delay time.Duration
+}
+
+func (e *delayedError) Error() string { return e.err.Error() }
+func (e *delayedError) Unwrap() error { return e.err }
+
+// RetryAfter marks err transient with a suggested delay that Retry
+// honors in place of its computed backoff for the next sleep (still
+// capped at Backoff.Max). HTTP clients use it to carry a 429/503
+// response's Retry-After header into the retry loop.
+func RetryAfter(err error, d time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	if d < 0 {
+		d = 0
+	}
+	return &transientError{err: &delayedError{err: err, delay: d}}
+}
+
+// SuggestedDelay extracts the delay hint attached by RetryAfter, if any.
+func SuggestedDelay(err error) (time.Duration, bool) {
+	var de *delayedError
+	if errors.As(err, &de) {
+		return de.delay, true
+	}
+	return 0, false
 }
 
 // IsTransient classifies an error as plausibly-transient I/O: timeouts

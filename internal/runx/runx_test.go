@@ -99,6 +99,67 @@ func TestRetryExhaustsAttempts(t *testing.T) {
 	}
 }
 
+// TestRetryHonorsRetryAfter asserts a RetryAfter hint replaces the
+// computed backoff delay for the next sleep (capped at Backoff.Max) and
+// that plain transient errors keep the schedule.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var slept []time.Duration
+	b := Backoff{Attempts: 4, Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2,
+		Sleep: func(_ context.Context, d time.Duration) error { slept = append(slept, d); return nil }}
+	calls := 0
+	err := Retry(context.Background(), b, func() error {
+		calls++
+		switch calls {
+		case 1:
+			return RetryAfter(errors.New("saturated"), 70*time.Millisecond)
+		case 2:
+			return RetryAfter(errors.New("saturated"), time.Hour) // must be capped at Max
+		case 3:
+			return MarkTransient(errors.New("flaky")) // back on the schedule
+		}
+		return nil
+	})
+	if err != nil || calls != 4 {
+		t.Fatalf("Retry = %v after %d calls, want nil after 4", err, calls)
+	}
+	// Sleeps: hint 70ms, hint capped to 80ms, then the schedule's third
+	// step (10ms doubled twice = 40ms).
+	want := []time.Duration{70 * time.Millisecond, 80 * time.Millisecond, 40 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestSuggestedDelay covers the hint accessor, including through extra
+// wrapping.
+func TestSuggestedDelay(t *testing.T) {
+	if _, ok := SuggestedDelay(errors.New("plain")); ok {
+		t.Error("plain error carries a delay hint")
+	}
+	if _, ok := SuggestedDelay(MarkTransient(errors.New("x"))); ok {
+		t.Error("MarkTransient carries a delay hint")
+	}
+	hinted := RetryAfter(errors.New("busy"), 3*time.Second)
+	if !IsTransient(hinted) {
+		t.Error("RetryAfter error not transient")
+	}
+	d, ok := SuggestedDelay(fmt.Errorf("wrapped: %w", hinted))
+	if !ok || d != 3*time.Second {
+		t.Errorf("SuggestedDelay = %v, %v", d, ok)
+	}
+	if d, _ := SuggestedDelay(RetryAfter(errors.New("busy"), -time.Second)); d != 0 {
+		t.Errorf("negative hint not clamped: %v", d)
+	}
+	if RetryAfter(nil, time.Second) != nil {
+		t.Error("RetryAfter(nil) != nil")
+	}
+}
+
 func TestRetryHonorsCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -154,6 +215,37 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if ids := got.IDs(); len(ids) != 3 || ids[0] != "fig5" {
 		t.Errorf("IDs = %v", ids)
+	}
+}
+
+// TestManifestSatisfied covers the resume gate shared by paperrepro and
+// the distributed sweep coordinator.
+func TestManifestSatisfied(t *testing.T) {
+	m := NewManifest()
+	m.Set(ManifestEntry{ID: "ok", Status: StatusOK, Output: "bench_ok.json"})
+	m.Set(ManifestEntry{ID: "no-output", Status: StatusOK})
+	m.Set(ManifestEntry{ID: "failed", Status: StatusFailed, Error: "boom"})
+	alwaysValid := func(string) error { return nil }
+	if !m.Satisfied("ok", alwaysValid) || !m.Satisfied("ok", nil) {
+		t.Error("valid ok entry not satisfied")
+	}
+	for _, id := range []string{"no-output", "failed", "absent"} {
+		if m.Satisfied(id, alwaysValid) {
+			t.Errorf("%s reported satisfied", id)
+		}
+	}
+	bad := errors.New("unreadable")
+	if m.Satisfied("ok", func(p string) error {
+		if p != "bench_ok.json" {
+			t.Errorf("validator got path %q", p)
+		}
+		return bad
+	}) {
+		t.Error("satisfied despite failing validation")
+	}
+	var nilM *Manifest
+	if nilM.Satisfied("ok", alwaysValid) {
+		t.Error("nil manifest satisfied")
 	}
 }
 

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/runx"
+	"repro/internal/trace"
+)
+
+// Envelope is the single structured JSON error body every failed v1
+// request carries: a stable machine-readable code, the human-readable
+// message, and the retry classification. Retryable mirrors the runx
+// classification: true only for failures a client may meaningfully
+// retry (saturation, transient I/O, cancellation) — never for corrupt
+// payloads or bad specs, which fail identically every time. When
+// Retryable is true the response also carries a Retry-After header;
+// clients (internal/loadgen, internal/dist) feed it into
+// runx.RetryAfter so the server paces its own retry traffic.
+type Envelope struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+}
+
+// The error codes the v1 API emits. They are part of the wire contract:
+// clients branch on Code, never on Message.
+const (
+	CodeCorrupt      = "corrupt"       // undecodable trace payload (400)
+	CodeTooLarge     = "too-large"     // body over the configured cap (413)
+	CodePanic        = "panic"         // recovered handler panic (500)
+	CodeCanceled     = "canceled"      // request context canceled (503)
+	CodeTransient    = "transient"     // transient I/O underneath (503)
+	CodeInvalid      = "invalid"       // bad request: spec, class, JSON (400)
+	CodeSaturated    = "saturated"     // all worker slots busy (429)
+	CodeNotFound     = "not-found"     // no such session (404)
+	CodeConflict     = "conflict"      // duplicate session ID (409)
+	CodeJobsDisabled = "jobs-disabled" // this server mounts no job runner (501)
+	CodeJobFailed    = "job-failed"    // experiment cell ran and failed (500)
+)
+
+// classify maps an error to its HTTP status and wire envelope code.
+func classify(err error) (status int, code string, retryable bool) {
+	var mbe *http.MaxBytesError
+	var pe *runx.PanicError
+	var jfe *JobFailedError
+	switch {
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge, CodeTooLarge, false
+	case errors.Is(err, trace.ErrCorrupt):
+		return http.StatusBadRequest, CodeCorrupt, false
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, CodePanic, false
+	case errors.As(err, &jfe):
+		return http.StatusInternalServerError, CodeJobFailed, false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, CodeCanceled, true
+	case runx.IsTransient(err):
+		return http.StatusServiceUnavailable, CodeTransient, true
+	default:
+		return http.StatusBadRequest, CodeInvalid, false
+	}
+}
+
+// DecodeEnvelope parses an error-response body. ok is false when the
+// bytes are not a v1 envelope (legacy plain-text error, HTML from a
+// proxy), in which case clients fall back to the raw body.
+func DecodeEnvelope(body []byte) (Envelope, bool) {
+	var e Envelope
+	if err := json.Unmarshal(body, &e); err != nil || e.Code == "" {
+		return Envelope{}, false
+	}
+	return e, true
+}
+
+// ParseRetryAfter reads a response's Retry-After header as a delay.
+// Only the delta-seconds form is emitted by this server; absent or
+// malformed headers return ok=false.
+func ParseRetryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}

@@ -8,16 +8,24 @@
 // run over the concatenated records (the serve-smoke CI stage pins
 // this).
 //
+// The API surface is versioned: every canonical route lives under /v1/
+// and every failure carries the same structured Envelope body ({code,
+// message, retryable}), with retryable failures also carrying a
+// Retry-After header. POST /v1/jobs additionally exposes the server as
+// a sweep worker: internal/dist mounts a JobRunner that executes one
+// experiment cell per request for the vlpsweep coordinator.
+//
 // The layer threads through the existing substrate rather than
 // duplicating it: internal/runx supplies graceful shutdown on
 // SIGINT/SIGTERM with connection draining, per-request panic isolation,
 // and the retry classification behind the HTTP status mapping (corrupt
 // chunks are 400 and must not be retried; saturation and transient
-// failures are 429/503 and may be); internal/obs supplies the /metrics
-// payload (repro-bench/v1 JSON) and request-latency histograms. The
-// degradation policy — session LRU + idle TTL, request body caps, a
-// bounded worker pool that answers saturation with 429 — lives in
-// Limits. DESIGN.md §10 describes the whole model.
+// failures are 429/503 and may be); internal/obs supplies the
+// /v1/metrics payload (repro-bench/v1 JSON) and request-latency
+// histograms. The degradation policy — session LRU + idle TTL, request
+// body caps, a bounded worker pool that answers saturation with 429 —
+// lives in Limits. DESIGN.md §10 describes the service model and §11
+// the distributed execution on top of it.
 package serve
 
 import (
@@ -52,6 +60,10 @@ type Server struct {
 	span *obs.Span
 	hist obs.Histogram
 
+	// jobs, when set (SetJobRunner), serves POST /v1/jobs — the
+	// distributed-sweep execution endpoint internal/dist implements.
+	jobs JobRunner
+
 	requests    atomic.Int64
 	predicts    atomic.Int64
 	rejected    atomic.Int64
@@ -61,11 +73,14 @@ type Server struct {
 	bytesIn     atomic.Int64
 	recordsIn   atomic.Int64
 	branchesRun atomic.Int64
+	jobsRun     atomic.Int64
+	jobsFailed  atomic.Int64
 
-	// testHookPredict, when set by a test, runs while the request holds
-	// its worker slot — the seam the saturation and drain tests use to
-	// hold a request in flight deterministically.
+	// testHookPredict/testHookJob, when set by a test, run while the
+	// request holds its worker slot — the seam the saturation and drain
+	// tests use to hold a request in flight deterministically.
 	testHookPredict func()
+	testHookJob     func()
 }
 
 // New builds a server with the given degradation policy. A nil logger
@@ -86,39 +101,8 @@ func New(limits Limits, log *obs.Logger) (*Server, error) {
 	}, nil
 }
 
-// apiError is the JSON error body every failed request carries.
-// Retryable mirrors the runx classification: true only for failures a
-// client may meaningfully retry (saturation, transient I/O,
-// cancellation) — never for corrupt payloads or bad specs, which fail
-// identically every time.
-type apiError struct {
-	Error     string `json:"error"`
-	Kind      string `json:"kind"`
-	Retryable bool   `json:"retryable"`
-}
-
-// classify maps an error to its HTTP status and wire classification.
-func classify(err error) (status int, kind string, retryable bool) {
-	var mbe *http.MaxBytesError
-	var pe *runx.PanicError
-	switch {
-	case errors.As(err, &mbe):
-		return http.StatusRequestEntityTooLarge, "too-large", false
-	case errors.Is(err, trace.ErrCorrupt):
-		return http.StatusBadRequest, "corrupt", false
-	case errors.As(err, &pe):
-		return http.StatusInternalServerError, "panic", false
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusServiceUnavailable, "canceled", true
-	case runx.IsTransient(err):
-		return http.StatusServiceUnavailable, "transient", true
-	default:
-		return http.StatusBadRequest, "invalid", false
-	}
-}
-
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	status, kind, retryable := classify(err)
+	status, code, retryable := classify(err)
 	if status >= 500 {
 		s.serverErrs.Add(1)
 	} else {
@@ -127,7 +111,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	if retryable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, apiError{Error: err.Error(), Kind: kind, Retryable: retryable})
+	writeJSON(w, status, Envelope{Code: code, Message: err.Error(), Retryable: retryable})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -138,21 +122,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to salvage
 }
 
-// Handler returns the routed handler. Every route runs under the panic
-// boundary: a panicking predictor turns into a structured 500 on that
-// request, and the server keeps serving.
+// Handler returns the routed handler. Every canonical route lives under
+// the /v1/ prefix; the pre-versioning spellings (/metrics, /healthz,
+// /v1/sessions/{id}/predict) remain mounted as deprecated aliases that
+// answer identically but carry a Deprecation header naming the
+// successor. Every route runs under the panic boundary: a panicking
+// predictor turns into a structured 500 on that request, and the server
+// keeps serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
-	mux.HandleFunc("POST /v1/sessions/{id}/predict", s.handlePredict)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("POST /v1/sessions/{id}/chunks", s.handlePredict)
+	mux.HandleFunc("POST /v1/jobs", s.handleRunJob)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	// Deprecated aliases, kept for pre-v1 clients.
+	mux.Handle("POST /v1/sessions/{id}/predict", deprecated("/v1/sessions/{id}/chunks", s.handlePredict))
+	mux.Handle("GET /metrics", deprecated("/v1/metrics", s.handleMetrics))
+	mux.Handle("GET /healthz", deprecated("/v1/healthz", s.handleHealthz))
 	return s.recoverable(mux)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// deprecated wraps a legacy route: same handler, same body, plus the
+// standard deprecation headers pointing at the v1 successor.
+func deprecated(successor string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	})
 }
 
 // recoverable is the per-request fault boundary: it counts the request
@@ -204,7 +209,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	evicted, err := s.reg.add(sess)
 	if err != nil {
 		s.clientErrs.Add(1)
-		writeJSON(w, http.StatusConflict, apiError{Error: err.Error(), Kind: "conflict"})
+		writeJSON(w, http.StatusConflict, Envelope{Code: CodeConflict, Message: err.Error()})
 		return
 	}
 	if evicted != "" {
@@ -228,7 +233,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
 		s.clientErrs.Add(1)
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such session", Kind: "not-found"})
+		writeJSON(w, http.StatusNotFound, Envelope{Code: CodeNotFound, Message: "no such session"})
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.info())
@@ -237,7 +242,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if !s.reg.remove(r.PathValue("id")) {
 		s.clientErrs.Add(1)
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such session", Kind: "not-found"})
+		writeJSON(w, http.StatusNotFound, Envelope{Code: CodeNotFound, Message: "no such session"})
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -269,7 +274,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests,
-			apiError{Error: "all workers busy", Kind: "saturated", Retryable: true})
+			Envelope{Code: CodeSaturated, Message: "all workers busy", Retryable: true})
 		return
 	}
 	if s.testHookPredict != nil {
@@ -278,7 +283,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
 		s.clientErrs.Add(1)
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such session", Kind: "not-found"})
+		writeJSON(w, http.StatusNotFound, Envelope{Code: CodeNotFound, Message: "no such session"})
 		return
 	}
 	start := time.Now()
@@ -344,6 +349,8 @@ type MetricsData struct {
 	BytesIn         int64           `json:"bytes_in"`
 	RecordsIn       int64           `json:"records_in"`
 	BranchesScored  int64           `json:"branches_scored"`
+	JobsRun         int64           `json:"jobs_run"`
+	JobsFailed      int64           `json:"jobs_failed"`
 	RequestLatency  obs.HistSummary `json:"request_latency"`
 	WorkerPoolSize  int             `json:"worker_pool_size"`
 	WorkersInFlight int             `json:"workers_in_flight"`
@@ -379,6 +386,8 @@ func (s *Server) MetricsReport() *obs.Report {
 		BytesIn:         s.bytesIn.Load(),
 		RecordsIn:       s.recordsIn.Load(),
 		BranchesScored:  s.branchesRun.Load(),
+		JobsRun:         s.jobsRun.Load(),
+		JobsFailed:      s.jobsFailed.Load(),
 		RequestLatency:  s.hist.Summary(),
 		WorkerPoolSize:  s.limits.Workers,
 		WorkersInFlight: len(s.sem),

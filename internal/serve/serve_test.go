@@ -91,9 +91,14 @@ func tryCreateSession(t testing.TB, baseURL, id, class, spec string) (SessionInf
 	return info, resp.StatusCode
 }
 
-func postChunk(t testing.TB, baseURL, id string, chunk []byte, gz bool) (PredictResponse, int, apiError) {
+func postChunk(t testing.TB, baseURL, id string, chunk []byte, gz bool) (PredictResponse, int, Envelope) {
 	t.Helper()
-	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/sessions/"+id+"/predict", bytes.NewReader(chunk))
+	return postChunkAt(t, baseURL+"/v1/sessions/"+id+"/chunks", chunk, gz)
+}
+
+func postChunkAt(t testing.TB, url string, chunk []byte, gz bool) (PredictResponse, int, Envelope) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(chunk))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,15 +115,18 @@ func postChunk(t testing.TB, baseURL, id string, chunk []byte, gz bool) (Predict
 		t.Fatal(err)
 	}
 	var pr PredictResponse
-	var ae apiError
+	var env Envelope
 	if resp.StatusCode == http.StatusOK {
 		if err := json.Unmarshal(raw, &pr); err != nil {
 			t.Fatalf("bad predict response %q: %v", raw, err)
 		}
-	} else if err := json.Unmarshal(raw, &ae); err != nil {
-		t.Fatalf("bad error response %q: %v", raw, err)
+	} else {
+		ok := false
+		if env, ok = DecodeEnvelope(raw); !ok {
+			t.Fatalf("error response %q is not a v1 envelope", raw)
+		}
 	}
-	return pr, resp.StatusCode, ae
+	return pr, resp.StatusCode, env
 }
 
 func getSessionInfo(t testing.TB, baseURL, id string) (SessionInfo, int) {
@@ -278,17 +286,17 @@ func TestCorruptChunk(t *testing.T) {
 			t.Errorf("%s: status %d, want 400 (%+v)", name, status, ae)
 			continue
 		}
-		if ae.Kind != "corrupt" || ae.Retryable {
-			t.Errorf("%s: error %+v, want kind=corrupt retryable=false", name, ae)
+		if ae.Code != CodeCorrupt || ae.Retryable {
+			t.Errorf("%s: error %+v, want code=corrupt retryable=false", name, ae)
 		}
-		if ae.Error == "" {
+		if ae.Message == "" {
 			t.Errorf("%s: missing error detail", name)
 		}
 	}
 	// A bad gzip frame is corrupt too.
 	_, status, ae := postChunk(t, ts.URL, "s1", []byte("not gzip at all"), true)
-	if status != http.StatusBadRequest || ae.Kind != "corrupt" {
-		t.Fatalf("bad gzip frame: status %d kind %q, want 400 corrupt", status, ae.Kind)
+	if status != http.StatusBadRequest || ae.Code != CodeCorrupt {
+		t.Fatalf("bad gzip frame: status %d code %q, want 400 corrupt", status, ae.Code)
 	}
 	// The session must still work after every rejected chunk.
 	if _, status, _ := postChunk(t, ts.URL, "s1", encodeRecords(t, testTrace(t, 100).Records), false); status != http.StatusOK {
@@ -366,8 +374,8 @@ func TestSaturation429(t *testing.T) {
 	if status != http.StatusTooManyRequests {
 		t.Fatalf("saturated predict: status %d (%+v), want 429", status, ae)
 	}
-	if ae.Kind != "saturated" || !ae.Retryable {
-		t.Fatalf("saturated predict error %+v, want kind=saturated retryable=true", ae)
+	if ae.Code != CodeSaturated || !ae.Retryable {
+		t.Fatalf("saturated predict error %+v, want code=saturated retryable=true", ae)
 	}
 	close(release)
 	if st := <-done; st != http.StatusOK {
@@ -400,10 +408,10 @@ func TestPanicIsolation(t *testing.T) {
 	chunk := encodeRecords(t, testTrace(t, 100).Records)
 
 	_, status, ae := postChunk(t, ts.URL, "s1", chunk, false)
-	if status != http.StatusInternalServerError || ae.Kind != "panic" {
-		t.Fatalf("panicking request: status %d kind %q, want 500 panic", status, ae.Kind)
+	if status != http.StatusInternalServerError || ae.Code != CodePanic {
+		t.Fatalf("panicking request: status %d code %q, want 500 panic", status, ae.Code)
 	}
-	if !strings.Contains(ae.Error, "predictor exploded") {
+	if !strings.Contains(ae.Message, "predictor exploded") {
 		t.Fatalf("panic detail lost: %+v", ae)
 	}
 	if _, status, _ = postChunk(t, ts.URL, "s1", chunk, false); status != http.StatusOK {
@@ -476,7 +484,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if _, status, _ := postChunk(t, ts.URL, "s1", chunk, false); status != http.StatusOK {
 		t.Fatalf("predict: status %d", status)
 	}
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -678,24 +686,118 @@ func TestParseSessionRequest(t *testing.T) {
 	}
 }
 
-// TestClassifyStatuses pins the error → HTTP mapping the retry layer
-// relies on.
+// TestClassifyStatuses pins the error → HTTP status + envelope code
+// mapping the retry layer relies on.
 func TestClassifyStatuses(t *testing.T) {
 	cases := []struct {
 		err       error
 		status    int
+		code      string
 		retryable bool
 	}{
-		{fmt.Errorf("wrap: %w", trace.ErrCorrupt), http.StatusBadRequest, false},
-		{context.Canceled, http.StatusServiceUnavailable, true},
-		{context.DeadlineExceeded, http.StatusServiceUnavailable, true},
-		{&http.MaxBytesError{Limit: 10}, http.StatusRequestEntityTooLarge, false},
-		{fmt.Errorf("spec nonsense"), http.StatusBadRequest, false},
+		{fmt.Errorf("wrap: %w", trace.ErrCorrupt), http.StatusBadRequest, CodeCorrupt, false},
+		{context.Canceled, http.StatusServiceUnavailable, CodeCanceled, true},
+		{context.DeadlineExceeded, http.StatusServiceUnavailable, CodeCanceled, true},
+		{&http.MaxBytesError{Limit: 10}, http.StatusRequestEntityTooLarge, CodeTooLarge, false},
+		{fmt.Errorf("spec nonsense"), http.StatusBadRequest, CodeInvalid, false},
+		{&JobFailedError{Exp: "fig9", Err: fmt.Errorf("boom")}, http.StatusInternalServerError, CodeJobFailed, false},
 	}
 	for _, c := range cases {
-		status, _, retryable := classify(c.err)
-		if status != c.status || retryable != c.retryable {
-			t.Errorf("classify(%v) = %d/%v, want %d/%v", c.err, status, retryable, c.status, c.retryable)
+		status, code, retryable := classify(c.err)
+		if status != c.status || code != c.code || retryable != c.retryable {
+			t.Errorf("classify(%v) = %d/%s/%v, want %d/%s/%v",
+				c.err, status, code, retryable, c.status, c.code, c.retryable)
 		}
+	}
+}
+
+// TestLegacyAliasParity asserts each deprecated pre-v1 route answers
+// byte-identically to its v1 successor (modulo the nondeterministic
+// metrics payload, where only validity is checked) and carries the
+// Deprecation + successor Link headers; the canonical routes carry
+// neither.
+func TestLegacyAliasParity(t *testing.T) {
+	_, ts := newTestServer(t, testLimits())
+	// Two fresh sessions, one per route: a session's predictor is
+	// stateful, so feeding one session twice would compare a cold chunk
+	// against a warm one.
+	createSession(t, ts.URL, "s1", "cond", "gshare:budget=16KB")
+	createSession(t, ts.URL, "s2", "cond", "gshare:budget=16KB")
+	chunk := encodeRecords(t, testTrace(t, 500).Records)
+
+	// predict (legacy) vs chunks (canonical): same counts.
+	legacy, status, _ := postChunkAt(t, ts.URL+"/v1/sessions/s1/predict", chunk, false)
+	if status != http.StatusOK {
+		t.Fatalf("legacy predict: status %d", status)
+	}
+	canonical, status, _ := postChunk(t, ts.URL, "s2", chunk, false)
+	if status != http.StatusOK {
+		t.Fatalf("canonical chunks: status %d", status)
+	}
+	if legacy.Branches != canonical.Branches || legacy.Mispredicts != canonical.Mispredicts {
+		t.Fatalf("alias decoded differently: %+v vs %+v", legacy, canonical)
+	}
+
+	for legacyPath, successor := range map[string]string{
+		"/metrics": "/v1/metrics",
+		"/healthz": "/v1/healthz",
+	} {
+		resp, err := http.Get(ts.URL + legacyPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", legacyPath, resp.StatusCode)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s: missing Deprecation header", legacyPath)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, successor) ||
+			!strings.Contains(link, `rel="successor-version"`) {
+			t.Errorf("%s: Link header %q does not name successor %s", legacyPath, link, successor)
+		}
+		canon, err := http.Get(ts.URL + successor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon.Body.Close()
+		if canon.StatusCode != http.StatusOK || canon.Header.Get("Deprecation") != "" {
+			t.Errorf("%s: status %d, Deprecation %q (want 200 and no header)",
+				successor, canon.StatusCode, canon.Header.Get("Deprecation"))
+		}
+	}
+
+	// The legacy predict alias is flagged too.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions/s1/predict", bytes.NewReader(chunk))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy predict alias missing Deprecation header")
+	}
+}
+
+// TestEnvelopeShape asserts every failure body is the one envelope
+// schema: code set, message set, retryable consistent with the header.
+func TestEnvelopeShape(t *testing.T) {
+	_, ts := newTestServer(t, testLimits())
+	resp, err := http.Get(ts.URL + "/v1/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	env, ok := DecodeEnvelope(raw)
+	if !ok || env.Code != CodeNotFound || env.Message == "" || env.Retryable {
+		t.Fatalf("404 body %q decoded to %+v", raw, env)
+	}
+	if _, ok := DecodeEnvelope([]byte("<html>gateway error</html>")); ok {
+		t.Error("DecodeEnvelope accepted non-JSON")
+	}
+	if _, ok := DecodeEnvelope([]byte(`{"message":"x"}`)); ok {
+		t.Error("DecodeEnvelope accepted an envelope with no code")
 	}
 }

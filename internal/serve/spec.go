@@ -34,14 +34,9 @@ const maxSessionIDLen = 128
 // construction (which may read a profile file) happens only after this
 // accepts. FuzzSessionSpec drives it with arbitrary inputs.
 func ParseSessionRequest(req SessionRequest) (factory.Class, factory.Spec, error) {
-	var class factory.Class
-	switch strings.ToLower(strings.TrimSpace(req.Class)) {
-	case "cond", "":
-		class = factory.Cond
-	case "indirect":
-		class = factory.Indirect
-	default:
-		return 0, factory.Spec{}, fmt.Errorf("serve: unknown class %q (want cond or indirect)", req.Class)
+	class, err := factory.ParseClass(req.Class)
+	if err != nil {
+		return 0, factory.Spec{}, err
 	}
 	if len(req.ID) > maxSessionIDLen {
 		return 0, factory.Spec{}, fmt.Errorf("serve: session id longer than %d bytes", maxSessionIDLen)
@@ -93,55 +88,55 @@ func DefaultLimits() Limits {
 // "max-sessions=128,idle-ttl=30s,max-body=4MB,workers=16,drain=5s" —
 // onto base and validates the result. An empty string returns base
 // unchanged. Sizes take the factory's budget suffixes (B/KB/MB);
-// durations take Go syntax. FuzzSessionSpec drives it with arbitrary
-// inputs.
+// durations take Go syntax. The tokenizer and the error type are the
+// factory grammar's (factory.EachKV / *factory.KVError), so this string
+// and the predictor spec string speak — and misparse in — the same
+// language. FuzzSessionSpec drives it with arbitrary inputs.
 func ParseLimits(base Limits, s string) (Limits, error) {
 	l := base
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		key, value, hasValue := strings.Cut(part, "=")
-		key = strings.ToLower(strings.TrimSpace(key))
-		value = strings.TrimSpace(value)
+	limitKeys := []string{"max-sessions", "idle-ttl", "max-body", "workers", "drain"}
+	err := factory.EachKV(s, s, func(key, value string, hasValue bool) error {
 		if !hasValue || value == "" {
-			return Limits{}, fmt.Errorf("serve: limits %q: %s needs a value", s, key)
+			return factory.ErrNeedsValue(s, key)
 		}
 		switch key {
 		case "max-sessions":
 			n, err := strconv.Atoi(value)
 			if err != nil {
-				return Limits{}, fmt.Errorf("serve: limits %q: bad max-sessions %q", s, value)
+				return factory.ErrBadValue(s, key, value)
 			}
 			l.MaxSessions = n
 		case "idle-ttl":
 			d, err := time.ParseDuration(value)
 			if err != nil {
-				return Limits{}, fmt.Errorf("serve: limits %q: bad idle-ttl %q", s, value)
+				return factory.ErrBadValue(s, key, value)
 			}
 			l.IdleTTL = d
 		case "max-body":
 			b, err := factory.ParseBudget(value)
 			if err != nil {
-				return Limits{}, fmt.Errorf("serve: limits %q: %w", s, err)
+				return factory.ErrBadValue(s, key, value)
 			}
 			l.MaxBodyBytes = int64(b)
 		case "workers":
 			n, err := strconv.Atoi(value)
 			if err != nil {
-				return Limits{}, fmt.Errorf("serve: limits %q: bad workers %q", s, value)
+				return factory.ErrBadValue(s, key, value)
 			}
 			l.Workers = n
 		case "drain":
 			d, err := time.ParseDuration(value)
 			if err != nil {
-				return Limits{}, fmt.Errorf("serve: limits %q: bad drain %q", s, value)
+				return factory.ErrBadValue(s, key, value)
 			}
 			l.DrainTimeout = d
 		default:
-			return Limits{}, fmt.Errorf("serve: limits %q: unknown key %q (want max-sessions, idle-ttl, max-body, workers, drain)", s, key)
+			return factory.ErrUnknownKey(s, key, limitKeys)
 		}
+		return nil
+	})
+	if err != nil {
+		return Limits{}, err
 	}
 	if err := l.Validate(); err != nil {
 		return Limits{}, err

@@ -1,0 +1,105 @@
+#!/bin/sh
+# dist_smoke.sh — end-to-end check of distributed sweep execution: start
+# two vlpserve workers on random ports, run vlpsweep across them, run the
+# same cells in-process with paperrepro, and assert the merged rendered
+# artifacts are byte-identical to the in-process ones. Also validates the
+# sweep's bench JSONs through obscheck and verifies both workers drain
+# cleanly on SIGTERM (exit 0).
+#
+# Usage:
+#   scripts/dist_smoke.sh
+#
+# Env: RESULTS (artifact dir, default results), EXP, N, PROFN.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RESULTS="${RESULTS:-results}"
+EXP="${EXP:-headline,table2}"
+N="${N:-40000}"
+PROFN="${PROFN:-20000}"
+
+mkdir -p "$RESULTS"
+BIN="$RESULTS/dist_smoke_bin"
+mkdir -p "$BIN"
+
+echo "== dist-smoke: building binaries"
+go build -o "$BIN" ./cmd/vlpserve ./cmd/vlpsweep ./cmd/paperrepro ./cmd/obscheck
+
+dist_out="$RESULTS/dist_smoke_out"
+dist_json="$RESULTS/dist_smoke_json"
+ref_out="$RESULTS/dist_smoke_ref_out"
+ref_json="$RESULTS/dist_smoke_ref_json"
+addr1_file="$RESULTS/dist_smoke_addr1"
+addr2_file="$RESULTS/dist_smoke_addr2"
+rm -rf "$dist_out" "$dist_json" "$ref_out" "$ref_json"
+rm -f "$addr1_file" "$addr2_file"
+
+echo "== dist-smoke: starting two vlpserve workers on :0"
+"$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr1_file" &
+pid1=$!
+"$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr2_file" &
+pid2=$!
+trap 'kill "$pid1" "$pid2" 2>/dev/null || true' EXIT
+
+# Wait for both atomically-renamed address files.
+wait_addr() {
+	i=0
+	while [ ! -f "$1" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ] || ! kill -0 "$2" 2>/dev/null; then
+			echo "dist-smoke: vlpserve failed to come up" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+wait_addr "$addr1_file" "$pid1"
+wait_addr "$addr2_file" "$pid2"
+addr1="$(cat "$addr1_file")"
+addr2="$(cat "$addr2_file")"
+echo "== dist-smoke: workers at $addr1 and $addr2"
+
+echo "== dist-smoke: sweeping $EXP across both workers (base=$N)"
+"$BIN/vlpsweep" -workers "http://$addr1,http://$addr2" \
+	-exp "$EXP" -base "$N" -profbase "$PROFN" \
+	-out "$dist_out" -json "$dist_json"
+
+echo "== dist-smoke: in-process reference (paperrepro, same cells)"
+"$BIN/paperrepro" -exp "$EXP" -base "$N" -profbase "$PROFN" \
+	-out "$ref_out" -json "$ref_json" >/dev/null
+
+# The invariant the subsystem promises: a deterministic cell run on a
+# remote worker renders byte-for-byte what the in-process run renders.
+echo "== dist-smoke: comparing merged artifacts against in-process run"
+old_ifs="$IFS"
+IFS=','
+for id in $EXP; do
+	IFS="$old_ifs"
+	if ! cmp -s "$dist_out/$id.txt" "$ref_out/$id.txt"; then
+		echo "dist-smoke: FAIL: $id.txt differs between sweep and in-process run" >&2
+		diff "$ref_out/$id.txt" "$dist_out/$id.txt" >&2 || true
+		exit 1
+	fi
+	echo "== dist-smoke: $id.txt byte-identical"
+done
+IFS="$old_ifs"
+
+echo "== dist-smoke: validating sweep bench JSONs"
+"$BIN/obscheck" -q -dir "$dist_json"
+
+echo "== dist-smoke: SIGTERM both workers, expecting clean drain"
+kill -TERM "$pid1" "$pid2"
+trap - EXIT
+status=0
+wait "$pid1" || status=$?
+if [ "$status" -ne 0 ]; then
+	echo "dist-smoke: FAIL: worker 1 exited non-zero on SIGTERM" >&2
+	exit 1
+fi
+wait "$pid2" || status=$?
+if [ "$status" -ne 0 ]; then
+	echo "dist-smoke: FAIL: worker 2 exited non-zero on SIGTERM" >&2
+	exit 1
+fi
+echo "== dist-smoke: OK"

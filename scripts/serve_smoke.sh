@@ -3,7 +3,7 @@
 # vlpserve on a random port, replay a generated trace through it with
 # vlpload (one client, in-order chunks), and assert the served
 # misprediction rate is byte-for-byte identical to batch vlpsim over the
-# same trace and predictor spec. Also scrapes /metrics through obscheck
+# same trace and predictor spec. Also scrapes /v1/metrics through obscheck
 # and verifies the server drains cleanly on SIGTERM (exit 0).
 #
 # Usage:
@@ -74,8 +74,8 @@ if [ -z "$batch_rate" ] || [ "$batch_rate" != "$served_rate" ]; then
 fi
 echo "== serve-smoke: rates identical ($batch_rate)"
 
-echo "== serve-smoke: validating /metrics"
-"$BIN/obscheck" -q -url "http://$addr/metrics"
+echo "== serve-smoke: validating /v1/metrics"
+"$BIN/obscheck" -q -url "http://$addr/v1/metrics"
 
 echo "== serve-smoke: SIGTERM, expecting clean drain"
 kill -TERM "$server_pid"
