@@ -3,11 +3,11 @@
 GO ?= go
 RESULTS ?= results
 
-.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke dist-smoke clean
+.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke dist-smoke chaos-smoke clean
 
 all: check
 
-check: fmt vet build test bench-smoke serve-smoke dist-smoke
+check: fmt vet build test bench-smoke serve-smoke dist-smoke chaos-smoke
 
 # Fail if any file needs reformatting (prints the offenders).
 fmt:
@@ -42,6 +42,13 @@ serve-smoke:
 dist-smoke:
 	RESULTS=$(RESULTS) ./scripts/dist_smoke.sh
 
+# Chaos acceptance gate: a sweep under aggressive seeded fault
+# injection (client and server side) still merges artifacts
+# byte-identical to a clean in-process run, and the same seed replays
+# the same injected-fault schedule.
+chaos-smoke:
+	RESULTS=$(RESULTS) ./scripts/chaos_smoke.sh
+
 # Run the hot-path micro-benchmarks (-count=5) and diff against the
 # recorded baseline: benchstat when installed, plain mean deltas
 # otherwise. The first run on a machine seeds the baseline file.
@@ -52,3 +59,4 @@ clean:
 	rm -f $(RESULTS)/bench_*.json $(RESULTS)/bench_micro*.txt
 	rm -rf $(RESULTS)/serve_smoke_bin $(RESULTS)/serve_smoke_*
 	rm -rf $(RESULTS)/dist_smoke_bin $(RESULTS)/dist_smoke_*
+	rm -rf $(RESULTS)/chaos_smoke_bin $(RESULTS)/chaos_smoke_*

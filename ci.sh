@@ -19,10 +19,11 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== fuzz smoke (decoder + spec grammar + session requests)"
+echo "== fuzz smoke (decoder + spec grammars + session requests)"
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzParseSpec$' -fuzztime 10s ./internal/factory
 go test -run '^$' -fuzz '^FuzzSessionSpec$' -fuzztime 10s ./internal/serve
+go test -run '^$' -fuzz '^FuzzChaosSpec$' -fuzztime 10s ./internal/chaos
 
 echo "== cancellation + fault-tolerance + singleflight under race"
 go test -race -count=1 -run 'Cancel|Canceled|Fault|Resume|Timeout|PanicIsolation|Singleflight' ./internal/sim ./internal/experiments ./cmd/paperrepro
@@ -30,11 +31,17 @@ go test -race -count=1 -run 'Cancel|Canceled|Fault|Resume|Timeout|PanicIsolation
 echo "== service concurrency (hammer + drain) under race"
 go test -race -count=1 -run 'Hammer|Saturation|GracefulShutdown' ./internal/serve ./internal/loadgen
 
+echo "== circuit breaker + retry-after edge cases under race"
+go test -race -count=1 -run 'Breaker|RetryAfter' ./internal/runx ./internal/dist
+
 echo "== serve smoke (served rates byte-identical to batch)"
 ./scripts/serve_smoke.sh
 
 echo "== dist smoke (merged sweep artifacts byte-identical to in-process)"
 ./scripts/dist_smoke.sh
+
+echo "== chaos smoke (byte-identity under seeded faults + exact replay)"
+./scripts/chaos_smoke.sh
 
 echo "== bench smoke (emits results/bench_*.json)"
 BENCH_JSON_DIR=results go test -run '^$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .

@@ -251,10 +251,19 @@ func run(ctx context.Context, opts options) error {
 			opts.log.Progressf("wrote %s", benchPath)
 		}
 		if manifest != nil {
-			manifest.Set(runx.ManifestEntry{
+			entry := runx.ManifestEntry{
 				ID: e.ID, Status: runx.StatusOK, Output: benchPath,
 				WallNanos: rep.Metrics.WallNanos,
-			})
+			}
+			// Stamp the report's checksum so a resumed run quarantines a
+			// torn or tampered file instead of trusting it. Best-effort:
+			// an unreadable file just leaves the legacy empty checksum.
+			if benchPath != "" {
+				if sum, err := runx.FileChecksum(benchPath); err == nil {
+					entry.Checksum = sum
+				}
+			}
+			manifest.Set(entry)
 			if err := checkpoint(); err != nil {
 				return err
 			}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cliutil"
 	"repro/internal/factory"
 	"repro/internal/loadgen"
@@ -51,6 +52,7 @@ func main() {
 		chunk     = flag.Int("chunk", 65536, "records per request chunk")
 		gz        = flag.Bool("gzip", false, "gzip request bodies")
 		attempts  = flag.Int("attempts", 3, "attempts per chunk (429/503 and network failures retry)")
+		chaosStr  = flag.String("chaos", "", "client-side fault injection spec, e.g. chaos:seed=7,latency=20ms@0.1,reset=0.02")
 		timeout   = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
 		jsonPath  = flag.String("json", "", "write a bench report (repro-bench/v1 schema) to this file")
 		verbose   = flag.Bool("v", false, "narrate progress to stderr")
@@ -65,6 +67,15 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var inj *chaos.Injector
+	if *chaosStr != "" {
+		spec, err := chaos.ParseSpec(*chaosStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vlpload:", err)
+			os.Exit(2)
+		}
+		inj = chaos.New(spec)
+	}
 	cfg := loadgen.Config{
 		BaseURL:      strings.TrimRight(*url, "/"),
 		SessionID:    *session,
@@ -77,7 +88,14 @@ func main() {
 		Attempts:     *attempts,
 		Log:          log,
 	}
-	if err := run(ctx, cfg, *bench, *input, *n, *tracePath, *jsonPath, log); err != nil {
+	if inj != nil {
+		cfg.Transport = inj.Transport(nil)
+	}
+	err := run(ctx, cfg, *bench, *input, *n, *tracePath, *jsonPath, log)
+	if inj != nil {
+		fmt.Printf("chaos: injected %s\n", inj.CountsString())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "vlpload:", err)
 		os.Exit(1)
 	}
@@ -101,8 +119,8 @@ func run(ctx context.Context, cfg loadgen.Config, bench, input string, n int, tr
 
 	fmt.Printf("session %s: %d/%d mispredicted (%.2f%%) over %d records\n",
 		res.Session, res.Mispredicts, res.Branches, res.MissPercent, res.Records)
-	fmt.Printf("load: %d requests (%d chunks, %d clients), %d retries (%d server-paced), %d rejected, %d failed\n",
-		res.Requests, res.Chunks, res.Clients, res.Retries, res.RetryAfterWaits, res.Rejected, res.Failures)
+	fmt.Printf("load: %d requests (%d chunks, %d clients), %d retries (%d server-paced, %d transport), %d rejected, %d failed\n",
+		res.Requests, res.Chunks, res.Clients, res.Retries, res.RetryAfterWaits, res.TransportRetries, res.Rejected, res.Failures)
 	fmt.Printf("throughput: %.1f req/s over %v\n",
 		res.AchievedRPS, time.Duration(res.WallNanos).Round(time.Millisecond))
 	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  max %v\n",

@@ -39,6 +39,7 @@ import (
 	"net"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/runx"
@@ -52,6 +53,7 @@ func main() {
 		limits   = flag.String("limits", "", "degradation policy overrides, e.g. max-sessions=128,idle-ttl=30s,max-body=4MB,workers=16,drain=5s")
 		jobs     = flag.Bool("jobs", true, "serve POST /v1/jobs sweep cells (cmd/vlpsweep workers)")
 		traceDir = flag.String("tracedir", "", "recorded benchmark traces for sweep cells (<dir>/<bench>.vlpt)")
+		chaosStr = flag.String("chaos", "", "server-side fault injection spec, e.g. chaos:seed=7,burst5xx=0.05,reset=0.02,truncate=0.02,stall=0.01")
 		verbose  = flag.Bool("v", false, "narrate requests and evictions to stderr")
 	)
 	var prof obs.ProfileFlags
@@ -64,8 +66,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vlpserve:", err)
 		os.Exit(1)
 	}
+	var inj *chaos.Injector
+	if *chaosStr != "" {
+		spec, serr := chaos.ParseSpec(*chaosStr)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "vlpserve:", serr)
+			os.Exit(2)
+		}
+		inj = chaos.New(spec)
+	}
 	ctx, cancelSignals := runx.WithSignals(context.Background())
-	err = run(ctx, *addr, *addrFile, *limits, *jobs, *traceDir, log)
+	err = run(ctx, *addr, *addrFile, *limits, *jobs, *traceDir, inj, log)
 	cancelSignals()
 	if perr := stop(); err == nil {
 		err = perr
@@ -76,7 +87,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, traceDir string, log *obs.Logger) error {
+func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, traceDir string, inj *chaos.Injector, log *obs.Logger) error {
 	limits, err := serve.ParseLimits(serve.DefaultLimits(), limitsStr)
 	if err != nil {
 		return err
@@ -88,25 +99,29 @@ func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, trace
 	if jobs {
 		srv.SetJobRunner(dist.NewRunner(traceDir, log))
 	}
+	if inj != nil {
+		// Mounted outermost — outside the panic-recovery boundary — so an
+		// injected reset's http.ErrAbortHandler reaches net/http and
+		// actually drops the connection (see internal/chaos).
+		srv.SetMiddleware(inj.Middleware)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
 	if addrFile != "" {
-		// Atomic write (temp + rename) so a watcher never reads a
-		// half-written address.
-		tmp := addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
-			ln.Close()
-			return err
-		}
-		if err := os.Rename(tmp, addrFile); err != nil {
+		// Atomic write so a watcher never reads a half-written address.
+		if err := runx.AtomicWriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			ln.Close()
 			return err
 		}
 	}
 	fmt.Printf("vlpserve: listening on %s (max-sessions=%d idle-ttl=%v max-body=%d workers=%d)\n",
 		bound, limits.MaxSessions, limits.IdleTTL, limits.MaxBodyBytes, limits.Workers)
-	return srv.Serve(ctx, ln)
+	err = srv.Serve(ctx, ln)
+	if inj != nil {
+		fmt.Printf("chaos: injected %s\n", inj.CountsString())
+	}
+	return err
 }

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/runx"
@@ -47,10 +48,22 @@ func main() {
 		jsonDir  = flag.String("json", "results", "write bench_<id>.json reports, the manifest, and bench_sweep.json to this directory (\"\" to disable)")
 		resume   = flag.Bool("resume", false, "skip cells whose bench reports are already present and valid (needs -json)")
 		timeout  = flag.Duration("timeout", 0, "abort the whole sweep after this long (0 = no deadline)")
+		jobTO    = flag.Duration("job-timeout", 0, "per-cell request deadline on each worker (0 = default 2m)")
+		chaosStr = flag.String("chaos", "", "client-side fault injection spec, e.g. chaos:seed=7,latency=50ms@0.2,reset=0.05,truncate=0.02,stall=0.01")
 		verbose  = flag.Bool("v", false, "narrate progress to stderr")
 	)
 	flag.Parse()
 	log := obs.NewLogger(os.Stderr, *verbose)
+
+	var inj *chaos.Injector
+	if *chaosStr != "" {
+		spec, err := chaos.ParseSpec(*chaosStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vlpsweep:", err)
+			os.Exit(2)
+		}
+		inj = chaos.New(spec)
+	}
 
 	ctx, cancelSignals := runx.WithSignals(context.Background())
 	defer cancelSignals()
@@ -59,13 +72,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *workers, *exp, *base, *profBase, *out, *jsonDir, *resume, log); err != nil {
+	if err := run(ctx, *workers, *exp, *base, *profBase, *out, *jsonDir, *resume, inj, *jobTO, log); err != nil {
 		fmt.Fprintln(os.Stderr, "vlpsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, workers, exp string, base, profBase int, out, jsonDir string, resume bool, log *obs.Logger) error {
+func run(ctx context.Context, workers, exp string, base, profBase int, out, jsonDir string, resume bool, inj *chaos.Injector, jobTimeout time.Duration, log *obs.Logger) error {
 	var urls []string
 	for _, w := range strings.Split(workers, ",") {
 		if w = strings.TrimSpace(w); w != "" {
@@ -75,7 +88,7 @@ func run(ctx context.Context, workers, exp string, base, profBase int, out, json
 	if len(urls) == 0 {
 		return fmt.Errorf("no workers: pass -workers with at least one vlpserve URL")
 	}
-	summary, err := dist.Sweep(ctx, dist.Options{
+	opts := dist.Options{
 		Workers:        urls,
 		Exp:            exp,
 		BaseRecords:    base,
@@ -83,10 +96,20 @@ func run(ctx context.Context, workers, exp string, base, profBase int, out, json
 		OutDir:         out,
 		JSONDir:        jsonDir,
 		Resume:         resume,
+		JobTimeout:     jobTimeout,
 		Log:            log,
-	})
+	}
+	if inj != nil {
+		opts.Transport = inj.Transport(nil)
+	}
+	summary, err := dist.Sweep(ctx, opts)
 	if summary != nil {
 		printSummary(summary)
+	}
+	if inj != nil {
+		// One stable line per run: the chaos smoke's replay stage diffs
+		// this between two same-seed sweeps to pin count determinism.
+		fmt.Printf("chaos: injected %s\n", inj.CountsString())
 	}
 	return err
 }

@@ -1,0 +1,49 @@
+package chaos
+
+import "testing"
+
+// FuzzChaosSpec drives the chaos kv grammar with arbitrary inputs: the
+// parser must never panic, must be deterministic, and every input it
+// accepts must validate and survive a String() round trip unchanged —
+// the same contract FuzzParseSpec and FuzzSessionSpec hold the other
+// grammars to.
+func FuzzChaosSpec(f *testing.F) {
+	seeds := []string{
+		"chaos:seed=7,latency=50ms@0.2,reset=0.05,truncate=0.02,burst5xx=0.01,stall=0.01",
+		"seed=1",
+		"reset=0.5,stall=0.1,stallfor=2s",
+		"burst5xx=1,burstlen=9",
+		"latency=1ms@1",
+		"",
+		"chaos:",
+		"reset=1.5",
+		"latency=50ms",
+		"bogus=1",
+		"reset=0.1,reset=0.9",
+		"seed=18446744073709551615",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		spec2, err2 := ParseSpec(s)
+		if (err == nil) != (err2 == nil) || spec != spec2 {
+			t.Fatalf("ParseSpec(%q) not deterministic", s)
+		}
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", s, verr)
+		}
+		canon := spec.String()
+		again, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, s, err)
+		}
+		if again != spec {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", s, canon, again, spec)
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport wraps base (nil means http.DefaultTransport) in the
+// injector's client-side faults. Each request draws one decision block;
+// a reset fails before the request is sent, latency delays it, and
+// truncate/stall corrupt the response body on its way back. All delays
+// watch the request context so Client.Timeout and ctx deadlines still
+// cut through injected waits.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{in: in, base: base}
+}
+
+type transport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// errInjectedReset is the client-side connection-reset stand-in. It is
+// a transport-layer error (the request never completed), which is
+// exactly how a real ECONNRESET surfaces from http.Client.Do.
+type errInjectedReset struct{}
+
+func (errInjectedReset) Error() string { return "chaos: injected connection reset" }
+
+// Timeout/Temporary make the error quack like a net.Error, so callers
+// that sniff for transient network failure treat it as one.
+func (errInjectedReset) Timeout() bool   { return false }
+func (errInjectedReset) Temporary() bool { return true }
+
+// IsInjected reports whether err (or a message it wraps) came from the
+// chaos layer — handy in tests and when triaging logs.
+func IsInjected(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "chaos: injected")
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.decideClient()
+	if d.latency {
+		if err := sleepCtx(req.Context(), t.in.spec.Latency); err != nil {
+			return nil, err
+		}
+	}
+	if d.fault == FaultReset {
+		// Fail before the request body is consumed, like a connect-time
+		// RST; the server never sees the request.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errInjectedReset{}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch d.fault {
+	case FaultTruncate:
+		// Deliver a prefix of the body, then fail the read the way a
+		// dropped connection does. Content-Length stays as announced,
+		// so even a 0-byte body read errors instead of looking complete.
+		resp.Body = &truncatedBody{src: resp.Body, frac: d.truncAt, length: resp.ContentLength}
+	case FaultStall:
+		resp.Body = &stalledBody{src: resp.Body, ctx: req.Context(), wait: t.in.spec.StallFor}
+	}
+	return resp, nil
+}
+
+// truncatedBody passes through a fraction of the underlying body, then
+// returns an unexpected EOF.
+type truncatedBody struct {
+	src    io.ReadCloser
+	frac   float64
+	length int64
+	read   int64
+	capped bool
+	cap    int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if !b.capped {
+		b.capped = true
+		length := b.length
+		if length < 0 {
+			// Unknown length: pretend the connection died within the
+			// first 4KB. The exact cut point only shapes the garble.
+			length = 4096
+		}
+		b.cap = int64(b.frac * float64(length))
+	}
+	if b.read >= b.cap {
+		return 0, fmt.Errorf("chaos: injected truncation after %d bytes: %w", b.read, io.ErrUnexpectedEOF)
+	}
+	if max := b.cap - b.read; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := b.src.Read(p)
+	b.read += int64(n)
+	if err == io.EOF {
+		// The real body ended inside the allowance; still report the
+		// torn-connection error so short bodies don't dodge the fault.
+		err = fmt.Errorf("chaos: injected truncation after %d bytes: %w", b.read, io.ErrUnexpectedEOF)
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.src.Close() }
+
+// stalledBody holds the first Read for wait (or until the request
+// context ends), then reads normally — a response that arrives, then
+// hangs, then limps through.
+type stalledBody struct {
+	src     io.ReadCloser
+	ctx     context.Context
+	wait    time.Duration
+	stalled bool
+}
+
+func (b *stalledBody) Read(p []byte) (int, error) {
+	if !b.stalled {
+		b.stalled = true
+		t := time.NewTimer(b.wait)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-b.ctx.Done():
+			return 0, fmt.Errorf("chaos: injected stall interrupted: %w", b.ctx.Err())
+		}
+	}
+	return b.src.Read(p)
+}
+
+func (b *stalledBody) Close() error { return b.src.Close() }
+
+// sleepCtx sleeps for d or until ctx ends, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/runx"
+	"repro/internal/serve"
+)
+
+// flakyWorker aborts the first abortJobs job requests mid-handling but
+// serves everything else — health checks included — normally. That is
+// the breaker's home turf: the process is alive (healthz fine), the job
+// path is broken, and recovery must come through the half-open probe.
+type flakyWorker struct {
+	inner     http.Handler
+	abortJobs int32
+	jobsSeen  atomic.Int32
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+		if f.jobsSeen.Add(1) <= f.abortJobs {
+			panic(http.ErrAbortHandler)
+		}
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestSweepBreakerRecovery: a worker whose job path aborts three times
+// running trips its breaker, sits out the cooldown, recovers through
+// the healthz probe, and finishes the sweep alive — with every artifact
+// still byte-identical to the in-process run.
+func TestSweepBreakerRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiment cells")
+	}
+	s, err := serve.New(serve.DefaultLimits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJobRunner(NewRunner("", nil))
+	flaky := &flakyWorker{inner: s.Handler(), abortJobs: 3}
+	ts := httptest.NewServer(flaky)
+	t.Cleanup(ts.Close)
+
+	outDir, jsonDir := t.TempDir(), t.TempDir()
+	summary, err := Sweep(context.Background(), Options{
+		Workers:        []string{ts.URL},
+		Exp:            testExps,
+		BaseRecords:    testBase,
+		ProfileRecords: testProfBase,
+		OutDir:         outDir,
+		JSONDir:        jsonDir,
+		// Fast schedule so the three aborts burn through one cell's
+		// retry budget and trip the threshold-3 breaker.
+		Backoff:         runx.Backoff{Attempts: 4, Initial: 10 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2},
+		BreakerCooldown: 50 * time.Millisecond,
+		HealthInterval:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Sweep over a flaky worker: %v", err)
+	}
+	assertMergedArtifacts(t, outDir, jsonDir, referenceArtifacts(t, testExps))
+
+	data := summary.Data.(SweepData)
+	ws := data.Workers[0]
+	if !ws.Alive {
+		t.Error("recovered worker reported dead")
+	}
+	if ws.BreakerTrips < 1 {
+		t.Errorf("breaker never tripped (trips=%d); the test exercised nothing", ws.BreakerTrips)
+	}
+	if ws.Requeues < 1 {
+		t.Errorf("tripped breaker should have requeued its cell, requeues=%d", ws.Requeues)
+	}
+	if ws.Jobs != 3 {
+		t.Errorf("worker completed %d jobs, want 3", ws.Jobs)
+	}
+	if len(data.Failed) != 0 {
+		t.Errorf("cells failed despite recovery: %v", data.Failed)
+	}
+}
+
+// TestSweepUnderClientChaos drives a two-worker sweep through an
+// aggressive seeded client-side fault schedule and asserts the merged
+// artifacts still match the in-process run byte for byte — the Go-test
+// twin of scripts/chaos_smoke.sh.
+func TestSweepUnderClientChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiment cells")
+	}
+	spec, err := chaos.ParseSpec("chaos:seed=11,latency=5ms@0.3,reset=0.25,truncate=0.2,stall=0.1,stallfor=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(spec)
+
+	w1, w2 := newWorker(t), newWorker(t)
+	outDir, jsonDir := t.TempDir(), t.TempDir()
+	summary, err := Sweep(context.Background(), Options{
+		Workers:         []string{w1.URL, w2.URL},
+		Exp:             testExps,
+		BaseRecords:     testBase,
+		ProfileRecords:  testProfBase,
+		OutDir:          outDir,
+		JSONDir:         jsonDir,
+		Transport:       inj.Transport(nil),
+		Backoff:         runx.Backoff{Attempts: 4, Initial: 10 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2},
+		BreakerCooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Sweep under chaos: %v (injected: %s)", err, inj.CountsString())
+	}
+	assertMergedArtifacts(t, outDir, jsonDir, referenceArtifacts(t, testExps))
+	data := summary.Data.(SweepData)
+	if len(data.Failed) != 0 {
+		t.Fatalf("cells failed under chaos: %v", data.Failed)
+	}
+	t.Logf("injected: %s", inj.CountsString())
+}

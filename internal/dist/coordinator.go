@@ -43,6 +43,23 @@ type Options struct {
 	// Backoff shapes per-worker retries of saturated/transient cells;
 	// the zero value means defaultJobBackoff.
 	Backoff runx.Backoff
+	// JobTimeout bounds one job attempt end to end — request, worker
+	// execution, and response body — as a context deadline on the
+	// attempt; 0 means 2m. It must cover the worker's first-cell suite
+	// build, which is the slowest attempt of a sweep.
+	JobTimeout time.Duration
+	// Transport, when non-nil, underlies every job client — the seam
+	// vlpsweep -chaos uses to inject transport faults. Health probes
+	// (both the background prober and the breaker's half-open probe)
+	// always use a plain transport: liveness answers "is the process
+	// up", never "is the network kind today".
+	Transport http.RoundTripper
+	// BreakerThreshold is how many consecutive transport failures open
+	// a worker's circuit breaker; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before its
+	// half-open /v1/healthz probe; 0 means 500ms.
+	BreakerCooldown time.Duration
 	// Log narrates progress; nil means silent.
 	Log *obs.Logger
 }
@@ -54,15 +71,25 @@ func defaultJobBackoff() runx.Backoff {
 	return runx.Backoff{Attempts: 4, Initial: 200 * time.Millisecond, Max: 5 * time.Second, Factor: 2}
 }
 
+// maxStrikes bounds how many times one cell may be requeued for
+// transport trouble before the sweep records it as failed. Transient
+// faults clear well before this; only a systematically poisoned path
+// (every worker garbling every attempt) exhausts it, and that deserves
+// a loud failure rather than an infinite bounce.
+const maxStrikes = 16
+
 // WorkerStats is one worker's share of the sweep, recorded in the
 // summary report.
 type WorkerStats struct {
 	URL string `json:"url"`
 	// Jobs is how many cells the worker completed successfully.
 	Jobs int64 `json:"jobs"`
-	// Requeues counts cells taken back from this worker because it died
-	// mid-cell (or refused service permanently).
+	// Requeues counts cells taken back from this worker — it died
+	// mid-cell, refused service permanently, or its breaker opened.
 	Requeues int64 `json:"requeues"`
+	// BreakerTrips counts how many times the worker's circuit breaker
+	// opened during the sweep.
+	BreakerTrips int64 `json:"breaker_trips,omitempty"`
 	// Alive is the worker's liveness at sweep end.
 	Alive bool `json:"alive"`
 	// Latency is the per-cell round-trip distribution.
@@ -80,20 +107,30 @@ type SweepData struct {
 }
 
 // cell is one queued unit: the experiment plus the wire request that
-// reproduces it.
+// reproduces it, and the strikes it has accumulated from transport
+// requeues.
 type cell struct {
-	id  string
-	req serve.JobRequest
+	id      string
+	req     serve.JobRequest
+	strikes int
 }
 
 // worker is the coordinator's view of one vlpserve process.
 type worker struct {
-	url    string
+	url string
+	// client runs job requests; it may carry a chaos transport.
 	client *http.Client
-	alive  atomic.Bool
+	// probeClient runs health checks on a plain transport.
+	probeClient *http.Client
+	// breaker suspends dispatch to the worker after consecutive
+	// transport failures; a /v1/healthz probe plays the half-open role.
+	breaker    *runx.Breaker
+	jobTimeout time.Duration
+	alive      atomic.Bool
 
 	jobs     atomic.Int64
 	requeues atomic.Int64
+	trips    atomic.Int64
 	hist     obs.Histogram
 }
 
@@ -133,6 +170,18 @@ func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
 	if healthInterval <= 0 {
 		healthInterval = 500 * time.Millisecond
 	}
+	jobTimeout := opts.JobTimeout
+	if jobTimeout <= 0 {
+		jobTimeout = 2 * time.Minute
+	}
+	breakerThreshold := opts.BreakerThreshold
+	if breakerThreshold <= 0 {
+		breakerThreshold = 3
+	}
+	breakerCooldown := opts.BreakerCooldown
+	if breakerCooldown <= 0 {
+		breakerCooldown = 500 * time.Millisecond
+	}
 
 	// The checkpoint manifest is the same file paperrepro writes, so a
 	// sweep can resume a partial in-process run and vice versa.
@@ -168,7 +217,13 @@ func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
 
 	workers := make([]*worker, len(opts.Workers))
 	for i, url := range opts.Workers {
-		workers[i] = &worker{url: url, client: &http.Client{}}
+		workers[i] = &worker{
+			url:         url,
+			client:      &http.Client{Transport: opts.Transport},
+			probeClient: &http.Client{Timeout: 2 * time.Second},
+			breaker:     runx.NewBreaker(breakerThreshold, breakerCooldown),
+			jobTimeout:  jobTimeout,
+		}
 		workers[i].alive.Store(true)
 	}
 
@@ -187,14 +242,18 @@ func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
 		}
 
 		// pending counts cells not yet terminally recorded. The last
-		// done() closes the queue, which is what stops the pullers.
+		// done() closes the queue — which stops pullers blocked on it —
+		// and sweepDone — which stops pullers parked in breaker
+		// recovery, where they are not reading the queue at all.
 		var mu sync.Mutex
 		pending := len(cells)
+		sweepDone := make(chan struct{})
 		done := func() {
 			mu.Lock()
 			pending--
 			if pending == 0 {
 				close(queue)
+				close(sweepDone)
 			}
 			mu.Unlock()
 		}
@@ -222,13 +281,13 @@ func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
 		// Health probers: two consecutive failed /v1/healthz probes
 		// retire a worker, so cells stop flowing to it even between
 		// jobs.
-		probeStop := make(chan struct{})
+		probeCtx, probeCancel := context.WithCancel(context.Background())
 		var probeWG sync.WaitGroup
 		for _, w := range workers {
 			probeWG.Add(1)
 			go func(w *worker) {
 				defer probeWG.Done()
-				w.probe(probeStop, healthInterval, log)
+				w.probe(probeCtx, healthInterval, log)
 			}(w)
 		}
 
@@ -237,7 +296,7 @@ func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
 			pullWG.Add(1)
 			go func(w *worker) {
 				defer pullWG.Done()
-				w.pull(ctx, queue, backoff, log, func(c cell, res serve.JobResponse, err error) {
+				w.pull(ctx, queue, sweepDone, backoff, log, func(c cell, res serve.JobResponse, err error) {
 					if err != nil {
 						recordFailure(c.id, err)
 						return
@@ -248,9 +307,15 @@ func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
 						return
 					}
 					log.Progressf("dist: %s done on %s", c.id, w.url)
-					if cerr := checkpoint(runx.ManifestEntry{
+					entry := runx.ManifestEntry{
 						ID: c.id, Status: runx.StatusOK, Output: benchPath, WallNanos: res.WallNanos,
-					}); cerr != nil {
+					}
+					if benchPath != "" {
+						if sum, serr := runx.FileChecksum(benchPath); serr == nil {
+							entry.Checksum = sum
+						}
+					}
+					if cerr := checkpoint(entry); cerr != nil {
 						log.Logf("dist: checkpoint: %v", cerr)
 					}
 					done()
@@ -258,7 +323,7 @@ func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
 			}(w)
 		}
 		pullWG.Wait()
-		close(probeStop)
+		probeCancel()
 		probeWG.Wait()
 
 		// Every puller has exited. Any cell still pending is sitting in
@@ -286,11 +351,12 @@ func Sweep(ctx context.Context, opts Options) (*obs.Report, error) {
 	stats := make([]WorkerStats, len(workers))
 	for i, w := range workers {
 		stats[i] = WorkerStats{
-			URL:      w.url,
-			Jobs:     w.jobs.Load(),
-			Requeues: w.requeues.Load(),
-			Alive:    w.alive.Load(),
-			Latency:  w.hist.Summary(),
+			URL:          w.url,
+			Jobs:         w.jobs.Load(),
+			Requeues:     w.requeues.Load(),
+			BreakerTrips: w.trips.Load(),
+			Alive:        w.alive.Load(),
+			Latency:      w.hist.Summary(),
 		}
 	}
 	summary.Data = SweepData{Workers: stats, Cells: len(cells), Failed: failed}
@@ -342,14 +408,59 @@ func mergeCell(opts Options, res serve.JobResponse) (benchPath string, err error
 	return benchPath, nil
 }
 
+// cellVerdict is what one runCell pass concluded about its cell.
+type cellVerdict int
+
+const (
+	// cellDone: the cell completed; merge its response.
+	cellDone cellVerdict = iota
+	// cellFailed: the cell itself terminally failed; record it.
+	cellFailed
+	// cellRequeue: transport trouble (fault, timeout, open breaker) —
+	// the cell is fine, put it back with a strike and let any worker
+	// (including this one, recovered) take it again.
+	cellRequeue
+	// cellWorkerDead: the worker can never serve cells (jobs disabled);
+	// retire it and requeue without a strike.
+	cellWorkerDead
+)
+
+// errWorkerSuspended aborts a retry loop whose worker's breaker opened
+// mid-cell; the cell goes back to the queue while the worker sits out
+// its cooldown.
+var errWorkerSuspended = errors.New("dist: worker suspended by its circuit breaker")
+
 // pull is one worker's dispatch loop: take the next cell, run it to a
-// verdict, hand the verdict to record. A dead worker requeues its
-// in-flight cell and exits, leaving the queue to the survivors.
-func (w *worker) pull(ctx context.Context, queue chan cell, b runx.Backoff,
-	log *obs.Logger, record func(cell, serve.JobResponse, error)) {
+// verdict, act on the verdict. A worker whose breaker is open stops
+// taking cells and instead probes /v1/healthz on the breaker's
+// half-open schedule until the circuit closes, the sweep finishes, or
+// the background prober retires it.
+func (w *worker) pull(ctx context.Context, queue chan cell, sweepDone <-chan struct{},
+	b runx.Backoff, log *obs.Logger, record func(cell, serve.JobResponse, error)) {
 	for {
 		if !w.alive.Load() || ctx.Err() != nil {
 			return
+		}
+		if w.breaker.State() != runx.BreakerClosed {
+			// Suspended: no cells flow. When the cooldown admits the
+			// half-open probe, ask the worker directly whether it is
+			// back; only a probe success resumes dispatch.
+			if w.breaker.Allow() {
+				if err := w.healthProbe(ctx); err != nil {
+					w.breaker.Failure()
+				} else {
+					w.breaker.Success()
+					log.Logf("dist: worker %s recovered — resuming dispatch", w.url)
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-sweepDone:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			continue
 		}
 		select {
 		case <-ctx.Done():
@@ -359,103 +470,177 @@ func (w *worker) pull(ctx context.Context, queue chan cell, b runx.Backoff,
 				return
 			}
 			start := time.Now()
-			res, dead, err := w.runCell(ctx, b, c)
-			if dead {
-				// The cell is not lost: put it back for the other
-				// workers and retire this one.
+			res, verdict, err := w.runCell(ctx, b, c)
+			if ctx.Err() != nil {
+				// Canceled mid-cell: the cell is not lost — put it back
+				// so the drain pass records it, and stop pulling.
+				queue <- c
+				return
+			}
+			switch verdict {
+			case cellWorkerDead:
 				w.alive.Store(false)
 				w.requeues.Add(1)
 				log.Logf("dist: worker %s lost mid-cell (%s): %v — requeueing", w.url, c.id, err)
 				queue <- c
 				return
-			}
-			if err == nil {
+			case cellRequeue:
+				w.requeues.Add(1)
+				c.strikes++
+				if c.strikes >= maxStrikes {
+					record(c, res, fmt.Errorf("dist: cell %s requeued %d times without completing: %w", c.id, c.strikes, err))
+					continue
+				}
+				log.Logf("dist: worker %s could not finish %s (strike %d): %v — requeueing", w.url, c.id, c.strikes, err)
+				queue <- c
+			case cellDone:
 				w.jobs.Add(1)
 				w.hist.Observe(time.Since(start))
+				record(c, res, nil)
+			default: // cellFailed
+				record(c, res, err)
 			}
-			record(c, res, err)
 		case <-time.After(50 * time.Millisecond):
-			// Idle tick: re-check liveness so a probed-out worker stops
-			// pulling even while the queue is empty.
+			// Idle tick: re-check liveness and breaker state so a
+			// probed-out worker stops pulling even while the queue is
+			// empty.
 		}
 	}
 }
 
 // runCell posts one cell to the worker, retrying saturated/transient
-// refusals in place (honoring Retry-After). dead=true means the worker
-// itself is gone — connection failures, or a worker that answers
-// jobs-disabled — and the cell should move to another worker. A non-nil
-// err with dead=false is the cell's own terminal failure.
-func (w *worker) runCell(ctx context.Context, b runx.Backoff, c cell) (res serve.JobResponse, dead bool, err error) {
+// refusals in place (honoring Retry-After) and feeding the breaker:
+// transport failures — unreachable worker, torn or garbled response,
+// attempt timeout — count against it; any complete well-formed exchange
+// resets it, whatever the answer says. The breaker gate runs before a
+// request is even built, so a suspended worker makes no network
+// attempts (and, under -chaos, draws nothing from the fault schedule)
+// until its health probe succeeds.
+func (w *worker) runCell(ctx context.Context, b runx.Backoff, c cell) (res serve.JobResponse, verdict cellVerdict, err error) {
 	body, err := json.Marshal(c.req)
 	if err != nil {
-		return res, false, err
+		return res, cellFailed, err
+	}
+	verdict = cellDone
+	transport := func(ferr error) error {
+		if ctx.Err() != nil {
+			// The sweep itself is over; don't blame the worker.
+			verdict = cellRequeue
+			return ctx.Err()
+		}
+		w.breaker.Failure()
+		if w.breaker.State() == runx.BreakerOpen {
+			w.trips.Add(1)
+		}
+		verdict = cellRequeue
+		return runx.MarkTransient(ferr)
 	}
 	err = runx.Retry(ctx, b, func() error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/jobs", bytes.NewReader(body))
-		if err != nil {
-			return err
+		if !w.alive.Load() {
+			verdict = cellRequeue
+			return fmt.Errorf("dist: worker %s retired mid-cell", w.url)
+		}
+		if w.breaker.State() != runx.BreakerClosed {
+			verdict = cellRequeue
+			return errWorkerSuspended
+		}
+		// The attempt context carries the job timeout to the worker and
+		// through every read, so a stalled response unwedges here — not
+		// never.
+		actx, cancel := context.WithTimeout(ctx, w.jobTimeout)
+		defer cancel()
+		req, rerr := http.NewRequestWithContext(actx, http.MethodPost, w.url+"/v1/jobs", bytes.NewReader(body))
+		if rerr != nil {
+			verdict = cellFailed
+			return rerr
 		}
 		req.Header.Set("Content-Type", "application/json")
-		resp, err := w.client.Do(req)
-		if err != nil {
-			dead = true
-			return fmt.Errorf("dist: worker %s unreachable: %w", w.url, err)
+		resp, derr := w.client.Do(req)
+		if derr != nil {
+			return transport(fmt.Errorf("dist: worker %s unreachable: %w", w.url, derr))
 		}
 		defer resp.Body.Close()
-		raw, err := io.ReadAll(resp.Body)
-		if err != nil {
-			dead = true
-			return fmt.Errorf("dist: worker %s died mid-response: %w", w.url, err)
+		raw, rderr := io.ReadAll(resp.Body)
+		if rderr != nil {
+			return transport(fmt.Errorf("dist: worker %s died mid-response: %w", w.url, rderr))
 		}
 		if resp.StatusCode == http.StatusOK {
-			dead = false
-			return json.Unmarshal(raw, &res)
+			if uerr := json.Unmarshal(raw, &res); uerr != nil {
+				// A 200 that does not decode is a torn or garbled body —
+				// transport damage, not a cell failure.
+				return transport(fmt.Errorf("dist: worker %s returned a garbled response: %w", w.url, uerr))
+			}
+			w.breaker.Success()
+			verdict = cellDone
+			return nil
 		}
 		env, ok := serve.DecodeEnvelope(raw)
 		if !ok {
-			return fmt.Errorf("dist: worker %s: status %d with non-envelope body %.80q", w.url, resp.StatusCode, raw)
+			return transport(fmt.Errorf("dist: worker %s: status %d with non-envelope body %.80q", w.url, resp.StatusCode, raw))
 		}
+		// A well-formed envelope is a completed exchange: the transport
+		// is healthy, whatever the answer says.
+		w.breaker.Success()
 		envErr := fmt.Errorf("dist: worker %s: %s: %s", w.url, env.Code, env.Message)
 		if env.Code == serve.CodeJobsDisabled {
 			// Not a cell failure: this worker can never run jobs, so
 			// retire it and let the cell move on.
-			dead = true
+			verdict = cellWorkerDead
 			return envErr
 		}
 		if env.Retryable {
-			dead = false
+			// Saturation or a transient worker condition: retry in
+			// place; if the attempts run out, bounce the cell rather
+			// than fail it.
+			verdict = cellRequeue
 			if d, ok := serve.ParseRetryAfter(resp); ok {
 				return runx.RetryAfter(envErr, d)
 			}
 			return runx.MarkTransient(envErr)
 		}
+		verdict = cellFailed
 		return envErr
 	})
-	return res, dead, err
+	return res, verdict, err
+}
+
+// healthProbe asks /v1/healthz once, bounded and context-aware, on the
+// plain (never chaos-wrapped) probe client.
+func (w *worker) healthProbe(ctx context.Context) error {
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.probeClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: worker %s healthz status %d", w.url, resp.StatusCode)
+	}
+	return nil
 }
 
 // probe retires the worker after two consecutive failed health checks,
 // so a silently dead worker stops receiving cells even when it has
 // none in flight.
-func (w *worker) probe(stop <-chan struct{}, interval time.Duration, log *obs.Logger) {
-	client := &http.Client{Timeout: 2 * time.Second}
+func (w *worker) probe(ctx context.Context, interval time.Duration, log *obs.Logger) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	fails := 0
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			return
 		case <-t.C:
 			if !w.alive.Load() {
 				return
 			}
-			resp, err := client.Get(w.url + "/v1/healthz")
-			if err == nil {
-				resp.Body.Close()
-			}
-			if err != nil || resp.StatusCode != http.StatusOK {
+			if err := w.healthProbe(ctx); err != nil {
 				fails++
 			} else {
 				fails = 0

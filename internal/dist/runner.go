@@ -27,6 +27,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"repro/internal/experiments"
@@ -99,6 +100,17 @@ func (r *Runner) suite(ctx context.Context, key suiteKey) (*experiments.Suite, e
 		}
 		cell.suite = s
 	})
+	if cell.err != nil && (errors.Is(cell.err, context.Canceled) || errors.Is(cell.err, context.DeadlineExceeded)) {
+		// A build cut short by one request's deadline says nothing about
+		// the scale itself; caching it would poison every later cell at
+		// this scale with a permanent failure. Evict so the next request
+		// rebuilds.
+		r.mu.Lock()
+		if r.suites[key] == cell {
+			delete(r.suites, key)
+		}
+		r.mu.Unlock()
+	}
 	return cell.suite, cell.err
 }
 
@@ -114,6 +126,11 @@ func (r *Runner) RunJob(ctx context.Context, req serve.JobRequest) (serve.JobRes
 	}
 	suite, err := r.suite(ctx, suiteKey{base: req.BaseRecords, profBase: req.ProfileRecords})
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The requester's deadline cut the build; answer retryable
+			// (503) rather than branding the cell job-failed.
+			return serve.JobResponse{}, err
+		}
 		return serve.JobResponse{}, &serve.JobFailedError{Exp: req.Exp, Err: err}
 	}
 	rep, err := entry.RunMeasured(ctx, suite)

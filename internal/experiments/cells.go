@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/runx"
 )
 
 // This file is the shared surface between the two execution paths: the
@@ -40,17 +40,16 @@ func RenderText(title, text string) []byte {
 	return []byte(title + "\n\n" + text)
 }
 
-// WriteText writes the rendered artifact to <dir>/<id>.txt and returns
-// that path.
+// WriteText writes the rendered artifact to <dir>/<id>.txt — through
+// runx.AtomicWriteFile, so a crash mid-write can never leave a torn
+// artifact that a resumed run (or the byte-identity smoke) would then
+// trust — and returns that path.
 func WriteText(dir, id, title, text string) (string, error) {
 	if id == "" {
 		return "", fmt.Errorf("experiments: artifact has no ID to name its file")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", err
-	}
 	path := filepath.Join(dir, id+".txt")
-	return path, os.WriteFile(path, RenderText(title, text), 0o644)
+	return path, runx.AtomicWriteFile(path, RenderText(title, text), 0o644)
 }
 
 // WriteBenchBlob validates a serialized bench report (as shipped in a

@@ -60,6 +60,9 @@ type Config struct {
 	Attempts int
 	// Timeout bounds each HTTP request (default 30s).
 	Timeout time.Duration
+	// Transport, when non-nil, underlies the HTTP client — the seam
+	// vlpload -chaos uses to inject client-side transport faults.
+	Transport http.RoundTripper
 	// Log narrates progress; nil means silent.
 	Log *obs.Logger
 }
@@ -106,10 +109,15 @@ type Result struct {
 	// RetryAfterWaits counts retries that were paced by a server
 	// Retry-After hint instead of the client's own backoff schedule.
 	RetryAfterWaits int64 `json:"retry_after_waits"`
-	Failures        int64 `json:"failures"`
-	Records         int64 `json:"records"`
-	Branches        int64 `json:"branches"`
-	Mispredicts     int64 `json:"mispredicts"`
+	// TransportRetries counts retries whose preceding attempt died at
+	// the transport layer — connection reset, truncated body, timeout —
+	// rather than being refused by the server. Under -chaos this is the
+	// client-side fault bill; in a clean run it should be zero.
+	TransportRetries int64 `json:"transport_retries"`
+	Failures         int64 `json:"failures"`
+	Records          int64 `json:"records"`
+	Branches         int64 `json:"branches"`
+	Mispredicts      int64 `json:"mispredicts"`
 	// MissRate is the session's final accumulated rate, the number the
 	// serve-smoke stage compares byte-for-byte against batch vlpsim.
 	MissRate    float64     `json:"miss_rate"`
@@ -134,7 +142,7 @@ func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	client := &http.Client{Timeout: cfg.Timeout}
+	client := &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport}
 	sessionID, err := createSession(ctx, client, cfg)
 	if err != nil {
 		return Result{}, err
@@ -154,7 +162,7 @@ func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
 	)
 	var counters struct {
 		sync.Mutex
-		requests, retries, rejected, hinted, failures int64
+		requests, retries, rejected, hinted, transport, failures int64
 	}
 	jobs := make(chan int, len(chunks))
 	start := time.Now()
@@ -190,12 +198,13 @@ func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				lat, retries, rejected, hinted, err := sendChunk(ctx, client, cfg, sessionID, chunks[i])
+				lat, retries, rejected, hinted, transport, err := sendChunk(ctx, client, cfg, sessionID, chunks[i])
 				counters.Lock()
 				counters.requests++
 				counters.retries += retries
 				counters.rejected += rejected
 				counters.hinted += hinted
+				counters.transport += transport
 				if err != nil {
 					counters.failures++
 				}
@@ -218,6 +227,7 @@ func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
 	res.Retries = counters.retries
 	res.Rejected = counters.rejected
 	res.RetryAfterWaits = counters.hinted
+	res.TransportRetries = counters.transport
 	res.Failures = counters.failures
 	counters.Unlock()
 	if res.WallNanos > 0 {
@@ -225,7 +235,7 @@ func Run(ctx context.Context, cfg Config, src trace.Source) (Result, error) {
 	}
 	res.Latency = percentiles(latencies)
 
-	info, err := getSession(ctx, client, cfg.BaseURL, sessionID)
+	info, err := getSession(ctx, client, cfg, cfg.BaseURL, sessionID)
 	if err != nil {
 		return res, fmt.Errorf("loadgen: reading final session totals: %w", err)
 	}
@@ -274,69 +284,110 @@ func encodeChunks(buf *trace.Buffer, n int, gz bool) ([][]byte, error) {
 	return chunks, nil
 }
 
+// controlBackoff paces retries of the control-plane requests (session
+// create and final read): these are tiny and idempotent-enough that
+// riding out a connection reset beats failing the whole run.
+func controlBackoff(cfg Config) runx.Backoff {
+	return runx.Backoff{Attempts: cfg.Attempts, Initial: 25 * time.Millisecond, Max: 2 * time.Second, Factor: 2}
+}
+
 func createSession(ctx context.Context, client *http.Client, cfg Config) (string, error) {
 	reqBody, err := json.Marshal(serve.SessionRequest{ID: cfg.SessionID, Class: cfg.Class, Spec: cfg.Spec})
 	if err != nil {
 		return "", err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		cfg.BaseURL+"/v1/sessions", bytes.NewReader(reqBody))
+	var info serve.SessionInfo
+	err = runx.Retry(ctx, controlBackoff(cfg), func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.BaseURL+"/v1/sessions", bytes.NewReader(reqBody))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return runx.MarkTransient(fmt.Errorf("loadgen: creating session: %w", err))
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if err != nil {
+			return runx.MarkTransient(fmt.Errorf("loadgen: creating session: reading response: %w", err))
+		}
+		if resp.StatusCode != http.StatusCreated {
+			refusal := fmt.Errorf("loadgen: creating session: %s: %s", resp.Status, bytes.TrimSpace(body))
+			if env, ok := serve.DecodeEnvelope(body); ok && env.Retryable {
+				if d, ok := serve.ParseRetryAfter(resp); ok {
+					return runx.RetryAfter(refusal, d)
+				}
+				return runx.MarkTransient(refusal)
+			}
+			return refusal
+		}
+		if err := json.Unmarshal(body, &info); err != nil {
+			return runx.MarkTransient(fmt.Errorf("loadgen: bad session response: %w", err))
+		}
+		return nil
+	})
 	if err != nil {
 		return "", err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return "", fmt.Errorf("loadgen: creating session: %w", err)
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
-	if resp.StatusCode != http.StatusCreated {
-		return "", fmt.Errorf("loadgen: creating session: %s: %s", resp.Status, bytes.TrimSpace(body))
-	}
-	var info serve.SessionInfo
-	if err := json.Unmarshal(body, &info); err != nil {
-		return "", fmt.Errorf("loadgen: bad session response: %w", err)
 	}
 	return info.ID, nil
 }
 
-func getSession(ctx context.Context, client *http.Client, baseURL, id string) (serve.SessionInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/sessions/"+id, nil)
-	if err != nil {
-		return serve.SessionInfo{}, err
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return serve.SessionInfo{}, err
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if resp.StatusCode != http.StatusOK {
-		return serve.SessionInfo{}, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
-	}
+func getSession(ctx context.Context, client *http.Client, cfg Config, baseURL, id string) (serve.SessionInfo, error) {
 	var info serve.SessionInfo
-	if err := json.Unmarshal(body, &info); err != nil {
-		return serve.SessionInfo{}, err
-	}
-	return info, nil
+	err := runx.Retry(ctx, controlBackoff(cfg), func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/sessions/"+id, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return runx.MarkTransient(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return runx.MarkTransient(fmt.Errorf("reading session: %w", err))
+		}
+		if resp.StatusCode != http.StatusOK {
+			refusal := fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+			if env, ok := serve.DecodeEnvelope(body); ok && env.Retryable {
+				return runx.MarkTransient(refusal)
+			}
+			return refusal
+		}
+		if err := json.Unmarshal(body, &info); err != nil {
+			return runx.MarkTransient(err)
+		}
+		return nil
+	})
+	return info, err
 }
 
 // sendChunk posts one chunk, retrying retryable refusals (429/503,
 // network failures) through runx.Retry's transient classification. A
 // refusal's error envelope drives the decision — retryable envelopes
 // with a Retry-After header pace the retry on the server's own hint
-// (runx.RetryAfter) instead of the client's backoff guess. The returned
+// (runx.RetryAfter) instead of the client's backoff guess. Transport
+// failures — connection resets, truncated bodies, timeouts — are
+// likewise transient; they are tallied separately (transport) so the
+// artifact can tell network weather from server pushback. The returned
 // latency is the successful attempt's.
-func sendChunk(ctx context.Context, client *http.Client, cfg Config, sessionID string, data []byte) (lat time.Duration, retries, rejected, hinted int64, err error) {
+func sendChunk(ctx context.Context, client *http.Client, cfg Config, sessionID string, data []byte) (lat time.Duration, retries, rejected, hinted, transport int64, err error) {
 	url := cfg.BaseURL + "/v1/sessions/" + sessionID + "/chunks"
 	attempt := 0
+	lastWasTransport := false
 	b := runx.Backoff{Attempts: cfg.Attempts, Initial: 25 * time.Millisecond, Max: 2 * time.Second, Factor: 2}
 	err = runx.Retry(ctx, b, func() error {
 		attempt++
 		if attempt > 1 {
 			retries++
+			if lastWasTransport {
+				transport++
+			}
 		}
+		lastWasTransport = false
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
 		if err != nil {
 			return err
@@ -348,10 +399,20 @@ func sendChunk(ctx context.Context, client *http.Client, cfg Config, sessionID s
 		start := time.Now()
 		resp, err := client.Do(req)
 		if err != nil {
+			lastWasTransport = true
 			return runx.MarkTransient(err)
 		}
 		defer resp.Body.Close()
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if err != nil {
+			// The status arrived but the body died — a reset or
+			// truncation mid-response. The chunk may have been applied;
+			// chunks are not idempotent, so under -chaos the accumulated
+			// totals can drift from a clean run (DESIGN §12). Retrying
+			// still beats reporting a hard failure for a delivered chunk.
+			lastWasTransport = true
+			return runx.MarkTransient(fmt.Errorf("reading response: %w", err))
+		}
 		if resp.StatusCode == http.StatusOK {
 			lat = time.Since(start)
 			return nil
@@ -376,7 +437,7 @@ func sendChunk(ctx context.Context, client *http.Client, cfg Config, sessionID s
 		}
 		return runx.MarkTransient(refusal)
 	})
-	return lat, retries, rejected, hinted, err
+	return lat, retries, rejected, hinted, transport, err
 }
 
 // percentiles computes the exact latency summary from the samples.

@@ -2,7 +2,11 @@ package loadgen
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -161,5 +165,63 @@ func TestPercentiles(t *testing.T) {
 	}
 	if z := percentiles(nil); z.Count != 0 || z.MaxNanos != 0 {
 		t.Fatalf("empty percentiles = %+v", z)
+	}
+}
+
+// flakyTransport fails the first failN chunk posts with a connection
+// reset, then passes everything through.
+type flakyTransport struct {
+	mu    sync.Mutex
+	failN int
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Method == http.MethodPost && strings.HasSuffix(req.URL.Path, "/chunks") {
+		f.mu.Lock()
+		fail := f.failN > 0
+		if fail {
+			f.failN--
+		}
+		f.mu.Unlock()
+		if fail {
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, syscall.ECONNRESET
+		}
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestRunRetriesTransportFaults: a connection reset on a chunk is
+// transient — the run retries it with backoff, succeeds, and surfaces
+// the retry in transport_retries rather than counting a hard failure.
+func TestRunRetriesTransportFaults(t *testing.T) {
+	ts := testServer(t)
+	buf := gccTrace(t, 12000)
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		SessionID:    "flaky",
+		Class:        "cond",
+		Spec:         "gshare:budget=16KB",
+		Clients:      1,
+		ChunkRecords: 3000,
+		Transport:    &flakyTransport{failN: 2},
+	}, trace.NewBuffer(buf.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("transport faults counted as hard failures: %+v", res)
+	}
+	if res.TransportRetries != 2 {
+		t.Fatalf("transport_retries = %d, want 2", res.TransportRetries)
+	}
+	if res.Retries < res.TransportRetries {
+		t.Fatalf("retries (%d) must include transport retries (%d)", res.Retries, res.TransportRetries)
+	}
+	if res.Records != int64(buf.Len()) {
+		t.Fatalf("records %d, want %d — a retried chunk was lost", res.Records, buf.Len())
 	}
 }

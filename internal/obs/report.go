@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/runx"
 )
 
 // SchemaVersion tags every report file. Readers reject files whose
@@ -117,33 +119,15 @@ func (r *Report) Marshal() ([]byte, error) {
 }
 
 // Write serializes the report as indented JSON at path, creating the
-// directory if needed. The write is atomic (temp file + rename) so a
-// crashed run never leaves a half-written report behind.
+// directory if needed. The write goes through runx.AtomicWriteFile
+// (temp file + fsync + rename) so a crashed run never leaves a
+// half-written report behind.
 func (r *Report) Write(path string) error {
 	data, err := r.Marshal()
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(path)
-	if dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	tmp, err := os.CreateTemp(dir, ".bench-*.json")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return runx.AtomicWriteFile(path, data, 0o644)
 }
 
 // BenchPath returns the canonical report path for a run name inside

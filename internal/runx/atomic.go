@@ -1,0 +1,95 @@
+package runx
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile writes data to path through a same-directory temp
+// file, fsync, and rename, creating the directory if needed. A crash at
+// any point leaves either the old file or the new one — never a torn
+// artifact that a later resume would trust. This is the one write path
+// for every checkpointed artifact (manifests, bench reports, cell
+// texts, addr files); the manifest additionally records a Checksum so
+// corruption that slips past the rename barrier (a bad disk, a manual
+// edit) is still caught at resume time.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	// Flush file contents before the rename publishes the name; without
+	// this a power cut can surface a zero-length file under the final
+	// path on some filesystems.
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// checksumPrefix names the only digest scheme manifests write today.
+// Keeping the algorithm in the value (not the schema) lets a future
+// algorithm change coexist with old manifests.
+const checksumPrefix = "sha256:"
+
+// Checksum digests data in the manifest's checksum format.
+func Checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return checksumPrefix + hex.EncodeToString(sum[:])
+}
+
+// FileChecksum digests the file at path in the manifest's checksum
+// format.
+func FileChecksum(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return Checksum(data), nil
+}
+
+// VerifyFileChecksum re-digests path and compares it to want (a value
+// previously produced by Checksum/FileChecksum). An empty want verifies
+// trivially — manifests written before checksums were recorded stay
+// resumable.
+func VerifyFileChecksum(path, want string) error {
+	if want == "" {
+		return nil
+	}
+	got, err := FileChecksum(path)
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("runx: %s: checksum mismatch: file is %s, manifest recorded %s", path, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package runx
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe has been let through; its outcome
+	// closes or reopens the circuit.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-dependency circuit breaker: it opens after a run of
+// consecutive failures, refuses work for a cooldown, then admits a
+// single half-open probe whose outcome decides between closing and
+// reopening. The distributed coordinator keeps one per worker — after
+// `threshold` consecutive transport failures the worker stops receiving
+// cells, a /v1/healthz probe plays the half-open role, and only a probe
+// success returns the worker to rotation. This sits *in front of* the
+// coordinator's two-strike requeue: the breaker decides whether to talk
+// to a worker at all; the strikes decide when a cell stops waiting for
+// one.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	now       func() time.Time // test seam
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures (minimum 1) and waits cooldown (default 1s when
+// non-positive) before admitting a half-open probe.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// State reports the breaker's current position. An open breaker whose
+// cooldown has elapsed still reports open — the transition to half-open
+// happens when Allow grants the probe.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether one unit of work may proceed. Closed always
+// admits. Open admits nothing until the cooldown has elapsed, then
+// moves to half-open and admits exactly one probe; further calls are
+// refused until that probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: the one probe is already in flight.
+		return false
+	}
+}
+
+// Success reports a completed unit of work: the circuit closes and the
+// failure run resets, whatever state it was in.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure reports a failed unit of work. In closed state it extends the
+// failure run and opens the circuit at the threshold; in half-open it
+// reopens immediately (the probe failed); in open it restarts the
+// cooldown clock.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen, BreakerOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}

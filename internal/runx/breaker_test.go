@@ -1,0 +1,341 @@
+package runx
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked clock for the breaker's now seam.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clock.now
+	return b, clock
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() || b.State() != BreakerClosed {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted work inside the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the consecutive-failure run")
+	}
+}
+
+func TestBreakerOpenHalfOpenClose(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("breaker should be open and refusing")
+	}
+	clock.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("cooldown has not elapsed; no probe yet")
+	}
+	clock.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed; the half-open probe must be admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open admits exactly one probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("probe success must close the breaker")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second)
+	b.Failure()
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe should be admitted")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker must refuse until a fresh cooldown elapses")
+	}
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("fresh cooldown elapsed; probe must be admitted again")
+	}
+}
+
+// TestBreakerConcurrent hammers one breaker from many goroutines under
+// -race: only invariants that hold under any interleaving are checked —
+// no panics, no torn state, and at most one half-open probe admitted
+// per open period.
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(3, time.Microsecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if b.Allow() {
+					if (g+i)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				_ = b.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+		t.Fatalf("breaker ended in invalid state %v", s)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Millisecond)
+	b.Failure()
+	clock.advance(time.Millisecond)
+	var admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", admitted)
+	}
+}
+
+// retryAfterProbe runs one Retry loop whose failures carry the given
+// Retry-After hint and returns the sleeps the loop actually took.
+func retryAfterProbe(t *testing.T, hint time.Duration) []time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	b := Backoff{
+		Attempts: 3,
+		Initial:  50 * time.Millisecond,
+		Max:      time.Second,
+		Factor:   2,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	err := Retry(context.Background(), b, func() error {
+		return RetryAfter(errors.New("saturated"), hint)
+	})
+	if err == nil {
+		t.Fatal("retry loop should exhaust attempts")
+	}
+	if len(slept) != 2 {
+		t.Fatalf("3 attempts should sleep twice, slept %v", slept)
+	}
+	return slept
+}
+
+func TestRetryAfterZeroHintRetriesImmediately(t *testing.T) {
+	for _, d := range retryAfterProbe(t, 0) {
+		if d != 0 {
+			t.Fatalf("zero hint must mean an immediate retry, slept %v", d)
+		}
+	}
+}
+
+func TestRetryAfterNegativeHintClampsToZero(t *testing.T) {
+	for _, d := range retryAfterProbe(t, -5*time.Second) {
+		if d != 0 {
+			t.Fatalf("negative hint must clamp to zero, slept %v", d)
+		}
+	}
+}
+
+func TestRetryAfterHugeHintClampsToCap(t *testing.T) {
+	for _, d := range retryAfterProbe(t, 24*time.Hour) {
+		if d != time.Second {
+			t.Fatalf("absurd hint must clamp to the backoff cap, slept %v", d)
+		}
+	}
+}
+
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "deep", "nested", "artifact.txt")
+	if err := AtomicWriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "second" {
+		t.Fatalf("content = %q, want %q", data, "second")
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory should hold only the artifact, found %d entries", len(entries))
+	}
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	data := []byte(`{"ok":true}`)
+	if err := AtomicWriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := FileChecksum(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != Checksum(data) {
+		t.Fatalf("FileChecksum %q != Checksum %q", sum, Checksum(data))
+	}
+	if err := VerifyFileChecksum(path, sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyFileChecksum(path, ""); err != nil {
+		t.Fatalf("empty recorded checksum must verify trivially: %v", err)
+	}
+	if err := VerifyFileChecksum(path, Checksum([]byte("other"))); err == nil {
+		t.Fatal("mismatched checksum must fail verification")
+	}
+}
+
+func TestSatisfiedQuarantinesChecksumMismatch(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := AtomicWriteFile(out, []byte("good bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest()
+	m.Set(ManifestEntry{ID: "cell", Status: StatusOK, Output: out, Checksum: Checksum([]byte("good bytes"))})
+	if !m.Satisfied("cell", nil) {
+		t.Fatal("intact artifact with matching checksum must satisfy")
+	}
+	// Corrupt the artifact behind the manifest's back.
+	if err := os.WriteFile(out, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m.Satisfied("cell", nil) {
+		t.Fatal("corrupted artifact must not satisfy")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatal("corrupted artifact should have been quarantined away")
+	}
+	if _, err := os.Stat(out + ".quarantined"); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	// A second look must not flap: the output is gone, still unsatisfied.
+	if m.Satisfied("cell", nil) {
+		t.Fatal("quarantined entry satisfied on re-check")
+	}
+}
+
+func TestSatisfiedWithoutChecksumStillValidates(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := AtomicWriteFile(out, []byte("legacy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest()
+	m.Set(ManifestEntry{ID: "cell", Status: StatusOK, Output: out})
+	if !m.Satisfied("cell", nil) {
+		t.Fatal("legacy entry without checksum must still satisfy")
+	}
+	calls := 0
+	if m.Satisfied("cell", func(p string) error { calls++; return errors.New("invalid") }) {
+		t.Fatal("validator rejection must win")
+	}
+	if calls != 1 {
+		t.Fatalf("validator called %d times, want 1", calls)
+	}
+}
+
+func TestManifestChecksumSurvivesSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := AtomicWriteFile(out, []byte("bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest()
+	m.Set(ManifestEntry{ID: "cell", Status: StatusOK, Output: out, Checksum: Checksum([]byte("bytes"))})
+	path := ManifestPath(dir)
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := loaded.Get("cell")
+	if !ok || e.Checksum != Checksum([]byte("bytes")) {
+		t.Fatalf("checksum lost across save/load: %+v", e)
+	}
+	if !loaded.Satisfied("cell", nil) {
+		t.Fatal("reloaded manifest must satisfy the intact artifact")
+	}
+}

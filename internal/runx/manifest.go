@@ -42,6 +42,12 @@ type ManifestEntry struct {
 	Error string `json:"error,omitempty"`
 	// WallNanos is how long the unit ran.
 	WallNanos int64 `json:"wall_nanos,omitempty"`
+	// Checksum is the digest of Output at checkpoint time (see
+	// runx.Checksum). When present, Satisfied re-digests the file and a
+	// mismatch quarantines it instead of trusting it — a torn or
+	// corrupted artifact re-runs. Empty means "not recorded" (older
+	// manifests), which verifies trivially.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // Manifest is the checkpoint state of a suite run: one entry per unit,
@@ -97,17 +103,30 @@ func (m *Manifest) Get(id string) (ManifestEntry, bool) {
 }
 
 // Satisfied reports whether the manifest proves the unit already has a
-// valid output on disk: the checkpoint says it succeeded AND validate
-// (when non-nil) accepts the recorded output path — so a deleted or
-// corrupted output re-runs instead of being trusted. Both the
-// single-process suite resume (cmd/paperrepro) and the distributed
-// sweep resume (internal/dist) gate on this.
+// valid output on disk: the checkpoint says it succeeded, the recorded
+// checksum (when present) still matches the file, AND validate (when
+// non-nil) accepts the recorded output path — so a deleted, torn, or
+// corrupted output re-runs instead of being trusted. A checksum
+// mismatch additionally quarantines the file (renamed to
+// <output>.quarantined) so the rerun cannot collide with the corrupt
+// bytes and the evidence survives for triage. Both the single-process
+// suite resume (cmd/paperrepro) and the distributed sweep resume
+// (internal/dist) gate on this.
 func (m *Manifest) Satisfied(id string, validate func(outputPath string) error) bool {
 	if m == nil {
 		return false
 	}
 	e, ok := m.Get(id)
 	if !ok || e.Status != StatusOK || e.Output == "" {
+		return false
+	}
+	if err := VerifyFileChecksum(e.Output, e.Checksum); err != nil {
+		if !os.IsNotExist(err) {
+			// Keep the corrupt bytes out of the rerun's way but on disk
+			// for inspection. Best effort: if the rename fails the unit
+			// still re-runs and overwrites.
+			os.Rename(e.Output, e.Output+".quarantined")
+		}
 		return false
 	}
 	if validate == nil {
@@ -126,9 +145,10 @@ func (m *Manifest) IDs() []string {
 	return out
 }
 
-// Save writes the manifest atomically (temp file + rename), creating
-// the directory if needed, so a crash mid-checkpoint never leaves a
-// truncated manifest that would poison the next resume.
+// Save writes the manifest through AtomicWriteFile (temp file + fsync
+// + rename), creating the directory if needed, so a crash
+// mid-checkpoint never leaves a truncated manifest that would poison
+// the next resume.
 func (m *Manifest) Save(path string) error {
 	if m.Schema == "" {
 		m.Schema = ManifestSchema
@@ -138,26 +158,7 @@ func (m *Manifest) Save(path string) error {
 		return fmt.Errorf("runx: marshal manifest: %w", err)
 	}
 	data = append(data, '\n')
-	dir := filepath.Dir(path)
-	if dir != "." && dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-	}
-	tmp, err := os.CreateTemp(dir, ".manifest-*.json")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return AtomicWriteFile(path, data, 0o644)
 }
 
 // ManifestPath returns the canonical manifest location inside a

@@ -64,6 +64,13 @@ type Server struct {
 	// distributed-sweep execution endpoint internal/dist implements.
 	jobs JobRunner
 
+	// mw, when set (SetMiddleware), wraps the routed handler outermost.
+	// vlpserve mounts the chaos fault injector here; being outside the
+	// recoverable panic boundary, an injected http.ErrAbortHandler
+	// reaches net/http and genuinely drops the connection instead of
+	// being converted into a structured 500.
+	mw func(http.Handler) http.Handler
+
 	requests    atomic.Int64
 	predicts    atomic.Int64
 	rejected    atomic.Int64
@@ -143,8 +150,18 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/sessions/{id}/predict", deprecated("/v1/sessions/{id}/chunks", s.handlePredict))
 	mux.Handle("GET /metrics", deprecated("/v1/metrics", s.handleMetrics))
 	mux.Handle("GET /healthz", deprecated("/v1/healthz", s.handleHealthz))
-	return s.recoverable(mux)
+	h := s.recoverable(mux)
+	if s.mw != nil {
+		h = s.mw(h)
+	}
+	return h
 }
+
+// SetMiddleware wraps every request in mw, outermost — outside even the
+// panic boundary, so middleware that aborts connections (the chaos
+// injector) behaves like the network, not like a handler bug. Call
+// before Handler; nil (the default) mounts nothing.
+func (s *Server) SetMiddleware(mw func(http.Handler) http.Handler) { s.mw = mw }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

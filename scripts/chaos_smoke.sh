@@ -1,0 +1,170 @@
+#!/bin/sh
+# chaos_smoke.sh — the chaos layer's acceptance gate, in two stages.
+#
+# Soak: start two vlpserve workers with aggressive seeded server-side
+# fault injection (5xx bursts, connection resets, truncated bodies,
+# stalls), sweep across them with client-side injection layered on top,
+# and assert the merged artifacts are still byte-identical to a clean
+# in-process paperrepro run — the retry/breaker/requeue machinery must
+# absorb every injected fault without corrupting a single byte.
+#
+# Replay: run the same client-side chaos spec twice against clean
+# workers and assert the injected-fault counts are identical — the
+# injection schedule is a pure function of the seed, so a failure seen
+# once can be replayed exactly.
+#
+# (The replay stage deliberately uses client-side chaos only: server
+# draws depend on how retries interleave with the other worker's
+# traffic, while the client stream's stopping point is determined by
+# the seed alone — see internal/chaos.)
+#
+# Usage:
+#   scripts/chaos_smoke.sh
+#
+# Env: RESULTS (artifact dir, default results), EXP, N, PROFN.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RESULTS="${RESULTS:-results}"
+EXP="${EXP:-headline,table1,table2,fig5,fig9,fig10}"
+N="${N:-40000}"
+PROFN="${PROFN:-20000}"
+
+mkdir -p "$RESULTS"
+BIN="$RESULTS/chaos_smoke_bin"
+mkdir -p "$BIN"
+
+echo "== chaos-smoke: building binaries"
+go build -o "$BIN" ./cmd/vlpserve ./cmd/vlpsweep ./cmd/paperrepro ./cmd/obscheck
+
+ref_out="$RESULTS/chaos_smoke_ref_out"
+ref_json="$RESULTS/chaos_smoke_ref_json"
+soak_out="$RESULTS/chaos_smoke_soak_out"
+soak_json="$RESULTS/chaos_smoke_soak_json"
+addr1_file="$RESULTS/chaos_smoke_addr1"
+addr2_file="$RESULTS/chaos_smoke_addr2"
+rm -rf "$ref_out" "$ref_json" "$soak_out" "$soak_json"
+rm -f "$addr1_file" "$addr2_file"
+
+wait_addr() {
+	i=0
+	while [ ! -f "$1" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ] || ! kill -0 "$2" 2>/dev/null; then
+			echo "chaos-smoke: vlpserve failed to come up" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+echo "== chaos-smoke: in-process reference (paperrepro, clean run)"
+"$BIN/paperrepro" -exp "$EXP" -base "$N" -profbase "$PROFN" \
+	-out "$ref_out" -json "$ref_json" >/dev/null
+
+# ---- Stage 1: soak -------------------------------------------------
+# Worker 1 bursts 5xx and resets connections; worker 2 bursts 5xx and
+# stalls/truncates. The sweep client injects its own latency, resets,
+# truncation, and stalls on top.
+echo "== chaos-smoke: starting two chaotic vlpserve workers on :0"
+"$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr1_file" \
+	-chaos 'chaos:seed=101,burst5xx=0.15,reset=0.1,truncate=0.1' &
+pid1=$!
+"$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr2_file" \
+	-chaos 'chaos:seed=202,burst5xx=0.15,stall=0.1,stallfor=500ms,truncate=0.1' &
+pid2=$!
+trap 'kill "$pid1" "$pid2" 2>/dev/null || true' EXIT
+wait_addr "$addr1_file" "$pid1"
+wait_addr "$addr2_file" "$pid2"
+addr1="$(cat "$addr1_file")"
+addr2="$(cat "$addr2_file")"
+echo "== chaos-smoke: workers at $addr1 and $addr2"
+
+echo "== chaos-smoke: sweeping $EXP under client+server chaos (base=$N)"
+"$BIN/vlpsweep" -workers "http://$addr1,http://$addr2" \
+	-exp "$EXP" -base "$N" -profbase "$PROFN" \
+	-out "$soak_out" -json "$soak_json" -job-timeout 60s \
+	-chaos 'chaos:seed=7,latency=10ms@0.2,reset=0.15,truncate=0.1,stall=0.05,stallfor=500ms'
+
+echo "== chaos-smoke: comparing soak artifacts against clean run"
+old_ifs="$IFS"
+IFS=','
+for id in $EXP; do
+	IFS="$old_ifs"
+	if ! cmp -s "$soak_out/$id.txt" "$ref_out/$id.txt"; then
+		echo "chaos-smoke: FAIL: $id.txt differs under chaos" >&2
+		diff "$ref_out/$id.txt" "$soak_out/$id.txt" >&2 || true
+		exit 1
+	fi
+	echo "== chaos-smoke: $id.txt byte-identical"
+done
+IFS="$old_ifs"
+
+echo "== chaos-smoke: validating soak bench JSONs"
+"$BIN/obscheck" -q -dir "$soak_json"
+
+echo "== chaos-smoke: stopping chaotic workers"
+kill -TERM "$pid1" "$pid2" 2>/dev/null || true
+wait "$pid1" 2>/dev/null || true
+wait "$pid2" 2>/dev/null || true
+trap - EXIT
+
+# ---- Stage 2: replay determinism ----------------------------------
+# Same seed, same cells, clean workers: the injected-fault counts must
+# replay exactly.
+addr1_file="$RESULTS/chaos_smoke_addr3"
+addr2_file="$RESULTS/chaos_smoke_addr4"
+rm -f "$addr1_file" "$addr2_file"
+echo "== chaos-smoke: starting two clean workers for the replay stage"
+"$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr1_file" &
+pid1=$!
+"$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr2_file" &
+pid2=$!
+trap 'kill "$pid1" "$pid2" 2>/dev/null || true' EXIT
+wait_addr "$addr1_file" "$pid1"
+wait_addr "$addr2_file" "$pid2"
+workers="http://$(cat "$addr1_file"),http://$(cat "$addr2_file")"
+
+replay_spec='chaos:seed=42,latency=5ms@0.3,reset=0.25,truncate=0.2,stall=0.1,stallfor=300ms'
+replay_counts() {
+	out_dir="$RESULTS/chaos_smoke_replay_out$1"
+	json_dir="$RESULTS/chaos_smoke_replay_json$1"
+	rm -rf "$out_dir" "$json_dir"
+	"$BIN/vlpsweep" -workers "$workers" \
+		-exp "$EXP" -base "$N" -profbase "$PROFN" \
+		-out "$out_dir" -json "$json_dir" \
+		-chaos "$replay_spec" | grep '^chaos: injected'
+}
+
+echo "== chaos-smoke: replaying seed=42 twice"
+counts1="$(replay_counts 1)"
+counts2="$(replay_counts 2)"
+echo "== chaos-smoke: run 1: $counts1"
+echo "== chaos-smoke: run 2: $counts2"
+if [ "$counts1" != "$counts2" ]; then
+	echo "chaos-smoke: FAIL: same seed injected different fault schedules" >&2
+	exit 1
+fi
+case "$counts1" in
+*'reset=0 stall=0 truncate=0')
+	echo "chaos-smoke: FAIL: replay stage injected no faults; spec too tame" >&2
+	exit 1
+	;;
+esac
+
+echo "== chaos-smoke: SIGTERM clean workers, expecting clean drain"
+kill -TERM "$pid1" "$pid2"
+trap - EXIT
+status=0
+wait "$pid1" || status=$?
+if [ "$status" -ne 0 ]; then
+	echo "chaos-smoke: FAIL: worker 1 exited non-zero on SIGTERM" >&2
+	exit 1
+fi
+wait "$pid2" || status=$?
+if [ "$status" -ne 0 ]; then
+	echo "chaos-smoke: FAIL: worker 2 exited non-zero on SIGTERM" >&2
+	exit 1
+fi
+echo "== chaos-smoke: OK"
