@@ -3,7 +3,7 @@
 GO ?= go
 RESULTS ?= results
 
-.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke dist-smoke chaos-smoke clean
+.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke dist-smoke chaos-smoke clean clean-smoke
 
 all: check
 
@@ -55,8 +55,11 @@ chaos-smoke:
 bench-compare:
 	RESULTS=$(RESULTS) ./scripts/bench_compare.sh
 
-clean:
+# Remove smoke-run scratch alone. The smoke scripts clean up after
+# themselves on exit; this sweeps up after KEEP=1 runs or killed ones.
+clean-smoke:
+	rm -rf $(RESULTS)/serve_smoke_* $(RESULTS)/dist_smoke_* $(RESULTS)/chaos_smoke_*
+	rm -f $(RESULTS)/bench_serve_smoke_*.json
+
+clean: clean-smoke
 	rm -f $(RESULTS)/bench_*.json $(RESULTS)/bench_micro*.txt
-	rm -rf $(RESULTS)/serve_smoke_bin $(RESULTS)/serve_smoke_*
-	rm -rf $(RESULTS)/dist_smoke_bin $(RESULTS)/dist_smoke_*
-	rm -rf $(RESULTS)/chaos_smoke_bin $(RESULTS)/chaos_smoke_*

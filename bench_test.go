@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/bpred"
 	"repro/internal/bpred/gshare"
 	"repro/internal/bpred/targetcache"
 	"repro/internal/experiments"
@@ -355,6 +356,62 @@ func BenchmarkServeEndToEnd(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+}
+
+// BenchmarkFusedSweep pits the fused column kernel against the
+// sequential per-cell oracle on a Table-2-shaped grid — one benchmark,
+// a path-length sweep at each table size plus a gshare baseline — so
+// the reported ratio is the speedup an experiment sweep actually sees.
+// The grid is sharing-friendly the way Table 2 is: all fixed-length
+// cells at one table size have the same history configuration and
+// share a single path history, so the per-record THB insert — the
+// dominant cost of a deep path predictor's update — happens once per
+// size instead of once per length.
+func BenchmarkFusedSweep(b *testing.B) {
+	buf := benchTrace(b)
+	sizes := []int{4096, 16384}
+	lengths := []int{4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 28, 32}
+	build := func(b *testing.B) []bpred.CondPredictor {
+		preds := make([]bpred.CondPredictor, 0, len(sizes)*(1+len(lengths)))
+		for _, size := range sizes {
+			g, err := gshare.New(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			preds = append(preds, g)
+			for _, l := range lengths {
+				p, err := vlp.NewCond(size, vlp.Fixed{L: l}, vlp.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				preds = append(preds, p)
+			}
+		}
+		return preds
+	}
+	for _, mode := range []struct {
+		name    string
+		perCell bool
+	}{{"percell", true}, {"fused", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Fresh predictor state per iteration, constructed off the
+				// clock: the measured cost is the replay alone.
+				b.StopTimer()
+				preds := build(b)
+				b.StartTimer()
+				res, err := experiments.RunCondColumn(
+					context.Background(), preds, trace.NewBuffer(buf.Records), mode.perCell)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(preds) || res[0].Branches == 0 {
+					b.Fatalf("degraded run: %d results", len(res))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEndToEndSim measures the simulation loop as a whole: predictor,

@@ -53,6 +53,7 @@ func main() {
 		limits   = flag.String("limits", "", "degradation policy overrides, e.g. max-sessions=128,idle-ttl=30s,max-body=4MB,workers=16,drain=5s")
 		jobs     = flag.Bool("jobs", true, "serve POST /v1/jobs sweep cells (cmd/vlpsweep workers)")
 		traceDir = flag.String("tracedir", "", "recorded benchmark traces for sweep cells (<dir>/<bench>.vlpt)")
+		perCell  = flag.Bool("percell", false, "run sweep cells on the sequential per-cell path instead of the fused column kernel (oracle mode)")
 		chaosStr = flag.String("chaos", "", "server-side fault injection spec, e.g. chaos:seed=7,burst5xx=0.05,reset=0.02,truncate=0.02,stall=0.01")
 		verbose  = flag.Bool("v", false, "narrate requests and evictions to stderr")
 	)
@@ -76,7 +77,7 @@ func main() {
 		inj = chaos.New(spec)
 	}
 	ctx, cancelSignals := runx.WithSignals(context.Background())
-	err = run(ctx, *addr, *addrFile, *limits, *jobs, *traceDir, inj, log)
+	err = run(ctx, *addr, *addrFile, *limits, *jobs, *traceDir, *perCell, inj, log)
 	cancelSignals()
 	if perr := stop(); err == nil {
 		err = perr
@@ -87,7 +88,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, traceDir string, inj *chaos.Injector, log *obs.Logger) error {
+func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, traceDir string, perCell bool, inj *chaos.Injector, log *obs.Logger) error {
 	limits, err := serve.ParseLimits(serve.DefaultLimits(), limitsStr)
 	if err != nil {
 		return err
@@ -97,7 +98,9 @@ func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, trace
 		return err
 	}
 	if jobs {
-		srv.SetJobRunner(dist.NewRunner(traceDir, log))
+		runner := dist.NewRunner(traceDir, log)
+		runner.SetPerCell(perCell)
+		srv.SetJobRunner(runner)
 	}
 	if inj != nil {
 		// Mounted outermost — outside the panic-recovery boundary — so an

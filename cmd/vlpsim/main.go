@@ -17,6 +17,11 @@
 //
 //	vlpsim -trace gcc.vlpt -class indirect -pred path:budget=2KB
 //
+// Several ";"-separated specs replay fused — one pass over the trace
+// steps every predictor (spec bodies keep "," for their own options):
+//
+//	vlpsim -bench gcc -pred "gshare:budget=16KB;flp:budget=16KB,length=6"
+//
 // Observability: -json writes a bench report (misprediction rate, wall
 // time, branches/sec, allocation) in the repository's stable schema;
 // -cpuprofile/-memprofile/-exectrace capture pprof/runtime-trace data;
@@ -68,8 +73,8 @@ func main() {
 	flag.IntVar(&cfg.n, "n", 250000, "suite base trace length for -bench")
 	flag.StringVar(&cfg.class, "class", "cond", "branch class: cond or indirect")
 	flag.StringVar(&cfg.pred, "pred", "gshare",
-		"predictor spec, e.g. gshare:budget=16KB; cond ("+strings.Join(factory.CondNames(), ", ")+
-			"); indirect ("+strings.Join(factory.IndirectNames(), ", ")+")")
+		"predictor spec, e.g. gshare:budget=16KB, or several separated by \";\" for one fused pass; cond ("+
+			strings.Join(factory.CondNames(), ", ")+"); indirect ("+strings.Join(factory.IndirectNames(), ", ")+")")
 	flag.IntVar(&cfg.budget, "budget", 16*1024, "hardware budget in bytes (default when the spec has no budget=)")
 	flag.IntVar(&cfg.length, "length", 0, "fixed path length for -pred flp")
 	flag.StringVar(&cfg.profPath, "profile", "", "profile file for -pred vlp (from vlpprof)")
@@ -105,10 +110,33 @@ func main() {
 	}
 }
 
-// resolveSpec merges the -pred spec string with the individual flags:
+// resolveSpecs parses the -pred value, which may name several
+// predictors separated by ";" (spec bodies use "," internally). All of
+// them replay fused in one pass over the trace.
+func resolveSpecs(cfg config) ([]factory.Spec, error) {
+	parts := strings.Split(cfg.pred, ";")
+	specs := make([]factory.Spec, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, err := resolveSpec(cfg, part)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("empty -pred")
+	}
+	return specs, nil
+}
+
+// resolveSpec merges one -pred spec string with the individual flags:
 // values inside the spec win, flags fill whatever the spec left unset.
-func resolveSpec(cfg config) (factory.Spec, error) {
-	spec, err := factory.ParseSpec(cfg.pred)
+func resolveSpec(cfg config, pred string) (factory.Spec, error) {
+	spec, err := factory.ParseSpec(pred)
 	if err != nil {
 		return factory.Spec{}, err
 	}
@@ -144,55 +172,84 @@ func run(ctx context.Context, cfg config) error {
 		return err
 	}
 	cfg.log.Progressf("trace source ready")
-	spec, err := resolveSpec(cfg)
+	specs, err := resolveSpecs(cfg)
 	if err != nil {
 		return err
 	}
 
-	var res sim.Result
-	var p bpred.Predictor
+	// Several ";"-separated specs replay fused — one pass over the
+	// trace stepping every predictor — through the same kernel the
+	// experiment suite uses. A single spec is the K=1 case of the same
+	// call and prints exactly what it always has.
+	opts := sim.Options{PerPC: cfg.topMiss > 0}
+	var results []sim.Result
+	preds := make([]bpred.Predictor, len(specs))
 	switch cfg.class {
 	case "cond":
-		cp, err := spec.Cond()
-		if err != nil {
-			return err
+		cps := make([]bpred.CondPredictor, len(specs))
+		for i, spec := range specs {
+			cp, err := spec.Cond()
+			if err != nil {
+				return err
+			}
+			cps[i], preds[i] = cp, cp
+			cfg.log.Progressf("built %s (%d bytes)", cp.Name(), cp.SizeBytes())
 		}
-		p = cp
-		cfg.log.Progressf("built %s (%d bytes)", cp.Name(), cp.SizeBytes())
-		res = sim.RunCond(ctx, cp, src, sim.Options{PerPC: cfg.topMiss > 0})
+		results = sim.RunManyCond(ctx, cps, src, opts)
 	case "indirect":
-		ip, err := spec.Indirect()
-		if err != nil {
-			return err
+		ips := make([]bpred.IndirectPredictor, len(specs))
+		for i, spec := range specs {
+			ip, err := spec.Indirect()
+			if err != nil {
+				return err
+			}
+			ips[i], preds[i] = ip, ip
+			cfg.log.Progressf("built %s (%d bytes)", ip.Name(), ip.SizeBytes())
 		}
-		p = ip
-		cfg.log.Progressf("built %s (%d bytes)", ip.Name(), ip.SizeBytes())
-		res = sim.RunIndirect(ctx, ip, src, sim.Options{PerPC: cfg.topMiss > 0})
+		results = sim.RunManyIndirect(ctx, ips, src, opts)
 	default:
 		return fmt.Errorf("unknown class %q (want cond or indirect)", cfg.class)
 	}
-	if res.Err != nil {
-		// A canceled or truncated run measured only part of the trace;
-		// refuse to report the partial counts as a result.
-		return fmt.Errorf("run aborted after %d branches: %w", res.Branches, res.Err)
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			// A canceled or truncated run measured only part of the
+			// trace; refuse to report the partial counts as a result.
+			return fmt.Errorf("run aborted after %d branches: %w", results[i].Branches, err)
+		}
 	}
-	cfg.log.Progressf("run finished: %s", res.Metrics)
+	cfg.log.Progressf("run finished: %s", results[0].Metrics)
 
-	fmt.Println(res.String())
-	fmt.Printf("cost: %s\n", res.Metrics)
-	if cfg.topMiss > 0 {
-		fmt.Printf("worst %d static branches:\n", cfg.topMiss)
-		for _, pc := range res.WorstPCs(cfg.topMiss) {
-			st := res.PerPC[pc]
-			fmt.Printf("  %v  %d/%d mispredicted (%.1f%%)\n",
-				pc, st.Mispredicts, st.Branches, 100*float64(st.Mispredicts)/float64(st.Branches))
+	for i := range results {
+		res := &results[i]
+		fmt.Println(res.String())
+		fmt.Printf("cost: %s\n", res.Metrics)
+		if cfg.topMiss > 0 {
+			fmt.Printf("worst %d static branches:\n", cfg.topMiss)
+			for _, pc := range res.WorstPCs(cfg.topMiss) {
+				st := res.PerPC[pc]
+				fmt.Printf("  %v  %d/%d mispredicted (%.1f%%)\n",
+					pc, st.Mispredicts, st.Branches, 100*float64(st.Mispredicts)/float64(st.Branches))
+			}
 		}
 	}
 
 	if cfg.jsonPath != "" {
 		rep := obs.NewReport("vlpsim", "single predictor run")
 		rep.SetParam("class", cfg.class)
-		rep.SetParam("pred", spec.String())
+		data := make([]simData, len(results))
+		specStrs := make([]string, len(specs))
+		for i := range results {
+			specStrs[i] = specs[i].String()
+			data[i] = simData{
+				Predictor:   results[i].Predictor,
+				SizeBytes:   preds[i].SizeBytes(),
+				Branches:    results[i].Branches,
+				Mispredicts: results[i].Mispredicts,
+				MissRate:    results[i].Rate(),
+				MissPercent: results[i].Percent(),
+			}
+		}
+		rep.SetParam("pred", strings.Join(specStrs, ";"))
 		if cfg.tracePath != "" {
 			rep.SetParam("trace", cfg.tracePath)
 		} else {
@@ -200,14 +257,13 @@ func run(ctx context.Context, cfg config) error {
 			rep.SetParam("input", cfg.input)
 			rep.SetParam("records", cfg.n)
 		}
-		rep.Metrics = res.Metrics
-		rep.Data = simData{
-			Predictor:   res.Predictor,
-			SizeBytes:   p.SizeBytes(),
-			Branches:    res.Branches,
-			Mispredicts: res.Mispredicts,
-			MissRate:    res.Rate(),
-			MissPercent: res.Percent(),
+		rep.Metrics = results[0].Metrics
+		if len(data) == 1 {
+			// The single-spec report shape is stable: downstream greps
+			// (serve_smoke.sh) read .data.miss_rate directly.
+			rep.Data = data[0]
+		} else {
+			rep.Data = data
 		}
 		if err := rep.Write(cfg.jsonPath); err != nil {
 			return err

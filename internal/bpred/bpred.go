@@ -50,6 +50,28 @@ type IndirectPredictor interface {
 	Predict(pc arch.Addr) arch.Addr
 }
 
+// CondStepper is an optional fast path for conditional predictors driven
+// by the fused replay kernel (sim.RunMany): one call replays a whole
+// record — score it if it is a conditional branch, then apply Update —
+// so implementations can compute their table index once instead of once
+// in Predict and again in Update, and the driver pays one dynamic
+// dispatch per record instead of two.
+//
+// StepCond must be observably identical to
+//
+//	scored = r.Kind == arch.Cond
+//	if scored { correct = Predict(r.PC) == r.Taken }
+//	Update(r)
+//
+// including every side effect, so a predictor driven through either
+// surface produces bit-identical rates. The differential tests in
+// sim pin the two paths together for the predictors that implement it.
+// A type that wraps or embeds a CondStepper and changes Update's
+// behaviour must shadow StepCond to match.
+type CondStepper interface {
+	StepCond(r trace.Record) (scored, correct bool)
+}
+
 // Log2Entries converts a table budget in bytes into a power-of-two entry
 // count for entries of the given width in bits, returning the index width
 // k (the table holds 1<<k entries). It errors if the budget does not yield

@@ -77,3 +77,18 @@ func (p *Predictor) Update(r trace.Record) {
 	p.pht.Train(p.index(r.PC), r.Taken)
 	p.hist.Push(r.Taken)
 }
+
+// StepCond implements bpred.CondStepper: the fused score-and-update
+// step computes the index once — the history register only shifts after
+// the counter is trained, so Predict and Update see the same index and
+// one computation serves both.
+func (p *Predictor) StepCond(r trace.Record) (scored, correct bool) {
+	if r.Kind != arch.Cond {
+		return false, false
+	}
+	i := p.index(r.PC)
+	correct = p.pht.Taken(i) == r.Taken
+	p.pht.Train(i, r.Taken)
+	p.hist.Push(r.Taken)
+	return true, correct
+}

@@ -41,6 +41,7 @@ import (
 // as an in-process suite run does.
 type Runner struct {
 	traceDir string
+	perCell  bool
 	log      *obs.Logger
 
 	mu     sync.Mutex
@@ -74,6 +75,13 @@ func NewRunner(traceDir string, log *obs.Logger) *Runner {
 	}
 }
 
+// SetPerCell routes every suite this runner builds through the
+// sequential per-cell replay path instead of the fused column kernel
+// (experiments.Config.PerCell) — the oracle mode for bisecting a
+// suspect fused result. Call before the first job; suites already
+// built keep their mode.
+func (r *Runner) SetPerCell(v bool) { r.perCell = v }
+
 // suite returns the cached suite for a scale, building and ingesting it
 // on first use.
 func (r *Runner) suite(ctx context.Context, key suiteKey) (*experiments.Suite, error) {
@@ -89,6 +97,7 @@ func (r *Runner) suite(ctx context.Context, key suiteKey) (*experiments.Suite, e
 			BaseRecords:    key.base,
 			ProfileRecords: key.profBase,
 			TraceDir:       r.traceDir,
+			PerCell:        r.perCell,
 		})
 		skipped, err := s.IngestTraces(ctx)
 		if err != nil {

@@ -45,34 +45,31 @@ func (r *AblationResult) table() string {
 }
 
 // runCondVariants measures conditional misprediction for one predictor
-// constructor per variant, across the ablation benchmarks, in parallel.
-func (s *Suite) runCondVariants(ctx context.Context, benchNames []string, variants []string,
+// constructor per variant, across the ablation benchmarks: one fused
+// column per benchmark (all variants in one trace pass), benchmarks in
+// parallel. The id names the variant set for the suite's column cache.
+func (s *Suite) runCondVariants(ctx context.Context, id string, benchNames []string, variants []string,
 	mk func(variant int, bench string) (bpred.CondPredictor, error)) (*AblationResult, error) {
 	res := &AblationResult{
 		Benchmarks: benchNames,
 		Variants:   variants,
 		Rates:      newRates(len(variants), len(benchNames)),
 	}
-	type job struct{ v, b int }
-	var jobs []job
-	for v := range variants {
-		for b := range benchNames {
-			jobs = append(jobs, job{v, b})
+	err := sim.ForEach(ctx, len(benchNames), func(b int) error {
+		bench := benchNames[b]
+		cells := make([]CondCell, len(variants))
+		for v := range variants {
+			v := v
+			cells[v] = func() (bpred.CondPredictor, error) { return mk(v, bench) }
 		}
-	}
-	err := sim.ForEach(ctx, len(jobs), func(i int) error {
-		j := jobs[i]
-		p, err := mk(j.v, benchNames[j.b])
+		pct, err := s.CondColumn(ctx, id, bench, cells)
 		if err != nil {
 			return err
 		}
-		test, err := s.TestSource(benchNames[j.b])
-		if err != nil {
-			return err
+		for v := range variants {
+			res.Rates[v][b] = pct[v]
 		}
-		var jerr error
-		res.Rates[j.v][j.b], jerr = condPercent(ctx, p, test)
-		return jerr
+		return nil
 	})
 	return res, err
 }
@@ -82,7 +79,7 @@ func (s *Suite) runCondVariants(ctx context.Context, benchNames []string, varian
 func (s *Suite) AblationRotation(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ctx, ablationBenches,
+	res, err := s.runCondVariants(ctx, "ablation-rotation", ablationBenches,
 		[]string{"VLP (rotated)", "VLP (no rotation)"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			prof, err := s.Profile(bench, false, k)
@@ -107,7 +104,7 @@ func (s *Suite) AblationRotation(ctx context.Context) (*Report, error) {
 func (s *Suite) AblationReturns(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ctx, ablationBenches,
+	res, err := s.runCondVariants(ctx, "ablation-returns", ablationBenches,
 		[]string{"returns excluded", "returns stored"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			prof, err := s.Profile(bench, false, k)
@@ -133,7 +130,7 @@ func (s *Suite) AblationSubset(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
 	subset := []int{1, 2, 4, 8, 16, 32}
-	res, err := s.runCondVariants(ctx, ablationBenches,
+	res, err := s.runCondVariants(ctx, "ablation-subset", ablationBenches,
 		[]string{"all 32 hash functions", "subset {1,2,4,8,16,32}"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			if v == 0 {
@@ -175,7 +172,7 @@ func (s *Suite) AblationHeuristic(ctx context.Context) (*Report, error) {
 	for i, c := range settings {
 		variants[i] = fmt.Sprintf("%d cand / %d iter", c.cands, c.iters)
 	}
-	res, err := s.runCondVariants(ctx, ablationBenches, variants,
+	res, err := s.runCondVariants(ctx, "ablation-heuristic", ablationBenches, variants,
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			src, err := s.ProfileSource(bench)
 			if err != nil {
@@ -216,36 +213,38 @@ func (s *Suite) AblationHFNT(ctx context.Context) (*Report, error) {
 	k := condK(budget)
 	res := &HFNTResult{Benchmarks: ablationBenches, EntryBits: []uint{6, 8, 10, 12}}
 	res.RepredictPct = newRates(len(res.EntryBits), len(res.Benchmarks))
-	type job struct{ j, b int }
-	var jobs []job
-	for j := range res.EntryBits {
-		for b := range res.Benchmarks {
-			jobs = append(jobs, job{j, b})
-		}
-	}
-	err := sim.ForEach(ctx, len(jobs), func(i int) error {
-		jb := jobs[i]
-		bench := res.Benchmarks[jb.b]
+	// The measurement lives on the predictor (RepredictRate), not in the
+	// replay counts, so this experiment keeps its predictors and uses
+	// the non-memoized column runner: one fused pass per benchmark over
+	// all four HFNT sizes.
+	err := sim.ForEach(ctx, len(res.Benchmarks), func(b int) error {
+		bench := res.Benchmarks[b]
 		prof, err := s.Profile(bench, false, k)
 		if err != nil {
 			return err
 		}
-		inner, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-		if err != nil {
-			return err
-		}
-		h, err := vlp.NewHFNT(inner, res.EntryBits[jb.j])
-		if err != nil {
-			return err
+		hfnts := make([]*vlp.HFNT, len(res.EntryBits))
+		preds := make([]bpred.CondPredictor, len(res.EntryBits))
+		for j, bits := range res.EntryBits {
+			inner, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
+			if err != nil {
+				return err
+			}
+			if hfnts[j], err = vlp.NewHFNT(inner, bits); err != nil {
+				return err
+			}
+			preds[j] = hfnts[j]
 		}
 		test, err := s.TestSource(bench)
 		if err != nil {
 			return err
 		}
-		if r := sim.RunCond(ctx, h, test, sim.Options{}); r.Err != nil {
-			return r.Err
+		if _, err := RunCondColumn(ctx, preds, test, s.Cfg.PerCell); err != nil {
+			return err
 		}
-		res.RepredictPct[jb.j][jb.b] = 100 * h.RepredictRate()
+		for j, h := range hfnts {
+			res.RepredictPct[j][b] = 100 * h.RepredictRate()
+		}
 		return nil
 	})
 	if err != nil {
@@ -280,7 +279,7 @@ func (s *Suite) AblationDynSel(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.runCondVariants(ctx, ablationBenches,
+	res, err := s.runCondVariants(ctx, "ablation-dynsel", ablationBenches,
 		[]string{"fixed length path", "dynamic selection (hw)", "variable length path (profiled)"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			switch v {
@@ -312,7 +311,7 @@ func (s *Suite) AblationDynSel(ctx context.Context) (*Report, error) {
 func (s *Suite) AblationHistStack(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ctx, ablationBenches,
+	res, err := s.runCondVariants(ctx, "ablation-histstack", ablationBenches,
 		[]string{"flat history", "stack (restore)", "stack (combine 2)"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			prof, err := s.Profile(bench, false, k)
@@ -344,7 +343,7 @@ func (s *Suite) AblationHistStack(ctx context.Context) (*Report, error) {
 func (s *Suite) AblationCompetitors(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ctx, ablationBenches,
+	res, err := s.runCondVariants(ctx, "ablation-competitors", ablationBenches,
 		[]string{"bimodal", "GAs", "PAs", "gshare", "agree", "bi-mode", "gskew", "hybrid", "FLP(tuned)", "VLP"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			switch v {

@@ -38,43 +38,31 @@ func (s *Suite) AblationIndField(ctx context.Context) (*Report, error) {
 		Variants:   variants,
 		Rates:      newRates(len(variants), len(heavy)),
 	}
-	type job struct{ v, b int }
-	var jobs []job
-	for v := range variants {
-		for b := range heavy {
-			jobs = append(jobs, job{v, b})
+	err = sim.ForEach(ctx, len(heavy), func(b int) error {
+		bench := heavy[b].Name()
+		prof, err := s.Profile(bench, true, k)
+		if err != nil {
+			return err
 		}
-	}
-	err = sim.ForEach(ctx, len(jobs), func(i int) error {
-		j := jobs[i]
-		bench := heavy[j.b].Name()
-		var p bpred.IndirectPredictor
-		var err error
-		switch variants[j.v] {
-		case "FLP":
-			p, err = factory.NewIndirect(factory.IndirectSpec{
-				Name: "flp", BudgetBytes: budget, FixedLength: fixedLen})
-		case "VLP":
-			prof, perr := s.Profile(bench, true, k)
-			if perr != nil {
-				return perr
+		cells := make([]IndirectCell, len(variants))
+		for v := range variants {
+			spec := factory.IndirectSpec{Name: variants[v], BudgetBytes: budget}
+			switch variants[v] {
+			case "FLP":
+				spec = factory.IndirectSpec{Name: "flp", BudgetBytes: budget, FixedLength: fixedLen}
+			case "VLP":
+				spec = factory.IndirectSpec{Name: "vlp", BudgetBytes: budget, Profile: prof}
 			}
-			p, err = factory.NewIndirect(factory.IndirectSpec{
-				Name: "vlp", BudgetBytes: budget, Profile: prof})
-		default:
-			p, err = factory.NewIndirect(factory.IndirectSpec{
-				Name: variants[j.v], BudgetBytes: budget})
+			cells[v] = func() (bpred.IndirectPredictor, error) { return factory.NewIndirect(spec) }
 		}
+		pct, err := s.IndirectColumn(ctx, "ablation-indfield", bench, cells)
 		if err != nil {
 			return err
 		}
-		test, err := s.TestSource(bench)
-		if err != nil {
-			return err
+		for v := range variants {
+			res.Rates[v][b] = pct[v]
 		}
-		var jerr error
-		res.Rates[j.v][j.b], jerr = indirectPercent(ctx, p, test)
-		return jerr
+		return nil
 	})
 	if err != nil {
 		return nil, err

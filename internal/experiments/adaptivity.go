@@ -35,7 +35,7 @@ func (s *Suite) AblationAdaptivity(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.runCondVariants(ctx, ablationBenches,
+	res, err := s.runCondVariants(ctx, "ablation-adaptivity", ablationBenches,
 		[]string{"gshare", "DHLF [12]", "elastic pattern [21]", "FLP", "VLP"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			switch v {

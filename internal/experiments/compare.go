@@ -9,7 +9,6 @@ import (
 	"repro/internal/bpred/targetcache"
 	"repro/internal/sim"
 	"repro/internal/textplot"
-	"repro/internal/trace"
 	"repro/internal/vlp"
 	"repro/internal/workload"
 )
@@ -110,38 +109,29 @@ func (s *Suite) condComparison(ctx context.Context, bs []*workload.Benchmark, bu
 		Benchmarks: names(bs),
 		Rates:      newRates(3, len(bs)),
 	}
+	id := fmt.Sprintf("compare-cond-%d", budgetBytes)
 	err = sim.ForEach(ctx, len(bs), func(i int) error {
 		b := bs[i]
-		test, err := s.TestSource(b.Name())
-		if err != nil {
-			return err
-		}
-		g, err := gshare.New(budgetBytes)
-		if err != nil {
-			return err
-		}
-		if out.Rates[0][i], err = condPercent(ctx, g, test); err != nil {
-			return err
-		}
-
-		flp, err := vlp.NewCond(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
-		if err != nil {
-			return err
-		}
-		if out.Rates[1][i], err = condPercent(ctx, flp, test); err != nil {
-			return err
-		}
-
 		prof, err := s.Profile(b.Name(), false, k)
 		if err != nil {
 			return err
 		}
-		vp, err := vlp.NewCond(budgetBytes, prof.Selector(), vlp.Options{})
+		pct, err := s.CondColumn(ctx, id, b.Name(), []CondCell{
+			func() (bpred.CondPredictor, error) { return gshare.New(budgetBytes) },
+			func() (bpred.CondPredictor, error) {
+				return vlp.NewCond(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
+			},
+			func() (bpred.CondPredictor, error) {
+				return vlp.NewCond(budgetBytes, prof.Selector(), vlp.Options{})
+			},
+		})
 		if err != nil {
 			return err
 		}
-		out.Rates[2][i], err = condPercent(ctx, vp, test)
-		return err
+		for p := range out.Predictors {
+			out.Rates[p][i] = pct[p]
+		}
+		return nil
 	})
 	return out, err
 }
@@ -169,49 +159,30 @@ func (s *Suite) indirectComparison(ctx context.Context, bs []*workload.Benchmark
 		Benchmarks: names(bs),
 		Rates:      newRates(4, len(bs)),
 	}
+	id := fmt.Sprintf("compare-ind-%d", budgetBytes)
 	err = sim.ForEach(ctx, len(bs), func(i int) error {
 		b := bs[i]
-		test, err := s.TestSource(b.Name())
-		if err != nil {
-			return err
-		}
-		runOne := func(p bpred.IndirectPredictor) (float64, error) {
-			return indirectPercent(ctx, p, test)
-		}
-		path, err := targetcache.NewPathBudget(budgetBytes)
-		if err != nil {
-			return err
-		}
-		if out.Rates[0][i], err = runOne(path); err != nil {
-			return err
-		}
-
-		pattern, err := targetcache.NewPatternBudget(budgetBytes)
-		if err != nil {
-			return err
-		}
-		if out.Rates[1][i], err = runOne(pattern); err != nil {
-			return err
-		}
-
-		flp, err := vlp.NewIndirect(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
-		if err != nil {
-			return err
-		}
-		if out.Rates[2][i], err = runOne(flp); err != nil {
-			return err
-		}
-
 		prof, err := s.Profile(b.Name(), true, k)
 		if err != nil {
 			return err
 		}
-		vp, err := vlp.NewIndirect(budgetBytes, prof.Selector(), vlp.Options{})
+		pct, err := s.IndirectColumn(ctx, id, b.Name(), []IndirectCell{
+			func() (bpred.IndirectPredictor, error) { return targetcache.NewPathBudget(budgetBytes) },
+			func() (bpred.IndirectPredictor, error) { return targetcache.NewPatternBudget(budgetBytes) },
+			func() (bpred.IndirectPredictor, error) {
+				return vlp.NewIndirect(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
+			},
+			func() (bpred.IndirectPredictor, error) {
+				return vlp.NewIndirect(budgetBytes, prof.Selector(), vlp.Options{})
+			},
+		})
 		if err != nil {
 			return err
 		}
-		out.Rates[3][i], err = runOne(vp)
-		return err
+		for p := range out.Predictors {
+			out.Rates[p][i] = pct[p]
+		}
+		return nil
 	})
 	return out, err
 }
@@ -230,18 +201,4 @@ func newRates(p, b int) [][]float64 {
 		out[i] = make([]float64, b)
 	}
 	return out
-}
-
-// condPercent and indirectPercent run a predictor over a source and
-// return its misprediction percentage, refusing to report a partial
-// run (canceled context or failed source) as a measurement.
-
-func condPercent(ctx context.Context, p bpred.CondPredictor, src trace.Source) (float64, error) {
-	res := sim.RunCond(ctx, p, src, sim.Options{})
-	return res.Percent(), res.Err
-}
-
-func indirectPercent(ctx context.Context, p bpred.IndirectPredictor, src trace.Source) (float64, error) {
-	res := sim.RunIndirect(ctx, p, src, sim.Options{})
-	return res.Percent(), res.Err
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bpred"
 	"repro/internal/bpred/gshare"
 	"repro/internal/bpred/targetcache"
 	"repro/internal/sim"
@@ -92,58 +93,57 @@ func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
 	}
 	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
 
+	// Warm the per-size profiling artifacts in parallel, then replay the
+	// whole grid — every (size, predictor) cell — as one fused column
+	// over gcc's test trace. The many fixed-length cells at each size
+	// share one path history inside the kernel, which is where the
+	// sweep's speedup comes from.
+	type sizing struct {
+		suiteLen, tunedLen int
+		sel                vlp.Selector
+	}
+	sizings := make([]sizing, len(res.SizesBytes))
 	err = sim.ForEach(ctx, len(res.SizesBytes), func(i int) error {
-		budget := res.SizesBytes[i]
-		k := condK(budget)
-		test, err := s.TestSource(bench)
-		if err != nil {
+		k := condK(res.SizesBytes[i])
+		var err error
+		if sizings[i].suiteLen, err = s.SuiteFixedLength(all, false, k); err != nil {
 			return err
 		}
-		g, err := gshare.New(budget)
-		if err != nil {
+		if sizings[i].tunedLen, err = s.TunedFixedLength(bench, false, k); err != nil {
 			return err
 		}
-		if res.Rates[0][i], err = condPercent(ctx, g, test); err != nil {
-			return err
-		}
-
-		suiteLen, err := s.SuiteFixedLength(all, false, k)
-		if err != nil {
-			return err
-		}
-		flp, err := vlp.NewCond(budget, vlp.Fixed{L: suiteLen}, vlp.Options{})
-		if err != nil {
-			return err
-		}
-		if res.Rates[1][i], err = condPercent(ctx, flp, test); err != nil {
-			return err
-		}
-
-		tunedLen, err := s.TunedFixedLength(bench, false, k)
-		if err != nil {
-			return err
-		}
-		tuned, err := vlp.NewCond(budget, vlp.Fixed{L: tunedLen}, vlp.Options{})
-		if err != nil {
-			return err
-		}
-		if res.Rates[2][i], err = condPercent(ctx, tuned, test); err != nil {
-			return err
-		}
-
 		prof, err := s.Profile(bench, false, k)
 		if err != nil {
 			return err
 		}
-		vp, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-		if err != nil {
-			return err
-		}
-		res.Rates[3][i], err = condPercent(ctx, vp, test)
-		return err
+		sizings[i].sel = prof.Selector()
+		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var cells []CondCell
+	for i := range res.SizesBytes {
+		budget, sz := res.SizesBytes[i], sizings[i]
+		cells = append(cells,
+			func() (bpred.CondPredictor, error) { return gshare.New(budget) },
+			func() (bpred.CondPredictor, error) {
+				return vlp.NewCond(budget, vlp.Fixed{L: sz.suiteLen}, vlp.Options{})
+			},
+			func() (bpred.CondPredictor, error) {
+				return vlp.NewCond(budget, vlp.Fixed{L: sz.tunedLen}, vlp.Options{})
+			},
+			func() (bpred.CondPredictor, error) { return vlp.NewCond(budget, sz.sel, vlp.Options{}) },
+		)
+	}
+	pct, err := s.CondColumn(ctx, "fig9", bench, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.SizesBytes {
+		for p := range res.Predictors {
+			res.Rates[p][i] = pct[i*len(res.Predictors)+p]
+		}
 	}
 	return &Report{
 		ID:    "fig9",
@@ -171,66 +171,57 @@ func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
 	}
 	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
 
+	// Same shape as Figure9: warm the per-size artifacts in parallel,
+	// then replay the whole grid as one fused indirect column.
+	type sizing struct {
+		suiteLen, tunedLen int
+		sel                vlp.Selector
+	}
+	sizings := make([]sizing, len(res.SizesBytes))
 	err = sim.ForEach(ctx, len(res.SizesBytes), func(i int) error {
-		budget := res.SizesBytes[i]
-		k := indK(budget)
-		test, err := s.TestSource(bench)
-		if err != nil {
+		k := indK(res.SizesBytes[i])
+		var err error
+		if sizings[i].suiteLen, err = s.SuiteFixedLength(all, true, k); err != nil {
 			return err
 		}
-		path, err := targetcache.NewPathBudget(budget)
-		if err != nil {
+		if sizings[i].tunedLen, err = s.TunedFixedLength(bench, true, k); err != nil {
 			return err
 		}
-		if res.Rates[0][i], err = indirectPercent(ctx, path, test); err != nil {
-			return err
-		}
-
-		pattern, err := targetcache.NewPatternBudget(budget)
-		if err != nil {
-			return err
-		}
-		if res.Rates[1][i], err = indirectPercent(ctx, pattern, test); err != nil {
-			return err
-		}
-
-		suiteLen, err := s.SuiteFixedLength(all, true, k)
-		if err != nil {
-			return err
-		}
-		flp, err := vlp.NewIndirect(budget, vlp.Fixed{L: suiteLen}, vlp.Options{})
-		if err != nil {
-			return err
-		}
-		if res.Rates[2][i], err = indirectPercent(ctx, flp, test); err != nil {
-			return err
-		}
-
-		tunedLen, err := s.TunedFixedLength(bench, true, k)
-		if err != nil {
-			return err
-		}
-		tuned, err := vlp.NewIndirect(budget, vlp.Fixed{L: tunedLen}, vlp.Options{})
-		if err != nil {
-			return err
-		}
-		if res.Rates[3][i], err = indirectPercent(ctx, tuned, test); err != nil {
-			return err
-		}
-
 		prof, err := s.Profile(bench, true, k)
 		if err != nil {
 			return err
 		}
-		vp, err := vlp.NewIndirect(budget, prof.Selector(), vlp.Options{})
-		if err != nil {
-			return err
-		}
-		res.Rates[4][i], err = indirectPercent(ctx, vp, test)
-		return err
+		sizings[i].sel = prof.Selector()
+		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	var cells []IndirectCell
+	for i := range res.SizesBytes {
+		budget, sz := res.SizesBytes[i], sizings[i]
+		cells = append(cells,
+			func() (bpred.IndirectPredictor, error) { return targetcache.NewPathBudget(budget) },
+			func() (bpred.IndirectPredictor, error) { return targetcache.NewPatternBudget(budget) },
+			func() (bpred.IndirectPredictor, error) {
+				return vlp.NewIndirect(budget, vlp.Fixed{L: sz.suiteLen}, vlp.Options{})
+			},
+			func() (bpred.IndirectPredictor, error) {
+				return vlp.NewIndirect(budget, vlp.Fixed{L: sz.tunedLen}, vlp.Options{})
+			},
+			func() (bpred.IndirectPredictor, error) {
+				return vlp.NewIndirect(budget, sz.sel, vlp.Options{})
+			},
+		)
+	}
+	pct, err := s.IndirectColumn(ctx, "fig10", bench, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.SizesBytes {
+		for p := range res.Predictors {
+			res.Rates[p][i] = pct[i*len(res.Predictors)+p]
+		}
 	}
 	return &Report{
 		ID:    "fig10",
@@ -256,60 +247,38 @@ func (s *Suite) Headline(ctx context.Context) (*Report, error) {
 	const bench = "gcc"
 	res := &HeadlineResult{}
 
-	test, err := s.TestSource(bench)
-	if err != nil {
-		return nil, err
-	}
-	g, err := gshare.New(4 * 1024)
-	if err != nil {
-		return nil, err
-	}
-	if res.CondGshare, err = condPercent(ctx, g, test); err != nil {
-		return nil, err
-	}
 	prof, err := s.Profile(bench, false, condK(4*1024))
 	if err != nil {
 		return nil, err
 	}
-	vp, err := vlp.NewCond(4*1024, prof.Selector(), vlp.Options{})
+	cond, err := s.CondColumn(ctx, "headline-cond", bench, []CondCell{
+		func() (bpred.CondPredictor, error) { return gshare.New(4 * 1024) },
+		func() (bpred.CondPredictor, error) { return vlp.NewCond(4*1024, prof.Selector(), vlp.Options{}) },
+	})
 	if err != nil {
 		return nil, err
 	}
-	if res.CondVLP, err = condPercent(ctx, vp, test); err != nil {
-		return nil, err
-	}
+	res.CondGshare, res.CondVLP = cond[0], cond[1]
 
-	path, err := targetcache.NewPathBudget(512)
-	if err != nil {
-		return nil, err
-	}
-	pathRate, err := indirectPercent(ctx, path, test)
-	if err != nil {
-		return nil, err
-	}
-	pattern, err := targetcache.NewPatternBudget(512)
-	if err != nil {
-		return nil, err
-	}
-	patternRate, err := indirectPercent(ctx, pattern, test)
-	if err != nil {
-		return nil, err
-	}
-	res.IndBestCompeting, res.IndBestCompetingName = pathRate, "path"
-	if patternRate < pathRate {
-		res.IndBestCompeting, res.IndBestCompetingName = patternRate, "pattern"
-	}
 	iprof, err := s.Profile(bench, true, indK(512))
 	if err != nil {
 		return nil, err
 	}
-	ivp, err := vlp.NewIndirect(512, iprof.Selector(), vlp.Options{})
+	ind, err := s.IndirectColumn(ctx, "headline-ind", bench, []IndirectCell{
+		func() (bpred.IndirectPredictor, error) { return targetcache.NewPathBudget(512) },
+		func() (bpred.IndirectPredictor, error) { return targetcache.NewPatternBudget(512) },
+		func() (bpred.IndirectPredictor, error) {
+			return vlp.NewIndirect(512, iprof.Selector(), vlp.Options{})
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
-	if res.IndVLP, err = indirectPercent(ctx, ivp, test); err != nil {
-		return nil, err
+	res.IndBestCompeting, res.IndBestCompetingName = ind[0], "path"
+	if ind[1] < ind[0] {
+		res.IndBestCompeting, res.IndBestCompetingName = ind[1], "pattern"
 	}
+	res.IndVLP = ind[2]
 
 	text := fmt.Sprintf(
 		"gcc conditional @ 4KB:  VLP %.2f%%  vs  gshare %.2f%%   (paper: 4.3%% vs 8.8%%)\n"+

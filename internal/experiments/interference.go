@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bpred"
 	"repro/internal/bpred/gshare"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -53,10 +54,6 @@ func (s *Suite) AblationInterference(ctx context.Context) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		if r := sim.RunCond(ctx, flp, test, sim.Options{}); r.Err != nil {
-			return r.Err
-		}
-
 		prof, err := s.Profile(bench, false, k)
 		if err != nil {
 			return err
@@ -65,8 +62,12 @@ func (s *Suite) AblationInterference(ctx context.Context) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		if r := sim.RunCond(ctx, vp, test, sim.Options{}); r.Err != nil {
-			return r.Err
+		// The breakdown lives on the predictors, so run the fused column
+		// directly (non-memoized) and read Stats afterwards. Both
+		// instrumented predictors share one path history inside the
+		// kernel; the classification only reads the predictor table.
+		if _, err := RunCondColumn(ctx, []bpred.CondPredictor{flp, vp}, test, s.Cfg.PerCell); err != nil {
+			return err
 		}
 		res.Rows[i] = []vlp.MissBreakdown{flp.Stats, vp.Stats}
 		return nil
@@ -127,15 +128,18 @@ func (s *Suite) AblationStability(ctx context.Context) (*Report, error) {
 		if err != nil {
 			return err
 		}
-		if res.GshareRates[i], err = condPercent(ctx, g, src); err != nil {
-			return err
-		}
 		vp, err := vlp.NewCond(budget, prof.Selector(), vlp.Options{})
 		if err != nil {
 			return err
 		}
-		res.VLPRates[i], err = condPercent(ctx, vp, src)
-		return err
+		// These traces are per-input, not the suite's cached test trace,
+		// so the column runs non-memoized over the collected buffer.
+		results, err := RunCondColumn(ctx, []bpred.CondPredictor{g, vp}, src, s.Cfg.PerCell)
+		if err != nil {
+			return err
+		}
+		res.GshareRates[i], res.VLPRates[i] = results[0].Percent(), results[1].Percent()
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -9,7 +9,12 @@ import (
 	"repro/internal/runx"
 )
 
-// Entry describes one runnable experiment.
+// Entry describes one runnable experiment. Entries are the unit every
+// execution surface shares — cmd/paperrepro's suite loop, the root
+// benchmarks, and the /v1/jobs sweep worker all run registry entries —
+// and since the experiments lay their predictor grids out as fused
+// columns (column.go), any two surfaces running the same entry at the
+// same scale replay the same kernel and render identical bytes.
 type Entry struct {
 	ID    string
 	Title string

@@ -112,7 +112,7 @@ func (s *Suite) AblationSpeedup(ctx context.Context) (*Report, error) {
 func (s *Suite) AblationISABits(ctx context.Context) (*Report, error) {
 	const budget = 16 * 1024
 	k := condK(budget)
-	res, err := s.runCondVariants(ctx, ablationBenches,
+	res, err := s.runCondVariants(ctx, "ablation-isabits", ablationBenches,
 		[]string{"full number (5 bits)", "bucket hint + hw refine (2 bits)", "hardware only (0 bits)"},
 		func(v int, bench string) (bpred.CondPredictor, error) {
 			switch v {

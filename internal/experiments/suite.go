@@ -45,6 +45,12 @@ type Config struct {
 	// loads them up front; benchmarks whose trace is missing or corrupt
 	// are skipped with a recorded reason rather than failing the suite.
 	TraceDir string
+	// PerCell routes experiment columns through the sequential
+	// per-predictor driver (one trace pass per cell) instead of the
+	// fused kernel. The rendered artifacts are byte-identical either
+	// way; the per-cell path is kept as the differential-test oracle
+	// and as a bisection tool when a fused result looks wrong.
+	PerCell bool
 }
 
 func (c Config) base() int {
@@ -112,6 +118,8 @@ type Suite struct {
 	testBufs  map[string]*flight[[]trace.Record]
 	step1     map[cacheKey]*flight[profile.Step1Result]
 	profiles  map[cacheKey]*flight[*profile.Profile]
+	condCols  map[columnKey]*flight[[]float64]
+	indCols   map[columnKey]*flight[[]float64]
 	benchmark map[string]*workload.Benchmark
 	// skipped maps benchmark name → why its trace could not be
 	// ingested. Sweep experiments drop skipped benchmarks (benches);
@@ -124,12 +132,20 @@ type Suite struct {
 	computedRecords  atomic.Int64
 	computedStep1    atomic.Int64
 	computedProfiles atomic.Int64
+	computedColumns  atomic.Int64
 }
 
 type cacheKey struct {
 	bench    string
 	indirect bool
 	k        uint
+}
+
+// columnKey identifies a memoized fused-column replay: the benchmark
+// whose test trace is replayed plus the column's content id.
+type columnKey struct {
+	bench string
+	id    string
 }
 
 // NewSuite returns an empty-cached suite.
@@ -140,6 +156,8 @@ func NewSuite(cfg Config) *Suite {
 		testBufs:  map[string]*flight[[]trace.Record]{},
 		step1:     map[cacheKey]*flight[profile.Step1Result]{},
 		profiles:  map[cacheKey]*flight[*profile.Profile]{},
+		condCols:  map[columnKey]*flight[[]float64]{},
+		indCols:   map[columnKey]*flight[[]float64]{},
 		benchmark: map[string]*workload.Benchmark{},
 		skipped:   map[string]string{},
 	}
@@ -151,6 +169,14 @@ func NewSuite(cfg Config) *Suite {
 // however many goroutines ask for it.
 func (s *Suite) ComputeCounts() (records, step1, profiles int64) {
 	return s.computedRecords.Load(), s.computedStep1.Load(), s.computedProfiles.Load()
+}
+
+// ComputedColumns reports how many fused column replays the suite has
+// actually executed (cache misses, not lookups). Experiments that ask
+// for the same (benchmark, column id) — the CLI rendering an artifact a
+// service job already computed, say — share one replay.
+func (s *Suite) ComputedColumns() int64 {
+	return s.computedColumns.Load()
 }
 
 // primeTestRecords installs pre-ingested test-trace records for a

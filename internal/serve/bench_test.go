@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkPredictIngest measures the chunk-ingest hot path — request
+// decode through predict — by driving the handler directly (no client
+// or TCP stack), so allocs/op is the server-side cost per chunk. The
+// gzip variant exercises the pooled gzip.Reader, the plain variant the
+// pooled chunk buffer alone.
+func BenchmarkPredictIngest(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		gz   bool
+	}{{"plain", false}, {"gzip", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			s, err := New(testLimits(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := s.Handler()
+
+			body, err := json.Marshal(SessionRequest{ID: "b", Class: "cond", Spec: "gshare:budget=16KB"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := httptest.NewRequest(http.MethodPost, "/v1/sessions", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusCreated {
+				b.Fatalf("create session: status %d", rec.Code)
+			}
+
+			chunk := encodeRecords(b, testTrace(b, 4096).Records)
+			if tc.gz {
+				var zbuf bytes.Buffer
+				zw := gzip.NewWriter(&zbuf)
+				if _, err := zw.Write(chunk); err != nil {
+					b.Fatal(err)
+				}
+				if err := zw.Close(); err != nil {
+					b.Fatal(err)
+				}
+				chunk = zbuf.Bytes()
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/sessions/b/chunks", bytes.NewReader(chunk))
+				if tc.gz {
+					req.Header.Set("Content-Encoding", "gzip")
+				}
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("chunk: status %d", rec.Code)
+				}
+			}
+		})
+	}
+}

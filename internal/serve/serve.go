@@ -29,6 +29,7 @@
 package serve
 
 import (
+	"bytes"
 	"compress/gzip"
 	"context"
 	"encoding/json"
@@ -37,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -281,6 +283,16 @@ type PredictResponse struct {
 	TotalMissRate    float64 `json:"total_miss_rate"`
 }
 
+// The ingest hot path recycles its two per-request allocations: gzip
+// readers (each ~44KB of inflate state) and the chunk byte buffer
+// io.ReadAll would otherwise regrow per request. Pooled values are
+// request-scoped — taken after the worker-slot gate, returned before
+// the handler exits — so the pools hold at most one value per worker.
+var (
+	gzipReaders sync.Pool // *gzip.Reader, between requests holds a closed reader
+	chunkBufs   = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+)
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// Backpressure first: take a worker slot without blocking or turn
 	// the request away while it is still cheap.
@@ -306,19 +318,34 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var body io.Reader = http.MaxBytesReader(w, r.Body, s.limits.MaxBodyBytes)
 	if r.Header.Get("Content-Encoding") == "gzip" {
-		zr, err := gzip.NewReader(body)
+		zr, _ := gzipReaders.Get().(*gzip.Reader)
+		var err error
+		if zr == nil {
+			zr, err = gzip.NewReader(body)
+		} else {
+			err = zr.Reset(body)
+		}
 		if err != nil {
+			if zr != nil {
+				gzipReaders.Put(zr)
+			}
 			s.writeError(w, fmt.Errorf("serve: bad gzip frame: %w", trace.ErrCorrupt))
 			return
 		}
-		defer zr.Close()
+		defer func() {
+			zr.Close()
+			gzipReaders.Put(zr)
+		}()
 		body = zr
 	}
-	data, err := io.ReadAll(body)
-	if err != nil {
+	bb := chunkBufs.Get().(*bytes.Buffer)
+	bb.Reset()
+	defer chunkBufs.Put(bb)
+	if _, err := bb.ReadFrom(body); err != nil {
 		s.writeError(w, err)
 		return
 	}
+	data := bb.Bytes()
 	buf, err := trace.Decode(data)
 	if err != nil {
 		s.writeError(w, err)

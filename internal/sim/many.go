@@ -1,0 +1,349 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/bpred"
+	"repro/internal/obs"
+	"repro/internal/runx"
+	"repro/internal/trace"
+)
+
+// This file is the fused replay kernel: one pass over a trace that steps
+// a whole column of predictors per record — one record load, one
+// kind-dispatch, K predict/update calls — instead of K separate passes.
+// The paper's evaluation artifacts are grids of predictor configurations
+// over shared benchmark traces (Table 2, Figures 5–10, the ablations),
+// so the grid's dominant memory traffic is re-streaming the identical
+// record slice once per cell; fusing the replay pays for the trace once.
+//
+// Correctness rests on predictor independence: each predictor is a
+// deterministic state machine over the record stream, and the kernel
+// steps every predictor on every record in program order, so each
+// predictor sees exactly the stream it would see in its own sequential
+// run and its counts are bit-identical to the per-cell path. The
+// differential tests in many_test.go pin the two paths together.
+
+// Job is one column entry for RunMany: exactly one of Cond, Indirect,
+// or Observer must be set.
+type Job struct {
+	// Cond is scored on conditional records (direction) and updated on
+	// every record.
+	Cond bpred.CondPredictor
+	// Indirect is scored on indirect-target records and updated on
+	// every record.
+	Indirect bpred.IndirectPredictor
+	// Observer is an update-only participant: it sees every record but
+	// is never scored, and its Result carries zero counts. Columns use
+	// observers for shared state advanced once per record on behalf of
+	// several predictors (vlp.PathObserver), which is why observers are
+	// placed after the predictors they serve.
+	Observer bpred.Predictor
+	// Tie keeps this job on the same worker as the previous job when
+	// the column is sharded, preserving their relative step order per
+	// record. Jobs that read state a later observer advances must be
+	// tied into one run ending at that observer.
+	Tie bool
+}
+
+// CondJob wraps a conditional predictor as a column entry.
+func CondJob(p bpred.CondPredictor) Job { return Job{Cond: p} }
+
+// IndirectJob wraps an indirect predictor as a column entry.
+func IndirectJob(p bpred.IndirectPredictor) Job { return Job{Indirect: p} }
+
+// ObserverJob wraps an update-only participant as a column entry, tied
+// to the preceding job (observers exist to serve earlier jobs in the
+// column, so they never start a new shard).
+func ObserverJob(p bpred.Predictor) Job { return Job{Observer: p, Tie: true} }
+
+// pred returns the job's participant, whichever field is set.
+func (j *Job) pred() bpred.Predictor {
+	switch {
+	case j.Cond != nil:
+		return j.Cond
+	case j.Indirect != nil:
+		return j.Indirect
+	default:
+		return j.Observer
+	}
+}
+
+// manyJob is the resolved per-job stepping state: the predictor under
+// the field for its class, the optional fused-step fast path, and the
+// result row it accumulates into.
+type manyJob struct {
+	cond    bpred.CondPredictor
+	stepper bpred.CondStepper
+	ind     bpred.IndirectPredictor
+	obs     bpred.Predictor
+	res     *Result
+}
+
+// RunMany replays src (after resetting it) once through every job in
+// the column, returning one Result per job in job order. Per record it
+// performs one kind-dispatch and then steps each job: conditional jobs
+// are scored on conditional records, indirect jobs on indirect-target
+// records, observers never; every job's participant sees every record
+// through Update (or the fused bpred.CondStepper step when the
+// predictor provides it). Jobs are stepped in slice order for each
+// record, so an observer placed after the jobs it serves advances
+// shared state only after they have all trained.
+//
+// Semantics match the per-predictor driver Run exactly: cancellation is
+// checked at the same stride boundaries and stops every job with
+// Result.Err set to the context's error; a source that fails mid-stream
+// (trace.Reader.Err) marks every Result with the failure, because each
+// predictor's run covered only the truncated prefix; and each Result's
+// Metrics carries the fused pass's wall time with the job's own branch
+// count pinned.
+//
+// When src is a *trace.Buffer and the column is large, contiguous
+// tie-runs of jobs are sharded across PoolSize workers. Each worker
+// owns disjoint jobs and replays the shared record slice independently,
+// so there are no locks and the rates are bit-identical to a
+// single-worker pass. Other sources are replayed in a single pass
+// reading each record once.
+func RunMany(ctx context.Context, jobs []Job, src trace.Source, opts Options) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	span := obs.StartSpan()
+	run := make([]manyJob, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		set := 0
+		for _, p := range []bool{j.Cond != nil, j.Indirect != nil, j.Observer != nil} {
+			if p {
+				set++
+			}
+		}
+		if set != 1 {
+			panic(fmt.Sprintf("sim: RunMany job %d must set exactly one of Cond/Indirect/Observer, has %d", i, set))
+		}
+		results[i] = Result{Predictor: j.pred().Name()}
+		if opts.PerPC && j.Observer == nil {
+			results[i].PerPC = make(map[arch.Addr]*PCStat)
+		}
+		run[i] = manyJob{cond: j.Cond, ind: j.Indirect, obs: j.Observer, res: &results[i]}
+		if j.Cond != nil {
+			run[i].stepper, _ = j.Cond.(bpred.CondStepper)
+		}
+	}
+	src.Reset()
+	if buf, ok := src.(*trace.Buffer); ok {
+		runManyBuffered(ctx, run, jobs, buf)
+	} else {
+		runManyGeneric(ctx, run, src)
+	}
+	if ec, ok := src.(interface{ Err() error }); ok {
+		if err := ec.Err(); err != nil {
+			for i := range results {
+				if results[i].Err == nil {
+					results[i].Err = err
+				}
+			}
+		}
+	}
+	var scored int64
+	for i := range results {
+		scored += results[i].Branches
+	}
+	obs.CountBranches(scored)
+	met := span.End()
+	for i := range results {
+		results[i].Metrics = met
+		results[i].Metrics.Branches = results[i].Branches
+		results[i].Metrics.BranchesPerSec = 0
+		if wall := met.Wall(); wall > 0 {
+			results[i].Metrics.BranchesPerSec = float64(results[i].Branches) / wall.Seconds()
+		}
+	}
+	return results
+}
+
+// runManyGeneric is the single-pass fallback over the Source interface:
+// each record is read once and stepped through the whole column, with
+// the same cancellation stride as runGeneric.
+func runManyGeneric(ctx context.Context, run []manyJob, src trace.Source) {
+	var replayed int64
+	var r trace.Record
+	for src.Next(&r) {
+		replayed++
+		if replayed%cancelStride == 0 && ctx.Err() != nil {
+			err := ctx.Err()
+			for i := range run {
+				run[i].res.Err = err
+			}
+			break
+		}
+		stepRecord(run, &r)
+	}
+}
+
+// runManyBuffered is the fast path over an in-memory trace: tie-runs of
+// jobs are sharded across workers, each replaying the shared record
+// slice over its own disjoint jobs. Chunk boundaries fall exactly where
+// runBatched checks the context, so a canceled fused run stops each job
+// after the same number of records as a canceled per-cell run.
+func runManyBuffered(ctx context.Context, run []manyJob, jobs []Job, buf *trace.Buffer) {
+	shards := shardJobs(run, jobs)
+	workers := PoolSize(len(shards))
+	obs.RecordWorkers(workers)
+	buf.Consume(runShards(ctx, run, shards, buf.Records, workers))
+}
+
+// runShards replays the record slice through every shard, on the
+// calling goroutine when workers <= 1 and across a worker pool
+// otherwise, returning the furthest replay position. It is the unit the
+// sharding tests drive directly with a forced worker count, since the
+// assignment of shards to workers must not be observable in the counts.
+func runShards(ctx context.Context, run []manyJob, shards [][]manyJob, recs []trace.Record, workers int) int {
+	if workers <= 1 {
+		return stepBuffered(ctx, run, recs)
+	}
+	consumed := make([]int, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// A predictor panic must not kill the process from a
+				// kernel-internal goroutine: capture it here and
+				// re-throw on the caller's goroutine, where the usual
+				// fault boundary (runx.Safe in ForEach or the
+				// experiment driver) can classify it.
+				errs[i] = runx.Safe(func() error {
+					consumed[i] = stepBuffered(ctx, shards[i], recs)
+					return nil
+				})
+			}
+		}()
+	}
+	for i := range shards {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	// Workers that were canceled consumed less; mirror the generic
+	// loop's view of the stream by consuming what the furthest worker
+	// replayed (an uncanceled run consumes everything on every worker).
+	max := 0
+	for _, n := range consumed {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// shardJobs splits the column into contiguous tie-runs: maximal spans
+// of jobs that must stay together because each non-first member is tied
+// to its predecessor. Sharding at tie-run granularity keeps every
+// shared-state group (members plus their trailing observer) on one
+// worker, in order.
+func shardJobs(run []manyJob, jobs []Job) [][]manyJob {
+	n := 0
+	for i := range jobs {
+		if i == 0 || !jobs[i].Tie {
+			n++
+		}
+	}
+	shards := make([][]manyJob, 0, n)
+	start := 0
+	for i := 1; i <= len(jobs); i++ {
+		if i == len(jobs) || !jobs[i].Tie {
+			shards = append(shards, run[start:i])
+			start = i
+		}
+	}
+	return shards
+}
+
+// stepBuffered replays the record slice through one worker's jobs with
+// runBatched's exact cancellation-stride boundaries, returning how many
+// records were replayed.
+func stepBuffered(ctx context.Context, run []manyJob, recs []trace.Record) int {
+	next := int(cancelStride) - 1
+	i := 0
+	for i < len(recs) {
+		end := len(recs)
+		if next < end {
+			end = next
+		}
+		for ; i < end; i++ {
+			stepRecord(run, &recs[i])
+		}
+		if i == next {
+			if err := ctx.Err(); err != nil {
+				for j := range run {
+					run[j].res.Err = err
+				}
+				break
+			}
+			next += int(cancelStride)
+		}
+	}
+	return i
+}
+
+// stepRecord steps one record through a column: the record's class is
+// dispatched once, then each job predicts/scores/updates in order.
+func stepRecord(run []manyJob, r *trace.Record) {
+	isCond := r.Kind == arch.Cond
+	isInd := r.Kind.IndirectTarget()
+	for j := range run {
+		jb := &run[j]
+		switch {
+		case jb.stepper != nil:
+			if scored, correct := jb.stepper.StepCond(*r); scored {
+				jb.res.account(r, correct)
+			}
+		case jb.cond != nil:
+			if isCond {
+				jb.res.account(r, jb.cond.Predict(r.PC) == r.Taken)
+			}
+			jb.cond.Update(*r)
+		case jb.ind != nil:
+			if isInd {
+				jb.res.account(r, jb.ind.Predict(r.PC) == r.Next)
+			}
+			jb.ind.Update(*r)
+		default:
+			jb.obs.Update(*r)
+		}
+	}
+}
+
+// RunManyCond fuses a column of conditional predictors over one pass of
+// src: the result at index i is what RunCond(ctx, preds[i], src, opts)
+// would return, bit-identically, for counts and errors.
+func RunManyCond(ctx context.Context, preds []bpred.CondPredictor, src trace.Source, opts Options) []Result {
+	jobs := make([]Job, len(preds))
+	for i, p := range preds {
+		jobs[i] = CondJob(p)
+	}
+	return RunMany(ctx, jobs, src, opts)
+}
+
+// RunManyIndirect fuses a column of indirect predictors over one pass
+// of src; the result at index i matches RunIndirect on preds[i].
+func RunManyIndirect(ctx context.Context, preds []bpred.IndirectPredictor, src trace.Source, opts Options) []Result {
+	jobs := make([]Job, len(preds))
+	for i, p := range preds {
+		jobs[i] = IndirectJob(p)
+	}
+	return RunMany(ctx, jobs, src, opts)
+}

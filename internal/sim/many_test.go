@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bpred"
+	"repro/internal/bpred/bimodal"
+	"repro/internal/bpred/gshare"
+	"repro/internal/bpred/targetcache"
+	"repro/internal/trace"
+	"repro/internal/vlp"
+)
+
+// manyCondColumn builds a mixed conditional column exercising both the
+// plain Predict/Update surface (bimodal) and the fused CondStepper fast
+// path (gshare, vlp FLP and VLP-style fixed lengths at two table
+// sizes). Calling it twice yields independent identically configured
+// predictors, which is what the differential tests need.
+func manyCondColumn(t testing.TB) []bpred.CondPredictor {
+	t.Helper()
+	var preds []bpred.CondPredictor
+	preds = append(preds, bimodal.NewBits(10))
+	g, err := gshare.New(4 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds = append(preds, g)
+	for _, cfg := range []struct {
+		kb int
+		l  int
+	}{{1, 3}, {1, 7}, {4, 5}, {4, 9}} {
+		p, err := vlp.NewCond(cfg.kb*1024, vlp.Fixed{L: cfg.l}, vlp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds = append(preds, p)
+	}
+	return preds
+}
+
+func manyIndColumn(t testing.TB) []bpred.IndirectPredictor {
+	t.Helper()
+	var preds []bpred.IndirectPredictor
+	preds = append(preds, targetcache.NewBTB(8))
+	p, err := vlp.NewIndirect(2048, vlp.Fixed{L: 4}, vlp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(preds, p)
+}
+
+// TestRunManyCondMatchesSequential pins the fused kernel to the
+// per-predictor driver: every column entry must produce exactly the
+// Result counts its own sequential RunCond pass produces, on both the
+// buffered fast path and the generic Source fallback, with and without
+// the per-PC breakdown.
+func TestRunManyCondMatchesSequential(t *testing.T) {
+	recs := mixedRecords(20000)
+	for _, tc := range []struct {
+		name   string
+		source func() trace.Source
+	}{
+		{"buffer", func() trace.Source { return trace.NewBuffer(recs) }},
+		{"generic", func() trace.Source { return opaqueSource{trace.NewBuffer(recs)} }},
+	} {
+		for _, perPC := range []bool{false, true} {
+			opts := Options{PerPC: perPC}
+			fusedRes := RunManyCond(context.Background(), manyCondColumn(t), tc.source(), opts)
+			seq := manyCondColumn(t)
+			for i, p := range seq {
+				want := RunCond(context.Background(), p, tc.source(), opts)
+				if fusedRes[i].Err != nil || want.Err != nil {
+					t.Fatalf("%s: clean runs errored: %v / %v", tc.name, fusedRes[i].Err, want.Err)
+				}
+				sameResult(t, tc.name+"/"+p.Name(), fusedRes[i], want)
+			}
+		}
+	}
+}
+
+// TestRunManyIndirectMatchesSequential is the indirect-class version.
+func TestRunManyIndirectMatchesSequential(t *testing.T) {
+	recs := mixedRecords(20000)
+	fusedRes := RunManyIndirect(context.Background(), manyIndColumn(t), trace.NewBuffer(recs), Options{PerPC: true})
+	seq := manyIndColumn(t)
+	for i, p := range seq {
+		want := RunIndirect(context.Background(), p, trace.NewBuffer(recs), Options{PerPC: true})
+		sameResult(t, p.Name(), fusedRes[i], want)
+	}
+}
+
+// TestRunManyMixedClasses fuses conditional and indirect predictors in
+// one column: each class must score only its own records while every
+// predictor observes the full stream.
+func TestRunManyMixedClasses(t *testing.T) {
+	recs := mixedRecords(20000)
+	cond := manyCondColumn(t)
+	ind := manyIndColumn(t)
+	var jobs []Job
+	for _, p := range cond {
+		jobs = append(jobs, CondJob(p))
+	}
+	for _, p := range ind {
+		jobs = append(jobs, IndirectJob(p))
+	}
+	res := RunMany(context.Background(), jobs, trace.NewBuffer(recs), Options{})
+	seqCond := manyCondColumn(t)
+	for i := range seqCond {
+		sameResult(t, "cond/"+seqCond[i].Name(),
+			res[i], RunCond(context.Background(), seqCond[i], trace.NewBuffer(recs), Options{}))
+	}
+	seqInd := manyIndColumn(t)
+	for i := range seqInd {
+		sameResult(t, "ind/"+seqInd[i].Name(),
+			res[len(cond)+i], RunIndirect(context.Background(), seqInd[i], trace.NewBuffer(recs), Options{}))
+	}
+}
+
+// sharedColumn builds a column with shareable path histories (two
+// table sizes, several lengths each), applies ShareCondHistories, and
+// returns the fused job list plus the predictors in cell order.
+func sharedColumn(t testing.TB) ([]Job, []bpred.CondPredictor) {
+	t.Helper()
+	var preds []bpred.CondPredictor
+	for _, kb := range []int{1, 4} {
+		for _, l := range []int{3, 6, 9} {
+			p, err := vlp.NewCond(kb*1024, vlp.Fixed{L: l}, vlp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			preds = append(preds, p)
+		}
+	}
+	groups := vlp.ShareCondHistories(preds)
+	if len(groups) != 2 {
+		t.Fatalf("ShareCondHistories made %d groups, want 2 (one per table size)", len(groups))
+	}
+	var jobs []Job
+	for _, g := range groups {
+		for i, m := range g.Members {
+			j := CondJob(preds[m])
+			j.Tie = i > 0
+			jobs = append(jobs, j)
+		}
+		jobs = append(jobs, ObserverJob(g.Observer))
+	}
+	return jobs, preds
+}
+
+// TestRunManySharedHistoryMatchesSequential is the bit-identity gate
+// for history sharing: members of a shared HashSet group, trained
+// before the group's single per-record insert, must produce exactly the
+// counts of their solo runs with private HashSets.
+func TestRunManySharedHistoryMatchesSequential(t *testing.T) {
+	recs := mixedRecords(20000)
+	jobs, preds := sharedColumn(t)
+	res := RunMany(context.Background(), jobs, trace.NewBuffer(recs), Options{})
+	// Job order is a permutation of cell order; match results by
+	// predictor identity instead of position.
+	resByPred := map[bpred.CondPredictor]Result{}
+	for i, j := range jobs {
+		if j.Cond != nil {
+			resByPred[j.Cond] = res[i]
+		}
+	}
+	solo := func(kb, l int) Result {
+		p, err := vlp.NewCond(kb*1024, vlp.Fixed{L: l}, vlp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunCond(context.Background(), p, trace.NewBuffer(recs), Options{})
+	}
+	i := 0
+	for _, kb := range []int{1, 4} {
+		for _, l := range []int{3, 6, 9} {
+			got, ok := resByPred[preds[i]]
+			if !ok {
+				t.Fatalf("no fused result for cell %d", i)
+			}
+			sameResult(t, got.Predictor, got, solo(kb, l))
+			i++
+		}
+	}
+}
+
+// TestRunManyShardedMatchesSingleWorker forces the multi-worker path
+// (this only runs sharded in production on multi-CPU machines) and
+// checks that shard-to-worker assignment is unobservable: tie-runs stay
+// intact, shared groups keep their member-before-observer order, and
+// the counts equal the single-worker pass. Under -race this also
+// verifies the workers share nothing but the read-only record slice.
+func TestRunManyShardedMatchesSingleWorker(t *testing.T) {
+	recs := mixedRecords(20000)
+	jobs, _ := sharedColumn(t)
+	want := RunMany(context.Background(), jobs, trace.NewBuffer(recs), Options{})
+
+	jobs2, _ := sharedColumn(t)
+	results := make([]Result, len(jobs2))
+	run := make([]manyJob, len(jobs2))
+	for i := range jobs2 {
+		j := &jobs2[i]
+		results[i] = Result{Predictor: j.pred().Name()}
+		run[i] = manyJob{cond: j.Cond, ind: j.Indirect, obs: j.Observer, res: &results[i]}
+		if j.Cond != nil {
+			run[i].stepper, _ = j.Cond.(bpred.CondStepper)
+		}
+	}
+	shards := shardJobs(run, jobs2)
+	if len(shards) != 2 {
+		t.Fatalf("shardJobs made %d shards, want 2 tie-runs", len(shards))
+	}
+	for w := 2; w <= 4; w++ {
+		if n := runShards(context.Background(), run, shards, recs, w); n != len(recs) {
+			t.Fatalf("workers=%d replayed %d records, want %d", w, n, len(recs))
+		}
+	}
+	// runShards was applied twice beyond the first, so rebuild cleanly
+	// for the count comparison.
+	jobs3, _ := sharedColumn(t)
+	results3 := make([]Result, len(jobs3))
+	run3 := make([]manyJob, len(jobs3))
+	for i := range jobs3 {
+		j := &jobs3[i]
+		results3[i] = Result{Predictor: j.pred().Name()}
+		run3[i] = manyJob{cond: j.Cond, ind: j.Indirect, obs: j.Observer, res: &results3[i]}
+		if j.Cond != nil {
+			run3[i].stepper, _ = j.Cond.(bpred.CondStepper)
+		}
+	}
+	if n := runShards(context.Background(), run3, shardJobs(run3, jobs3), recs, 3); n != len(recs) {
+		t.Fatalf("sharded replay consumed %d records, want %d", n, len(recs))
+	}
+	for i := range results3 {
+		sameResult(t, "sharded/"+results3[i].Predictor, results3[i], want[i])
+	}
+}
+
+// TestShardJobs pins the tie-run boundaries: a shard break happens
+// exactly at each untied job.
+func TestShardJobs(t *testing.T) {
+	mk := func(tie bool) Job {
+		j := CondJob(bimodal.NewBits(4))
+		j.Tie = tie
+		return j
+	}
+	jobs := []Job{mk(false), mk(true), mk(true), mk(false), mk(false), mk(true)}
+	run := make([]manyJob, len(jobs))
+	shards := shardJobs(run, jobs)
+	sizes := make([]int, len(shards))
+	for i, s := range shards {
+		sizes[i] = len(s)
+	}
+	want := []int{3, 1, 2}
+	if len(sizes) != len(want) {
+		t.Fatalf("shard sizes %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("shard sizes %v, want %v", sizes, want)
+		}
+	}
+}
+
+// TestRunManyCancellation: an already-canceled context stops every
+// column entry at the same stride boundary the per-predictor driver
+// stops at, with the context error on every Result.
+func TestRunManyCancellation(t *testing.T) {
+	recs := mixedRecords(int(cancelStride)*2 + 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name   string
+		source func() trace.Source
+	}{
+		{"buffer", func() trace.Source { return trace.NewBuffer(recs) }},
+		{"generic", func() trace.Source { return opaqueSource{trace.NewBuffer(recs)} }},
+	} {
+		res := RunManyCond(ctx, manyCondColumn(t), tc.source(), Options{})
+		seq := manyCondColumn(t)
+		for i, p := range seq {
+			if !errors.Is(res[i].Err, context.Canceled) {
+				t.Fatalf("%s: job %d Err = %v, want context.Canceled", tc.name, i, res[i].Err)
+			}
+			want := RunCond(ctx, p, tc.source(), Options{})
+			sameResult(t, tc.name+"/canceled/"+p.Name(), res[i], want)
+			if res[i].Branches == 0 {
+				t.Errorf("%s: canceled fused run scored nothing before the boundary", tc.name)
+			}
+		}
+	}
+}
+
+// TestRunManyTruncatedSource: a source that fails mid-stream must mark
+// every column entry's Result with the failure — a fused run over a
+// corrupt trace cannot pass for K clean short runs — while the counts
+// equal a clean fused run over the surviving prefix.
+func TestRunManyTruncatedSource(t *testing.T) {
+	recs := mixedRecords(3000)
+	const cut = 1700
+	want := errors.New("record 1700: unexpected EOF")
+	res := RunManyCond(context.Background(), manyCondColumn(t),
+		&recFailingSource{recs: recs[:cut], err: want}, Options{})
+	prefix := RunManyCond(context.Background(), manyCondColumn(t), trace.NewBuffer(recs[:cut]), Options{})
+	for i := range res {
+		if !errors.Is(res[i].Err, want) {
+			t.Fatalf("job %d Err = %v, want the source error", i, res[i].Err)
+		}
+		if prefix[i].Err != nil {
+			t.Fatalf("prefix run errored: %v", prefix[i].Err)
+		}
+		sameResult(t, "truncated/"+res[i].Predictor, res[i], prefix[i])
+	}
+}
+
+// TestRunManyEdgeCases: the K=0 column returns no results without
+// touching the source, and a K=1 column is exactly RunCond.
+func TestRunManyEdgeCases(t *testing.T) {
+	buf := trace.NewBuffer(mixedRecords(100))
+	res := RunMany(context.Background(), nil, buf, Options{})
+	if len(res) != 0 {
+		t.Fatalf("K=0 returned %d results", len(res))
+	}
+	var r trace.Record
+	if !buf.Next(&r) {
+		t.Error("K=0 run consumed the source")
+	}
+
+	recs := mixedRecords(5000)
+	one := RunManyCond(context.Background(), manyCondColumn(t)[:1], trace.NewBuffer(recs), Options{PerPC: true})
+	seq := RunCond(context.Background(), manyCondColumn(t)[0], trace.NewBuffer(recs), Options{PerPC: true})
+	sameResult(t, "k1", one[0], seq)
+	if one[0].Predictor != seq.Predictor {
+		t.Errorf("K=1 predictor name %q, want %q", one[0].Predictor, seq.Predictor)
+	}
+}
+
+// TestRunManyConsumesBuffer: like the batched single-predictor path,
+// the fused pass must leave the buffer exhausted and rewindable.
+func TestRunManyConsumesBuffer(t *testing.T) {
+	buf := trace.NewBuffer(mixedRecords(100))
+	RunManyCond(context.Background(), manyCondColumn(t), buf, Options{})
+	var r trace.Record
+	if buf.Next(&r) {
+		t.Error("buffer still yields records after a fused run; Consume not applied")
+	}
+	buf.Reset()
+	if !buf.Next(&r) {
+		t.Error("Reset after a fused run did not rewind the buffer")
+	}
+}
+
+// TestRunManyObserverResult: observers participate but are never
+// scored; their Result row exists (position parity) with zero counts.
+func TestRunManyObserverResult(t *testing.T) {
+	recs := mixedRecords(5000)
+	jobs, _ := sharedColumn(t)
+	res := RunMany(context.Background(), jobs, trace.NewBuffer(recs), Options{})
+	seenObserver := false
+	for i, j := range jobs {
+		if j.Observer == nil {
+			continue
+		}
+		seenObserver = true
+		if res[i].Branches != 0 || res[i].Mispredicts != 0 {
+			t.Errorf("observer row %d has counts %d/%d, want 0/0", i, res[i].Mispredicts, res[i].Branches)
+		}
+	}
+	if !seenObserver {
+		t.Fatal("shared column has no observer jobs")
+	}
+}

@@ -183,23 +183,30 @@ func runBatched(ctx context.Context, p bpred.Predictor, buf *trace.Buffer, res *
 // of the generic and batched loops.
 func scoreRecord(p bpred.Predictor, r *trace.Record, res *Result, score Score) {
 	if scored, correct := score(r); scored {
-		res.Branches++
-		if !correct {
-			res.Mispredicts++
-		}
-		if res.PerPC != nil {
-			st := res.PerPC[r.PC]
-			if st == nil {
-				st = &PCStat{}
-				res.PerPC[r.PC] = st
-			}
-			st.Branches++
-			if !correct {
-				st.Mispredicts++
-			}
-		}
+		res.account(r, correct)
 	}
 	p.Update(*r)
+}
+
+// account books one scored branch into the result, including the per-PC
+// breakdown when enabled — the accumulation step shared by the
+// per-predictor loops and the fused column kernel (many.go).
+func (res *Result) account(r *trace.Record, correct bool) {
+	res.Branches++
+	if !correct {
+		res.Mispredicts++
+	}
+	if res.PerPC != nil {
+		st := res.PerPC[r.PC]
+		if st == nil {
+			st = &PCStat{}
+			res.PerPC[r.PC] = st
+		}
+		st.Branches++
+		if !correct {
+			st.Mispredicts++
+		}
+	}
 }
 
 // RunCond replays src (after resetting it) through a conditional

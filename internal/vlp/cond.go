@@ -24,6 +24,12 @@ type Cond struct {
 	// stack holds saved partial-sum registers for the history-stack
 	// extension (nil when the extension is off).
 	stack [][]uint32
+
+	// extHist marks the path history as externally maintained: the
+	// predictor was rebound to a shared HashSet (AttachHistory) that a
+	// PathObserver advances once per record on behalf of every
+	// predictor sharing it, so ObservePath must not insert again.
+	extHist bool
 }
 
 // Options toggles the paper's design variations, for the ablation studies.
@@ -163,10 +169,31 @@ func (c *Cond) Update(r trace.Record) {
 	c.ObservePath(r)
 }
 
+// StepCond implements bpred.CondStepper: score-and-update in one call,
+// computing the table index once where Predict-then-Update computes it
+// twice. The index is deterministic in (pc, selector, history) and the
+// history only advances in ObservePath afterwards, so the fused step is
+// bit-identical to the two-call surface.
+func (c *Cond) StepCond(r trace.Record) (scored, correct bool) {
+	if r.Kind == arch.Cond {
+		i := c.index(r.PC)
+		correct = c.pht.Taken(i) == r.Taken
+		c.pht.Train(i, r.Taken)
+		scored = true
+	}
+	c.ObservePath(r)
+	return scored, correct
+}
+
 // ObservePath performs only the history-maintenance half of Update: THB
 // insertion and, when enabled, the history stack. The profiling pipeline
-// calls it directly.
+// calls it directly. When the predictor's history is externally
+// maintained (AttachHistory), ObservePath is a no-op: the shared
+// HashSet's owner advances it exactly once per record.
 func (c *Cond) ObservePath(r trace.Record) {
+	if c.extHist {
+		return
+	}
 	if c.opts.HistoryStack {
 		switch {
 		case r.Kind.PushesReturn():

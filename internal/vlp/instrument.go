@@ -74,21 +74,43 @@ func NewInstrumentedCond(budgetBytes int, sel Selector, opts Options) (*Instrume
 // Update implements bpred.CondPredictor with classification.
 func (c *InstrumentedCond) Update(r trace.Record) {
 	if r.Kind == arch.Cond {
-		idx := c.index(r.PC)
-		c.Stats.Branches++
-		if c.pht.Taken(idx) != r.Taken {
-			c.Stats.Misses++
-			switch c.lastWriter[idx] {
-			case 0:
-				c.Stats.Cold++
-			case r.PC:
-				c.Stats.Intrinsic++
-			default:
-				c.Stats.Interference++
-			}
-		}
-		c.pht.Train(idx, r.Taken)
-		c.lastWriter[idx] = r.PC
+		c.classifyAndTrain(&r)
 	}
 	c.ObservePath(r)
+}
+
+// StepCond implements bpred.CondStepper, shadowing the embedded Cond's
+// fused step: the wrapper changes Update (classification), so the fused
+// path must classify too or an instrumented run through the column
+// kernel would silently lose its Stats.
+func (c *InstrumentedCond) StepCond(r trace.Record) (scored, correct bool) {
+	if r.Kind == arch.Cond {
+		correct = c.classifyAndTrain(&r)
+		scored = true
+	}
+	c.ObservePath(r)
+	return scored, correct
+}
+
+// classifyAndTrain books one conditional branch: classify a miss by
+// what the counter last held, then train — the shared body of Update
+// and StepCond. It returns whether the prediction was correct.
+func (c *InstrumentedCond) classifyAndTrain(r *trace.Record) bool {
+	idx := c.index(r.PC)
+	c.Stats.Branches++
+	correct := c.pht.Taken(idx) == r.Taken
+	if !correct {
+		c.Stats.Misses++
+		switch c.lastWriter[idx] {
+		case 0:
+			c.Stats.Cold++
+		case r.PC:
+			c.Stats.Intrinsic++
+		default:
+			c.Stats.Interference++
+		}
+	}
+	c.pht.Train(idx, r.Taken)
+	c.lastWriter[idx] = r.PC
+	return correct
 }

@@ -22,7 +22,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 RESULTS="${RESULTS:-results}"
-BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim|BenchmarkServeEndToEnd}"
+BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim|BenchmarkServeEndToEnd|BenchmarkFusedSweep}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-100ms}"
 baseline="${1:-$RESULTS/bench_micro_baseline.txt}"
@@ -31,6 +31,31 @@ current="$RESULTS/bench_micro.txt"
 mkdir -p "$RESULTS"
 echo "== bench-compare: go test -bench (count=$COUNT, benchtime=$BENCHTIME)"
 go test -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$current"
+
+# Record the fused-vs-per-cell sweep comparison as a committed artifact:
+# BENCH_fused.json at the repo root maps each BenchmarkFusedSweep
+# sub-benchmark to its mean ns/op and allocs/op for this run, so the
+# fused kernel's speedup is tracked in-repo alongside the code.
+if grep -q '^BenchmarkFusedSweep/' "$current"; then
+	awk '
+		$1 ~ /^BenchmarkFusedSweep\// && $4 == "ns/op" {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (!(name in ns)) order[++k] = name
+			ns[name] += $3; cnt[name]++
+			al[name] += $7
+		}
+		END {
+			printf "{\n"
+			for (i = 1; i <= k; i++) {
+				name = order[i]
+				printf "  \"%s\": {\"ns_per_op\": %.0f, \"allocs_per_op\": %.0f}%s\n", \
+					name, ns[name] / cnt[name], al[name] / cnt[name], (i < k ? "," : "")
+			}
+			printf "}\n"
+		}
+	' "$current" >BENCH_fused.json
+	echo "== bench-compare: wrote BENCH_fused.json"
+fi
 
 if [ ! -f "$baseline" ]; then
 	cp "$current" "$baseline"

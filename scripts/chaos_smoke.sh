@@ -21,7 +21,8 @@
 # Usage:
 #   scripts/chaos_smoke.sh
 #
-# Env: RESULTS (artifact dir, default results), EXP, N, PROFN.
+# Env: RESULTS (artifact dir, default results), EXP, N, PROFN,
+# KEEP=1 to leave the scratch files behind for inspection.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,10 +31,25 @@ RESULTS="${RESULTS:-results}"
 EXP="${EXP:-headline,table1,table2,fig5,fig9,fig10}"
 N="${N:-40000}"
 PROFN="${PROFN:-20000}"
+KEEP="${KEEP:-}"
 
 mkdir -p "$RESULTS"
 BIN="$RESULTS/chaos_smoke_bin"
 mkdir -p "$BIN"
+
+# Everything this script writes is scratch under $RESULTS with a
+# chaos_smoke prefix; remove it on any exit (make clean-smoke sweeps
+# up after KEEP=1 runs or SIGKILLed ones).
+pid1=""
+pid2=""
+on_exit() {
+	[ -n "$pid1" ] && kill "$pid1" 2>/dev/null || true
+	[ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
+	if [ -z "$KEEP" ]; then
+		rm -rf "$RESULTS"/chaos_smoke_*
+	fi
+}
+trap on_exit EXIT
 
 echo "== chaos-smoke: building binaries"
 go build -o "$BIN" ./cmd/vlpserve ./cmd/vlpsweep ./cmd/paperrepro ./cmd/obscheck
@@ -74,7 +90,6 @@ pid1=$!
 "$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr2_file" \
 	-chaos 'chaos:seed=202,burst5xx=0.15,stall=0.1,stallfor=500ms,truncate=0.1' &
 pid2=$!
-trap 'kill "$pid1" "$pid2" 2>/dev/null || true' EXIT
 wait_addr "$addr1_file" "$pid1"
 wait_addr "$addr2_file" "$pid2"
 addr1="$(cat "$addr1_file")"
@@ -108,7 +123,8 @@ echo "== chaos-smoke: stopping chaotic workers"
 kill -TERM "$pid1" "$pid2" 2>/dev/null || true
 wait "$pid1" 2>/dev/null || true
 wait "$pid2" 2>/dev/null || true
-trap - EXIT
+pid1=""
+pid2=""
 
 # ---- Stage 2: replay determinism ----------------------------------
 # Same seed, same cells, clean workers: the injected-fault counts must
@@ -121,7 +137,6 @@ echo "== chaos-smoke: starting two clean workers for the replay stage"
 pid1=$!
 "$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr2_file" &
 pid2=$!
-trap 'kill "$pid1" "$pid2" 2>/dev/null || true' EXIT
 wait_addr "$addr1_file" "$pid1"
 wait_addr "$addr2_file" "$pid2"
 workers="http://$(cat "$addr1_file"),http://$(cat "$addr2_file")"
@@ -155,14 +170,17 @@ esac
 
 echo "== chaos-smoke: SIGTERM clean workers, expecting clean drain"
 kill -TERM "$pid1" "$pid2"
-trap - EXIT
+p1="$pid1"
+p2="$pid2"
+pid1=""
+pid2="" # drained below; the exit trap only cleans scratch now
 status=0
-wait "$pid1" || status=$?
+wait "$p1" || status=$?
 if [ "$status" -ne 0 ]; then
 	echo "chaos-smoke: FAIL: worker 1 exited non-zero on SIGTERM" >&2
 	exit 1
 fi
-wait "$pid2" || status=$?
+wait "$p2" || status=$?
 if [ "$status" -ne 0 ]; then
 	echo "chaos-smoke: FAIL: worker 2 exited non-zero on SIGTERM" >&2
 	exit 1

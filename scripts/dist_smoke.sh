@@ -9,7 +9,8 @@
 # Usage:
 #   scripts/dist_smoke.sh
 #
-# Env: RESULTS (artifact dir, default results), EXP, N, PROFN.
+# Env: RESULTS (artifact dir, default results), EXP, N, PROFN,
+# KEEP=1 to leave the scratch files behind for inspection.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,10 +19,25 @@ RESULTS="${RESULTS:-results}"
 EXP="${EXP:-headline,table2}"
 N="${N:-40000}"
 PROFN="${PROFN:-20000}"
+KEEP="${KEEP:-}"
 
 mkdir -p "$RESULTS"
 BIN="$RESULTS/dist_smoke_bin"
 mkdir -p "$BIN"
+
+# Everything this script writes is scratch under $RESULTS with a
+# dist_smoke prefix; remove it on any exit (make clean-smoke sweeps
+# up after KEEP=1 runs or SIGKILLed ones).
+pid1=""
+pid2=""
+on_exit() {
+	[ -n "$pid1" ] && kill "$pid1" 2>/dev/null || true
+	[ -n "$pid2" ] && kill "$pid2" 2>/dev/null || true
+	if [ -z "$KEEP" ]; then
+		rm -rf "$RESULTS"/dist_smoke_*
+	fi
+}
+trap on_exit EXIT
 
 echo "== dist-smoke: building binaries"
 go build -o "$BIN" ./cmd/vlpserve ./cmd/vlpsweep ./cmd/paperrepro ./cmd/obscheck
@@ -40,7 +56,6 @@ echo "== dist-smoke: starting two vlpserve workers on :0"
 pid1=$!
 "$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr2_file" &
 pid2=$!
-trap 'kill "$pid1" "$pid2" 2>/dev/null || true' EXIT
 
 # Wait for both atomically-renamed address files.
 wait_addr() {
@@ -90,14 +105,17 @@ echo "== dist-smoke: validating sweep bench JSONs"
 
 echo "== dist-smoke: SIGTERM both workers, expecting clean drain"
 kill -TERM "$pid1" "$pid2"
-trap - EXIT
+p1="$pid1"
+p2="$pid2"
+pid1=""
+pid2="" # drained below; the exit trap only cleans scratch now
 status=0
-wait "$pid1" || status=$?
+wait "$p1" || status=$?
 if [ "$status" -ne 0 ]; then
 	echo "dist-smoke: FAIL: worker 1 exited non-zero on SIGTERM" >&2
 	exit 1
 fi
-wait "$pid2" || status=$?
+wait "$p2" || status=$?
 if [ "$status" -ne 0 ]; then
 	echo "dist-smoke: FAIL: worker 2 exited non-zero on SIGTERM" >&2
 	exit 1

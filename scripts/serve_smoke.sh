@@ -9,7 +9,8 @@
 # Usage:
 #   scripts/serve_smoke.sh
 #
-# Env: RESULTS (artifact dir, default results), BENCH, N, PRED, CHUNK.
+# Env: RESULTS (artifact dir, default results), BENCH, N, PRED, CHUNK,
+# KEEP=1 to leave the scratch files behind for inspection.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,10 +20,23 @@ BENCH="${BENCH:-gcc}"
 N="${N:-60000}"
 PRED="${PRED:-gshare:budget=16KB}"
 CHUNK="${CHUNK:-7000}"
+KEEP="${KEEP:-}"
 
 mkdir -p "$RESULTS"
 BIN="$RESULTS/serve_smoke_bin"
 mkdir -p "$BIN"
+
+# Everything this script writes is scratch under $RESULTS with a
+# serve_smoke prefix; remove it on any exit (make clean-smoke sweeps
+# up after KEEP=1 runs or SIGKILLed ones).
+server_pid=""
+on_exit() {
+	[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+	if [ -z "$KEEP" ]; then
+		rm -rf "$RESULTS"/serve_smoke_* "$RESULTS"/bench_serve_smoke_*.json
+	fi
+}
+trap on_exit EXIT
 
 echo "== serve-smoke: building binaries"
 go build -o "$BIN" ./cmd/traceg ./cmd/vlpsim ./cmd/vlpserve ./cmd/vlpload ./cmd/obscheck
@@ -42,7 +56,6 @@ echo "== serve-smoke: batch reference (vlpsim -pred $PRED)"
 echo "== serve-smoke: starting vlpserve on :0"
 "$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr_file" &
 server_pid=$!
-trap 'kill "$server_pid" 2>/dev/null || true' EXIT
 
 # Wait for the atomically-renamed address file.
 i=0
@@ -79,8 +92,9 @@ echo "== serve-smoke: validating /v1/metrics"
 
 echo "== serve-smoke: SIGTERM, expecting clean drain"
 kill -TERM "$server_pid"
-trap - EXIT
-if ! wait "$server_pid"; then
+pid="$server_pid"
+server_pid="" # drained below; the exit trap only cleans scratch now
+if ! wait "$pid"; then
 	echo "serve-smoke: FAIL: vlpserve exited non-zero on SIGTERM" >&2
 	exit 1
 fi
