@@ -3,11 +3,11 @@
 GO ?= go
 RESULTS ?= results
 
-.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke dist-smoke chaos-smoke clean clean-smoke
+.PHONY: all check fmt vet build test bench-smoke bench-compare serve-smoke dist-smoke chaos-smoke snap-smoke clean clean-smoke
 
 all: check
 
-check: fmt vet build test bench-smoke serve-smoke dist-smoke chaos-smoke
+check: fmt vet build test bench-smoke serve-smoke dist-smoke chaos-smoke snap-smoke
 
 # Fail if any file needs reformatting (prints the offenders).
 fmt:
@@ -49,6 +49,12 @@ dist-smoke:
 chaos-smoke:
 	RESULTS=$(RESULTS) ./scripts/chaos_smoke.sh
 
+# Crash-recovery gate for session hibernation: kill -9 vlpserve
+# mid-stream, restart on the same -spill-dir, and the resumed session's
+# final rate is byte-identical to an uninterrupted batch run.
+snap-smoke:
+	RESULTS=$(RESULTS) ./scripts/snap_smoke.sh
+
 # Run the hot-path micro-benchmarks (-count=5) and diff against the
 # recorded baseline: benchstat when installed, plain mean deltas
 # otherwise. The first run on a machine seeds the baseline file.
@@ -58,8 +64,8 @@ bench-compare:
 # Remove smoke-run scratch alone. The smoke scripts clean up after
 # themselves on exit; this sweeps up after KEEP=1 runs or killed ones.
 clean-smoke:
-	rm -rf $(RESULTS)/serve_smoke_* $(RESULTS)/dist_smoke_* $(RESULTS)/chaos_smoke_*
-	rm -f $(RESULTS)/bench_serve_smoke_*.json
+	rm -rf $(RESULTS)/serve_smoke_* $(RESULTS)/dist_smoke_* $(RESULTS)/chaos_smoke_* $(RESULTS)/snap_smoke_*
+	rm -f $(RESULTS)/bench_serve_smoke_*.json $(RESULTS)/bench_snap_smoke_*.json
 
 clean: clean-smoke
 	rm -f $(RESULTS)/bench_*.json $(RESULTS)/bench_micro*.txt

@@ -24,6 +24,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/trace"
 	"repro/internal/vlp"
 	"repro/internal/workload"
@@ -428,6 +429,47 @@ func BenchmarkEndToEndSim(b *testing.B) {
 		res := sim.RunCond(context.Background(), p, trace.NewBuffer(buf.Records), sim.Options{})
 		if res.Branches == 0 {
 			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkSnapshotRoundtrip measures the vlps/v1 state codec on the
+// predictor the hibernation paths actually carry: a 64KB variable
+// length path predictor warmed over the benchmark trace, captured,
+// encoded, decoded, and restored into a fresh instance per iteration —
+// the full cost of one spill plus one rehydrate.
+func BenchmarkSnapshotRoundtrip(b *testing.B) {
+	buf := benchTrace(b)
+	warm, err := vlp.NewCond(64*1024, vlp.Fixed{L: 8}, vlp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res := sim.RunCond(context.Background(), warm, trace.NewBuffer(buf.Records), sim.Options{}); res.Branches == 0 {
+		b.Fatal("empty warm-up run")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn, err := snap.Capture("cond", "vlp:budget=64KB", warm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blob := sn.Encode()
+		again, err := snap.Decode(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		fresh, err := vlp.NewCond(64*1024, vlp.Fixed{L: 8}, vlp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := again.Restore("cond", "vlp:budget=64KB", fresh); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.SetBytes(int64(len(blob)))
 		}
 	}
 }

@@ -24,6 +24,7 @@ go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzParseSpec$' -fuzztime 10s ./internal/factory
 go test -run '^$' -fuzz '^FuzzSessionSpec$' -fuzztime 10s ./internal/serve
 go test -run '^$' -fuzz '^FuzzChaosSpec$' -fuzztime 10s ./internal/chaos
+go test -run '^$' -fuzz '^FuzzSnapshotDecode$' -fuzztime 10s ./internal/snap
 
 echo "== cancellation + fault-tolerance + singleflight under race"
 go test -race -count=1 -run 'Cancel|Canceled|Fault|Resume|Timeout|PanicIsolation|Singleflight' ./internal/sim ./internal/experiments ./cmd/paperrepro
@@ -42,6 +43,9 @@ echo "== dist smoke (merged sweep artifacts byte-identical to in-process)"
 
 echo "== chaos smoke (byte-identity under seeded faults + exact replay)"
 ./scripts/chaos_smoke.sh
+
+echo "== snap smoke (kill -9 restart resumes bit-identically)"
+./scripts/snap_smoke.sh
 
 echo "== bench smoke (emits results/bench_*.json)"
 BENCH_JSON_DIR=results go test -run '^$' -bench 'BenchmarkHeadline|BenchmarkTable2' -benchtime 1x .

@@ -15,11 +15,17 @@
 //
 //	obscheck -url http://127.0.0.1:8080/v1/metrics
 //
+// Validate a vlps/v1 predictor snapshot (header, version, checksum,
+// and an encode/decode round trip):
+//
+//	obscheck -snap state.vlps
+//
 // It exits non-zero if any file is missing, unparsable, or fails schema
 // validation, or (with -dir) if the directory holds no reports at all.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -29,19 +35,48 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/snap"
 )
 
 func main() {
 	var (
-		dir   = flag.String("dir", "", "validate every bench_*.json in this directory")
-		url   = flag.String("url", "", "fetch and validate a live /v1/metrics endpoint")
-		quiet = flag.Bool("q", false, "suppress the per-report summary lines")
+		dir      = flag.String("dir", "", "validate every bench_*.json in this directory")
+		url      = flag.String("url", "", "fetch and validate a live /v1/metrics endpoint")
+		snapPath = flag.String("snap", "", "validate a vlps/v1 predictor snapshot file")
+		quiet    = flag.Bool("q", false, "suppress the per-report summary lines")
 	)
 	flag.Parse()
-	if err := run(*dir, *url, flag.Args(), *quiet, os.Stdout); err != nil {
+	if err := run(*dir, *url, *snapPath, flag.Args(), *quiet, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "obscheck:", err)
 		os.Exit(1)
 	}
+}
+
+// checkSnapshot validates a vlps/v1 snapshot file: the decode proves
+// the magic, version, field bounds, and trailing checksum, and a fresh
+// encode must decode back to the identical snapshot — the same
+// round-trip the serve spill path and vlpsim -load-state rely on.
+func checkSnapshot(path string, quiet bool, out *os.File) error {
+	s, err := snap.LoadFile(path)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	again, err := snap.Decode(s.Encode())
+	if err != nil {
+		return fmt.Errorf("%s: re-encode did not round-trip: %w", path, err)
+	}
+	if again.Class != s.Class || again.Spec != s.Spec ||
+		!bytes.Equal(again.Meta, s.Meta) || !bytes.Equal(again.State, s.State) {
+		return fmt.Errorf("%s: re-encode did not round-trip", path)
+	}
+	if err := s.CheckSpec(s.Class, s.Spec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if !quiet {
+		fmt.Fprintf(out, "%-22s ok         class %-9s spec %-28s %8d state bytes  %4d meta bytes\n",
+			path, s.Class, s.Spec, len(s.State), len(s.Meta))
+	}
+	return nil
 }
 
 // fetchReport scrapes url and holds the body to the same schema checks a
@@ -68,7 +103,14 @@ func fetchReport(url string) (*obs.Report, error) {
 	return r, nil
 }
 
-func run(dir, url string, paths []string, quiet bool, out *os.File) error {
+func run(dir, url, snapPath string, paths []string, quiet bool, out *os.File) error {
+	var checked int
+	if snapPath != "" {
+		if err := checkSnapshot(snapPath, quiet, out); err != nil {
+			return err
+		}
+		checked++
+	}
 	var reports []*obs.Report
 	if dir != "" {
 		got, err := obs.GlobReports(dir)
@@ -94,8 +136,8 @@ func run(dir, url string, paths []string, quiet bool, out *os.File) error {
 		}
 		reports = append(reports, r)
 	}
-	if len(reports) == 0 {
-		return fmt.Errorf("nothing to check: pass report files, -dir, or -url")
+	if len(reports) == 0 && checked == 0 {
+		return fmt.Errorf("nothing to check: pass report files, -dir, -url, or -snap")
 	}
 	var failures int
 	for _, r := range reports {
@@ -121,7 +163,7 @@ func run(dir, url string, paths []string, quiet bool, out *os.File) error {
 			fmt.Fprintf(out, "    skipped %s: %s\n", name, r.Skipped[name])
 		}
 	}
-	if !quiet {
+	if !quiet && len(reports) > 0 {
 		fmt.Fprintf(out, "%d report(s) valid\n", len(reports))
 	}
 	if failures > 0 {

@@ -17,6 +17,12 @@
 // the session's final misprediction rate is bit-identical to batch
 // vlpsim over the same trace and spec — the property the serve-smoke CI
 // stage asserts.
+//
+// -skip and -limit slice a window out of the trace, which is how a
+// stream resumes against a restarted server with a -spill-dir: stream
+// records [0,k) under one session, then [k,n) under the same session id
+// — the create is idempotent and picks the hibernated state back up
+// (scripts/snap_smoke.sh drives this across a real kill -9).
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/obs"
 	"repro/internal/runx"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,6 +54,8 @@ func main() {
 		input     = flag.String("input", "test", "input set for -bench: test or profile")
 		n         = flag.Int("n", 250000, "suite base trace length for -bench")
 		tracePath = flag.String("trace", "", "trace file (alternative to -bench)")
+		skip      = flag.Int("skip", 0, "discard the first N trace records before streaming (the resume offset)")
+		limit     = flag.Int("limit", 0, "stream at most N trace records after -skip (0 = all)")
 		clients   = flag.Int("clients", 1, "concurrent client connections")
 		rps       = flag.Float64("rps", 0, "open-loop target requests/sec across all clients (0 = closed loop)")
 		chunk     = flag.Int("chunk", 65536, "records per request chunk")
@@ -91,7 +100,7 @@ func main() {
 	if inj != nil {
 		cfg.Transport = inj.Transport(nil)
 	}
-	err := run(ctx, cfg, *bench, *input, *n, *tracePath, *jsonPath, log)
+	err := run(ctx, cfg, *bench, *input, *n, *tracePath, *skip, *limit, *jsonPath, log)
 	if inj != nil {
 		fmt.Printf("chaos: injected %s\n", inj.CountsString())
 	}
@@ -101,17 +110,24 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, cfg loadgen.Config, bench, input string, n int, tracePath, jsonPath string, log *obs.Logger) error {
+func run(ctx context.Context, cfg loadgen.Config, bench, input string, n int, tracePath string, skip, limit int, jsonPath string, log *obs.Logger) error {
 	src, err := cliutil.Resolve(ctx, cliutil.SourceSpec{
 		Bench: bench, Input: input, Records: n, TracePath: tracePath,
 	})
 	if err != nil {
 		return err
 	}
+	var window trace.Source = src
+	if skip > 0 {
+		window = trace.NewSkip(window, skip)
+	}
+	if limit > 0 {
+		window = trace.NewLimit(window, limit)
+	}
 	log.Progressf("trace source ready")
 
 	span := obs.StartSpan()
-	res, err := loadgen.Run(ctx, cfg, src)
+	res, err := loadgen.Run(ctx, cfg, window)
 	if err != nil {
 		return err
 	}

@@ -36,7 +36,7 @@ func TestRunWritesReport(t *testing.T) {
 		Clients:      2,
 		ChunkRecords: 4096,
 	}
-	if err := run(context.Background(), cfg, "gcc", "test", 20000, "", jsonPath, nil); err != nil {
+	if err := run(context.Background(), cfg, "gcc", "test", 20000, "", 0, 0, jsonPath, nil); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := obs.ReadReport(jsonPath)
@@ -55,20 +55,20 @@ func TestRunErrors(t *testing.T) {
 	ts := testServer(t)
 	ctx := context.Background()
 	base := loadgen.Config{BaseURL: ts.URL, Class: "cond", Spec: "gshare:budget=16KB"}
-	if err := run(ctx, base, "", "test", 0, "", "", nil); err == nil {
+	if err := run(ctx, base, "", "test", 0, "", 0, 0, "", nil); err == nil {
 		t.Error("no trace source accepted")
 	}
-	if err := run(ctx, base, "no-such-bench", "test", 100, "", "", nil); err == nil {
+	if err := run(ctx, base, "no-such-bench", "test", 100, "", 0, 0, "", nil); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 	bad := base
 	bad.Spec = "nope:budget=1KB"
-	if err := run(ctx, bad, "gcc", "test", 100, "", "", nil); err == nil {
+	if err := run(ctx, bad, "gcc", "test", 100, "", 0, 0, "", nil); err == nil {
 		t.Error("bad spec accepted")
 	}
 	down := base
 	down.BaseURL = "http://127.0.0.1:1"
-	if err := run(ctx, down, "gcc", "test", 100, "", "", nil); err == nil {
+	if err := run(ctx, down, "gcc", "test", 100, "", 0, 0, "", nil); err == nil {
 		t.Error("unreachable server accepted")
 	}
 }

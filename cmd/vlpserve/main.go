@@ -25,7 +25,16 @@
 //
 // The server is also a sweep worker: POST /v1/jobs runs one experiment
 // cell for the cmd/vlpsweep coordinator (disable with -jobs=false;
-// -tracedir points cells at recorded benchmark traces).
+// -tracedir points cells at recorded benchmark traces; -snapdir
+// checkpoints column replays so a requeued cell resumes mid-trace).
+//
+// -spill-dir enables session hibernation: every session's predictor
+// state is snapshotted write-through after each chunk, evicted and
+// drained sessions spill to disk, and a restarted server with the same
+// directory resumes every session bit-identically — even after kill -9
+// (scripts/snap_smoke.sh proves exactly that). Sessions also expose
+// GET/POST /v1/sessions/{id}/snapshot for explicit snapshot download
+// and restore.
 //
 // SIGINT/SIGTERM drain in-flight requests and exit cleanly; -addr-file
 // writes the bound address (for -addr :0 orchestration, as the
@@ -54,7 +63,9 @@ func main() {
 		jobs     = flag.Bool("jobs", true, "serve POST /v1/jobs sweep cells (cmd/vlpsweep workers)")
 		traceDir = flag.String("tracedir", "", "recorded benchmark traces for sweep cells (<dir>/<bench>.vlpt)")
 		perCell  = flag.Bool("percell", false, "run sweep cells on the sequential per-cell path instead of the fused column kernel (oracle mode)")
-		chaosStr = flag.String("chaos", "", "server-side fault injection spec, e.g. chaos:seed=7,burst5xx=0.05,reset=0.02,truncate=0.02,stall=0.01")
+		spillDir = flag.String("spill-dir", "", "hibernate sessions to this directory (write-through snapshots; a restart with the same dir resumes every session bit-identically)")
+		snapDir  = flag.String("snapdir", "", "checkpoint sweep-cell column replays to this directory so a requeued cell resumes instead of replaying from record zero")
+		chaosStr = flag.String("chaos", "", "server-side fault injection spec, e.g. chaos:seed=7,burst5xx=0.05,reset=0.02,truncate=0.02,stall=0.01,snap=0.1")
 		verbose  = flag.Bool("v", false, "narrate requests and evictions to stderr")
 	)
 	var prof obs.ProfileFlags
@@ -77,7 +88,7 @@ func main() {
 		inj = chaos.New(spec)
 	}
 	ctx, cancelSignals := runx.WithSignals(context.Background())
-	err = run(ctx, *addr, *addrFile, *limits, *jobs, *traceDir, *perCell, inj, log)
+	err = run(ctx, *addr, *addrFile, *limits, *jobs, *traceDir, *perCell, *spillDir, *snapDir, inj, log)
 	cancelSignals()
 	if perr := stop(); err == nil {
 		err = perr
@@ -88,7 +99,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, traceDir string, perCell bool, inj *chaos.Injector, log *obs.Logger) error {
+func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, traceDir string, perCell bool, spillDir, snapDir string, inj *chaos.Injector, log *obs.Logger) error {
 	limits, err := serve.ParseLimits(serve.DefaultLimits(), limitsStr)
 	if err != nil {
 		return err
@@ -97,9 +108,13 @@ func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, trace
 	if err != nil {
 		return err
 	}
+	if spillDir != "" {
+		srv.SetSpillDir(spillDir)
+	}
 	if jobs {
 		runner := dist.NewRunner(traceDir, log)
 		runner.SetPerCell(perCell)
+		runner.SetSnapDir(snapDir)
 		srv.SetJobRunner(runner)
 	}
 	if inj != nil {
@@ -107,6 +122,9 @@ func run(ctx context.Context, addr, addrFile, limitsStr string, jobs bool, trace
 		// injected reset's http.ErrAbortHandler reaches net/http and
 		// actually drops the connection (see internal/chaos).
 		srv.SetMiddleware(inj.Middleware)
+		if inj.Spec().SnapP > 0 {
+			srv.SetSnapFault(inj.SnapFault)
+		}
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -22,6 +22,17 @@
 //
 //	vlpsim -bench gcc -pred "gshare:budget=16KB;flp:budget=16KB,length=6"
 //
+// A run can be split at any record boundary: -save-state writes the
+// predictor's post-run state as a vlps/v1 snapshot, and a later run
+// restores it with -load-state, skipping the already-replayed prefix
+// with -skip — the two halves report exactly what the unbroken run
+// would have:
+//
+//	vlpsim -bench gcc -pred vlp:budget=16KB,profile=gcc.prof -n 100000 \
+//	    -save-state half.vlps
+//	vlpsim -bench gcc -pred vlp:budget=16KB,profile=gcc.prof -n 200000 \
+//	    -load-state half.vlps -skip 100000
+//
 // Observability: -json writes a bench report (misprediction rate, wall
 // time, branches/sec, allocation) in the repository's stable schema;
 // -cpuprofile/-memprofile/-exectrace capture pprof/runtime-trace data;
@@ -42,6 +53,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runx"
 	"repro/internal/sim"
+	"repro/internal/snap"
+	"repro/internal/trace"
 )
 
 // config carries every run parameter; flags parse straight into it.
@@ -59,6 +72,9 @@ type config struct {
 	norotate  bool
 	topMiss   int
 	jsonPath  string
+	saveState string
+	loadState string
+	skip      int
 	timeout   time.Duration
 	log       *obs.Logger
 }
@@ -82,6 +98,9 @@ func main() {
 	flag.BoolVar(&cfg.norotate, "no-rotation", false, "disable the per-depth hash rotation (paper §3.3 ablation)")
 	flag.IntVar(&cfg.topMiss, "top", 0, "also report the N worst static branches")
 	flag.StringVar(&cfg.jsonPath, "json", "", "write a bench report (repro-bench/v1 schema) to this file")
+	flag.StringVar(&cfg.saveState, "save-state", "", "write the predictor's post-run state as a vlps/v1 snapshot (single -pred spec only)")
+	flag.StringVar(&cfg.loadState, "load-state", "", "restore the predictor from a vlps/v1 snapshot before the run; combine with -skip to resume a trace mid-stream")
+	flag.IntVar(&cfg.skip, "skip", 0, "discard the first N trace records before replaying (the resume offset for -load-state)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C cancels cleanly either way")
 	flag.BoolVar(&verbose, "v", false, "narrate progress to stderr")
 	prof.Register(flag.CommandLine)
@@ -171,10 +190,18 @@ func run(ctx context.Context, cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.skip > 0 {
+		src = trace.NewSkip(src, cfg.skip)
+	}
 	cfg.log.Progressf("trace source ready")
 	specs, err := resolveSpecs(cfg)
 	if err != nil {
 		return err
+	}
+	if (cfg.saveState != "" || cfg.loadState != "") && len(specs) != 1 {
+		// A snapshot file carries exactly one predictor's state; fused
+		// multi-spec runs have no single state to save or restore.
+		return fmt.Errorf("-save-state/-load-state need a single -pred spec, got %d", len(specs))
 	}
 
 	// Several ";"-separated specs replay fused — one pass over the
@@ -182,8 +209,8 @@ func run(ctx context.Context, cfg config) error {
 	// experiment suite uses. A single spec is the K=1 case of the same
 	// call and prints exactly what it always has.
 	opts := sim.Options{PerPC: cfg.topMiss > 0}
-	var results []sim.Result
 	preds := make([]bpred.Predictor, len(specs))
+	var replay func() []sim.Result
 	switch cfg.class {
 	case "cond":
 		cps := make([]bpred.CondPredictor, len(specs))
@@ -195,7 +222,7 @@ func run(ctx context.Context, cfg config) error {
 			cps[i], preds[i] = cp, cp
 			cfg.log.Progressf("built %s (%d bytes)", cp.Name(), cp.SizeBytes())
 		}
-		results = sim.RunManyCond(ctx, cps, src, opts)
+		replay = func() []sim.Result { return sim.RunManyCond(ctx, cps, src, opts) }
 	case "indirect":
 		ips := make([]bpred.IndirectPredictor, len(specs))
 		for i, spec := range specs {
@@ -206,10 +233,24 @@ func run(ctx context.Context, cfg config) error {
 			ips[i], preds[i] = ip, ip
 			cfg.log.Progressf("built %s (%d bytes)", ip.Name(), ip.SizeBytes())
 		}
-		results = sim.RunManyIndirect(ctx, ips, src, opts)
+		replay = func() []sim.Result { return sim.RunManyIndirect(ctx, ips, src, opts) }
 	default:
 		return fmt.Errorf("unknown class %q (want cond or indirect)", cfg.class)
 	}
+	if cfg.loadState != "" {
+		// Restore before the first record replays: with -skip set to the
+		// snapshot's position, the run continues bit-identically where
+		// the saving run stopped.
+		sn, err := snap.LoadFile(cfg.loadState)
+		if err != nil {
+			return err
+		}
+		if err := sn.Restore(cfg.class, specs[0].String(), preds[0]); err != nil {
+			return err
+		}
+		cfg.log.Progressf("restored %s state from %s", preds[0].Name(), cfg.loadState)
+	}
+	results := replay()
 	for i := range results {
 		if err := results[i].Err; err != nil {
 			// A canceled or truncated run measured only part of the
@@ -218,6 +259,17 @@ func run(ctx context.Context, cfg config) error {
 		}
 	}
 	cfg.log.Progressf("run finished: %s", results[0].Metrics)
+
+	if cfg.saveState != "" {
+		sn, err := snap.Capture(cfg.class, specs[0].String(), preds[0])
+		if err != nil {
+			return err
+		}
+		if err := sn.SaveFile(cfg.saveState); err != nil {
+			return err
+		}
+		cfg.log.Progressf("saved %s state to %s", preds[0].Name(), cfg.saveState)
+	}
 
 	for i := range results {
 		res := &results[i]

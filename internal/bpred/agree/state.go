@@ -1,0 +1,43 @@
+package agree
+
+import (
+	"io"
+
+	"repro/internal/bpred/state"
+)
+
+// SaveState implements bpred.StateCodec: agree/disagree counters, the
+// global history register, and the biasing-bit table (bit 0 bias, bit 1
+// valid — both are run-time state, set on each branch's first retire).
+func (p *Predictor) SaveState(w io.Writer) error {
+	if err := p.pht.SaveState(w); err != nil {
+		return err
+	}
+	if err := p.hist.SaveState(w); err != nil {
+		return err
+	}
+	e := state.NewEncoder(w)
+	e.Bytes(p.bias)
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *Predictor) LoadState(r io.Reader) error {
+	if err := p.pht.LoadState(r); err != nil {
+		return err
+	}
+	if err := p.hist.LoadState(r); err != nil {
+		return err
+	}
+	d := state.NewDecoder(r)
+	d.Bytes(p.bias)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i, v := range p.bias {
+		if v > 3 {
+			return state.Corruptf("agree: bias slot %d value %d beyond valid+bias bits", i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+package bimodal
+
+import "io"
+
+// SaveState implements bpred.StateCodec: the counter table is the
+// bimodal predictor's entire mutable state.
+func (p *Predictor) SaveState(w io.Writer) error { return p.pht.SaveState(w) }
+
+// LoadState implements bpred.StateCodec.
+func (p *Predictor) LoadState(r io.Reader) error { return p.pht.LoadState(r) }

@@ -1,0 +1,32 @@
+package bimode
+
+import "io"
+
+// SaveState implements bpred.StateCodec: both direction banks, the
+// chooser bank, and the global history register.
+func (p *Predictor) SaveState(w io.Writer) error {
+	if err := p.taken.SaveState(w); err != nil {
+		return err
+	}
+	if err := p.notTaken.SaveState(w); err != nil {
+		return err
+	}
+	if err := p.choice.SaveState(w); err != nil {
+		return err
+	}
+	return p.hist.SaveState(w)
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *Predictor) LoadState(r io.Reader) error {
+	if err := p.taken.LoadState(r); err != nil {
+		return err
+	}
+	if err := p.notTaken.LoadState(r); err != nil {
+		return err
+	}
+	if err := p.choice.LoadState(r); err != nil {
+		return err
+	}
+	return p.hist.LoadState(r)
+}

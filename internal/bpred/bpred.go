@@ -12,6 +12,7 @@ package bpred
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/arch"
 	"repro/internal/trace"
@@ -32,6 +33,31 @@ type Predictor interface {
 	// SizeBytes reports the hardware budget consumed by the predictor's
 	// second-level table(s), the quantity the paper's size axes use.
 	SizeBytes() int
+}
+
+// StateCodec is the optional checkpoint surface of a predictor: a
+// predictor that implements it can externalize its mutable state —
+// counter tables, history registers, THB contents — and later be
+// restored to exactly that state. The contract is bit-identity: after
+//
+//	p.SaveState(w); q.LoadState(r)
+//
+// where q was built with the same configuration as p, q must predict
+// identically to p on every future record. Configuration itself (table
+// sizes, index widths, selectors, profiles) is NOT part of the encoded
+// state; the snapshot container (internal/snap) records the factory
+// spec alongside the state bytes and refuses to restore into a
+// predictor built from a different spec.
+//
+// SaveState writes only to w and must not mutate the predictor.
+// LoadState must validate everything it reads — lengths, value ranges,
+// history bits beyond the register mask — and reject damaged input
+// with an error classified under state.ErrCorrupt rather than loading
+// it partially or panicking; on error the predictor may be left in an
+// unspecified state and must be discarded.
+type StateCodec interface {
+	SaveState(w io.Writer) error
+	LoadState(r io.Reader) error
 }
 
 // CondPredictor predicts conditional branch directions.

@@ -1,0 +1,53 @@
+package cascaded
+
+import (
+	"io"
+
+	"repro/internal/bpred/state"
+)
+
+// SaveState implements bpred.StateCodec: the first-stage BTB, the
+// tagged second-stage entries, and the global path history register.
+func (p *Predictor) SaveState(w io.Writer) error {
+	e := state.NewEncoder(w)
+	e.U32s(p.btb)
+	e.Int(len(p.entries))
+	for _, ent := range p.entries {
+		e.U64(uint64(ent.tag))
+		e.U64(uint64(ent.target))
+		e.Bool(ent.valid)
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	return p.hist.SaveState(w)
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *Predictor) LoadState(r io.Reader) error {
+	d := state.NewDecoder(r)
+	d.U32s(p.btb)
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(p.entries) {
+		return state.Corruptf("cascaded: second-stage length %d, predictor has %d", n, len(p.entries))
+	}
+	for i := range p.entries {
+		tag := d.U64()
+		target := d.U64()
+		valid := d.Bool()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if tag > 0xffff {
+			return state.Corruptf("cascaded: entry %d tag %#x overflows 16 bits", i, tag)
+		}
+		if target > 0xffffffff {
+			return state.Corruptf("cascaded: entry %d target %#x overflows 32 bits", i, target)
+		}
+		p.entries[i] = entry{tag: uint16(tag), target: uint32(target), valid: valid}
+	}
+	return p.hist.LoadState(r)
+}

@@ -1,0 +1,58 @@
+package counter
+
+import (
+	"io"
+
+	"repro/internal/bpred/state"
+)
+
+// Checkpoint support: a counter array's mutable state is exactly its
+// table of values, and a shift register's is exactly its bits. Widths,
+// masks, and sizes are configuration, fixed at construction; LoadState
+// therefore validates the incoming state against the receiver's
+// configuration — table length must match, every counter must fit its
+// width, no history bit may lie beyond the register mask — and refuses
+// anything else as corrupt.
+
+// SaveState implements bpred.StateCodec for the counter array.
+func (a *Array) SaveState(w io.Writer) error {
+	e := state.NewEncoder(w)
+	e.Bytes(a.table)
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec for the counter array.
+func (a *Array) LoadState(r io.Reader) error {
+	d := state.NewDecoder(r)
+	d.Bytes(a.table)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i, v := range a.table {
+		if v > a.max {
+			return state.Corruptf("counter %d value %d exceeds %d-bit width", i, v, a.bits)
+		}
+	}
+	return nil
+}
+
+// SaveState implements bpred.StateCodec for the shift register.
+func (s *ShiftReg) SaveState(w io.Writer) error {
+	e := state.NewEncoder(w)
+	e.U64(s.bits)
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec for the shift register.
+func (s *ShiftReg) LoadState(r io.Reader) error {
+	d := state.NewDecoder(r)
+	bits := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if bits&^s.mask != 0 {
+		return state.Corruptf("history %#x overflows %d-bit register", bits, s.n)
+	}
+	s.bits = bits
+	return nil
+}

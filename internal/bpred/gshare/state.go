@@ -1,0 +1,20 @@
+package gshare
+
+import "io"
+
+// SaveState implements bpred.StateCodec: the pattern history table and
+// the global history register are gshare's entire mutable state.
+func (p *Predictor) SaveState(w io.Writer) error {
+	if err := p.pht.SaveState(w); err != nil {
+		return err
+	}
+	return p.hist.SaveState(w)
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *Predictor) LoadState(r io.Reader) error {
+	if err := p.pht.LoadState(r); err != nil {
+		return err
+	}
+	return p.hist.LoadState(r)
+}

@@ -1,0 +1,24 @@
+package gskew
+
+import "io"
+
+// SaveState implements bpred.StateCodec: the three skewed banks and the
+// global history register.
+func (p *Predictor) SaveState(w io.Writer) error {
+	for _, bank := range p.banks {
+		if err := bank.SaveState(w); err != nil {
+			return err
+		}
+	}
+	return p.hist.SaveState(w)
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *Predictor) LoadState(r io.Reader) error {
+	for _, bank := range p.banks {
+		if err := bank.LoadState(r); err != nil {
+			return err
+		}
+	}
+	return p.hist.LoadState(r)
+}

@@ -1,0 +1,39 @@
+package hybrid
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bpred"
+)
+
+// SaveState implements bpred.StateCodec: both components followed by
+// the chooser. A hybrid is only as checkpointable as its components, so
+// it requires them to implement the codec too; the factory's standard
+// hybrid (gshare + bimodal) does.
+func (p *Predictor) SaveState(w io.Writer) error {
+	for _, c := range []bpred.CondPredictor{p.a, p.b} {
+		sc, ok := c.(bpred.StateCodec)
+		if !ok {
+			return fmt.Errorf("hybrid: component %s does not support state save/restore", c.Name())
+		}
+		if err := sc.SaveState(w); err != nil {
+			return err
+		}
+	}
+	return p.chooser.SaveState(w)
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *Predictor) LoadState(r io.Reader) error {
+	for _, c := range []bpred.CondPredictor{p.a, p.b} {
+		sc, ok := c.(bpred.StateCodec)
+		if !ok {
+			return fmt.Errorf("hybrid: component %s does not support state save/restore", c.Name())
+		}
+		if err := sc.LoadState(r); err != nil {
+			return err
+		}
+	}
+	return p.chooser.LoadState(r)
+}

@@ -1,0 +1,313 @@
+// Package state implements the wire primitives predictor state codecs
+// share: little-endian scalar and slice framing over an io stream, with
+// every decode failure classified under a single ErrCorrupt sentinel.
+//
+// The framing mirrors the trace file codec's discipline (uvarint
+// scalars, length-prefixed slices, hard validation on read) but lives
+// below internal/snap in the import graph so that the predictor
+// packages — counter, vlp, gshare, targetcache and the rest — can
+// implement bpred.StateCodec without importing the snapshot container.
+// The container adds identity (magic, version, spec) and integrity
+// (sha256 trailer); this package only moves validated field bytes.
+//
+// Encoders and decoders carry a sticky error so a codec implementation
+// reads as a flat sequence of field calls with one error check at the
+// end, the same shape whether it has two fields or twenty.
+package state
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrCorrupt is the sentinel wrapped by every decode failure: short
+// reads, overlong varints, length mismatches, and out-of-range values
+// all satisfy errors.Is(err, ErrCorrupt). The snapshot container and
+// the serve layer classify on this one sentinel, exactly as the trace
+// decoder's readers classify on trace.ErrCorrupt.
+var ErrCorrupt = errors.New("state: corrupt predictor state")
+
+// corruptError wraps a specific failure so the message stays precise
+// while errors.Is(err, ErrCorrupt) holds — the trace decoder's
+// corruptError pattern.
+type corruptError struct{ err error }
+
+func (e *corruptError) Error() string   { return e.err.Error() }
+func (e *corruptError) Unwrap() []error { return []error{e.err, ErrCorrupt} }
+
+// Corruptf builds an ErrCorrupt-classified error, for codec
+// implementations that detect damage the primitives cannot (cross-field
+// invariants like a ring head beyond its depth).
+func Corruptf(format string, args ...any) error {
+	return &corruptError{fmt.Errorf("state: "+format, args...)}
+}
+
+// maxSliceLen bounds decoded slice lengths before allocation so a
+// corrupted or fuzzed length prefix cannot demand gigabytes. It is far
+// above any real predictor table (the largest configuration in the
+// paper's sweeps is a few hundred KB of counters).
+const maxSliceLen = 1 << 28
+
+// Encoder writes the framing. Errors stick: after the first write
+// failure every later call is a no-op and Err returns the failure.
+type Encoder struct {
+	w   io.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Err returns the first write failure, or nil.
+func (e *Encoder) Err() error { return e.err }
+
+// U64 writes one unsigned scalar as a uvarint.
+func (e *Encoder) U64(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+// Int writes a non-negative int scalar.
+func (e *Encoder) Int(v int) { e.U64(uint64(v)) }
+
+// Bool writes a flag as one uvarint byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U64(1)
+	} else {
+		e.U64(0)
+	}
+}
+
+// Bytes writes a length-prefixed byte slice.
+func (e *Encoder) Bytes(s []byte) {
+	e.U64(uint64(len(s)))
+	if e.err != nil || len(s) == 0 {
+		return
+	}
+	_, e.err = e.w.Write(s)
+}
+
+// String writes a length-prefixed string.
+func (e *Encoder) String(s string) { e.Bytes([]byte(s)) }
+
+// U32s writes a length-prefixed slice of 4-byte little-endian words —
+// the shape of counter tables, target tables, and THB rings.
+func (e *Encoder) U32s(s []uint32) {
+	e.U64(uint64(len(s)))
+	if e.err != nil {
+		return
+	}
+	var word [4]byte
+	for _, v := range s {
+		binary.LittleEndian.PutUint32(word[:], v)
+		if _, e.err = e.w.Write(word[:]); e.err != nil {
+			return
+		}
+	}
+}
+
+// U64s writes a length-prefixed slice of uvarint words — the shape of
+// per-address history register files, which are mostly small values.
+func (e *Encoder) U64s(s []uint64) {
+	e.U64(uint64(len(s)))
+	for _, v := range s {
+		e.U64(v)
+	}
+}
+
+// Decoder reads the framing back with validation. Errors stick: after
+// the first failure every later call returns zero values and Err
+// returns the failure, always classified under ErrCorrupt.
+type Decoder struct {
+	r   io.Reader
+	br  io.ByteReader
+	err error
+}
+
+// NewDecoder returns a Decoder reading from r. When r does not
+// implement io.ByteReader, single bytes are read through ReadFull —
+// the decoder never reads ahead of what it consumes, so several codecs
+// can decode in sequence from one underlying stream.
+func NewDecoder(r io.Reader) *Decoder {
+	d := &Decoder{r: r}
+	d.br, _ = r.(io.ByteReader)
+	return d
+}
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) readByte() (byte, error) {
+	if d.br != nil {
+		return d.br.ReadByte()
+	}
+	var b [1]byte
+	_, err := io.ReadFull(d.r, b[:])
+	return b[0], err
+}
+
+// fail records the first failure, classifying io errors as corruption:
+// a state stream that ends early is damaged by definition.
+func (d *Decoder) fail(err error) {
+	if d.err != nil {
+		return
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		err = &corruptError{err}
+	}
+	d.err = err
+}
+
+// U64 reads one uvarint scalar.
+func (d *Decoder) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	var v uint64
+	for shift := uint(0); ; shift += 7 {
+		if shift >= 64 {
+			d.fail(fmt.Errorf("state: uvarint overflows 64 bits"))
+			return 0
+		}
+		b, err := d.readByte()
+		if err != nil {
+			d.fail(fmt.Errorf("state: truncated uvarint: %w", err))
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			if b == 0 && shift > 0 {
+				d.fail(fmt.Errorf("state: non-canonical uvarint"))
+				return 0
+			}
+			return v
+		}
+	}
+}
+
+// Int reads a non-negative int scalar.
+func (d *Decoder) Int() int {
+	v := d.U64()
+	if d.err == nil && v > uint64(maxSliceLen) {
+		d.fail(fmt.Errorf("state: int field %d out of range", v))
+		return 0
+	}
+	return int(v)
+}
+
+// Bool reads a flag, rejecting anything but 0 or 1.
+func (d *Decoder) Bool() bool {
+	v := d.U64()
+	if d.err == nil && v > 1 {
+		d.fail(fmt.Errorf("state: bool field %d out of range", v))
+		return false
+	}
+	return v == 1
+}
+
+// length reads a slice length prefix and checks it matches want, the
+// size fixed by the predictor's configuration. A mismatch means the
+// state was produced by a different configuration (or damaged); either
+// way it must not load.
+func (d *Decoder) length(what string, want int) bool {
+	n := d.U64()
+	if d.err != nil {
+		return false
+	}
+	if n > maxSliceLen {
+		d.fail(fmt.Errorf("state: %s length %d exceeds limit", what, n))
+		return false
+	}
+	if int(n) != want {
+		d.fail(fmt.Errorf("state: %s length %d, predictor has %d", what, n, want))
+		return false
+	}
+	return true
+}
+
+// Bytes reads a length-prefixed byte slice into dst, requiring the
+// encoded length to equal len(dst).
+func (d *Decoder) Bytes(dst []byte) {
+	if !d.length("byte table", len(dst)) {
+		return
+	}
+	if _, err := io.ReadFull(d.r, dst); err != nil {
+		d.fail(fmt.Errorf("state: truncated byte table: %w", err))
+	}
+}
+
+// String reads a length-prefixed string of at most max bytes.
+func (d *Decoder) String(max int) string {
+	n := d.U64()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(max) {
+		d.fail(fmt.Errorf("state: string length %d exceeds limit %d", n, max))
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.fail(fmt.Errorf("state: truncated string: %w", err))
+		return ""
+	}
+	return string(buf)
+}
+
+// Field reads a length-prefixed byte field of at most max bytes,
+// allocating the result — for variable-size fields whose length is not
+// fixed by the receiver's configuration (the snapshot container's meta
+// and state payloads).
+func (d *Decoder) Field(max int) []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(max) {
+		d.fail(fmt.Errorf("state: field length %d exceeds limit %d", n, max))
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.fail(fmt.Errorf("state: truncated field: %w", err))
+		return nil
+	}
+	return buf
+}
+
+// U32s reads a length-prefixed little-endian word slice into dst,
+// requiring the encoded length to equal len(dst).
+func (d *Decoder) U32s(dst []uint32) {
+	if !d.length("word table", len(dst)) {
+		return
+	}
+	var word [4]byte
+	for i := range dst {
+		if _, err := io.ReadFull(d.r, word[:]); err != nil {
+			d.fail(fmt.Errorf("state: truncated word table: %w", err))
+			return
+		}
+		dst[i] = binary.LittleEndian.Uint32(word[:])
+	}
+}
+
+// U64s reads a length-prefixed uvarint slice into dst, requiring the
+// encoded length to equal len(dst).
+func (d *Decoder) U64s(dst []uint64) {
+	if !d.length("register file", len(dst)) {
+		return
+	}
+	for i := range dst {
+		dst[i] = d.U64()
+		if d.err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package targetcache
+
+import (
+	"io"
+
+	"repro/internal/bpred/state"
+)
+
+// Checkpoint support (bpred.StateCodec) for the baseline indirect
+// predictors. Target registers hold arbitrary 32-bit address slices, so
+// loads validate structure (table lengths, history masks) rather than
+// values.
+
+func (t *targetTable) saveState(w io.Writer) error {
+	e := state.NewEncoder(w)
+	e.U32s(t.entries)
+	return e.Err()
+}
+
+func (t *targetTable) loadState(r io.Reader) error {
+	d := state.NewDecoder(r)
+	d.U32s(t.entries)
+	return d.Err()
+}
+
+// SaveState implements bpred.StateCodec for the pattern-based cache.
+func (p *Pattern) SaveState(w io.Writer) error {
+	if err := p.table.saveState(w); err != nil {
+		return err
+	}
+	return p.hist.SaveState(w)
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *Pattern) LoadState(r io.Reader) error {
+	if err := p.table.loadState(r); err != nil {
+		return err
+	}
+	return p.hist.LoadState(r)
+}
+
+// SaveState implements bpred.StateCodec for the path-based cache.
+func (p *Path) SaveState(w io.Writer) error {
+	if err := p.table.saveState(w); err != nil {
+		return err
+	}
+	return p.hist.SaveState(w)
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *Path) LoadState(r io.Reader) error {
+	if err := p.table.loadState(r); err != nil {
+		return err
+	}
+	return p.hist.LoadState(r)
+}
+
+// SaveState implements bpred.StateCodec for the BTB.
+func (b *BTB) SaveState(w io.Writer) error { return b.table.saveState(w) }
+
+// LoadState implements bpred.StateCodec.
+func (b *BTB) LoadState(r io.Reader) error { return b.table.loadState(r) }
+
+// SaveState implements bpred.StateCodec for the per-address path cache.
+func (p *PathPerAddr) SaveState(w io.Writer) error {
+	if err := p.table.saveState(w); err != nil {
+		return err
+	}
+	e := state.NewEncoder(w)
+	e.U64s(p.hists)
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *PathPerAddr) LoadState(r io.Reader) error {
+	if err := p.table.loadState(r); err != nil {
+		return err
+	}
+	d := state.NewDecoder(r)
+	d.U64s(p.hists)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i, h := range p.hists {
+		if h&^p.hMask != 0 {
+			return state.Corruptf("targetcache: history %d value %#x overflows %d-bit register", i, h, p.p*p.q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package twolevel
+
+import (
+	"io"
+
+	"repro/internal/bpred/state"
+)
+
+// SaveState implements bpred.StateCodec for GAs: pattern history table
+// plus the single global history register.
+func (p *GAs) SaveState(w io.Writer) error {
+	if err := p.pht.SaveState(w); err != nil {
+		return err
+	}
+	return p.hist.SaveState(w)
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *GAs) LoadState(r io.Reader) error {
+	if err := p.pht.LoadState(r); err != nil {
+		return err
+	}
+	return p.hist.LoadState(r)
+}
+
+// SaveState implements bpred.StateCodec for PAs: pattern history table
+// plus the per-address branch history table.
+func (p *PAs) SaveState(w io.Writer) error {
+	if err := p.pht.SaveState(w); err != nil {
+		return err
+	}
+	e := state.NewEncoder(w)
+	e.U64s(p.bht)
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec.
+func (p *PAs) LoadState(r io.Reader) error {
+	if err := p.pht.LoadState(r); err != nil {
+		return err
+	}
+	d := state.NewDecoder(r)
+	d.U64s(p.bht)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	for i, h := range p.bht {
+		if h&^p.histMsk != 0 {
+			return state.Corruptf("twolevel: history %d value %#x overflows %d-bit register", i, h, p.h)
+		}
+	}
+	return nil
+}

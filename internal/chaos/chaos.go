@@ -24,6 +24,7 @@
 package chaos
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -58,12 +59,17 @@ const (
 	// FaultBurst5xx (server side only) answers with a retryable 503 for
 	// Spec.BurstLen consecutive non-exempt requests.
 	FaultBurst5xx Fault = "burst5xx"
+	// FaultSnap (server side only) fails a session snapshot file
+	// operation — a spill write or a rehydrate read — as if the disk
+	// had. It exercises the serve layer's hibernation degradation path:
+	// a tripped spill drops the session (counted, never a crash).
+	FaultSnap Fault = "snap"
 )
 
 // Faults lists every fault kind in canonical (sorted) order — the order
 // CountsString renders.
 func Faults() []Fault {
-	return []Fault{FaultBurst5xx, FaultLatency, FaultReset, FaultStall, FaultTruncate}
+	return []Fault{FaultBurst5xx, FaultLatency, FaultReset, FaultSnap, FaultStall, FaultTruncate}
 }
 
 // Spec is one parsed fault schedule: per-fault trip probabilities plus
@@ -86,6 +92,9 @@ type Spec struct {
 	// Burst5xxP is the probability of starting a 5xx burst
 	// ("burst5xx=0.01"); server side only.
 	Burst5xxP float64
+	// SnapP is the snapshot-I/O failure probability ("snap=0.1");
+	// server side only, drawn once per spill or rehydrate attempt.
+	SnapP float64
 	// StallFor is how long a stalled response holds ("stallfor=5s",
 	// default 10s). Stalls resolve early when the request context ends.
 	StallFor time.Duration
@@ -95,7 +104,7 @@ type Spec struct {
 }
 
 // chaosKeys is the grammar vocabulary, named in unknown-key errors.
-var chaosKeys = []string{"seed", "latency", "reset", "truncate", "stall", "burst5xx", "stallfor", "burstlen"}
+var chaosKeys = []string{"seed", "latency", "reset", "truncate", "stall", "burst5xx", "snap", "stallfor", "burstlen"}
 
 // ParseSpec parses the chaos kv grammar — e.g.
 //
@@ -161,6 +170,12 @@ func ParseSpec(s string) (Spec, error) {
 				return factory.ErrBadValue(s, key, value)
 			}
 			spec.Burst5xxP = p
+		case "snap":
+			p, err := parseProb(value)
+			if err != nil {
+				return factory.ErrBadValue(s, key, value)
+			}
+			spec.SnapP = p
 		case "stallfor":
 			d, err := time.ParseDuration(value)
 			if err != nil || d <= 0 {
@@ -203,7 +218,7 @@ func (s Spec) Validate() error {
 		v    float64
 	}{
 		{"latency", s.LatencyP}, {"reset", s.ResetP}, {"truncate", s.TruncateP},
-		{"stall", s.StallP}, {"burst5xx", s.Burst5xxP},
+		{"stall", s.StallP}, {"burst5xx", s.Burst5xxP}, {"snap", s.SnapP},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("chaos: %s probability %v outside [0, 1]", p.name, p.v)
@@ -226,7 +241,8 @@ func (s Spec) Validate() error {
 
 // Enabled reports whether the schedule can inject anything at all.
 func (s Spec) Enabled() bool {
-	return s.LatencyP > 0 || s.ResetP > 0 || s.TruncateP > 0 || s.StallP > 0 || s.Burst5xxP > 0
+	return s.LatencyP > 0 || s.ResetP > 0 || s.TruncateP > 0 || s.StallP > 0 ||
+		s.Burst5xxP > 0 || s.SnapP > 0
 }
 
 // String renders the spec back in canonical grammar form, suitable for
@@ -247,6 +263,9 @@ func (s Spec) String() string {
 	}
 	if s.Burst5xxP > 0 {
 		parts = append(parts, "burst5xx="+formatProb(s.Burst5xxP))
+	}
+	if s.SnapP > 0 {
+		parts = append(parts, "snap="+formatProb(s.SnapP))
 	}
 	if s.StallFor != 10*time.Second {
 		parts = append(parts, "stallfor="+s.StallFor.String())
@@ -356,6 +375,29 @@ func (in *Injector) decideServer() decision {
 	}
 	in.record(d)
 	return d
+}
+
+// ErrSnapFault is the error an injected snapshot-I/O failure surfaces
+// as; the serve layer treats it exactly like a real disk error.
+var ErrSnapFault = errors.New("chaos: injected snapshot fault")
+
+// SnapFault draws one snapshot-fault decision, returning ErrSnapFault
+// when it trips. The serve layer mounts it (Server.SetSnapFault) on
+// every spill write and rehydrate read; like every other draw it is one
+// fixed-order block from the shared stream, so the injected-fault
+// multiset stays a pure function of the seed and the operation count.
+func (in *Injector) SnapFault() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var d decision
+	if in.rng.Bool(in.spec.SnapP) {
+		d.fault = FaultSnap
+	}
+	in.record(d)
+	if d.fault != "" {
+		return ErrSnapFault
+	}
+	return nil
 }
 
 // record tallies one decision; the caller holds the mutex.

@@ -105,7 +105,7 @@ func TestInjectorDeterministic(t *testing.T) {
 func TestCountsStringStableAndComplete(t *testing.T) {
 	in := New(Spec{Seed: 1})
 	got := in.CountsString()
-	want := "burst5xx=0 latency=0 reset=0 stall=0 truncate=0"
+	want := "burst5xx=0 latency=0 reset=0 snap=0 stall=0 truncate=0"
 	if got != want {
 		t.Fatalf("CountsString() = %q, want %q", got, want)
 	}

@@ -42,6 +42,7 @@ import (
 type Runner struct {
 	traceDir string
 	perCell  bool
+	snapDir  string
 	log      *obs.Logger
 
 	mu     sync.Mutex
@@ -82,6 +83,15 @@ func NewRunner(traceDir string, log *obs.Logger) *Runner {
 // built keep their mode.
 func (r *Runner) SetPerCell(v bool) { r.perCell = v }
 
+// SetSnapDir points every suite this runner builds at a column
+// checkpoint directory (experiments.Config.SnapDir): column replays
+// persist predictor snapshots as they go, so when a worker dies and the
+// coordinator requeues its in-flight cell, the surviving worker that
+// picks it up — or this worker after a restart — resumes from the last
+// checkpoint instead of replaying from record zero. Results are
+// bit-identical either way. Call before the first job.
+func (r *Runner) SetSnapDir(dir string) { r.snapDir = dir }
+
 // suite returns the cached suite for a scale, building and ingesting it
 // on first use.
 func (r *Runner) suite(ctx context.Context, key suiteKey) (*experiments.Suite, error) {
@@ -98,6 +108,7 @@ func (r *Runner) suite(ctx context.Context, key suiteKey) (*experiments.Suite, e
 			ProfileRecords: key.profBase,
 			TraceDir:       r.traceDir,
 			PerCell:        r.perCell,
+			SnapDir:        r.snapDir,
 		})
 		skipped, err := s.IngestTraces(ctx)
 		if err != nil {

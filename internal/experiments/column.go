@@ -134,12 +134,45 @@ func (s *Suite) CondColumn(ctx context.Context, id, bench string, cells []CondCe
 			return nil, err
 		}
 		s.computedColumns.Add(1)
+		if buf, jobs, order := s.checkpointColumn(src, condColumnJobs, preds); jobs != nil {
+			res := s.runColumnCheckpointed(ctx, "cond", bench, id, jobs, buf)
+			out := make([]sim.Result, len(preds))
+			for pi, ji := range order {
+				if err := res[ji].Err; err != nil {
+					return nil, err
+				}
+				out[pi] = res[ji]
+			}
+			return percents(out), nil
+		}
 		results, err := RunCondColumn(ctx, preds, src, s.Cfg.PerCell)
 		if err != nil {
 			return nil, err
 		}
 		return percents(results), nil
 	})
+}
+
+// checkpointColumn decides whether a column replay goes through the
+// checkpointed runner: SnapDir must be configured, the fused kernel
+// must be in play (PerCell runs the sequential oracle), the trace must
+// be an in-memory buffer (the suite's TestSource always is), and every
+// participant must support StateCodec. It returns nil jobs when any
+// condition fails, which routes the column through the plain path.
+func (s *Suite) checkpointColumn(src trace.Source, layout func([]bpred.CondPredictor) ([]sim.Job, []int),
+	preds []bpred.CondPredictor) (*trace.Buffer, []sim.Job, []int) {
+	if s.Cfg.SnapDir == "" || s.Cfg.PerCell {
+		return nil, nil, nil
+	}
+	buf, ok := src.(*trace.Buffer)
+	if !ok {
+		return nil, nil, nil
+	}
+	jobs, order := layout(preds)
+	if !checkpointable(jobs) {
+		return nil, nil, nil
+	}
+	return buf, jobs, order
 }
 
 // IndirectColumn is CondColumn for indirect predictors.
@@ -159,6 +192,21 @@ func (s *Suite) IndirectColumn(ctx context.Context, id, bench string, cells []In
 			return nil, err
 		}
 		s.computedColumns.Add(1)
+		if buf, ok := src.(*trace.Buffer); ok && s.Cfg.SnapDir != "" && !s.Cfg.PerCell {
+			jobs := make([]sim.Job, len(preds))
+			for i, p := range preds {
+				jobs[i] = sim.IndirectJob(p)
+			}
+			if checkpointable(jobs) {
+				res := s.runColumnCheckpointed(ctx, "indirect", bench, id, jobs, buf)
+				for i := range res {
+					if err := res[i].Err; err != nil {
+						return nil, err
+					}
+				}
+				return percents(res), nil
+			}
+		}
 		results, err := RunIndirectColumn(ctx, preds, src, s.Cfg.PerCell)
 		if err != nil {
 			return nil, err

@@ -51,6 +51,13 @@ type Config struct {
 	// way; the per-cell path is kept as the differential-test oracle
 	// and as a bisection tool when a fused result looks wrong.
 	PerCell bool
+	// SnapDir, when set, names a directory for column replay
+	// checkpoints: fused columns periodically persist every
+	// predictor's state (internal/snap format) so a killed or requeued
+	// run resumes from the last checkpoint instead of record zero.
+	// Results are bit-identical with or without it. Ignored by the
+	// PerCell oracle path.
+	SnapDir string
 }
 
 func (c Config) base() int {
@@ -133,6 +140,11 @@ type Suite struct {
 	computedStep1    atomic.Int64
 	computedProfiles atomic.Int64
 	computedColumns  atomic.Int64
+
+	// resumedRecords counts records that column replays did NOT replay
+	// because a checkpoint in Cfg.SnapDir covered them — the work a
+	// dead worker's requeued cell saved. The resume tests pin it.
+	resumedRecords atomic.Int64
 }
 
 type cacheKey struct {
@@ -170,6 +182,10 @@ func NewSuite(cfg Config) *Suite {
 func (s *Suite) ComputeCounts() (records, step1, profiles int64) {
 	return s.computedRecords.Load(), s.computedStep1.Load(), s.computedProfiles.Load()
 }
+
+// ResumedRecords reports how many records column replays skipped by
+// resuming from checkpoints in Cfg.SnapDir.
+func (s *Suite) ResumedRecords() int64 { return s.resumedRecords.Load() }
 
 // ComputedColumns reports how many fused column replays the suite has
 // actually executed (cache misses, not lookups). Experiments that ask

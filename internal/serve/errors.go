@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/runx"
+	"repro/internal/snap"
 	"repro/internal/trace"
 )
 
@@ -51,8 +52,10 @@ func classify(err error) (status int, code string, retryable bool) {
 	switch {
 	case errors.As(err, &mbe):
 		return http.StatusRequestEntityTooLarge, CodeTooLarge, false
-	case errors.Is(err, trace.ErrCorrupt):
+	case errors.Is(err, trace.ErrCorrupt), errors.Is(err, snap.ErrCorrupt):
 		return http.StatusBadRequest, CodeCorrupt, false
+	case errors.Is(err, snap.ErrSpecMismatch):
+		return http.StatusBadRequest, CodeInvalid, false
 	case errors.As(err, &pe):
 		return http.StatusInternalServerError, CodePanic, false
 	case errors.As(err, &jfe):

@@ -38,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +74,15 @@ type Server struct {
 	// being converted into a structured 500.
 	mw func(http.Handler) http.Handler
 
+	// spillDir, when set (SetSpillDir), enables session hibernation:
+	// write-through snapshots after every chunk plus spill on eviction
+	// and drain, with transparent rehydration on the next request. See
+	// spill.go.
+	spillDir string
+	// snapFault, when set (SetSnapFault), injects failures into every
+	// snapshot file operation — the chaos seam for the spill path.
+	snapFault func() error
+
 	requests    atomic.Int64
 	predicts    atomic.Int64
 	rejected    atomic.Int64
@@ -84,6 +94,10 @@ type Server struct {
 	branchesRun atomic.Int64
 	jobsRun     atomic.Int64
 	jobsFailed  atomic.Int64
+
+	snapsSaved        atomic.Int64
+	snapsRestored     atomic.Int64
+	rehydrateFailures atomic.Int64
 
 	// testHookPredict/testHookJob, when set by a test, run while the
 	// request holds its worker slot — the seam the saturation and drain
@@ -145,6 +159,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/chunks", s.handlePredict)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", s.handleSnapshotRestore)
 	mux.HandleFunc("POST /v1/jobs", s.handleRunJob)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -220,6 +236,20 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	// A hibernated session with the same identity is the same session:
+	// an idempotent create after a server restart resumes it instead of
+	// clobbering the spilled state with a fresh predictor. A spec
+	// mismatch falls through to the duplicate-ID conflict below.
+	if req.ID != "" && s.spillDir != "" {
+		if _, live := s.reg.get(req.ID); !live {
+			if old, ok := s.rehydrate(req.ID); ok &&
+				old.Class == class && old.Spec.String() == spec.String() {
+				s.log.Progressf("serve: session %q resumed from hibernation", old.ID)
+				writeJSON(w, http.StatusCreated, old.info())
+				return
+			}
+		}
+	}
 	sess, err := newSession(req.ID, class, spec)
 	if err != nil {
 		s.writeError(w, err)
@@ -231,8 +261,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, Envelope{Code: CodeConflict, Message: err.Error()})
 		return
 	}
-	if evicted != "" {
-		s.log.Progressf("serve: session %q evicted (LRU) for %q", evicted, sess.ID)
+	if evicted != nil {
+		s.spill(evicted, "lru")
+		s.log.Progressf("serve: session %q evicted (LRU) for %q", evicted.ID, sess.ID)
 	}
 	s.log.Progressf("serve: session %q created: %s %s (%d bytes)",
 		sess.ID, class, spec.String(), sess.pred.SizeBytes())
@@ -249,7 +280,7 @@ func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.reg.get(r.PathValue("id"))
+	sess, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		s.clientErrs.Add(1)
 		writeJSON(w, http.StatusNotFound, Envelope{Code: CodeNotFound, Message: "no such session"})
@@ -259,7 +290,16 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.reg.remove(r.PathValue("id")) {
+	id := r.PathValue("id")
+	removed := s.reg.remove(id)
+	if s.spillDir != "" {
+		// An explicit delete also forgets the hibernated copy — whether
+		// the session was live, spilled, or both.
+		if os.Remove(s.spillPath(id)) == nil {
+			removed = true
+		}
+	}
+	if !removed {
 		s.clientErrs.Add(1)
 		writeJSON(w, http.StatusNotFound, Envelope{Code: CodeNotFound, Message: "no such session"})
 		return
@@ -309,7 +349,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.testHookPredict != nil {
 		s.testHookPredict()
 	}
-	sess, ok := s.reg.get(r.PathValue("id"))
+	sess, ok := s.lookup(r.PathValue("id"))
 	if !ok {
 		s.clientErrs.Add(1)
 		writeJSON(w, http.StatusNotFound, Envelope{Code: CodeNotFound, Message: "no such session"})
@@ -357,6 +397,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.hist.Observe(time.Since(start))
+	// Write-through hibernation: persist the post-chunk state before
+	// answering, so a kill -9 at any later instant loses nothing the
+	// client was told about.
+	s.spill(sess, "chunk")
 	s.predicts.Add(1)
 	s.bytesIn.Add(int64(len(data)))
 	s.recordsIn.Add(int64(buf.Len()))
@@ -380,24 +424,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // wide counters, the request-latency histogram, eviction totals, and a
 // snapshot of every live session.
 type MetricsData struct {
-	Sessions        []SessionInfo   `json:"sessions"`
-	LiveSessions    int             `json:"live_sessions"`
-	Requests        int64           `json:"requests"`
-	Predicts        int64           `json:"predicts"`
-	Rejected        int64           `json:"rejected"`
-	ClientErrors    int64           `json:"client_errors"`
-	ServerErrors    int64           `json:"server_errors"`
-	Panics          int64           `json:"panics"`
-	EvictedLRU      int64           `json:"evicted_lru"`
-	EvictedTTL      int64           `json:"evicted_ttl"`
-	BytesIn         int64           `json:"bytes_in"`
-	RecordsIn       int64           `json:"records_in"`
-	BranchesScored  int64           `json:"branches_scored"`
-	JobsRun         int64           `json:"jobs_run"`
-	JobsFailed      int64           `json:"jobs_failed"`
-	RequestLatency  obs.HistSummary `json:"request_latency"`
-	WorkerPoolSize  int             `json:"worker_pool_size"`
-	WorkersInFlight int             `json:"workers_in_flight"`
+	Sessions       []SessionInfo `json:"sessions"`
+	LiveSessions   int           `json:"live_sessions"`
+	Requests       int64         `json:"requests"`
+	Predicts       int64         `json:"predicts"`
+	Rejected       int64         `json:"rejected"`
+	ClientErrors   int64         `json:"client_errors"`
+	ServerErrors   int64         `json:"server_errors"`
+	Panics         int64         `json:"panics"`
+	EvictedLRU     int64         `json:"evicted_lru"`
+	EvictedTTL     int64         `json:"evicted_ttl"`
+	BytesIn        int64         `json:"bytes_in"`
+	RecordsIn      int64         `json:"records_in"`
+	BranchesScored int64         `json:"branches_scored"`
+	JobsRun        int64         `json:"jobs_run"`
+	JobsFailed     int64         `json:"jobs_failed"`
+	// The hibernation counters: snapshots written (write-through,
+	// eviction, drain, downloads), sessions revived (rehydration and
+	// uploaded restores), and hibernation failures that dropped a
+	// session or a spill file instead of crashing.
+	SnapshotsSaved    int64           `json:"snapshots_saved"`
+	SnapshotsRestored int64           `json:"snapshots_restored"`
+	RehydrateFailures int64           `json:"rehydrate_failures"`
+	RequestLatency    obs.HistSummary `json:"request_latency"`
+	WorkerPoolSize    int             `json:"worker_pool_size"`
+	WorkersInFlight   int             `json:"workers_in_flight"`
 }
 
 // MetricsReport builds the /metrics payload: a repro-bench/v1 report
@@ -417,24 +468,27 @@ func (s *Server) MetricsReport() *obs.Report {
 	}
 	live, lru, ttl := s.reg.stats()
 	rep.Data = MetricsData{
-		Sessions:        infos,
-		LiveSessions:    live,
-		Requests:        s.requests.Load(),
-		Predicts:        s.predicts.Load(),
-		Rejected:        s.rejected.Load(),
-		ClientErrors:    s.clientErrs.Load(),
-		ServerErrors:    s.serverErrs.Load(),
-		Panics:          s.panics.Load(),
-		EvictedLRU:      lru,
-		EvictedTTL:      ttl,
-		BytesIn:         s.bytesIn.Load(),
-		RecordsIn:       s.recordsIn.Load(),
-		BranchesScored:  s.branchesRun.Load(),
-		JobsRun:         s.jobsRun.Load(),
-		JobsFailed:      s.jobsFailed.Load(),
-		RequestLatency:  s.hist.Summary(),
-		WorkerPoolSize:  s.limits.Workers,
-		WorkersInFlight: len(s.sem),
+		Sessions:          infos,
+		LiveSessions:      live,
+		Requests:          s.requests.Load(),
+		Predicts:          s.predicts.Load(),
+		Rejected:          s.rejected.Load(),
+		ClientErrors:      s.clientErrs.Load(),
+		ServerErrors:      s.serverErrs.Load(),
+		Panics:            s.panics.Load(),
+		EvictedLRU:        lru,
+		EvictedTTL:        ttl,
+		BytesIn:           s.bytesIn.Load(),
+		RecordsIn:         s.recordsIn.Load(),
+		BranchesScored:    s.branchesRun.Load(),
+		JobsRun:           s.jobsRun.Load(),
+		JobsFailed:        s.jobsFailed.Load(),
+		SnapshotsSaved:    s.snapsSaved.Load(),
+		SnapshotsRestored: s.snapsRestored.Load(),
+		RehydrateFailures: s.rehydrateFailures.Load(),
+		RequestLatency:    s.hist.Summary(),
+		WorkerPoolSize:    s.limits.Workers,
+		WorkersInFlight:   len(s.sem),
 	}
 	return rep
 }
@@ -481,8 +535,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			case <-janitorStop:
 				return
 			case now := <-t.C:
-				for _, id := range s.reg.sweep(now) {
-					s.log.Progressf("serve: session %q evicted (idle TTL)", id)
+				for _, sess := range s.reg.sweep(now) {
+					s.spill(sess, "ttl")
+					s.log.Progressf("serve: session %q evicted (idle TTL)", sess.ID)
 				}
 			}
 		}
@@ -503,5 +558,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		// the drain-timeout error when in-flight requests overstayed.
 		err = <-shutdownErr
 	}
+	// In-flight requests have drained (or been cut off); hibernate every
+	// live session so a restarted server resumes where this one stopped.
+	s.spillAll()
 	return err
 }

@@ -464,7 +464,7 @@ func TestIdleTTLSweep(t *testing.T) {
 	sess.lastUsed = time.Now().Add(-time.Hour)
 	sess.st.Unlock()
 	evicted := s.reg.sweep(time.Now())
-	if len(evicted) != 1 || evicted[0] != "stale" {
+	if len(evicted) != 1 || evicted[0].ID != "stale" {
 		t.Fatalf("sweep evicted %v, want [stale]", evicted)
 	}
 	if _, status := getSessionInfo(t, ts.URL, "fresh"); status != http.StatusOK {

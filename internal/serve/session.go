@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"fmt"
@@ -8,9 +9,11 @@ import (
 	"time"
 
 	"repro/internal/bpred"
+	"repro/internal/bpred/state"
 	"repro/internal/factory"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/snap"
 	"repro/internal/trace"
 )
 
@@ -104,6 +107,64 @@ func (s *session) predict(ctx context.Context, buf *trace.Buffer) (sim.Result, e
 	return res, nil
 }
 
+// snapshot captures the session as a vlps/v1 snapshot: the predictor's
+// externalized state plus the accumulated totals in the meta field. It
+// takes the replay lock, so the captured state is always a clean
+// between-chunks boundary — restoring it and streaming the remaining
+// chunks is bit-identical to never having stopped.
+func (s *session) snapshot() (*snap.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn, err := snap.Capture(s.Class.String(), s.Spec.String(), s.pred)
+	if err != nil {
+		return nil, err
+	}
+	s.st.Lock()
+	chunks, records := s.chunks, s.records
+	branches, mispredicts := s.branches, s.mispredicts
+	s.st.Unlock()
+	var meta bytes.Buffer
+	e := state.NewEncoder(&meta)
+	e.U64(uint64(chunks))
+	e.U64(uint64(records))
+	e.U64(uint64(branches))
+	e.U64(uint64(mispredicts))
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	sn.Meta = meta.Bytes()
+	return sn, nil
+}
+
+// restoreFrom loads a snapshot's predictor state and totals into a
+// freshly built session of the same class and spec. On error the
+// session must be discarded (the predictor may be half-written).
+func (s *session) restoreFrom(sn *snap.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := sn.Restore(s.Class.String(), s.Spec.String(), s.pred); err != nil {
+		return err
+	}
+	r := bytes.NewReader(sn.Meta)
+	d := state.NewDecoder(r)
+	chunks := int64(d.U64())
+	records := int64(d.U64())
+	branches := int64(d.U64())
+	mispredicts := int64(d.U64())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return state.Corruptf("serve: %d trailing bytes in snapshot meta", r.Len())
+	}
+	s.st.Lock()
+	s.chunks, s.records = chunks, records
+	s.branches, s.mispredicts = branches, mispredicts
+	s.lastUsed = time.Now()
+	s.st.Unlock()
+	return nil
+}
+
 // SessionInfo is the JSON view of one session, returned by the session
 // endpoints and embedded in /metrics.
 type SessionInfo struct {
@@ -183,9 +244,9 @@ func newRegistry(maxN int, ttl time.Duration) *registry {
 
 // add inserts a new session, assigning an ID when the request left it
 // empty. It fails on a duplicate ID and evicts the least recently used
-// session when the registry is full. The returned evicted ID is empty
-// when nothing was displaced.
-func (r *registry) add(s *session) (evicted string, err error) {
+// session when the registry is full. The evicted session is returned
+// (nil when nothing was displaced) so the caller can hibernate it.
+func (r *registry) add(s *session) (evicted *session, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if s.ID == "" {
@@ -193,7 +254,7 @@ func (r *registry) add(s *session) (evicted string, err error) {
 		s.ID = fmt.Sprintf("s-%d", r.seq)
 	}
 	if _, ok := r.byID[s.ID]; ok {
-		return "", fmt.Errorf("serve: session %q already exists", s.ID)
+		return nil, fmt.Errorf("serve: session %q already exists", s.ID)
 	}
 	if r.order.Len() >= r.maxN {
 		if back := r.order.Back(); back != nil {
@@ -201,7 +262,7 @@ func (r *registry) add(s *session) (evicted string, err error) {
 			r.order.Remove(back)
 			delete(r.byID, old.ID)
 			r.evictLRU++
-			evicted = old.ID
+			evicted = old
 		}
 	}
 	r.byID[s.ID] = r.order.PushFront(s)
@@ -233,15 +294,16 @@ func (r *registry) remove(id string) bool {
 	return true
 }
 
-// sweep evicts every session idle past the TTL and returns their IDs.
-// The janitor calls it periodically; it is also safe to call inline.
-func (r *registry) sweep(now time.Time) []string {
+// sweep evicts every session idle past the TTL and returns them so the
+// caller can hibernate them. The janitor calls it periodically; it is
+// also safe to call inline.
+func (r *registry) sweep(now time.Time) []*session {
 	if r.ttl <= 0 {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var evicted []string
+	var evicted []*session
 	// Walk from the back (least recently used): the first fresh session
 	// does not end the scan, because idleSince is finer-grained than the
 	// LRU order (a promoted-but-idle session can sit in front).
@@ -252,7 +314,7 @@ func (r *registry) sweep(now time.Time) []string {
 			r.order.Remove(el)
 			delete(r.byID, s.ID)
 			r.evictTTL++
-			evicted = append(evicted, s.ID)
+			evicted = append(evicted, s)
 		}
 		el = prev
 	}

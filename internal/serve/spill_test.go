@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+func newSpillServer(t *testing.T, limits Limits, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(limits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSpillDir(dir)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func chunksOf(t *testing.T, n, parts int) [][]byte {
+	t.Helper()
+	recs := testTrace(t, n).Records
+	per := len(recs) / parts
+	out := make([][]byte, parts)
+	for i := 0; i < parts; i++ {
+		end := (i + 1) * per
+		if i == parts-1 {
+			end = len(recs)
+		}
+		out[i] = encodeRecords(t, recs[i*per:end])
+	}
+	return out
+}
+
+// TestHibernationRestartBitIdentity is the service-level resume
+// guarantee: stream half a trace at one server, "crash" it (no drain —
+// the write-through spill after each chunk is all that survives, as
+// after kill -9), start a fresh server on the same spill directory, and
+// stream the rest. The final totals must be byte-for-byte what one
+// uninterrupted server reports (scripts/snap_smoke.sh re-proves this
+// across real processes and a real SIGKILL).
+func TestHibernationRestartBitIdentity(t *testing.T) {
+	chunks := chunksOf(t, 8000, 4)
+
+	// The uninterrupted reference.
+	_, ref := newTestServer(t, testLimits())
+	createSession(t, ref.URL, "s", "cond", "gshare:budget=16KB")
+	var want PredictResponse
+	for _, c := range chunks {
+		var status int
+		want, status, _ = postChunk(t, ref.URL, "s", c, false)
+		if status != http.StatusOK {
+			t.Fatalf("reference chunk: status %d", status)
+		}
+	}
+
+	dir := t.TempDir()
+	first, ts1 := newSpillServer(t, testLimits(), dir)
+	createSession(t, ts1.URL, "s", "cond", "gshare:budget=16KB")
+	for _, c := range chunks[:2] {
+		if _, status, _ := postChunk(t, ts1.URL, "s", c, false); status != http.StatusOK {
+			t.Fatalf("first server chunk: status %d", status)
+		}
+	}
+	if n := first.snapsSaved.Load(); n != 2 {
+		t.Errorf("write-through spills = %d, want 2", n)
+	}
+	ts1.Close() // hard stop: no drain, no goodbye — only the spill files remain
+
+	second, ts2 := newSpillServer(t, testLimits(), dir)
+	var got PredictResponse
+	for _, c := range chunks[2:] {
+		var status int
+		got, status, _ = postChunk(t, ts2.URL, "s", c, false)
+		if status != http.StatusOK {
+			t.Fatalf("restarted server chunk: status %d", status)
+		}
+	}
+	if got.TotalBranches != want.TotalBranches ||
+		got.TotalMispredicts != want.TotalMispredicts ||
+		got.TotalRecords != want.TotalRecords ||
+		got.TotalMissRate != want.TotalMissRate {
+		t.Errorf("restart diverged: got %+v, want %+v", got, want)
+	}
+	if n := second.snapsRestored.Load(); n != 1 {
+		t.Errorf("snapshots_restored = %d, want 1", n)
+	}
+	if n := second.rehydrateFailures.Load(); n != 0 {
+		t.Errorf("rehydrate_failures = %d, want 0", n)
+	}
+}
+
+func fetchSnapshot(t *testing.T, baseURL, id string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/sessions/" + id + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.StatusCode
+}
+
+func restoreSnapshot(t *testing.T, baseURL, id string, blob []byte) (int, Envelope) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/sessions/"+id+"/snapshot",
+		"application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if resp.StatusCode >= 400 {
+		ok := false
+		if env, ok = DecodeEnvelope(raw); !ok {
+			t.Fatalf("error response %q is not a v1 envelope", raw)
+		}
+	}
+	return resp.StatusCode, env
+}
+
+// TestSnapshotRoutesRoundTrip drives the explicit snapshot API: a
+// downloaded snapshot uploaded under a new ID resumes the stream
+// bit-identically, uploading over a live ID conflicts, and a corrupted
+// upload is a 400 CodeCorrupt that creates nothing.
+func TestSnapshotRoutesRoundTrip(t *testing.T) {
+	chunks := chunksOf(t, 6000, 2)
+	_, ts := newTestServer(t, testLimits())
+
+	createSession(t, ts.URL, "ref", "cond", "gshare:budget=16KB")
+	for _, c := range chunks {
+		if _, status, _ := postChunk(t, ts.URL, "ref", c, false); status != http.StatusOK {
+			t.Fatalf("reference chunk: status %d", status)
+		}
+	}
+	want, _ := getSessionInfo(t, ts.URL, "ref")
+
+	createSession(t, ts.URL, "orig", "cond", "gshare:budget=16KB")
+	if _, status, _ := postChunk(t, ts.URL, "orig", chunks[0], false); status != http.StatusOK {
+		t.Fatalf("orig chunk: status %d", status)
+	}
+	blob, status := fetchSnapshot(t, ts.URL, "orig")
+	if status != http.StatusOK {
+		t.Fatalf("snapshot download: status %d", status)
+	}
+
+	if status, _ := restoreSnapshot(t, ts.URL, "orig", blob); status != http.StatusConflict {
+		t.Errorf("restore over live session: status %d, want 409", status)
+	}
+
+	bad := bytes.Clone(blob)
+	bad[len(bad)/3] ^= 0x20
+	if status, env := restoreSnapshot(t, ts.URL, "copy", bad); status != http.StatusBadRequest || env.Code != CodeCorrupt {
+		t.Errorf("corrupt restore: status %d code %q, want 400 %q", status, env.Code, CodeCorrupt)
+	}
+	if _, status := getSessionInfo(t, ts.URL, "copy"); status != http.StatusNotFound {
+		t.Errorf("failed restore created a session (status %d)", status)
+	}
+
+	if status, _ := restoreSnapshot(t, ts.URL, "copy", blob); status != http.StatusCreated {
+		t.Fatalf("restore: status %d, want 201", status)
+	}
+	if _, status, _ := postChunk(t, ts.URL, "copy", chunks[1], false); status != http.StatusOK {
+		t.Fatalf("chunk after restore: status %d", status)
+	}
+	got, _ := getSessionInfo(t, ts.URL, "copy")
+	if got.Branches != want.Branches || got.Mispredicts != want.Mispredicts ||
+		got.Records != want.Records || got.MissRate != want.MissRate {
+		t.Errorf("restored stream diverged: got %+v, want %+v", got, want)
+	}
+}
+
+// TestEvictionSpillFaultDegradesGracefully wires the chaos snapshot
+// fault into eviction: with every snapshot I/O failing, LRU eviction
+// must simply drop the session — counted in rehydrate_failures, no
+// stale spill file left to resurrect, no crash — and the server keeps
+// answering.
+func TestEvictionSpillFaultDegradesGracefully(t *testing.T) {
+	limits := testLimits()
+	limits.MaxSessions = 1
+	dir := t.TempDir()
+	s, ts := newSpillServer(t, limits, dir)
+	in := chaos.New(chaos.Spec{Seed: 1, SnapP: 1})
+	s.SetSnapFault(in.SnapFault)
+
+	chunks := chunksOf(t, 2000, 1)
+	createSession(t, ts.URL, "a", "cond", "gshare:budget=16KB")
+	if _, status, _ := postChunk(t, ts.URL, "a", chunks[0], false); status != http.StatusOK {
+		t.Fatalf("chunk under spill fault: status %d", status)
+	}
+	// The write-through spill failed; eviction's spill fails too.
+	createSession(t, ts.URL, "b", "cond", "gshare:budget=16KB")
+
+	// Session a is gone — dropped, not wedged: its next chunk is a clean
+	// 404 (nothing usable on disk), and the server still serves b.
+	if _, status, env := postChunk(t, ts.URL, "a", chunks[0], false); status != http.StatusNotFound {
+		t.Fatalf("evicted-under-fault session: status %d (%+v), want 404", status, env)
+	}
+	if _, status, _ := postChunk(t, ts.URL, "b", chunks[0], false); status != http.StatusOK {
+		t.Fatalf("survivor session: status %d", status)
+	}
+	if n := s.rehydrateFailures.Load(); n == 0 {
+		t.Error("spill failures not counted in rehydrate_failures")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		t.Errorf("failed spill left file %q behind", e.Name())
+	}
+	if got := in.Counts()[chaos.FaultSnap]; got == 0 {
+		t.Error("chaos injector recorded no snap faults")
+	}
+}
+
+// TestRehydrateCorruptSpillDropsFile pins rehydrate's fail-closed path:
+// a damaged spill file is counted, deleted, and answered 404 — the
+// client recreates from scratch rather than resuming wrong state.
+func TestRehydrateCorruptSpillDropsFile(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newSpillServer(t, testLimits(), dir)
+	chunks := chunksOf(t, 2000, 1)
+	createSession(t, ts.URL, "a", "cond", "gshare:budget=16KB")
+	if _, status, _ := postChunk(t, ts.URL, "a", chunks[0], false); status != http.StatusOK {
+		t.Fatalf("chunk: status %d", status)
+	}
+	path := filepath.Join(dir, "a.vlps")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force the live copy out so the next chunk must rehydrate.
+	if !s.reg.remove("a") {
+		t.Fatal("session a not live")
+	}
+	if _, status, _ := postChunk(t, ts.URL, "a", chunks[0], false); status != http.StatusNotFound {
+		t.Fatalf("corrupt rehydrate: status %d, want 404", status)
+	}
+	if n := s.rehydrateFailures.Load(); n != 1 {
+		t.Errorf("rehydrate_failures = %d, want 1", n)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt spill file not deleted (stat err %v)", err)
+	}
+}
+
+// TestCreateResumesHibernatedSession pins the idempotent-create
+// contract clients like vlpload rely on after a restart: re-creating a
+// hibernated session with the same class and spec resumes it (201 with
+// the accumulated totals) instead of clobbering the spilled state,
+// while a different spec is the usual duplicate-ID conflict.
+func TestCreateResumesHibernatedSession(t *testing.T) {
+	dir := t.TempDir()
+	chunks := chunksOf(t, 2000, 1)
+	_, ts1 := newSpillServer(t, testLimits(), dir)
+	createSession(t, ts1.URL, "a", "cond", "gshare:budget=16KB")
+	want, status, _ := postChunk(t, ts1.URL, "a", chunks[0], false)
+	if status != http.StatusOK {
+		t.Fatalf("chunk: status %d", status)
+	}
+	ts1.Close()
+
+	_, ts2 := newSpillServer(t, testLimits(), dir)
+	info := createSession(t, ts2.URL, "a", "cond", "gshare:budget=16KB")
+	if info.Branches != want.TotalBranches || info.Mispredicts != want.TotalMispredicts {
+		t.Errorf("resumed create lost totals: got %+v, want %d/%d",
+			info, want.TotalMispredicts, want.TotalBranches)
+	}
+	if _, status := tryCreateSession(t, ts2.URL, "b", "cond", "gshare:budget=16KB"); status != http.StatusCreated {
+		t.Fatalf("fresh create: status %d", status)
+	}
+
+	// Same hibernated ID, different spec: conflict, spill left intact.
+	_, ts3 := newSpillServer(t, testLimits(), dir)
+	if _, status := tryCreateSession(t, ts3.URL, "a", "cond", "bimodal:budget=16KB"); status != http.StatusConflict {
+		t.Errorf("spec-mismatch create: status %d, want 409", status)
+	}
+}
+
+// TestDeleteRemovesSpillFile: an explicit DELETE forgets both the live
+// session and its hibernated copy.
+func TestDeleteRemovesSpillFile(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newSpillServer(t, testLimits(), dir)
+	chunks := chunksOf(t, 2000, 1)
+	createSession(t, ts.URL, "a", "cond", "gshare:budget=16KB")
+	if _, status, _ := postChunk(t, ts.URL, "a", chunks[0], false); status != http.StatusOK {
+		t.Fatalf("chunk: status %d", status)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/a", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.vlps")); !os.IsNotExist(err) {
+		t.Errorf("delete left spill file behind (stat err %v)", err)
+	}
+	// Deleted means deleted: no transparent resurrection.
+	if _, status, _ := postChunk(t, ts.URL, "a", chunks[0], false); status != http.StatusNotFound {
+		t.Fatalf("chunk after delete: status %d, want 404", status)
+	}
+}

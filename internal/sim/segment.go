@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// This file adds segmented replay to the fused kernel: the same column,
+// the same record stream, but replayed in bounded segments with a
+// checkpoint hook between them. Predictors are deterministic sequential
+// state machines, so cutting the stream anywhere and continuing from
+// the cut yields bit-identical final state and additive counts — the
+// property the snapshot subsystem's resume paths (serve session
+// hibernation, the experiment layer's column checkpoints, vlpsim's
+// -save-state/-load-state) are built on, and the property
+// TestRunManySegmentedMatchesSinglePass pins.
+
+// RunManySegmented replays recs through the column in segments of at
+// most stride records, invoking checkpoint after each fully replayed
+// segment with the number of records consumed so far and the
+// accumulated per-job results. The returned results are what one
+// uninterrupted RunMany pass over recs would return, bit-identically in
+// counts; Metrics spans the whole segmented replay with each job's own
+// branch count pinned, as in RunMany.
+//
+// The checkpoint hook runs between segments, when no replay is in
+// flight, so it may safely read (and persist) every job predictor's
+// state. A non-nil error from checkpoint aborts the replay with every
+// result's Err set to it; a hook that wants checkpointing to be
+// best-effort swallows its own failures and returns nil. A canceled
+// context likewise stops the replay with the context error on every
+// result, without invoking checkpoint again.
+func RunManySegmented(ctx context.Context, jobs []Job, recs []trace.Record, opts Options,
+	stride int, checkpoint func(consumed int, results []Result) error) []Result {
+	if stride <= 0 {
+		stride = len(recs)
+	}
+	span := obs.StartSpan()
+	acc := make([]Result, len(jobs))
+	consumed := 0
+	for {
+		end := consumed + stride
+		if end > len(recs) {
+			end = len(recs)
+		}
+		seg := RunMany(ctx, jobs, trace.NewBuffer(recs[consumed:end]), opts)
+		if consumed == 0 {
+			copy(acc, seg)
+		} else {
+			for i := range acc {
+				mergeResult(&acc[i], &seg[i])
+			}
+		}
+		consumed = end
+		failed := false
+		for i := range acc {
+			if acc[i].Err != nil {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			break
+		}
+		if checkpoint != nil {
+			if err := checkpoint(consumed, acc); err != nil {
+				for i := range acc {
+					acc[i].Err = err
+				}
+				break
+			}
+		}
+		if consumed == len(recs) {
+			break
+		}
+	}
+	met := span.End()
+	for i := range acc {
+		acc[i].Metrics = met
+		acc[i].Metrics.Branches = acc[i].Branches
+		acc[i].Metrics.BranchesPerSec = 0
+		if wall := met.Wall(); wall > 0 {
+			acc[i].Metrics.BranchesPerSec = float64(acc[i].Branches) / wall.Seconds()
+		}
+	}
+	return acc
+}
+
+// mergeResult folds one segment's result row into the accumulator:
+// counts add, per-PC breakdowns add, the first error wins (a later
+// segment never runs after a failed one).
+func mergeResult(dst, seg *Result) {
+	dst.Branches += seg.Branches
+	dst.Mispredicts += seg.Mispredicts
+	if seg.PerPC != nil {
+		if dst.PerPC == nil {
+			dst.PerPC = seg.PerPC
+		} else {
+			for pc, st := range seg.PerPC {
+				if have, ok := dst.PerPC[pc]; ok {
+					have.Branches += st.Branches
+					have.Mispredicts += st.Mispredicts
+				} else {
+					dst.PerPC[pc] = st
+				}
+			}
+		}
+	}
+	if dst.Err == nil {
+		dst.Err = seg.Err
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestRunManySegmentedMatchesSinglePass pins segmented replay to the
+// uninterrupted kernel: for a mixed column and several strides —
+// including strides that don't divide the trace and a stride of one
+// segment — the accumulated counts and per-PC breakdowns must be
+// bit-identical to one RunMany pass, and the checkpoint hook must see
+// strictly increasing consumed positions ending at the trace length.
+func TestRunManySegmentedMatchesSinglePass(t *testing.T) {
+	recs := mixedRecords(20000)
+	for _, stride := range []int{0, 17, 999, 4096, 20000, 50000} {
+		for _, perPC := range []bool{false, true} {
+			opts := Options{PerPC: perPC}
+			jobs, _ := condJobsFor(t)
+			want := RunMany(context.Background(), jobs, trace.NewBuffer(recs), opts)
+
+			segJobs, _ := condJobsFor(t)
+			last := -1
+			got := RunManySegmented(context.Background(), segJobs, recs, opts, stride,
+				func(consumed int, partial []Result) error {
+					if consumed <= last {
+						t.Fatalf("stride %d: consumed went %d -> %d", stride, last, consumed)
+					}
+					last = consumed
+					if len(partial) != len(segJobs) {
+						t.Fatalf("stride %d: %d partial results for %d jobs", stride, len(partial), len(segJobs))
+					}
+					return nil
+				})
+			if last != len(recs) {
+				t.Errorf("stride %d: final checkpoint at %d, want %d", stride, last, len(recs))
+			}
+			for i := range want {
+				if got[i].Err != nil || want[i].Err != nil {
+					t.Fatalf("stride %d: clean runs errored: %v / %v", stride, got[i].Err, want[i].Err)
+				}
+				sameResult(t, want[i].Predictor, got[i], want[i])
+			}
+		}
+	}
+}
+
+// condJobsFor lays the shared test column out as jobs, including a
+// tie-run (vlp predictors sharing one observed history would be the
+// real case; here ties just pin the sharding path).
+func condJobsFor(t *testing.T) ([]Job, int) {
+	preds := manyCondColumn(t)
+	jobs := make([]Job, len(preds))
+	for i, p := range preds {
+		jobs[i] = CondJob(p)
+	}
+	return jobs, len(preds)
+}
+
+// TestRunManySegmentedCheckpointError pins the abort contract: a
+// checkpoint hook error stops the replay and surfaces on every result.
+func TestRunManySegmentedCheckpointError(t *testing.T) {
+	recs := mixedRecords(5000)
+	jobs, _ := condJobsFor(t)
+	boom := errors.New("spill failed")
+	calls := 0
+	got := RunManySegmented(context.Background(), jobs, recs, Options{}, 1000,
+		func(consumed int, _ []Result) error {
+			calls++
+			if consumed >= 2000 {
+				return boom
+			}
+			return nil
+		})
+	if calls != 2 {
+		t.Errorf("checkpoint called %d times, want 2", calls)
+	}
+	for i := range got {
+		if !errors.Is(got[i].Err, boom) {
+			t.Errorf("job %d: Err = %v, want checkpoint error", i, got[i].Err)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package snap
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bpred"
+	"repro/internal/factory"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vlp"
+	"repro/internal/xrand"
+)
+
+// testRecords builds a mixed synthetic trace with enough static
+// branches and indirect targets to exercise every predictor's state:
+// counter tables, history registers, THB rings, call/return stacks.
+func testRecords(n int) []trace.Record {
+	rng := xrand.New(1998)
+	recs := make([]trace.Record, 0, n)
+	pcs := []arch.Addr{0x1004, 0x2008, 0x300c, 0x4010, 0x5014, 0x6018, 0x7004, 0x8008}
+	for i := 0; i < n; i++ {
+		pc := pcs[rng.Uint64()%uint64(len(pcs))]
+		switch rng.Uint64() % 5 {
+		case 0, 1:
+			taken := rng.Bool(0.6)
+			next := pc.FallThrough()
+			if taken {
+				next = arch.Addr(0x9000 + (rng.Uint64()&0x7)*16)
+			}
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Cond, Taken: taken, Next: next})
+		case 2:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Indirect, Taken: true,
+				Next: arch.Addr(0xa000 + (rng.Uint64()&0xf)*16)})
+		case 3:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Call, Taken: true,
+				Next: arch.Addr(0xb000 + (rng.Uint64()&0x3)*64)})
+		default:
+			recs = append(recs, trace.Record{PC: pc, Kind: arch.Return, Taken: true, Next: 0xc000})
+		}
+	}
+	return recs
+}
+
+var condProf = &profile.Profile{Kind: "cond", TableBits: 14,
+	Lengths: map[arch.Addr]int{0x1004: 3, 0x2008: 7, 0x300c: 1}, Default: 2}
+
+var indProf = &profile.Profile{Kind: "indirect", TableBits: 9,
+	Lengths: map[arch.Addr]int{0x1004: 5, 0x4010: 2}, Default: 8}
+
+// condSpecs enumerates every conditional predictor the factory can
+// build, plus the vlp extensions constructed directly (HFNT, coarse
+// hints, the history stack) so every stateful predictor in the
+// repository proves bit-identity.
+func condSpecs() []string {
+	return []string{
+		"bimodal:budget=4KB", "agree:budget=4KB", "bimode:budget=4KB",
+		"gshare:budget=4KB", "gskew:budget=4KB", "gas:budget=4KB",
+		"pas:budget=4KB", "hybrid:budget=4KB", "flp:budget=4KB,fixed=4",
+		"vlp:budget=4KB", "dynamic:budget=4KB",
+	}
+}
+
+func indSpecs() []string {
+	return []string{
+		"btb:budget=2KB", "pattern:budget=2KB", "path:budget=2KB",
+		"path-peraddr:budget=2KB", "cascaded:budget=2KB",
+		"flp:budget=2KB,fixed=8", "vlp:budget=2KB",
+	}
+}
+
+func buildCond(t testing.TB, specStr string) (bpred.CondPredictor, string) {
+	t.Helper()
+	spec, err := factory.ParseSpec(specStr)
+	if err != nil {
+		t.Fatalf("ParseSpec(%s): %v", specStr, err)
+	}
+	spec.Profile = condProf
+	p, err := spec.Cond()
+	if err != nil {
+		t.Fatalf("Cond(%s): %v", specStr, err)
+	}
+	return p, spec.String()
+}
+
+func buildInd(t testing.TB, specStr string) (bpred.IndirectPredictor, string) {
+	t.Helper()
+	spec, err := factory.ParseSpec(specStr)
+	if err != nil {
+		t.Fatalf("ParseSpec(%s): %v", specStr, err)
+	}
+	spec.Profile = indProf
+	p, err := spec.Indirect()
+	if err != nil {
+		t.Fatalf("Indirect(%s): %v", specStr, err)
+	}
+	return p, spec.String()
+}
+
+// stateBytes captures a predictor's raw state for byte-for-byte
+// comparison.
+func stateBytes(t testing.TB, p bpred.Predictor) []byte {
+	t.Helper()
+	sc, ok := p.(bpred.StateCodec)
+	if !ok {
+		t.Fatalf("%s does not implement bpred.StateCodec", p.Name())
+	}
+	var buf bytes.Buffer
+	if err := sc.SaveState(&buf); err != nil {
+		t.Fatalf("SaveState(%s): %v", p.Name(), err)
+	}
+	return buf.Bytes()
+}
+
+// checkSegmented proves the bit-identity guarantee for one predictor
+// pair: pa replays the whole trace uninterrupted; pb replays the first
+// n records, round-trips through an encoded snapshot into pc (a fresh
+// predictor of the same configuration), and pc finishes the trace. The
+// segment counts must sum to the uninterrupted counts and the final
+// state bytes must be identical.
+func checkSegmented(t *testing.T, class, spec string, n int, recs []trace.Record,
+	pa, pb, pc bpred.Predictor, run func(p bpred.Predictor, recs []trace.Record) sim.Result) {
+	t.Helper()
+
+	full := run(pa, recs)
+	if full.Err != nil {
+		t.Fatalf("uninterrupted run: %v", full.Err)
+	}
+
+	head := run(pb, recs[:n])
+	if head.Err != nil {
+		t.Fatalf("head run: %v", head.Err)
+	}
+	s, err := Capture(class, spec, pb)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	decoded, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatalf("Decode(Encode): %v", err)
+	}
+	if err := decoded.Restore(class, spec, pc); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	tail := run(pc, recs[n:])
+	if tail.Err != nil {
+		t.Fatalf("tail run: %v", tail.Err)
+	}
+
+	if got, want := head.Branches+tail.Branches, full.Branches; got != want {
+		t.Errorf("branches: segmented %d, uninterrupted %d", got, want)
+	}
+	if got, want := head.Mispredicts+tail.Mispredicts, full.Mispredicts; got != want {
+		t.Errorf("mispredicts: segmented %d, uninterrupted %d", got, want)
+	}
+	if !bytes.Equal(stateBytes(t, pa), stateBytes(t, pc)) {
+		t.Errorf("final state differs from uninterrupted run")
+	}
+}
+
+// TestSnapshotBitIdentityCond is the acceptance proof for conditional
+// predictors: snapshot at arbitrary record N, restore into a fresh
+// predictor, continue — counts and final state must match the
+// uninterrupted run exactly, for every factory-buildable kind.
+func TestSnapshotBitIdentityCond(t *testing.T) {
+	recs := testRecords(12000)
+	runCond := func(p bpred.Predictor, recs []trace.Record) sim.Result {
+		return sim.RunCond(context.Background(), p.(bpred.CondPredictor), trace.NewBuffer(recs), sim.Options{})
+	}
+	for _, specStr := range condSpecs() {
+		for _, n := range []int{0, 1, 997, 6000, len(recs) - 1} {
+			t.Run(fmt.Sprintf("%s/N=%d", specStr, n), func(t *testing.T) {
+				pa, spec := buildCond(t, specStr)
+				pb, _ := buildCond(t, specStr)
+				pc, _ := buildCond(t, specStr)
+				checkSegmented(t, "cond", spec, n, recs, pa, pb, pc, runCond)
+			})
+		}
+	}
+}
+
+// TestSnapshotBitIdentityIndirect is the indirect-class counterpart.
+func TestSnapshotBitIdentityIndirect(t *testing.T) {
+	recs := testRecords(12000)
+	runInd := func(p bpred.Predictor, recs []trace.Record) sim.Result {
+		return sim.RunIndirect(context.Background(), p.(bpred.IndirectPredictor), trace.NewBuffer(recs), sim.Options{})
+	}
+	for _, specStr := range indSpecs() {
+		for _, n := range []int{0, 997, 6000} {
+			t.Run(fmt.Sprintf("%s/N=%d", specStr, n), func(t *testing.T) {
+				pa, spec := buildInd(t, specStr)
+				pb, _ := buildInd(t, specStr)
+				pc, _ := buildInd(t, specStr)
+				checkSegmented(t, "indirect", spec, n, recs, pa, pb, pc, runInd)
+			})
+		}
+	}
+}
+
+// TestSnapshotBitIdentityExtensions covers the vlp predictors outside
+// the factory grammar: the HFNT pipeline model, the history-stack
+// extension (with combine), and the coarse-hint predictor — each has
+// state beyond the plain Cond's.
+func TestSnapshotBitIdentityExtensions(t *testing.T) {
+	recs := testRecords(12000)
+	runCond := func(p bpred.Predictor, recs []trace.Record) sim.Result {
+		return sim.RunCond(context.Background(), p.(bpred.CondPredictor), trace.NewBuffer(recs), sim.Options{})
+	}
+	builders := map[string]func(t *testing.T) bpred.Predictor{
+		"hfnt": func(t *testing.T) bpred.Predictor {
+			inner, err := vlp.NewCond(4096, condProf.Selector(), vlp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := vlp.NewHFNT(inner, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return h
+		},
+		"histstack": func(t *testing.T) bpred.Predictor {
+			p, err := vlp.NewCond(4096, vlp.Fixed{L: 6},
+				vlp.Options{HistoryStack: true, HistoryCombine: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+		"coarse": func(t *testing.T) bpred.Predictor {
+			p, err := vlp.NewCoarseCond(4096, nil, condProf.Lengths, condProf.Default, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	}
+	for name, build := range builders {
+		for _, n := range []int{1, 997, 6000} {
+			t.Run(fmt.Sprintf("%s/N=%d", name, n), func(t *testing.T) {
+				checkSegmented(t, "cond", name, n, recs, build(t), build(t), build(t), runCond)
+			})
+		}
+	}
+}
+
+// TestSnapshotSpecMismatch pins the pairing guard: a valid snapshot
+// offered to a predictor built from a different spec or class must be
+// refused with ErrSpecMismatch, before any state byte is loaded.
+func TestSnapshotSpecMismatch(t *testing.T) {
+	p, spec := buildCond(t, "gshare:budget=4KB")
+	s, err := Capture("cond", spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, otherSpec := buildCond(t, "gshare:budget=2KB")
+	if err := s.Restore("cond", otherSpec, other); !errors.Is(err, ErrSpecMismatch) {
+		t.Errorf("restore into different spec: got %v, want ErrSpecMismatch", err)
+	}
+	if err := s.Restore("indirect", spec, p); !errors.Is(err, ErrSpecMismatch) {
+		t.Errorf("restore into different class: got %v, want ErrSpecMismatch", err)
+	}
+	if errors.Is(ErrSpecMismatch, ErrCorrupt) {
+		t.Error("spec mismatch must not classify as corruption")
+	}
+}
+
+// TestSnapshotNotStateful pins the ErrNotStateful classification for
+// predictors without a state codec.
+func TestSnapshotNotStateful(t *testing.T) {
+	if _, err := Capture("cond", "x", statelessPred{}); !errors.Is(err, ErrNotStateful) {
+		t.Errorf("Capture of stateless predictor: got %v, want ErrNotStateful", err)
+	}
+	s := &Snapshot{Class: "cond", Spec: "x"}
+	if err := s.Restore("cond", "x", statelessPred{}); !errors.Is(err, ErrNotStateful) {
+		t.Errorf("Restore into stateless predictor: got %v, want ErrNotStateful", err)
+	}
+}
+
+type statelessPred struct{}
+
+func (statelessPred) Name() string           { return "stateless" }
+func (statelessPred) Update(trace.Record)    {}
+func (statelessPred) SizeBytes() int         { return 0 }
+func (statelessPred) Predict(arch.Addr) bool { return false }
+
+// realSnapshot encodes a warmed gshare snapshot for the corruption and
+// fuzz tests.
+func realSnapshot(t testing.TB) []byte {
+	t.Helper()
+	p, spec := buildCond(t, "gshare:budget=1KB")
+	res := sim.RunCond(context.Background(), p.(bpred.CondPredictor),
+		trace.NewBuffer(testRecords(4000)), sim.Options{})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	s, err := Capture("cond", spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Meta = []byte("totals")
+	return s.Encode()
+}
+
+// TestSnapshotCorruptionClassified damages a real snapshot every way a
+// disk or transport can — truncation at every boundary, a bit flip at
+// every byte — and requires Decode to fail closed with ErrCorrupt each
+// time. No damaged input may decode silently: the checksum trailer
+// covers every preceding byte.
+func TestSnapshotCorruptionClassified(t *testing.T) {
+	enc := realSnapshot(t)
+	if _, err := Decode(enc); err != nil {
+		t.Fatalf("pristine snapshot failed to decode: %v", err)
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := Decode(enc[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", n, err)
+		}
+	}
+	for i := 0; i < len(enc); i++ {
+		bad := bytes.Clone(enc)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at byte %d: got %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+// TestSnapshotFileRoundtrip exercises SaveFile/LoadFile: atomic write,
+// faithful read-back, os.ErrNotExist for missing files, ErrCorrupt for
+// damaged ones.
+func TestSnapshotFileRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "g.vlps")
+	p, spec := buildCond(t, "gshare:budget=1KB")
+	s, err := Capture("cond", spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Meta = []byte{1, 2, 3}
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != s.Class || got.Spec != s.Spec ||
+		!bytes.Equal(got.Meta, s.Meta) || !bytes.Equal(got.State, s.State) {
+		t.Error("loaded snapshot differs from saved")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.vlps")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file: got %v, want os.ErrNotExist", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("damaged file: got %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzSnapshotDecode fuzzes the container decoder: arbitrary input must
+// either decode cleanly or fail with a classified error — never panic,
+// and never loop past the size limits. Inputs that do decode must
+// re-encode and decode to the same snapshot (the codec is canonical),
+// and restoring a decoded gshare snapshot must never misload silently:
+// it either succeeds or returns a classified error.
+func FuzzSnapshotDecode(f *testing.F) {
+	enc := realSnapshot(f)
+	f.Add(enc)
+	f.Add(enc[:len(enc)-7])
+	flipped := bytes.Clone(enc)
+	flipped[9] ^= 0x10
+	f.Add(flipped)
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	empty := (&Snapshot{Class: "cond", Spec: "gshare:budget=1KB"}).Encode()
+	f.Add(empty)
+
+	fresh, spec := buildCond(f, "gshare:budget=1KB")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode error not classified: %v", err)
+			}
+			return
+		}
+		again, err := Decode(s.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of valid snapshot failed: %v", err)
+		}
+		if again.Class != s.Class || again.Spec != s.Spec ||
+			!bytes.Equal(again.Meta, s.Meta) || !bytes.Equal(again.State, s.State) {
+			t.Fatal("re-encode changed the snapshot")
+		}
+		if err := s.Restore("cond", spec, fresh); err != nil &&
+			!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrSpecMismatch) {
+			t.Fatalf("Restore error not classified: %v", err)
+		}
+	})
+}

@@ -168,6 +168,39 @@ func (l *Limit) Reset() {
 	l.cnt = 0
 }
 
+// Skip wraps a Source, discarding the first n records of each replay.
+// It is the resume-side counterpart of Limit: a replay checkpointed
+// after N records continues over NewSkip(src, N), so segmented runs
+// compose over any Source, not just in-memory buffers.
+type Skip struct {
+	Src     Source
+	N       int
+	skipped bool
+}
+
+// NewSkip returns a Source yielding src's records after the first n.
+func NewSkip(src Source, n int) *Skip { return &Skip{Src: src, N: n} }
+
+// Next implements Source, discarding the prefix lazily on the first
+// call after a Reset.
+func (s *Skip) Next(r *Record) bool {
+	if !s.skipped {
+		s.skipped = true
+		for i := 0; i < s.N; i++ {
+			if !s.Src.Next(r) {
+				return false
+			}
+		}
+	}
+	return s.Src.Next(r)
+}
+
+// Reset implements Source.
+func (s *Skip) Reset() {
+	s.Src.Reset()
+	s.skipped = false
+}
+
 // Filter wraps a Source, passing through only records for which keep
 // returns true.
 type Filter struct {

@@ -1,0 +1,266 @@
+package vlp
+
+import (
+	"io"
+
+	"repro/internal/bpred/state"
+)
+
+// Checkpoint support (bpred.StateCodec) for the path predictors. The
+// mutable state of a path predictor is its counter or target table plus
+// the HashSet — THB ring and partial-sum registers — and, with the
+// history-stack extension, the saved register frames. Selectors,
+// profiles, budgets, and the register-bank bound are configuration:
+// they are pinned by the factory spec recorded in the snapshot
+// container, not re-encoded here.
+//
+// Predictors attached to a shared HashSet (AttachHistory) save the
+// shared registers like any other state; restoring every member of a
+// group writes the same bytes into the one shared HashSet, so group
+// restore is idempotent and order-free.
+
+// SaveState implements bpred.StateCodec: the partial-sum registers,
+// the THB ring, and the ring position.
+func (h *HashSet) SaveState(w io.Writer) error {
+	e := state.NewEncoder(w)
+	e.U32s(h.idx)
+	e.U32s(h.thb)
+	e.Int(h.head)
+	e.Int(h.count)
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec. The receiver's k and n are
+// configuration; state sized or valued beyond them is corrupt.
+func (h *HashSet) LoadState(r io.Reader) error {
+	d := state.NewDecoder(r)
+	d.U32s(h.idx)
+	d.U32s(h.thb)
+	head := d.Int()
+	count := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if head >= h.n {
+		return state.Corruptf("vlp: THB head %d beyond depth %d", head, h.n)
+	}
+	if count > h.n {
+		return state.Corruptf("vlp: THB count %d beyond depth %d", count, h.n)
+	}
+	for i, v := range h.idx {
+		if v&^h.mask != 0 {
+			return state.Corruptf("vlp: register %d value %#x overflows %d-bit index", i, v, h.k)
+		}
+	}
+	for i, v := range h.thb {
+		if v&^h.mask != 0 {
+			return state.Corruptf("vlp: THB slot %d value %#x overflows %d-bit index", i, v, h.k)
+		}
+	}
+	h.head = head
+	h.count = count
+	return nil
+}
+
+// saveStack writes the history-stack frames shared by Cond and
+// Indirect: a frame count, then each frame's register snapshot.
+func saveStack(e *state.Encoder, stack [][]uint32) {
+	e.Int(len(stack))
+	for _, frame := range stack {
+		e.U32s(frame)
+	}
+}
+
+// loadStack reads history-stack frames of the given register depth.
+// The predictor's own cap bounds the count; a deeper stack cannot have
+// been produced by an equivalent configuration.
+func loadStack(d *state.Decoder, depth int, enabled bool) ([][]uint32, error) {
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > historyStackCap {
+		return nil, state.Corruptf("vlp: history stack depth %d exceeds cap %d", n, historyStackCap)
+	}
+	if n > 0 && !enabled {
+		return nil, state.Corruptf("vlp: history-stack frames in state for a predictor without the extension")
+	}
+	var stack [][]uint32
+	for i := 0; i < n; i++ {
+		frame := make([]uint32, depth)
+		d.U32s(frame)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		stack = append(stack, frame)
+	}
+	return stack, nil
+}
+
+// SaveState implements bpred.StateCodec for the conditional path
+// predictor: counter table, path history, history-stack frames.
+func (c *Cond) SaveState(w io.Writer) error {
+	if err := c.pht.SaveState(w); err != nil {
+		return err
+	}
+	if err := c.hs.SaveState(w); err != nil {
+		return err
+	}
+	e := state.NewEncoder(w)
+	saveStack(e, c.stack)
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec.
+func (c *Cond) LoadState(r io.Reader) error {
+	if err := c.pht.LoadState(r); err != nil {
+		return err
+	}
+	if err := c.hs.LoadState(r); err != nil {
+		return err
+	}
+	d := state.NewDecoder(r)
+	stack, err := loadStack(d, c.hs.MaxPath(), c.opts.HistoryStack)
+	if err != nil {
+		return err
+	}
+	c.stack = stack
+	return nil
+}
+
+// SaveState implements bpred.StateCodec for the indirect path
+// predictor: target table, path history, history-stack frames.
+func (p *Indirect) SaveState(w io.Writer) error {
+	e := state.NewEncoder(w)
+	e.U32s(p.table)
+	if err := e.Err(); err != nil {
+		return err
+	}
+	if err := p.hs.SaveState(w); err != nil {
+		return err
+	}
+	e = state.NewEncoder(w)
+	saveStack(e, p.stack)
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec. Target registers hold any
+// 32-bit value, so only structure is validated, not register contents.
+func (p *Indirect) LoadState(r io.Reader) error {
+	d := state.NewDecoder(r)
+	d.U32s(p.table)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if err := p.hs.LoadState(r); err != nil {
+		return err
+	}
+	stack, err := loadStack(d, p.hs.MaxPath(), p.opts.HistoryStack)
+	if err != nil {
+		return err
+	}
+	p.stack = stack
+	return nil
+}
+
+// SaveState implements bpred.StateCodec for the HFNT model: the wrapped
+// predictor, the hash-number table, and the pipeline counters (the
+// re-prediction rate is the experiment's output, so a resumed run must
+// continue the counts, not restart them).
+func (h *HFNT) SaveState(w io.Writer) error {
+	if err := h.inner.SaveState(w); err != nil {
+		return err
+	}
+	e := state.NewEncoder(w)
+	e.Bytes(h.entries)
+	e.U64(uint64(h.Lookups))
+	e.U64(uint64(h.Repredicts))
+	return e.Err()
+}
+
+// LoadState implements bpred.StateCodec.
+func (h *HFNT) LoadState(r io.Reader) error {
+	if err := h.inner.LoadState(r); err != nil {
+		return err
+	}
+	d := state.NewDecoder(r)
+	d.Bytes(h.entries)
+	lookups := d.U64()
+	repredicts := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	max := uint8(h.inner.hs.MaxPath() - 1)
+	for i, v := range h.entries {
+		if v > max {
+			return state.Corruptf("vlp: HFNT entry %d value %d beyond hash function %d", i, v, max)
+		}
+	}
+	h.Lookups = int64(lookups)
+	h.Repredicts = int64(repredicts)
+	return nil
+}
+
+// SaveState implements bpred.StateCodec for the hardware-selected path
+// predictor: the wrapped predictor plus every per-length score table.
+func (d *DynCond) SaveState(w io.Writer) error {
+	if err := d.inner.SaveState(w); err != nil {
+		return err
+	}
+	for _, a := range d.acc {
+		if err := a.SaveState(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState implements bpred.StateCodec.
+func (d *DynCond) LoadState(r io.Reader) error {
+	if err := d.inner.LoadState(r); err != nil {
+		return err
+	}
+	for _, a := range d.acc {
+		if err := a.LoadState(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveState implements bpred.StateCodec for the coarse-hint predictor:
+// the wrapped predictor plus the per-bucket-position score tables (the
+// ISA hints themselves are profile configuration).
+func (c *CoarseCond) SaveState(w io.Writer) error {
+	if err := c.inner.SaveState(w); err != nil {
+		return err
+	}
+	for _, a := range c.scores {
+		if err := a.SaveState(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState implements bpred.StateCodec.
+func (c *CoarseCond) LoadState(r io.Reader) error {
+	if err := c.inner.LoadState(r); err != nil {
+		return err
+	}
+	for _, a := range c.scores {
+		if err := a.LoadState(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveState implements bpred.StateCodec for the shared-history
+// observer. Its state is the shared HashSet, which its group's members
+// also save; the redundancy keeps every column participant
+// self-describing, and restore stays idempotent.
+func (o *PathObserver) SaveState(w io.Writer) error { return o.hs.SaveState(w) }
+
+// LoadState implements bpred.StateCodec.
+func (o *PathObserver) LoadState(r io.Reader) error { return o.hs.LoadState(r) }

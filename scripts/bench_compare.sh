@@ -22,7 +22,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 RESULTS="${RESULTS:-results}"
-BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim|BenchmarkServeEndToEnd|BenchmarkFusedSweep}"
+BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim|BenchmarkServeEndToEnd|BenchmarkFusedSweep|BenchmarkSnapshotRoundtrip}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-100ms}"
 baseline="${1:-$RESULTS/bench_micro_baseline.txt}"
@@ -55,6 +55,31 @@ if grep -q '^BenchmarkFusedSweep/' "$current"; then
 		}
 	' "$current" >BENCH_fused.json
 	echo "== bench-compare: wrote BENCH_fused.json"
+fi
+
+# Likewise for the state codec: BENCH_snap.json records the snapshot
+# encode+decode round trip (warmed 64KB vlp predictor) — mean ns/op,
+# MB/s, and allocs/op — so codec regressions show up in review.
+if grep -q '^BenchmarkSnapshotRoundtrip' "$current"; then
+	awk '
+		$1 ~ /^BenchmarkSnapshotRoundtrip/ && $4 == "ns/op" {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (!(name in ns)) order[++k] = name
+			ns[name] += $3; cnt[name]++
+			mb[name] += $5
+			al[name] += $9
+		}
+		END {
+			printf "{\n"
+			for (i = 1; i <= k; i++) {
+				name = order[i]
+				printf "  \"%s\": {\"ns_per_op\": %.0f, \"mb_per_sec\": %.1f, \"allocs_per_op\": %.0f}%s\n", \
+					name, ns[name] / cnt[name], mb[name] / cnt[name], al[name] / cnt[name], (i < k ? "," : "")
+			}
+			printf "}\n"
+		}
+	' "$current" >BENCH_snap.json
+	echo "== bench-compare: wrote BENCH_snap.json"
 fi
 
 if [ ! -f "$baseline" ]; then

@@ -1,0 +1,127 @@
+#!/bin/sh
+# snap_smoke.sh — crash-recovery check of session hibernation: start
+# vlpserve with a -spill-dir, stream the first half of a trace through a
+# session with vlpload, kill -9 the server (no drain — only the
+# write-through spill files survive, exactly as a crash leaves them),
+# restart it on the same spill directory, stream the second half under
+# the same session id, and assert the final served misprediction rate is
+# byte-for-byte identical to an uninterrupted batch vlpsim run over the
+# whole trace. Also holds a surviving spill file to obscheck -snap.
+#
+# Usage:
+#   scripts/snap_smoke.sh
+#
+# Env: RESULTS (artifact dir, default results), BENCH, N, PRED, CHUNK,
+# KEEP=1 to leave the scratch files behind for inspection.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RESULTS="${RESULTS:-results}"
+BENCH="${BENCH:-gcc}"
+N="${N:-60000}"
+PRED="${PRED:-gshare:budget=16KB}"
+CHUNK="${CHUNK:-7000}"
+KEEP="${KEEP:-}"
+HALF=$((N / 2))
+
+mkdir -p "$RESULTS"
+BIN="$RESULTS/snap_smoke_bin"
+SPILL="$RESULTS/snap_smoke_spill"
+mkdir -p "$BIN" "$SPILL"
+
+# Everything this script writes is scratch under $RESULTS with a
+# snap_smoke prefix; remove it on any exit (make clean-smoke sweeps up
+# after KEEP=1 runs or SIGKILLed ones).
+server_pid=""
+on_exit() {
+	[ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+	if [ -z "$KEEP" ]; then
+		rm -rf "$RESULTS"/snap_smoke_* "$RESULTS"/bench_snap_smoke_*.json
+	fi
+}
+trap on_exit EXIT
+
+echo "== snap-smoke: building binaries"
+go build -o "$BIN" ./cmd/traceg ./cmd/vlpsim ./cmd/vlpserve ./cmd/vlpload ./cmd/obscheck
+
+trace="$RESULTS/snap_smoke_$BENCH.vlpt"
+batch_json="$RESULTS/bench_snap_smoke_batch.json"
+served_json="$RESULTS/bench_snap_smoke_served.json"
+addr_file="$RESULTS/snap_smoke_addr"
+
+echo "== snap-smoke: generating $BENCH trace ($N records)"
+"$BIN/traceg" -bench "$BENCH" -n "$N" -o "$trace"
+
+echo "== snap-smoke: uninterrupted batch reference (vlpsim -pred $PRED)"
+"$BIN/vlpsim" -trace "$trace" -class cond -pred "$PRED" -json "$batch_json" >/dev/null
+
+# start_server: launch vlpserve on :0 with the shared spill dir and wait
+# for the atomically-renamed address file; sets $server_pid and $addr.
+start_server() {
+	rm -f "$addr_file"
+	"$BIN/vlpserve" -addr 127.0.0.1:0 -addr-file "$addr_file" -spill-dir "$SPILL" &
+	server_pid=$!
+	i=0
+	while [ ! -f "$addr_file" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ] || ! kill -0 "$server_pid" 2>/dev/null; then
+			echo "snap-smoke: vlpserve failed to come up" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	addr="$(cat "$addr_file")"
+}
+
+echo "== snap-smoke: starting vlpserve with -spill-dir $SPILL"
+start_server
+echo "== snap-smoke: server at $addr"
+
+echo "== snap-smoke: streaming records [0,$HALF) (chunk=$CHUNK)"
+"$BIN/vlpload" -url "http://$addr" -session smoke -class cond -pred "$PRED" \
+	-trace "$trace" -limit "$HALF" -clients 1 -chunk "$CHUNK" >/dev/null
+
+echo "== snap-smoke: kill -9 $server_pid (no drain; write-through spills are all that survive)"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+spill_file="$SPILL/smoke.vlps"
+if [ ! -f "$spill_file" ]; then
+	echo "snap-smoke: FAIL: no spill file at $spill_file after kill -9" >&2
+	exit 1
+fi
+echo "== snap-smoke: validating surviving spill file (obscheck -snap)"
+"$BIN/obscheck" -snap "$spill_file"
+
+echo "== snap-smoke: restarting vlpserve on the same spill dir"
+start_server
+echo "== snap-smoke: server at $addr"
+
+echo "== snap-smoke: streaming records [$HALF,$N) under the same session"
+"$BIN/vlpload" -url "http://$addr" -session smoke -class cond -pred "$PRED" \
+	-trace "$trace" -skip "$HALF" -clients 1 -chunk "$CHUNK" -json "$served_json"
+
+# The invariant the snapshot subsystem promises: the rate accumulated
+# across the crash is the uninterrupted batch rate, bit-identical — so
+# the JSON encodings of the float must match byte-for-byte.
+batch_rate="$(grep -o '"miss_rate":[^,}]*' "$batch_json" | head -n 1)"
+served_rate="$(grep -o '"miss_rate":[^,}]*' "$served_json" | head -n 1)"
+if [ -z "$batch_rate" ] || [ "$batch_rate" != "$served_rate" ]; then
+	echo "snap-smoke: FAIL: resumed rate differs from uninterrupted batch" >&2
+	echo "  batch:  $batch_rate" >&2
+	echo "  served: $served_rate" >&2
+	exit 1
+fi
+echo "== snap-smoke: rates identical across kill -9 ($batch_rate)"
+
+echo "== snap-smoke: SIGTERM, expecting clean drain"
+kill -TERM "$server_pid"
+pid="$server_pid"
+server_pid="" # drained below; the exit trap only cleans scratch now
+if ! wait "$pid"; then
+	echo "snap-smoke: FAIL: vlpserve exited non-zero on SIGTERM" >&2
+	exit 1
+fi
+echo "== snap-smoke: OK"
