@@ -19,6 +19,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/bpred/gshare"
 	"repro/internal/bpred/targetcache"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/loadgen"
 	"repro/internal/profile"
@@ -409,6 +410,61 @@ func BenchmarkFusedSweep(b *testing.B) {
 				}
 				if len(res) != len(preds) || res[0].Branches == 0 {
 					b.Fatalf("degraded run: %d results", len(res))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineDedup measures what the execution engine's
+// cross-experiment cell dedup is worth. Two plans share half their
+// cells — the fig7/table3 shape, where the SPEC and indirect-heavy
+// benchmark sets overlap — and each iteration executes both: with
+// dedup the shared cells replay once, under NoDedup every submission
+// replays (what independent execution surfaces did before the unified
+// engine). The wall-clock delta between the two sub-benchmarks is the
+// saving a suite run gets for free from the shared scheduler;
+// bench_compare.sh records it in BENCH_engine.json.
+func BenchmarkEngineDedup(b *testing.B) {
+	buf := benchTrace(b)
+	benches := []string{"b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7"}
+	sharedBenches := benches[:4]
+	mkCells := func() []engine.CondCell {
+		out := make([]engine.CondCell, 0, 3)
+		for _, budget := range []int{1024, 4096, 16384} {
+			budget := budget
+			out = append(out, func() (bpred.CondPredictor, error) { return gshare.New(budget) })
+		}
+		return out
+	}
+	src := func(string) (trace.Source, error) { return trace.NewBuffer(buf.Records), nil }
+	for _, mode := range []struct {
+		name    string
+		noDedup bool
+	}{{"nodedup", true}, {"dedup", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := engine.New(engine.Config{Source: src, NoDedup: mode.noDedup})
+				first, second := engine.NewPlan(), engine.NewPlan()
+				for _, t := range benches {
+					first.Cond(t, "compare", mkCells())
+				}
+				for _, t := range sharedBenches {
+					second.Cond(t, "compare", mkCells())
+				}
+				if _, err := e.Execute(context.Background(), first); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Execute(context.Background(), second); err != nil {
+					b.Fatal(err)
+				}
+				want := int64(len(benches))
+				if mode.noDedup {
+					want += int64(len(sharedBenches))
+				}
+				if c := e.Counters(); c.Executed != want {
+					b.Fatalf("executed %d cells, want %d", c.Executed, want)
 				}
 			}
 		})

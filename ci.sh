@@ -13,6 +13,24 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== pool lint (worker fan-outs live in internal/engine/pool)"
+# The engine's pool is the single bounded worker pool: nothing outside
+# internal/engine may size itself off the old sim.PoolSize spelling or
+# hand-roll a make(chan int) fan-out. internal/loadgen is allowlisted —
+# its client count is part of the load spec (open-loop pacing), not a
+# process worker pool — and tests may use index channels freely.
+lint_hits="$(grep -rn 'sim\.PoolSize(' --include='*.go' . | grep -v '^\./internal/engine/' || true)"
+fanout_hits="$(grep -rn 'make(chan int' --include='*.go' . \
+	| grep -v '_test\.go:' \
+	| grep -v '^\./internal/engine/' \
+	| grep -v '^\./internal/loadgen/' || true)"
+if [ -n "$lint_hits" ] || [ -n "$fanout_hits" ]; then
+	echo "pool lint: worker pools must go through internal/engine/pool:"
+	[ -n "$lint_hits" ] && echo "$lint_hits"
+	[ -n "$fanout_hits" ] && echo "$fanout_hits"
+	exit 1
+fi
+
 echo "== go build"
 go build ./...
 

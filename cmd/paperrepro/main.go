@@ -42,10 +42,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/engine/pool"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/runx"
@@ -79,15 +81,15 @@ func main() {
 	flag.BoolVar(&opts.resume, "resume", false, "skip experiments whose bench reports are already present and valid (needs -json)")
 	flag.BoolVar(&list, "list", false, "list experiment ids and exit")
 	flag.BoolVar(&verbose, "v", false, "narrate progress to stderr")
+	workers := flag.Int("workers", 0, "bound every worker pool in the process (0 = CPU count)")
 	var pflags obs.ProfileFlags
 	pflags.Register(flag.CommandLine)
 	flag.Parse()
 	if list {
-		for _, e := range experiments.Registry() {
-			fmt.Printf("%-22s %s\n", e.ID, e.Title)
-		}
+		listExperiments(os.Stdout)
 		return
 	}
+	pool.SetCap(*workers)
 	opts.log = obs.NewLogger(os.Stderr, verbose)
 	stop, err := pflags.Start()
 	if err != nil {
@@ -103,6 +105,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperrepro:", err)
 		os.Exit(1)
+	}
+}
+
+// listExperiments prints the registry — one "id  title" line per
+// experiment, in presentation order — for the -list flag.
+func listExperiments(w io.Writer) {
+	for _, e := range experiments.Registry() {
+		fmt.Fprintf(w, "%-22s %s\n", e.ID, e.Title)
 	}
 }
 
@@ -273,6 +283,18 @@ func run(ctx context.Context, opts options) error {
 		}
 	}
 	summary.Metrics = span.End()
+
+	// The engine's scheduling arithmetic: how many cells the experiments
+	// submitted, how many actually replayed, and how many were served
+	// from a column another experiment had already computed.
+	ec := suite.Engine().Counters()
+	summary.SetParam("engine_cells_submitted", ec.Submitted)
+	summary.SetParam("engine_cells_executed", ec.Executed)
+	summary.SetParam("engine_cells_deduped", ec.Deduped)
+	if ec.Submitted > 0 {
+		opts.log.Progressf("engine: %d cell(s) submitted, %d executed, %d served by dedup",
+			ec.Submitted, ec.Executed, ec.Deduped)
+	}
 
 	if opts.jsonDir != "" {
 		path, err := summary.WriteBench(opts.jsonDir)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/runx"
 	"repro/internal/trace"
@@ -85,6 +86,23 @@ func TestRunJSONDisabled(t *testing.T) {
 	opts.exp = "ablation-ras"
 	if err := run(context.Background(), opts); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestListExperiments pins the -list output shape: one line per
+// registry entry, each leading with its id.
+func TestListExperiments(t *testing.T) {
+	var buf strings.Builder
+	listExperiments(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	reg := experiments.Registry()
+	if len(lines) != len(reg) {
+		t.Fatalf("-list printed %d lines, want %d", len(lines), len(reg))
+	}
+	for i, e := range reg {
+		if !strings.HasPrefix(lines[i], e.ID) || !strings.Contains(lines[i], e.Title) {
+			t.Errorf("line %d = %q, want id %s and its title", i, lines[i], e.ID)
+		}
 	}
 }
 

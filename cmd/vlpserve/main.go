@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/dist"
+	"repro/internal/engine/pool"
 	"repro/internal/obs"
 	"repro/internal/runx"
 	"repro/internal/serve"
@@ -66,11 +67,15 @@ func main() {
 		spillDir = flag.String("spill-dir", "", "hibernate sessions to this directory (write-through snapshots; a restart with the same dir resumes every session bit-identically)")
 		snapDir  = flag.String("snapdir", "", "checkpoint sweep-cell column replays to this directory so a requeued cell resumes instead of replaying from record zero")
 		chaosStr = flag.String("chaos", "", "server-side fault injection spec, e.g. chaos:seed=7,burst5xx=0.05,reset=0.02,truncate=0.02,stall=0.01,snap=0.1")
+		workers  = flag.Int("workers", 0, "bound every worker pool in the process, including the admission default (0 = CPU count); the limits grammar's workers= still overrides admission")
 		verbose  = flag.Bool("v", false, "narrate requests and evictions to stderr")
 	)
 	var prof obs.ProfileFlags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
+	// Set the process-wide pool ceiling before DefaultLimits reads it
+	// for the admission semaphore default.
+	pool.SetCap(*workers)
 	log := obs.NewLogger(os.Stderr, *verbose)
 
 	stop, err := prof.Start()

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/cliutil"
+	"repro/internal/engine/pool"
 	"repro/internal/factory"
 	"repro/internal/obs"
 	"repro/internal/runx"
@@ -102,9 +103,11 @@ func main() {
 	flag.StringVar(&cfg.loadState, "load-state", "", "restore the predictor from a vlps/v1 snapshot before the run; combine with -skip to resume a trace mid-stream")
 	flag.IntVar(&cfg.skip, "skip", 0, "discard the first N trace records before replaying (the resume offset for -load-state)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C cancels cleanly either way")
+	workers := flag.Int("workers", 0, "bound the fused kernel's shard pool (0 = CPU count)")
 	flag.BoolVar(&verbose, "v", false, "narrate progress to stderr")
 	prof.Register(flag.CommandLine)
 	flag.Parse()
+	pool.SetCap(*workers)
 	cfg.log = obs.NewLogger(os.Stderr, verbose)
 
 	stop, err := prof.Start()

@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+// TestRunnerCellJob pins the worker-side half of cell jobs: a cell key
+// resolves through the grid registry and replays to exactly the rates
+// an in-process engine computes for the same cell, and unaddressable
+// keys fail deterministically rather than bouncing between workers.
+func TestRunnerCellJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real engine cell")
+	}
+	const key = "cond|go|ablation-rotation"
+	r := NewRunner("", nil)
+	res, err := r.RunJob(context.Background(), serve.JobRequest{
+		Cell: key, BaseRecords: testBase, ProfileRecords: testProfBase,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell != key || res.WallNanos <= 0 {
+		t.Fatalf("cell response %+v: want echoed key and wall time", res)
+	}
+
+	// Reference: the same cell, resolved and executed in process.
+	suite := experiments.NewSuite(experiments.Config{
+		BaseRecords: testBase, ProfileRecords: testProfBase,
+	})
+	k, err := engine.ParseKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := suite.ColumnCell(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := suite.Engine().Column(context.Background(), cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rates) != len(want) {
+		t.Fatalf("runner returned %d rates, in-process computed %d", len(res.Rates), len(want))
+	}
+	for i := range want {
+		if res.Rates[i] != want[i] {
+			t.Errorf("rate[%d] = %v, in-process %v", i, res.Rates[i], want[i])
+		}
+	}
+
+	// A malformed key and an unknown column both fail the job, not the
+	// transport.
+	var jfe *serve.JobFailedError
+	if _, err := r.RunJob(context.Background(), serve.JobRequest{Cell: "not-a-key"}); !errors.As(err, &jfe) {
+		t.Errorf("malformed key returned %v, want *serve.JobFailedError", err)
+	}
+	_, err = r.RunJob(context.Background(), serve.JobRequest{Cell: "cond|gcc|nonesuch", BaseRecords: testBase})
+	if !errors.As(err, &jfe) || !strings.Contains(jfe.Error(), "nonesuch") {
+		t.Errorf("unknown column returned %v, want *serve.JobFailedError naming it", err)
+	}
+}
+
+// recordingRunner is a canned worker runner for the warm-cells sweep
+// test: it records every request, answers cell jobs with stub rates —
+// failing gcc's cell to exercise the best-effort contract — and answers
+// experiment jobs with a minimal artifact.
+type recordingRunner struct {
+	mu   sync.Mutex
+	reqs []serve.JobRequest
+}
+
+func (r *recordingRunner) RunJob(_ context.Context, req serve.JobRequest) (serve.JobResponse, error) {
+	r.mu.Lock()
+	r.reqs = append(r.reqs, req)
+	r.mu.Unlock()
+	if req.Cell != "" {
+		if strings.Contains(req.Cell, "|gcc|") {
+			return serve.JobResponse{}, &serve.JobFailedError{Exp: req.Cell, Err: errors.New("injected warm failure")}
+		}
+		return serve.JobResponse{Cell: req.Cell, Rates: []float64{1}, WallNanos: 1}, nil
+	}
+	return serve.JobResponse{Exp: req.Exp, Title: "stub " + req.Exp, Text: "stub\n", WallNanos: 1}, nil
+}
+
+// TestSweepWarmCells asserts the coordinator's pre-warming order and
+// accounting: the columns fig7 and table3 share are queued as cell jobs
+// ahead of the experiment jobs, counted separately from the dispatched
+// cells, and a failed warm cell is dropped silently instead of failing
+// the sweep.
+func TestSweepWarmCells(t *testing.T) {
+	rr := &recordingRunner{}
+	s, err := serve.New(serve.DefaultLimits(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetJobRunner(rr)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	shared := 0
+	counts := map[string]int{}
+	for _, id := range []string{"fig7", "table3"} {
+		for _, k := range experiments.GridKeys(id) {
+			counts[k.String()]++
+		}
+	}
+	for _, n := range counts {
+		if n >= 2 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("fig7 and table3 share no cells; the test exercises nothing")
+	}
+
+	summary, err := Sweep(context.Background(), Options{
+		Workers:     []string{ts.URL},
+		Exp:         "fig7,table3",
+		BaseRecords: testBase, ProfileRecords: testProfBase,
+		WarmCells: true,
+	})
+	if err != nil {
+		t.Fatalf("Sweep with a failing warm cell: %v", err)
+	}
+	data := summary.Data.(SweepData)
+	if data.WarmCells != shared || data.Cells != 2 || len(data.Failed) != 0 {
+		t.Fatalf("sweep data %+v, want %d warm cells, 2 experiment cells, no failures", data, shared)
+	}
+
+	// One worker pulls sequentially, so the recorded order is the queue
+	// order: every warm cell job lands before the first experiment job.
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if len(rr.reqs) != shared+2 {
+		t.Fatalf("worker saw %d jobs, want %d", len(rr.reqs), shared+2)
+	}
+	for i, req := range rr.reqs {
+		if i < shared && req.Cell == "" {
+			t.Errorf("job %d is %q, want a warm cell job before the experiments", i, req.Unit())
+		}
+		if i >= shared && req.Exp == "" {
+			t.Errorf("job %d is %q, want an experiment job after the warm cells", i, req.Unit())
+		}
+		if req.BaseRecords != testBase || req.ProfileRecords != testProfBase {
+			t.Errorf("job %d did not carry the sweep scale: %+v", i, req)
+		}
+	}
+}

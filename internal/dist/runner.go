@@ -29,7 +29,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/serve"
@@ -134,12 +136,16 @@ func (r *Runner) suite(ctx context.Context, key suiteKey) (*experiments.Suite, e
 	return cell.suite, cell.err
 }
 
-// RunJob executes one cell and renders it as the wire response: the
-// artifact text plus the marshalled bench report. A failing experiment
-// comes back as a *serve.JobFailedError so the endpoint classifies it
-// as a non-retryable job-failed 500; a canceled context surfaces as the
+// RunJob executes one job and renders it as the wire response: for an
+// experiment job, the artifact text plus the marshalled bench report;
+// for a cell job, the column's raw rates. A failing job comes back as a
+// *serve.JobFailedError so the endpoint classifies it as a
+// non-retryable job-failed 500; a canceled context surfaces as the
 // context error (retryable elsewhere).
 func (r *Runner) RunJob(ctx context.Context, req serve.JobRequest) (serve.JobResponse, error) {
+	if req.Cell != "" {
+		return r.runCellJob(ctx, req)
+	}
 	entry, err := experiments.Find(req.Exp)
 	if err != nil {
 		return serve.JobResponse{}, err
@@ -171,4 +177,41 @@ func (r *Runner) RunJob(ctx context.Context, req serve.JobRequest) (serve.JobRes
 		Bench:     blob,
 		WallNanos: rep.Metrics.WallNanos,
 	}, nil
+}
+
+// runCellJob executes one engine cell: parse the canonical key, resolve
+// it through the suite's grid registry, and submit it to the suite's
+// engine. The engine memoizes by key, so a cell job that lands on a
+// worker before (or while) an experiment job needs the same column
+// shares one replay with it — the mechanism behind the coordinator's
+// pre-warming.
+func (r *Runner) runCellJob(ctx context.Context, req serve.JobRequest) (serve.JobResponse, error) {
+	key, err := engine.ParseKey(req.Cell)
+	if err != nil {
+		return serve.JobResponse{}, &serve.JobFailedError{Exp: req.Cell, Err: err}
+	}
+	suite, err := r.suite(ctx, suiteKey{base: req.BaseRecords, profBase: req.ProfileRecords})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return serve.JobResponse{}, err
+		}
+		return serve.JobResponse{}, &serve.JobFailedError{Exp: req.Cell, Err: err}
+	}
+	start := time.Now()
+	cell, err := suite.ColumnCell(ctx, key)
+	if err == nil {
+		var rates []float64
+		rates, err = suite.Engine().Column(ctx, cell)
+		if err == nil {
+			return serve.JobResponse{
+				Cell:      req.Cell,
+				Rates:     rates,
+				WallNanos: time.Since(start).Nanoseconds(),
+			}, nil
+		}
+	}
+	if ctx.Err() != nil {
+		return serve.JobResponse{}, ctx.Err()
+	}
+	return serve.JobResponse{}, &serve.JobFailedError{Exp: req.Cell, Err: err}
 }

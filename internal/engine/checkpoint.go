@@ -1,4 +1,4 @@
-package experiments
+package engine
 
 import (
 	"bytes"
@@ -61,7 +61,7 @@ func jobPred(j sim.Job) bpred.Predictor {
 // never be restored into a different column. Predictor names encode
 // their configuration (budget, selector, lengths), the class
 // distinguishes cond from indirect columns, and bench/id scope the
-// trace and cell set exactly as the suite's memoization does.
+// trace and cell set exactly as the engine's memoization does.
 func columnCheckpointKey(class, bench, id string, jobs []sim.Job) string {
 	names := make([]string, len(jobs))
 	for i, j := range jobs {
@@ -96,7 +96,7 @@ func encodeCheckpoint(key string, jobs []sim.Job, consumed int, results []sim.Re
 		p := jobPred(j)
 		var st bytes.Buffer
 		if err := p.(bpred.StateCodec).SaveState(&st); err != nil {
-			return nil, fmt.Errorf("experiments: checkpointing %s: %w", p.Name(), err)
+			return nil, fmt.Errorf("engine: checkpointing %s: %w", p.Name(), err)
 		}
 		be.Bytes(st.Bytes())
 	}
@@ -171,13 +171,13 @@ func checkpointable(jobs []sim.Job) bool {
 // SnapDir. Checkpoint writes are best-effort (a failed write never
 // fails the run); restore is trust-but-verify (a bad checkpoint is
 // ignored). On a clean finish the checkpoint file is removed.
-func (s *Suite) runColumnCheckpointed(ctx context.Context, class, bench, id string,
+func (e *Engine) runColumnCheckpointed(ctx context.Context, class, bench, id string,
 	jobs []sim.Job, buf *trace.Buffer) []sim.Result {
 	key := columnCheckpointKey(class, bench, id, jobs)
-	path := checkpointPath(s.Cfg.SnapDir, key)
+	path := checkpointPath(e.cfg.SnapDir, key)
 	consumed, base, resumed := restoreCheckpoint(path, key, jobs, buf.Len())
 	if resumed {
-		s.resumedRecords.Add(int64(consumed))
+		e.resumedRecords.Add(int64(consumed))
 	}
 	results := sim.RunManySegmented(ctx, jobs, buf.Records[consumed:], sim.Options{}, checkpointStride,
 		func(n int, partial []sim.Result) error {

@@ -1,32 +1,64 @@
-package experiments
+package engine
 
 import (
 	"context"
 	"os"
+	"sync"
 	"testing"
 
 	"repro/internal/bpred"
 	"repro/internal/bpred/targetcache"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
+
+// goTrace caches the "go" benchmark's 60000-record test trace for the
+// checkpoint tests, mirroring how a suite memoizes trace generation.
+var goTrace struct {
+	once sync.Once
+	recs []trace.Record
+	err  error
+}
+
+func goRecords(t *testing.T) []trace.Record {
+	t.Helper()
+	goTrace.once.Do(func() {
+		b, err := workload.ByName("go")
+		if err != nil {
+			goTrace.err = err
+			return
+		}
+		goTrace.recs = trace.Collect(b.TestSource(60000)).Records
+	})
+	if goTrace.err != nil {
+		t.Fatal(goTrace.err)
+	}
+	return goTrace.recs
+}
+
+// goEngine builds an engine whose Source serves the cached "go" trace
+// for every bench name, like a one-benchmark suite.
+func goEngine(t *testing.T, snapDir string) *Engine {
+	recs := goRecords(t)
+	return New(Config{
+		Source:  func(string) (trace.Source, error) { return trace.NewBuffer(recs), nil },
+		SnapDir: snapDir,
+	})
+}
 
 func indCellPattern(k uint) IndirectCell {
 	return func() (bpred.IndirectPredictor, error) { return targetcache.NewPattern(k), nil }
 }
 
 // plantCheckpoint simulates a crashed column replay: it replays the
-// first k records of the suite's bench trace through a fresh copy of
-// the column and writes the checkpoint a dying worker would have left
-// behind in the suite's SnapDir.
-func plantCheckpoint(t *testing.T, s *Suite, class, bench, id string, jobs []sim.Job, k int) string {
+// first k records of the "go" trace through a fresh copy of the column
+// and writes the checkpoint a dying worker would have left behind in
+// the engine's SnapDir.
+func plantCheckpoint(t *testing.T, dir, class, bench, id string, jobs []sim.Job, k int) string {
 	t.Helper()
-	src, err := s.TestSource(bench)
-	if err != nil {
-		t.Fatal(err)
-	}
-	buf := src.(*trace.Buffer)
-	res := sim.RunMany(context.Background(), jobs, trace.NewBuffer(buf.Records[:k]), sim.Options{})
+	recs := goRecords(t)
+	res := sim.RunMany(context.Background(), jobs, trace.NewBuffer(recs[:k]), sim.Options{})
 	for i := range res {
 		if res[i].Err != nil {
 			t.Fatalf("prefix replay failed: %v", res[i].Err)
@@ -37,7 +69,7 @@ func plantCheckpoint(t *testing.T, s *Suite, class, bench, id string, jobs []sim
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := checkpointPath(s.Cfg.SnapDir, key)
+	path := checkpointPath(dir, key)
 	if err := cp.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
@@ -53,15 +85,15 @@ func TestCondColumnResumesFromCheckpoint(t *testing.T) {
 	ctx := context.Background()
 	cells := []CondCell{condCellGshare(1024), condCellGshare(4096)}
 
-	clean := NewSuite(Config{BaseRecords: 60000})
-	want, err := clean.CondColumn(ctx, "ckpt", "go", cells)
+	clean := goEngine(t, "")
+	want, err := clean.Column(ctx, Cell{Trace: "go", ColumnID: "ckpt", Cond: cells})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	const k = 20000
 	dir := t.TempDir()
-	s := NewSuite(Config{BaseRecords: 60000, SnapDir: dir})
+	e := goEngine(t, dir)
 	preds := make([]bpred.CondPredictor, len(cells))
 	for i, cell := range cells {
 		p, err := cell()
@@ -71,9 +103,9 @@ func TestCondColumnResumesFromCheckpoint(t *testing.T) {
 		preds[i] = p
 	}
 	jobs, _ := condColumnJobs(preds)
-	path := plantCheckpoint(t, s, "cond", "go", "ckpt", jobs, k)
+	path := plantCheckpoint(t, dir, "cond", "go", "ckpt", jobs, k)
 
-	got, err := s.CondColumn(ctx, "ckpt", "go", cells)
+	got, err := e.Column(ctx, Cell{Trace: "go", ColumnID: "ckpt", Cond: cells})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +114,7 @@ func TestCondColumnResumesFromCheckpoint(t *testing.T) {
 			t.Errorf("cell %d: resumed %v, uninterrupted %v", i, got[i], want[i])
 		}
 	}
-	if n := s.ResumedRecords(); n != k {
+	if n := e.Counters().ResumedRecords; n != k {
 		t.Errorf("ResumedRecords = %d, want %d", n, k)
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
@@ -96,15 +128,15 @@ func TestIndirectColumnResumesFromCheckpoint(t *testing.T) {
 	ctx := context.Background()
 	cells := []IndirectCell{indCellPattern(8), indCellPattern(10)}
 
-	clean := NewSuite(Config{BaseRecords: 60000})
-	want, err := clean.IndirectColumn(ctx, "ckpt-ind", "go", cells)
+	clean := goEngine(t, "")
+	want, err := clean.Column(ctx, Cell{Trace: "go", ColumnID: "ckpt-ind", Indirect: cells})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	const k = 15000
 	dir := t.TempDir()
-	s := NewSuite(Config{BaseRecords: 60000, SnapDir: dir})
+	e := goEngine(t, dir)
 	jobs := make([]sim.Job, len(cells))
 	for i, cell := range cells {
 		p, err := cell()
@@ -113,9 +145,9 @@ func TestIndirectColumnResumesFromCheckpoint(t *testing.T) {
 		}
 		jobs[i] = sim.IndirectJob(p)
 	}
-	plantCheckpoint(t, s, "indirect", "go", "ckpt-ind", jobs, k)
+	plantCheckpoint(t, dir, "indirect", "go", "ckpt-ind", jobs, k)
 
-	got, err := s.IndirectColumn(ctx, "ckpt-ind", "go", cells)
+	got, err := e.Column(ctx, Cell{Trace: "go", ColumnID: "ckpt-ind", Indirect: cells})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +156,7 @@ func TestIndirectColumnResumesFromCheckpoint(t *testing.T) {
 			t.Errorf("cell %d: resumed %v, uninterrupted %v", i, got[i], want[i])
 		}
 	}
-	if n := s.ResumedRecords(); n != k {
+	if n := e.Counters().ResumedRecords; n != k {
 		t.Errorf("ResumedRecords = %d, want %d", n, k)
 	}
 }
@@ -137,8 +169,8 @@ func TestColumnIgnoresBadCheckpoint(t *testing.T) {
 	ctx := context.Background()
 	cells := []CondCell{condCellGshare(1024), condCellGshare(4096)}
 
-	clean := NewSuite(Config{BaseRecords: 60000})
-	want, err := clean.CondColumn(ctx, "ckpt-bad", "go", cells)
+	clean := goEngine(t, "")
+	want, err := clean.Column(ctx, Cell{Trace: "go", ColumnID: "ckpt-bad", Cond: cells})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +208,7 @@ func TestColumnIgnoresBadCheckpoint(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
-			s := NewSuite(Config{BaseRecords: 60000, SnapDir: dir})
+			e := goEngine(t, dir)
 			preds := make([]bpred.CondPredictor, len(cells))
 			for i, cell := range cells {
 				p, err := cell()
@@ -186,10 +218,10 @@ func TestColumnIgnoresBadCheckpoint(t *testing.T) {
 				preds[i] = p
 			}
 			jobs, _ := condColumnJobs(preds)
-			path := plantCheckpoint(t, s, "cond", "go", "ckpt-bad", jobs, 20000)
+			path := plantCheckpoint(t, dir, "cond", "go", "ckpt-bad", jobs, 20000)
 			damage(path)
 
-			got, err := s.CondColumn(ctx, "ckpt-bad", "go", cells)
+			got, err := e.Column(ctx, Cell{Trace: "go", ColumnID: "ckpt-bad", Cond: cells})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,7 +230,7 @@ func TestColumnIgnoresBadCheckpoint(t *testing.T) {
 					t.Errorf("cell %d: got %v, want %v", i, got[i], want[i])
 				}
 			}
-			if n := s.ResumedRecords(); n != 0 {
+			if n := e.Counters().ResumedRecords; n != 0 {
 				t.Errorf("damaged checkpoint resumed %d records, want 0", n)
 			}
 		})
@@ -217,15 +249,15 @@ func TestColumnWritesCheckpointsMidRun(t *testing.T) {
 	ctx := context.Background()
 	cells := []CondCell{condCellGshare(1024), condCellGshare(4096)}
 
-	clean := NewSuite(Config{BaseRecords: 60000})
-	want, err := clean.CondColumn(ctx, "ckpt-stride", "go", cells)
+	clean := goEngine(t, "")
+	want, err := clean.Column(ctx, Cell{Trace: "go", ColumnID: "ckpt-stride", Cond: cells})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	dir := t.TempDir()
-	s := NewSuite(Config{BaseRecords: 60000, SnapDir: dir})
-	got, err := s.CondColumn(ctx, "ckpt-stride", "go", cells)
+	e := goEngine(t, dir)
+	got, err := e.Column(ctx, Cell{Trace: "go", ColumnID: "ckpt-stride", Cond: cells})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +266,7 @@ func TestColumnWritesCheckpointsMidRun(t *testing.T) {
 			t.Errorf("cell %d: strided %v, uninterrupted %v", i, got[i], want[i])
 		}
 	}
-	if n := s.ResumedRecords(); n != 0 {
+	if n := e.Counters().ResumedRecords; n != 0 {
 		t.Errorf("fresh run resumed %d records, want 0", n)
 	}
 	entries, err := os.ReadDir(dir)

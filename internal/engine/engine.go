@@ -1,0 +1,544 @@
+// Package engine is the unified execution core for the paper's
+// evaluation grid. The grid's unit of work is a cell: one benchmark
+// trace replayed through one named column of predictor configurations.
+// Every surface that measures cells — the experiment drivers, the
+// sweep service's /v1/jobs worker, the distributed coordinator, the
+// CLIs — describes them as engine.Cell values and submits them here,
+// so planning (what cells exist), scheduling (dedup, worker pool) and
+// execution (strategy choice, checkpointing, panic isolation) live in
+// one place instead of once per layer.
+//
+// The pipeline is Plan → Schedule → Execute:
+//
+//   - a Plan is an ordered list of cells, built declaratively by the
+//     experiment grid builders (internal/experiments);
+//   - scheduling dedups cells by their canonical Key within and across
+//     plans (singleflight per key), so two experiments sharing a
+//     (trace, column) cell replay it once, and fans unique cells out
+//     over the engine's worker pool (engine/pool);
+//   - execution picks a strategy per cell — the sequential per-cell
+//     oracle, the fused kernel (sim.RunMany), or segmented replay with
+//     snapshot checkpoints (checkpoint.go) — and the measured rates are
+//     bit-identical across all three, which the differential tests pin.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bpred"
+	"repro/internal/engine/pool"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vlp"
+)
+
+// Class is a cell's predictor class: every cell measures either
+// conditional-direction or indirect-target predictors, never a mix.
+type Class int
+
+const (
+	// ClassCond cells measure conditional branch direction predictors.
+	ClassCond Class = iota
+	// ClassIndirect cells measure indirect branch target predictors.
+	ClassIndirect
+)
+
+// String returns the class's wire name ("cond" / "indirect"), the first
+// component of a cell key.
+func (c Class) String() string {
+	if c == ClassIndirect {
+		return "indirect"
+	}
+	return "cond"
+}
+
+// CondCell builds one conditional predictor of a column. Cells must
+// return fresh predictors on every call: the column builder may rebind
+// their path history for sharing, and a cell may run more than once
+// (the per-cell oracle, a NoDedup benchmark loop).
+type CondCell func() (bpred.CondPredictor, error)
+
+// IndirectCell builds one indirect predictor of a column.
+type IndirectCell func() (bpred.IndirectPredictor, error)
+
+// Strategy selects how a cell replays.
+type Strategy int
+
+const (
+	// StrategyAuto lets the engine choose: the fused kernel, upgraded
+	// to segmented checkpointing when a snapshot directory is
+	// configured and every participant supports it, or the per-cell
+	// oracle when the engine runs in PerCell mode.
+	StrategyAuto Strategy = iota
+	// StrategyPerCell forces the sequential one-pass-per-predictor
+	// oracle, the differential baseline for the fused path.
+	StrategyPerCell
+	// StrategyFused forces the fused single-pass kernel (sim.RunMany).
+	StrategyFused
+	// StrategySegmented asks for checkpointed segmented replay; cells
+	// that do not qualify (no snapshot dir, non-codec participants,
+	// non-buffer trace) fall back to the fused kernel.
+	StrategySegmented
+)
+
+// String names the strategy for logs and counters.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPerCell:
+		return "percell"
+	case StrategyFused:
+		return "fused"
+	case StrategySegmented:
+		return "segmented"
+	default:
+		return "auto"
+	}
+}
+
+// Key is a cell's canonical identity: the predictor class, the
+// benchmark trace it replays, and the column's content id. Two cells
+// with equal keys must describe identical predictor columns — the id
+// names the column's content, exactly as the experiment layer's
+// memoization contract has always required — so the scheduler may
+// serve either from one replay.
+type Key struct {
+	Class    Class
+	Trace    string
+	ColumnID string
+}
+
+// String renders the key's wire form, "class|trace|column-id", the
+// format cell jobs carry over the sweep service's /v1/jobs API.
+func (k Key) String() string {
+	return k.Class.String() + "|" + k.Trace + "|" + k.ColumnID
+}
+
+// ParseKey parses the wire form back into a Key.
+func ParseKey(s string) (Key, error) {
+	parts := strings.SplitN(s, "|", 3)
+	if len(parts) != 3 || parts[1] == "" || parts[2] == "" {
+		return Key{}, fmt.Errorf("engine: malformed cell key %q, want class|trace|column-id", s)
+	}
+	k := Key{Trace: parts[1], ColumnID: parts[2]}
+	switch parts[0] {
+	case "cond":
+		k.Class = ClassCond
+	case "indirect":
+		k.Class = ClassIndirect
+	default:
+		return Key{}, fmt.Errorf("engine: unknown cell class %q in key %q", parts[0], s)
+	}
+	return k, nil
+}
+
+// Cell is the plan IR's unit: one benchmark trace replayed through one
+// named column of predictor constructors. Exactly one of Cond or
+// Indirect must be non-empty.
+type Cell struct {
+	// Trace names the benchmark whose test trace the column replays;
+	// the engine's Source hook resolves it.
+	Trace string
+	// ColumnID names the column's content (e.g. "fig9",
+	// "compare-cond-16384"). Two cells may share an id only if they
+	// build identical predictor columns.
+	ColumnID string
+	// Cond holds the column's conditional cells (ClassCond).
+	Cond []CondCell
+	// Indirect holds the column's indirect cells (ClassIndirect).
+	Indirect []IndirectCell
+	// Strategy optionally forces an execution strategy; the zero value
+	// (StrategyAuto) lets the engine choose.
+	Strategy Strategy
+}
+
+// Class returns the cell's predictor class.
+func (c Cell) Class() Class {
+	if len(c.Indirect) > 0 {
+		return ClassIndirect
+	}
+	return ClassCond
+}
+
+// Key returns the cell's canonical identity.
+func (c Cell) Key() Key {
+	return Key{Class: c.Class(), Trace: c.Trace, ColumnID: c.ColumnID}
+}
+
+// Config wires an engine to its environment.
+type Config struct {
+	// Source resolves a cell's Trace name to a replayable trace source.
+	// The suite hands its memoized test-trace cache here. Sources must
+	// be independent views (separate read positions), since cells run
+	// concurrently.
+	Source func(trace string) (trace.Source, error)
+	// PerCell routes StrategyAuto cells through the sequential
+	// per-predictor oracle instead of the fused kernel. The measured
+	// rates are byte-identical either way; the oracle is kept as the
+	// differential baseline and as a bisection tool.
+	PerCell bool
+	// SnapDir, when set, names a directory for column replay
+	// checkpoints: qualifying cells replay segmented, persisting every
+	// predictor's state (internal/snap format) so a killed or requeued
+	// run resumes from the last checkpoint instead of record zero.
+	SnapDir string
+	// NoDedup disables the per-key singleflight so every submission
+	// replays, even for a key already computed. Only the dedup
+	// benchmark uses it; production surfaces always dedup.
+	NoDedup bool
+}
+
+// flight is a once-guarded computation cell: the first caller runs the
+// work, every concurrent or later caller blocks on (and shares) the
+// same result.
+type flight struct {
+	once sync.Once
+	val  []float64
+	err  error
+}
+
+func (f *flight) do(fn func() ([]float64, error)) ([]float64, error) {
+	f.once.Do(func() { f.val, f.err = fn() })
+	return f.val, f.err
+}
+
+// Counters is a snapshot of the engine's scheduling arithmetic.
+type Counters struct {
+	// Submitted counts every cell submission (Column calls plus plan
+	// cells), including duplicates.
+	Submitted int64
+	// Executed counts cells that actually replayed (singleflight
+	// misses). Submitted - Executed cells were served from a prior or
+	// in-flight replay.
+	Executed int64
+	// Deduped counts submissions served without a replay because the
+	// cell's key was already scheduled — the work the unified engine
+	// saves across experiments.
+	Deduped int64
+	// ResumedRecords counts trace records segmented replays skipped by
+	// restoring checkpoints from Config.SnapDir.
+	ResumedRecords int64
+}
+
+// Engine schedules and executes cells: one singleflight per cell key,
+// one bounded worker pool (engine/pool) for plan fan-out, one strategy
+// decision per replay.
+type Engine struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cols map[Key]*flight
+
+	submitted      atomic.Int64
+	executed       atomic.Int64
+	deduped        atomic.Int64
+	resumedRecords atomic.Int64
+}
+
+// New returns an engine with empty caches.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg, cols: map[Key]*flight{}}
+}
+
+// Counters returns a snapshot of the scheduling counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Submitted:      e.submitted.Load(),
+		Executed:       e.executed.Load(),
+		Deduped:        e.deduped.Load(),
+		ResumedRecords: e.resumedRecords.Load(),
+	}
+}
+
+// flightFor returns the singleflight cell for a key and whether it
+// already existed (a duplicate submission).
+func (e *Engine) flightFor(k Key) (f *flight, existed bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, existed = e.cols[k]
+	if !existed {
+		f = &flight{}
+		e.cols[k] = f
+	}
+	return f, existed
+}
+
+// Column schedules one cell and returns each predictor's misprediction
+// percentage in cell order. Results are memoized per canonical Key
+// under the engine's singleflight discipline, so every surface that
+// submits the same cell — an experiment grid, the sweep service's job
+// workers, tests — shares one replay. A partial replay (canceled
+// context, failed source) is refused as a measurement.
+func (e *Engine) Column(ctx context.Context, c Cell) ([]float64, error) {
+	e.submitted.Add(1)
+	if (len(c.Cond) > 0) == (len(c.Indirect) > 0) {
+		return nil, fmt.Errorf("engine: cell %s must set exactly one of Cond/Indirect", c.Key())
+	}
+	if e.cfg.NoDedup {
+		return e.runCell(ctx, c)
+	}
+	f, existed := e.flightFor(c.Key())
+	if existed {
+		e.deduped.Add(1)
+	}
+	return f.do(func() ([]float64, error) {
+		return e.runCell(ctx, c)
+	})
+}
+
+// runCell executes one cell: build fresh predictors, resolve the
+// trace, pick the strategy, replay, and reduce to percentages.
+func (e *Engine) runCell(ctx context.Context, c Cell) ([]float64, error) {
+	src, err := e.cfg.Source(c.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if c.Class() == ClassIndirect {
+		return e.runIndirectCell(ctx, c, src)
+	}
+	return e.runCondCell(ctx, c, src)
+}
+
+func (e *Engine) runCondCell(ctx context.Context, c Cell, src trace.Source) ([]float64, error) {
+	preds := make([]bpred.CondPredictor, len(c.Cond))
+	for i, cell := range c.Cond {
+		p, err := cell()
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = p
+	}
+	e.executed.Add(1)
+	strat := e.resolveStrategy(c.Strategy)
+	if strat == StrategySegmented {
+		if buf, jobs, order := e.segmentable(src, preds); jobs != nil {
+			res := e.runColumnCheckpointed(ctx, "cond", c.Trace, c.ColumnID, jobs, buf)
+			out := make([]sim.Result, len(preds))
+			for pi, ji := range order {
+				if err := res[ji].Err; err != nil {
+					return nil, err
+				}
+				out[pi] = res[ji]
+			}
+			return percents(out), nil
+		}
+		strat = StrategyFused
+	}
+	results, err := RunCondColumn(ctx, preds, src, strat == StrategyPerCell)
+	if err != nil {
+		return nil, err
+	}
+	return percents(results), nil
+}
+
+func (e *Engine) runIndirectCell(ctx context.Context, c Cell, src trace.Source) ([]float64, error) {
+	preds := make([]bpred.IndirectPredictor, len(c.Indirect))
+	for i, cell := range c.Indirect {
+		p, err := cell()
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = p
+	}
+	e.executed.Add(1)
+	strat := e.resolveStrategy(c.Strategy)
+	if strat == StrategySegmented {
+		if buf, ok := src.(*trace.Buffer); ok {
+			jobs := make([]sim.Job, len(preds))
+			for i, p := range preds {
+				jobs[i] = sim.IndirectJob(p)
+			}
+			if checkpointable(jobs) {
+				res := e.runColumnCheckpointed(ctx, "indirect", c.Trace, c.ColumnID, jobs, buf)
+				for i := range res {
+					if err := res[i].Err; err != nil {
+						return nil, err
+					}
+				}
+				return percents(res), nil
+			}
+		}
+		strat = StrategyFused
+	}
+	results, err := RunIndirectColumn(ctx, preds, src, strat == StrategyPerCell)
+	if err != nil {
+		return nil, err
+	}
+	return percents(results), nil
+}
+
+// resolveStrategy maps a cell's requested strategy onto the engine's
+// configuration: Auto prefers segmented when a snapshot directory is
+// configured (qualification is checked per cell), the per-cell oracle
+// when PerCell is set, and the fused kernel otherwise. An explicit
+// request wins over the configuration.
+func (e *Engine) resolveStrategy(s Strategy) Strategy {
+	if s != StrategyAuto {
+		return s
+	}
+	if e.cfg.PerCell {
+		return StrategyPerCell
+	}
+	if e.cfg.SnapDir != "" {
+		return StrategySegmented
+	}
+	return StrategyFused
+}
+
+// segmentable decides whether a conditional column qualifies for
+// checkpointed segmented replay: the trace must be an in-memory buffer
+// and every participant must support StateCodec. It returns nil jobs
+// when any condition fails, which routes the cell to the fused kernel.
+func (e *Engine) segmentable(src trace.Source, preds []bpred.CondPredictor) (*trace.Buffer, []sim.Job, []int) {
+	buf, ok := src.(*trace.Buffer)
+	if !ok {
+		return nil, nil, nil
+	}
+	jobs, order := condColumnJobs(preds)
+	if !checkpointable(jobs) {
+		return nil, nil, nil
+	}
+	return buf, jobs, order
+}
+
+// RunCondColumn measures every predictor over one pass of src (or one
+// pass per predictor when perCell is set) and returns the per-predictor
+// results in predictor order. A partial replay — canceled context or
+// failed source — is refused as a measurement. Callers that need
+// post-run predictor state (instrumentation counters) use this
+// directly; rate-only callers go through Engine.Column, which memoizes.
+func RunCondColumn(ctx context.Context, preds []bpred.CondPredictor, src trace.Source, perCell bool) ([]sim.Result, error) {
+	if perCell {
+		results := make([]sim.Result, len(preds))
+		for i, p := range preds {
+			results[i] = sim.RunCond(ctx, p, src, sim.Options{})
+			if err := results[i].Err; err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	jobs, order := condColumnJobs(preds)
+	res := sim.RunMany(ctx, jobs, src, sim.Options{})
+	out := make([]sim.Result, len(preds))
+	for pi, ji := range order {
+		if err := res[ji].Err; err != nil {
+			return nil, err
+		}
+		out[pi] = res[ji]
+	}
+	return out, nil
+}
+
+// RunIndirectColumn is RunCondColumn for indirect predictors. Indirect
+// columns have no history sharing (every indirect predictor owns its
+// target history), so the fused path is a plain RunManyIndirect.
+func RunIndirectColumn(ctx context.Context, preds []bpred.IndirectPredictor, src trace.Source, perCell bool) ([]sim.Result, error) {
+	if perCell {
+		results := make([]sim.Result, len(preds))
+		for i, p := range preds {
+			results[i] = sim.RunIndirect(ctx, p, src, sim.Options{})
+			if err := results[i].Err; err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	res := sim.RunManyIndirect(ctx, preds, src, sim.Options{})
+	for i := range res {
+		if err := res[i].Err; err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// condColumnJobs lays a conditional column out as fused-kernel jobs:
+// predictors that share a path-history configuration become a tie-run —
+// members first, then the observer that advances their shared history
+// once per record — and everything else runs as an independent job. It
+// returns the job slice plus the job index of each predictor, since
+// grouping permutes the order.
+func condColumnJobs(preds []bpred.CondPredictor) ([]sim.Job, []int) {
+	groups := vlp.ShareCondHistories(preds)
+	jobs := make([]sim.Job, 0, len(preds)+len(groups))
+	order := make([]int, len(preds))
+	for i := range order {
+		order[i] = -1
+	}
+	for _, g := range groups {
+		for mi, p := range g.Members {
+			j := sim.CondJob(preds[p])
+			j.Tie = mi > 0
+			order[p] = len(jobs)
+			jobs = append(jobs, j)
+		}
+		jobs = append(jobs, sim.ObserverJob(g.Observer))
+	}
+	for i, p := range preds {
+		if order[i] < 0 {
+			order[i] = len(jobs)
+			jobs = append(jobs, sim.CondJob(p))
+		}
+	}
+	return jobs, order
+}
+
+func percents(results []sim.Result) []float64 {
+	out := make([]float64, len(results))
+	for i := range results {
+		out[i] = results[i].Percent()
+	}
+	return out
+}
+
+// noteDuplicate books a within-plan duplicate submission that the
+// scheduler collapsed before reaching Column.
+func (e *Engine) noteDuplicate() {
+	e.submitted.Add(1)
+	e.deduped.Add(1)
+}
+
+// Execute schedules a plan: cells are deduped by Key within the plan
+// (and, via the singleflight cache, across every previous submission),
+// the unique cells fan out over the engine's worker pool, and each
+// plan position receives its cell's rates in plan order. A failing
+// cell fails alone; the aggregated *runx.SweepError (via pool.ForEach)
+// names each failed cell while the other results still land.
+func (e *Engine) Execute(ctx context.Context, p *Plan) ([][]float64, error) {
+	cells := p.Cells()
+	out := make([][]float64, len(cells))
+	type slot struct {
+		cell Cell
+		idxs []int
+	}
+	var order []Key
+	uniq := map[Key]*slot{}
+	for i := range cells {
+		k := cells[i].Key()
+		s, ok := uniq[k]
+		if !ok {
+			s = &slot{cell: cells[i]}
+			uniq[k] = s
+			order = append(order, k)
+		} else {
+			e.noteDuplicate()
+		}
+		s.idxs = append(s.idxs, i)
+	}
+	err := pool.ForEach(ctx, len(order), func(i int) error {
+		s := uniq[order[i]]
+		rates, err := e.Column(ctx, s.cell)
+		if err != nil {
+			return err
+		}
+		for _, j := range s.idxs {
+			out[j] = rates
+		}
+		return nil
+	})
+	return out, err
+}

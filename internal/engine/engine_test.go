@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bpred"
+	"repro/internal/bpred/gshare"
+	"repro/internal/runx"
+	"repro/internal/trace"
+)
+
+// syntheticRecords is a small deterministic trace with both branch
+// classes, enough for scheduling tests that only care about counters
+// and result identity, not statistics.
+func syntheticRecords(n int) []trace.Record {
+	recs := make([]trace.Record, 0, 2*n)
+	for i := 0; i < n; i++ {
+		taken := i%3 != 0
+		next := arch.Addr(0x2000)
+		if !taken {
+			next = arch.Addr(0x1004).FallThrough()
+		}
+		recs = append(recs, trace.Record{PC: 0x1004, Kind: arch.Cond, Taken: taken, Next: next})
+		recs = append(recs, trace.Record{PC: 0x3000, Kind: arch.Indirect, Taken: true,
+			Next: arch.Addr(0x5000 + 16*arch.Addr(i%4))})
+	}
+	return recs
+}
+
+func syntheticEngine(cfg Config) *Engine {
+	recs := syntheticRecords(5000)
+	cfg.Source = func(bench string) (trace.Source, error) {
+		if bench == "missing" {
+			return nil, fmt.Errorf("no trace for %s", bench)
+		}
+		return trace.NewBuffer(recs), nil
+	}
+	return New(cfg)
+}
+
+func condCellGshare(budget int) CondCell {
+	return func() (bpred.CondPredictor, error) { return gshare.New(budget) }
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, k := range []Key{
+		{Class: ClassCond, Trace: "gcc", ColumnID: "fig9"},
+		{Class: ClassIndirect, Trace: "perl", ColumnID: "compare-ind-2048"},
+	} {
+		got, err := ParseKey(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKey(%q) = %+v, %v; want %+v", k.String(), got, err, k)
+		}
+	}
+	for _, bad := range []string{"", "cond|gcc", "weird|gcc|fig9", "cond||fig9", "cond|gcc|"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCellClassAndKey(t *testing.T) {
+	c := Cell{Trace: "gcc", ColumnID: "x", Cond: []CondCell{condCellGshare(1024)}}
+	if c.Class() != ClassCond || c.Key().String() != "cond|gcc|x" {
+		t.Errorf("cond cell key = %q", c.Key())
+	}
+	ic := Cell{Trace: "gcc", ColumnID: "y", Indirect: []IndirectCell{nil}}
+	if ic.Class() != ClassIndirect || ic.Key().String() != "indirect|gcc|y" {
+		t.Errorf("indirect cell key = %q", ic.Key())
+	}
+}
+
+// TestColumnDedupsAcrossSubmissions pins the scheduler's core promise:
+// the same key submitted twice replays once, and both callers see the
+// same rates.
+func TestColumnDedupsAcrossSubmissions(t *testing.T) {
+	e := syntheticEngine(Config{})
+	ctx := context.Background()
+	cell := Cell{Trace: "gcc", ColumnID: "dup", Cond: []CondCell{condCellGshare(1024), condCellGshare(4096)}}
+	first, err := e.Column(ctx, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Column(ctx, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("rate %d: %v then %v", i, first[i], second[i])
+		}
+	}
+	c := e.Counters()
+	if c.Submitted != 2 || c.Executed != 1 || c.Deduped != 1 {
+		t.Errorf("counters = %+v, want submitted 2 / executed 1 / deduped 1", c)
+	}
+}
+
+// TestExecuteDedupsWithinPlan: a plan listing the same cell under two
+// experiments' positions runs it once and fills both positions.
+func TestExecuteDedupsWithinPlan(t *testing.T) {
+	e := syntheticEngine(Config{})
+	cells := []CondCell{condCellGshare(1024)}
+	p := NewPlan()
+	p.Cond("gcc", "shared", cells)
+	p.Cond("perl", "other", cells)
+	p.Cond("gcc", "shared", cells) // the duplicate
+	out, err := e.Execute(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("Execute returned %d results for 3 cells", len(out))
+	}
+	if out[0][0] != out[2][0] {
+		t.Errorf("duplicate positions disagree: %v vs %v", out[0], out[2])
+	}
+	c := e.Counters()
+	if c.Submitted != 3 || c.Executed != 2 || c.Deduped != 1 {
+		t.Errorf("counters = %+v, want submitted 3 / executed 2 / deduped 1", c)
+	}
+	if keys := p.Keys(); len(keys) != 3 || keys[0].String() != "cond|gcc|shared" {
+		t.Errorf("Plan.Keys = %v", keys)
+	}
+}
+
+// TestExecuteFailingCellFailsAlone: one cell with a broken source must
+// not take the others' results down, and the sweep error names it.
+func TestExecuteFailingCellFailsAlone(t *testing.T) {
+	e := syntheticEngine(Config{})
+	p := NewPlan()
+	p.Cond("gcc", "ok", []CondCell{condCellGshare(1024)})
+	p.Cond("missing", "bad", []CondCell{condCellGshare(1024)})
+	out, err := e.Execute(context.Background(), p)
+	var sw *runx.SweepError
+	if !errors.As(err, &sw) || len(sw.Jobs) != 1 {
+		t.Fatalf("Execute = %v, want a SweepError naming one job", err)
+	}
+	if out[0] == nil || out[1] != nil {
+		t.Errorf("results = %v, want the healthy cell filled and the broken one nil", out)
+	}
+}
+
+// TestNoDedupReplaysEverySubmission covers the benchmark escape hatch.
+func TestNoDedupReplaysEverySubmission(t *testing.T) {
+	e := syntheticEngine(Config{NoDedup: true})
+	ctx := context.Background()
+	cell := Cell{Trace: "gcc", ColumnID: "dup", Cond: []CondCell{condCellGshare(1024)}}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Column(ctx, cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := e.Counters()
+	if c.Submitted != 3 || c.Executed != 3 || c.Deduped != 0 {
+		t.Errorf("counters = %+v, want 3 executions under NoDedup", c)
+	}
+}
+
+// TestStrategiesAgree: the per-cell oracle, the fused kernel, and an
+// explicit per-cell strategy request all produce identical rates.
+func TestStrategiesAgree(t *testing.T) {
+	cells := []CondCell{condCellGshare(1024), condCellGshare(4096)}
+	fused := syntheticEngine(Config{})
+	oracle := syntheticEngine(Config{PerCell: true})
+	ctx := context.Background()
+	want, err := fused.Column(ctx, Cell{Trace: "gcc", ColumnID: "agree", Cond: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := oracle.Column(ctx, Cell{Trace: "gcc", ColumnID: "agree", Cond: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("cell %d: fused %v, oracle %v", i, want[i], got[i])
+		}
+	}
+	forced, err := fused.Column(ctx, Cell{Trace: "gcc", ColumnID: "agree-forced", Cond: cells,
+		Strategy: StrategyPerCell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != forced[i] {
+			t.Errorf("cell %d: fused %v, forced oracle %v", i, want[i], forced[i])
+		}
+	}
+}
+
+// TestColumnRefusesAmbiguousCell: a cell with both classes (or neither)
+// is a caller bug, reported as an error rather than mis-scheduled.
+func TestColumnRefusesAmbiguousCell(t *testing.T) {
+	e := syntheticEngine(Config{})
+	if _, err := e.Column(context.Background(), Cell{Trace: "gcc", ColumnID: "none"}); err == nil {
+		t.Error("empty cell accepted")
+	}
+	both := Cell{Trace: "gcc", ColumnID: "both",
+		Cond:     []CondCell{condCellGshare(1024)},
+		Indirect: []IndirectCell{nil}}
+	if _, err := e.Column(context.Background(), both); err == nil {
+		t.Error("two-class cell accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		StrategyAuto: "auto", StrategyPerCell: "percell",
+		StrategyFused: "fused", StrategySegmented: "segmented",
+	} {
+		if s.String() != want {
+			t.Errorf("Strategy(%d).String() = %q", s, s.String())
+		}
+	}
+}

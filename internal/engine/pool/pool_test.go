@@ -1,0 +1,168 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/runx"
+)
+
+func TestSize(t *testing.T) {
+	if got := Size(1); got != 1 {
+		t.Errorf("Size(1) = %d", got)
+	}
+	if got := Size(1 << 20); got < 1 {
+		t.Errorf("Size(big) = %d", got)
+	}
+}
+
+// TestSetCap pins the single-knob contract: the process-wide cap bounds
+// every pool size, and clearing it restores the CPU-count default.
+func TestSetCap(t *testing.T) {
+	defer SetCap(0)
+	SetCap(2)
+	if got := Cap(); got != 2 {
+		t.Errorf("Cap() = %d after SetCap(2)", got)
+	}
+	if got := Size(1 << 20); got != 2 {
+		t.Errorf("Size(big) = %d under cap 2", got)
+	}
+	if got := Size(1); got != 1 {
+		t.Errorf("Size(1) = %d under cap 2", got)
+	}
+	SetCap(0)
+	if got := Cap(); got != runtime.NumCPU() {
+		t.Errorf("Cap() = %d after reset, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+func TestForEachCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		var mask int64
+		var count int64
+		err := ForEach(context.Background(), n, func(i int) error {
+			atomic.AddInt64(&count, 1)
+			if n <= 63 {
+				atomic.OrInt64(&mask, 1<<uint(i))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("ForEach(%d) = %v", n, err)
+		}
+		if count != int64(n) {
+			t.Errorf("ForEach(%d) ran %d jobs", n, count)
+		}
+		if n > 0 && n <= 63 && mask != (1<<uint(n))-1 {
+			t.Errorf("ForEach(%d) missed indices: mask %#x", n, mask)
+		}
+	}
+}
+
+// TestForEachPanicIsolation: one panicking job must not kill the sweep —
+// the other jobs run and the panic comes back as a structured error.
+func TestForEachPanicIsolation(t *testing.T) {
+	const n = 8
+	var ran int64
+	err := ForEach(context.Background(), n, func(i int) error {
+		if i == 3 {
+			panic("job 3 exploded")
+		}
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if ran != n-1 {
+		t.Errorf("%d healthy jobs ran, want %d", ran, n-1)
+	}
+	var pe *runx.PanicError
+	if !errors.As(err, &pe) || pe.Value != "job 3 exploded" {
+		t.Fatalf("ForEach = %v, want a *runx.PanicError", err)
+	}
+	var sw *runx.SweepError
+	if !errors.As(err, &sw) || len(sw.Jobs) != 1 || sw.Jobs[0].Index != 3 {
+		t.Errorf("sweep error does not name the failed job: %v", err)
+	}
+}
+
+// TestForEachCancellationStopsDispatch: canceling mid-sweep stops new
+// jobs, drains in-flight ones, and reports the cancellation.
+func TestForEachCancellationStopsDispatch(t *testing.T) {
+	const n = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	err := ForEach(ctx, n, func(i int) error {
+		if atomic.AddInt64(&ran, 1) == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ForEach = %v, want context.Canceled", err)
+	}
+	if ran == n {
+		t.Log("all jobs ran before cancellation landed (legal but unexpected at this size)")
+	}
+}
+
+// TestForEachErrorAggregation: every failed index is reported, successes
+// are not.
+func TestForEachErrorAggregation(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 6, func(i int) error {
+		if i%2 == 1 {
+			return boom
+		}
+		return nil
+	})
+	var sw *runx.SweepError
+	if !errors.As(err, &sw) {
+		t.Fatalf("ForEach = %v, want *runx.SweepError", err)
+	}
+	if len(sw.Jobs) != 3 {
+		t.Errorf("sweep reports %d failed jobs, want 3", len(sw.Jobs))
+	}
+	for _, j := range sw.Jobs {
+		if j.Index%2 != 1 || !errors.Is(j.Err, boom) {
+			t.Errorf("unexpected job error %+v", j)
+		}
+	}
+}
+
+// TestFanCoversAllUnconditionally: Fan dispatches every index even with
+// more jobs than workers, with no context to stop it — the contract the
+// fused kernel's shard runner needs so canceled runs still mark every
+// shard's partial state.
+func TestFanCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		const n = 17
+		var count int64
+		Fan(workers, n, func(i int) { atomic.AddInt64(&count, 1) })
+		if count != n {
+			t.Errorf("Fan(workers=%d) ran %d jobs, want %d", workers, count, n)
+		}
+	}
+}
+
+// TestFanRethrowsPanicOnCaller: a job panic must surface on the calling
+// goroutine after every job drained, not kill a pool goroutine.
+func TestFanRethrowsPanicOnCaller(t *testing.T) {
+	var ran int64
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Fan swallowed the panic")
+		}
+		if ran != 7 {
+			t.Errorf("%d healthy jobs ran before rethrow, want 7", ran)
+		}
+	}()
+	Fan(4, 8, func(i int) {
+		if i == 3 {
+			panic("shard 3 exploded")
+		}
+		atomic.AddInt64(&ran, 1)
+	})
+}

@@ -5,18 +5,10 @@ import (
 	"fmt"
 
 	"repro/internal/bpred"
-	"repro/internal/bpred/agree"
-	"repro/internal/bpred/bimodal"
-	"repro/internal/bpred/bimode"
-	"repro/internal/bpred/gshare"
-	"repro/internal/bpred/gskew"
-	"repro/internal/bpred/hybrid"
-	"repro/internal/bpred/twolevel"
-	"repro/internal/profile"
-	"repro/internal/sim"
+	"repro/internal/engine"
+	"repro/internal/engine/pool"
 	"repro/internal/tablefmt"
 	"repro/internal/vlp"
-	"repro/internal/workload"
 )
 
 // ablationBenches is the subset used for ablation studies: a compiler-like
@@ -44,10 +36,23 @@ func (r *AblationResult) table() string {
 	return tb.String()
 }
 
+// condVariantCells builds the per-benchmark column of a variants grid:
+// one cell per variant, each deferring to the shared constructor.
+func condVariantCells(bench string, n int,
+	mk func(variant int, bench string) (bpred.CondPredictor, error)) []CondCell {
+	cells := make([]CondCell, n)
+	for v := range cells {
+		v := v
+		cells[v] = func() (bpred.CondPredictor, error) { return mk(v, bench) }
+	}
+	return cells
+}
+
 // runCondVariants measures conditional misprediction for one predictor
-// constructor per variant, across the ablation benchmarks: one fused
-// column per benchmark (all variants in one trace pass), benchmarks in
-// parallel. The id names the variant set for the suite's column cache.
+// constructor per variant, across the ablation benchmarks, as a
+// declarative plan: one engine cell per benchmark (all variants fused
+// into one trace pass), scheduled by the engine's pool. The id names
+// the variant set for the engine's cell memoization.
 func (s *Suite) runCondVariants(ctx context.Context, id string, benchNames []string, variants []string,
 	mk func(variant int, bench string) (bpred.CondPredictor, error)) (*AblationResult, error) {
 	res := &AblationResult{
@@ -55,39 +60,26 @@ func (s *Suite) runCondVariants(ctx context.Context, id string, benchNames []str
 		Variants:   variants,
 		Rates:      newRates(len(variants), len(benchNames)),
 	}
-	err := sim.ForEach(ctx, len(benchNames), func(b int) error {
-		bench := benchNames[b]
-		cells := make([]CondCell, len(variants))
+	plan := engine.NewPlan()
+	for _, bench := range benchNames {
+		plan.Cond(bench, id, condVariantCells(bench, len(variants), mk))
+	}
+	cols, err := s.eng.Execute(ctx, plan)
+	if err != nil {
+		return res, err
+	}
+	for b := range benchNames {
 		for v := range variants {
-			v := v
-			cells[v] = func() (bpred.CondPredictor, error) { return mk(v, bench) }
+			res.Rates[v][b] = cols[b][v]
 		}
-		pct, err := s.CondColumn(ctx, id, bench, cells)
-		if err != nil {
-			return err
-		}
-		for v := range variants {
-			res.Rates[v][b] = pct[v]
-		}
-		return nil
-	})
-	return res, err
+	}
+	return res, nil
 }
 
 // AblationRotation measures the §3.3 design choice: rotating each target
 // by its depth before XOR (order-preserving) versus a plain XOR fold.
 func (s *Suite) AblationRotation(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	res, err := s.runCondVariants(ctx, "ablation-rotation", ablationBenches,
-		[]string{"VLP (rotated)", "VLP (no rotation)"},
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			prof, err := s.Profile(bench, false, k)
-			if err != nil {
-				return nil, err
-			}
-			return vlp.NewCond(budget, prof.Selector(), vlp.Options{NoRotation: v == 1})
-		})
+	res, err := s.runCondGrid(ctx, "ablation-rotation")
 	if err != nil {
 		return nil, err
 	}
@@ -102,17 +94,7 @@ func (s *Suite) AblationRotation(ctx context.Context) (*Report, error) {
 // AblationReturns measures the §3.2 claim that storing return targets in
 // the THB does not strongly matter.
 func (s *Suite) AblationReturns(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	res, err := s.runCondVariants(ctx, "ablation-returns", ablationBenches,
-		[]string{"returns excluded", "returns stored"},
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			prof, err := s.Profile(bench, false, k)
-			if err != nil {
-				return nil, err
-			}
-			return vlp.NewCond(budget, prof.Selector(), vlp.Options{StoreReturns: v == 1})
-		})
+	res, err := s.runCondGrid(ctx, "ablation-returns")
 	if err != nil {
 		return nil, err
 	}
@@ -127,29 +109,7 @@ func (s *Suite) AblationReturns(ctx context.Context) (*Report, error) {
 // AblationSubset profiles with only the hash functions {1,2,4,8,16,32}
 // implemented (§3.1's reduced-cost implementation) versus all 32.
 func (s *Suite) AblationSubset(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	subset := []int{1, 2, 4, 8, 16, 32}
-	res, err := s.runCondVariants(ctx, "ablation-subset", ablationBenches,
-		[]string{"all 32 hash functions", "subset {1,2,4,8,16,32}"},
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			if v == 0 {
-				prof, err := s.Profile(bench, false, k)
-				if err != nil {
-					return nil, err
-				}
-				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-			}
-			src, err := s.ProfileSource(bench)
-			if err != nil {
-				return nil, err
-			}
-			prof, _, err := profile.Cond(src, profile.Config{TableBits: k, Lengths: subset})
-			if err != nil {
-				return nil, err
-			}
-			return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-		})
+	res, err := s.runCondGrid(ctx, "ablation-subset")
 	if err != nil {
 		return nil, err
 	}
@@ -164,28 +124,7 @@ func (s *Suite) AblationSubset(ctx context.Context) (*Report, error) {
 // AblationHeuristic varies the profiling heuristic's candidate and
 // iteration counts around the paper's 3-candidates/7-iterations setting.
 func (s *Suite) AblationHeuristic(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	type setting struct{ cands, iters int }
-	settings := []setting{{1, 1}, {3, 3}, {3, 7}, {5, 7}}
-	variants := make([]string, len(settings))
-	for i, c := range settings {
-		variants[i] = fmt.Sprintf("%d cand / %d iter", c.cands, c.iters)
-	}
-	res, err := s.runCondVariants(ctx, "ablation-heuristic", ablationBenches, variants,
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			src, err := s.ProfileSource(bench)
-			if err != nil {
-				return nil, err
-			}
-			prof, _, err := profile.Cond(src, profile.Config{
-				TableBits: k, Candidates: settings[v].cands, Iterations: settings[v].iters,
-			})
-			if err != nil {
-				return nil, err
-			}
-			return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-		})
+	res, err := s.runCondGrid(ctx, "ablation-heuristic")
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +156,7 @@ func (s *Suite) AblationHFNT(ctx context.Context) (*Report, error) {
 	// replay counts, so this experiment keeps its predictors and uses
 	// the non-memoized column runner: one fused pass per benchmark over
 	// all four HFNT sizes.
-	err := sim.ForEach(ctx, len(res.Benchmarks), func(b int) error {
+	err := pool.ForEach(ctx, len(res.Benchmarks), func(b int) error {
 		bench := res.Benchmarks[b]
 		prof, err := s.Profile(bench, false, k)
 		if err != nil {
@@ -269,32 +208,7 @@ func (s *Suite) AblationHFNT(ctx context.Context) (*Report, error) {
 // AblationDynSel compares the §3.4 hardware-selection alternative with the
 // profiled predictor and the fixed length baseline.
 func (s *Suite) AblationDynSel(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	all, err := s.benches(workload.All())
-	if err != nil {
-		return nil, err
-	}
-	fixedLen, err := s.SuiteFixedLength(all, false, k)
-	if err != nil {
-		return nil, err
-	}
-	res, err := s.runCondVariants(ctx, "ablation-dynsel", ablationBenches,
-		[]string{"fixed length path", "dynamic selection (hw)", "variable length path (profiled)"},
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			switch v {
-			case 0:
-				return vlp.NewCond(budget, vlp.Fixed{L: fixedLen}, vlp.Options{})
-			case 1:
-				return vlp.NewDynCond(budget, nil, 12, 4)
-			default:
-				prof, err := s.Profile(bench, false, k)
-				if err != nil {
-					return nil, err
-				}
-				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-			}
-		})
+	res, err := s.runCondGrid(ctx, "ablation-dynsel")
 	if err != nil {
 		return nil, err
 	}
@@ -309,21 +223,7 @@ func (s *Suite) AblationDynSel(ctx context.Context) (*Report, error) {
 // AblationHistStack measures the §6 future-work history stack: saving the
 // path registers across calls and restoring them on returns.
 func (s *Suite) AblationHistStack(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	res, err := s.runCondVariants(ctx, "ablation-histstack", ablationBenches,
-		[]string{"flat history", "stack (restore)", "stack (combine 2)"},
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			prof, err := s.Profile(bench, false, k)
-			if err != nil {
-				return nil, err
-			}
-			opts := vlp.Options{HistoryStack: v >= 1}
-			if v == 2 {
-				opts.HistoryCombine = 2
-			}
-			return vlp.NewCond(budget, prof.Selector(), opts)
-		})
+	res, err := s.runCondGrid(ctx, "ablation-histstack")
 	if err != nil {
 		return nil, err
 	}
@@ -341,50 +241,7 @@ func (s *Suite) AblationHistStack(ctx context.Context) (*Report, error) {
 // budget. (The hybrid splits its budget across components and chooser, as
 // McFarling's design must.)
 func (s *Suite) AblationCompetitors(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	res, err := s.runCondVariants(ctx, "ablation-competitors", ablationBenches,
-		[]string{"bimodal", "GAs", "PAs", "gshare", "agree", "bi-mode", "gskew", "hybrid", "FLP(tuned)", "VLP"},
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			switch v {
-			case 0:
-				return bimodal.New(budget)
-			case 1:
-				return twolevel.NewGAsBudget(budget, 12)
-			case 2:
-				return twolevel.NewPAs(k, 10, 8)
-			case 3:
-				return gshare.New(budget)
-			case 4:
-				return agree.New(budget, 12)
-			case 5:
-				return bimode.New(budget)
-			case 6:
-				return gskew.New(budget)
-			case 7:
-				g, err := gshare.New(budget / 2)
-				if err != nil {
-					return nil, err
-				}
-				b, err := bimodal.New(budget / 4)
-				if err != nil {
-					return nil, err
-				}
-				return hybrid.New(g, b, 13), nil // 2^13 chooser counters = 2KB
-			case 8:
-				l, err := s.TunedFixedLength(bench, false, k)
-				if err != nil {
-					return nil, err
-				}
-				return vlp.NewCond(budget, vlp.Fixed{L: l}, vlp.Options{})
-			default:
-				prof, err := s.Profile(bench, false, k)
-				if err != nil {
-					return nil, err
-				}
-				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-			}
-		})
+	res, err := s.runCondGrid(ctx, "ablation-competitors")
 	if err != nil {
 		return nil, err
 	}

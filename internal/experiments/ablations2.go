@@ -4,10 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/bpred"
 	"repro/internal/bpred/ras"
-	"repro/internal/factory"
-	"repro/internal/sim"
+	"repro/internal/engine/pool"
 	"repro/internal/tablefmt"
 	"repro/internal/workload"
 )
@@ -18,52 +16,7 @@ import (
 // ("the best competing predictor" family the paper references), and the
 // fixed/variable length path predictors.
 func (s *Suite) AblationIndField(ctx context.Context) (*Report, error) {
-	const budget = 2048
-	k := indK(budget)
-	heavy, err := s.benches(workload.IndirectHeavy())
-	if err != nil {
-		return nil, err
-	}
-	all, err := s.benches(workload.All())
-	if err != nil {
-		return nil, err
-	}
-	fixedLen, err := s.SuiteFixedLength(all, true, k)
-	if err != nil {
-		return nil, err
-	}
-	variants := []string{"btb", "pattern", "path", "path-peraddr", "cascaded", "FLP", "VLP"}
-	res := &AblationResult{
-		Benchmarks: names(heavy),
-		Variants:   variants,
-		Rates:      newRates(len(variants), len(heavy)),
-	}
-	err = sim.ForEach(ctx, len(heavy), func(b int) error {
-		bench := heavy[b].Name()
-		prof, err := s.Profile(bench, true, k)
-		if err != nil {
-			return err
-		}
-		cells := make([]IndirectCell, len(variants))
-		for v := range variants {
-			spec := factory.IndirectSpec{Name: variants[v], BudgetBytes: budget}
-			switch variants[v] {
-			case "FLP":
-				spec = factory.IndirectSpec{Name: "flp", BudgetBytes: budget, FixedLength: fixedLen}
-			case "VLP":
-				spec = factory.IndirectSpec{Name: "vlp", BudgetBytes: budget, Profile: prof}
-			}
-			cells[v] = func() (bpred.IndirectPredictor, error) { return factory.NewIndirect(spec) }
-		}
-		pct, err := s.IndirectColumn(ctx, "ablation-indfield", bench, cells)
-		if err != nil {
-			return err
-		}
-		for v := range variants {
-			res.Rates[v][b] = pct[v]
-		}
-		return nil
-	})
+	res, err := s.runIndGrid(ctx, "ablation-indfield")
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +59,7 @@ func (s *Suite) AblationRAS(ctx context.Context) (*Report, error) {
 			jobs = append(jobs, job{d, b})
 		}
 	}
-	err = sim.ForEach(ctx, len(jobs), func(i int) error {
+	err = pool.ForEach(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		src, err := s.TestSource(bs[j.b].Name())
 		if err != nil {

@@ -2,14 +2,6 @@ package experiments
 
 import (
 	"context"
-
-	"repro/internal/bpred"
-	"repro/internal/bpred/dhlf"
-	"repro/internal/bpred/gshare"
-	"repro/internal/bpred/varhist"
-	"repro/internal/profile"
-	"repro/internal/vlp"
-	"repro/internal/workload"
 )
 
 // AblationAdaptivity lays out the §2 design space of history-length
@@ -25,44 +17,7 @@ import (
 // beats pattern at equal adaptivity, and per-branch selection beats fixed
 // at equal history kind.
 func (s *Suite) AblationAdaptivity(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	all, err := s.benches(workload.All())
-	if err != nil {
-		return nil, err
-	}
-	fixedLen, err := s.SuiteFixedLength(all, false, k)
-	if err != nil {
-		return nil, err
-	}
-	res, err := s.runCondVariants(ctx, "ablation-adaptivity", ablationBenches,
-		[]string{"gshare", "DHLF [12]", "elastic pattern [21]", "FLP", "VLP"},
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			switch v {
-			case 0:
-				return gshare.New(budget)
-			case 1:
-				return dhlf.New(budget, 0)
-			case 2:
-				src, err := s.ProfileSource(bench)
-				if err != nil {
-					return nil, err
-				}
-				prof, _, err := profile.PatternCond(src, profile.Config{TableBits: k})
-				if err != nil {
-					return nil, err
-				}
-				return varhist.New(budget, prof.Selector())
-			case 3:
-				return vlp.NewCond(budget, vlp.Fixed{L: fixedLen}, vlp.Options{})
-			default:
-				prof, err := s.Profile(bench, false, k)
-				if err != nil {
-					return nil, err
-				}
-				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-			}
-		})
+	res, err := s.runCondGrid(ctx, "ablation-adaptivity")
 	if err != nil {
 		return nil, err
 	}

@@ -4,221 +4,54 @@ import (
 	"context"
 
 	"repro/internal/bpred"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/vlp"
 )
 
-// This file is the experiment layer's seam onto the fused replay kernel
-// (sim.RunMany): experiments describe a *column* — every predictor
-// configuration they want measured on one benchmark trace — and the
-// column runs in a single pass over that trace instead of one pass per
-// cell. Cells are constructors rather than predictors so the column
-// builder can materialize fresh state per run and apply same-history
-// sharing (vlp.ShareCondHistories) before replay; Config.PerCell routes
-// the same cells through the sequential per-predictor driver instead,
-// which the differential tests use as the oracle for the fused path.
+// This file is the experiment layer's seam onto the unified execution
+// engine (internal/engine): experiments describe a *column* — every
+// predictor configuration they want measured on one benchmark trace —
+// as an engine cell, and the engine owns memoization, strategy choice
+// (fused kernel / per-cell oracle / checkpointed segmented replay), and
+// the worker pool. Cells are constructors rather than predictors so the
+// column builder can materialize fresh state per run and apply
+// same-history sharing (vlp.ShareCondHistories) before replay.
 
 // CondCell builds one conditional predictor of a column. Cells must
 // return fresh predictors on every call: the column builder may rebind
 // their path history for sharing.
-type CondCell func() (bpred.CondPredictor, error)
+type CondCell = engine.CondCell
 
 // IndirectCell builds one indirect predictor of a column.
-type IndirectCell func() (bpred.IndirectPredictor, error)
+type IndirectCell = engine.IndirectCell
 
 // RunCondColumn measures every predictor over one pass of src (or one
 // pass per predictor when perCell is set) and returns the per-predictor
-// results in predictor order. A partial replay — canceled context or
-// failed source — is refused as a measurement, like condPercent.
-// Callers that need post-run predictor state (instrumentation counters)
-// use this directly; rate-only callers go through Suite.CondColumn,
-// which memoizes.
+// results in predictor order. Callers that need post-run predictor
+// state (instrumentation counters) use this directly; rate-only callers
+// go through Suite.CondColumn, which memoizes.
 func RunCondColumn(ctx context.Context, preds []bpred.CondPredictor, src trace.Source, perCell bool) ([]sim.Result, error) {
-	if perCell {
-		results := make([]sim.Result, len(preds))
-		for i, p := range preds {
-			results[i] = sim.RunCond(ctx, p, src, sim.Options{})
-			if err := results[i].Err; err != nil {
-				return nil, err
-			}
-		}
-		return results, nil
-	}
-	jobs, order := condColumnJobs(preds)
-	res := sim.RunMany(ctx, jobs, src, sim.Options{})
-	out := make([]sim.Result, len(preds))
-	for pi, ji := range order {
-		if err := res[ji].Err; err != nil {
-			return nil, err
-		}
-		out[pi] = res[ji]
-	}
-	return out, nil
+	return engine.RunCondColumn(ctx, preds, src, perCell)
 }
 
-// condColumnJobs lays a conditional column out as fused-kernel jobs:
-// predictors that share a path-history configuration become a tie-run —
-// members first, then the observer that advances their shared history
-// once per record — and everything else runs as an independent job. It
-// returns the job slice plus the job index of each predictor, since
-// grouping permutes the order.
-func condColumnJobs(preds []bpred.CondPredictor) ([]sim.Job, []int) {
-	groups := vlp.ShareCondHistories(preds)
-	jobs := make([]sim.Job, 0, len(preds)+len(groups))
-	order := make([]int, len(preds))
-	for i := range order {
-		order[i] = -1
-	}
-	for _, g := range groups {
-		for mi, p := range g.Members {
-			j := sim.CondJob(preds[p])
-			j.Tie = mi > 0
-			order[p] = len(jobs)
-			jobs = append(jobs, j)
-		}
-		jobs = append(jobs, sim.ObserverJob(g.Observer))
-	}
-	for i, p := range preds {
-		if order[i] < 0 {
-			order[i] = len(jobs)
-			jobs = append(jobs, sim.CondJob(p))
-		}
-	}
-	return jobs, order
-}
-
-// RunIndirectColumn is RunCondColumn for indirect predictors. Indirect
-// columns have no history sharing (every indirect predictor owns its
-// target history), so the fused path is a plain RunManyIndirect.
+// RunIndirectColumn is RunCondColumn for indirect predictors.
 func RunIndirectColumn(ctx context.Context, preds []bpred.IndirectPredictor, src trace.Source, perCell bool) ([]sim.Result, error) {
-	if perCell {
-		results := make([]sim.Result, len(preds))
-		for i, p := range preds {
-			results[i] = sim.RunIndirect(ctx, p, src, sim.Options{})
-			if err := results[i].Err; err != nil {
-				return nil, err
-			}
-		}
-		return results, nil
-	}
-	res := sim.RunManyIndirect(ctx, preds, src, sim.Options{})
-	for i := range res {
-		if err := res[i].Err; err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return engine.RunIndirectColumn(ctx, preds, src, perCell)
 }
 
-// CondColumn builds the cells, replays them fused over the benchmark's
-// test trace, and returns each cell's misprediction percentage in cell
-// order. Results are memoized per (benchmark, column id) under the
-// suite's singleflight discipline, so every surface that renders the
-// same artifact — CLI, the sweep service's job workers, tests — shares
-// one replay. The id names the column's *content* (e.g. "fig9"): two
-// call sites may use the same id only if they build identical cells.
+// CondColumn submits the column as an engine cell over the benchmark's
+// test trace and returns each cell's misprediction percentage in cell
+// order. Results are memoized per canonical cell key under the engine's
+// singleflight discipline, so every surface that renders the same
+// artifact — CLI, the sweep service's job workers, tests — shares one
+// replay. The id names the column's *content* (e.g. "fig9"): two call
+// sites may use the same id only if they build identical cells.
 func (s *Suite) CondColumn(ctx context.Context, id, bench string, cells []CondCell) ([]float64, error) {
-	f := getFlight(&s.mu, s.condCols, columnKey{bench, id})
-	return f.do(func() ([]float64, error) {
-		preds := make([]bpred.CondPredictor, len(cells))
-		for i, cell := range cells {
-			p, err := cell()
-			if err != nil {
-				return nil, err
-			}
-			preds[i] = p
-		}
-		src, err := s.TestSource(bench)
-		if err != nil {
-			return nil, err
-		}
-		s.computedColumns.Add(1)
-		if buf, jobs, order := s.checkpointColumn(src, condColumnJobs, preds); jobs != nil {
-			res := s.runColumnCheckpointed(ctx, "cond", bench, id, jobs, buf)
-			out := make([]sim.Result, len(preds))
-			for pi, ji := range order {
-				if err := res[ji].Err; err != nil {
-					return nil, err
-				}
-				out[pi] = res[ji]
-			}
-			return percents(out), nil
-		}
-		results, err := RunCondColumn(ctx, preds, src, s.Cfg.PerCell)
-		if err != nil {
-			return nil, err
-		}
-		return percents(results), nil
-	})
-}
-
-// checkpointColumn decides whether a column replay goes through the
-// checkpointed runner: SnapDir must be configured, the fused kernel
-// must be in play (PerCell runs the sequential oracle), the trace must
-// be an in-memory buffer (the suite's TestSource always is), and every
-// participant must support StateCodec. It returns nil jobs when any
-// condition fails, which routes the column through the plain path.
-func (s *Suite) checkpointColumn(src trace.Source, layout func([]bpred.CondPredictor) ([]sim.Job, []int),
-	preds []bpred.CondPredictor) (*trace.Buffer, []sim.Job, []int) {
-	if s.Cfg.SnapDir == "" || s.Cfg.PerCell {
-		return nil, nil, nil
-	}
-	buf, ok := src.(*trace.Buffer)
-	if !ok {
-		return nil, nil, nil
-	}
-	jobs, order := layout(preds)
-	if !checkpointable(jobs) {
-		return nil, nil, nil
-	}
-	return buf, jobs, order
+	return s.eng.Column(ctx, engine.Cell{Trace: bench, ColumnID: id, Cond: cells})
 }
 
 // IndirectColumn is CondColumn for indirect predictors.
 func (s *Suite) IndirectColumn(ctx context.Context, id, bench string, cells []IndirectCell) ([]float64, error) {
-	f := getFlight(&s.mu, s.indCols, columnKey{bench, id})
-	return f.do(func() ([]float64, error) {
-		preds := make([]bpred.IndirectPredictor, len(cells))
-		for i, cell := range cells {
-			p, err := cell()
-			if err != nil {
-				return nil, err
-			}
-			preds[i] = p
-		}
-		src, err := s.TestSource(bench)
-		if err != nil {
-			return nil, err
-		}
-		s.computedColumns.Add(1)
-		if buf, ok := src.(*trace.Buffer); ok && s.Cfg.SnapDir != "" && !s.Cfg.PerCell {
-			jobs := make([]sim.Job, len(preds))
-			for i, p := range preds {
-				jobs[i] = sim.IndirectJob(p)
-			}
-			if checkpointable(jobs) {
-				res := s.runColumnCheckpointed(ctx, "indirect", bench, id, jobs, buf)
-				for i := range res {
-					if err := res[i].Err; err != nil {
-						return nil, err
-					}
-				}
-				return percents(res), nil
-			}
-		}
-		results, err := RunIndirectColumn(ctx, preds, src, s.Cfg.PerCell)
-		if err != nil {
-			return nil, err
-		}
-		return percents(results), nil
-	})
-}
-
-func percents(results []sim.Result) []float64 {
-	out := make([]float64, len(results))
-	for i := range results {
-		out[i] = results[i].Percent()
-	}
-	return out
+	return s.eng.Column(ctx, engine.Cell{Trace: bench, ColumnID: id, Indirect: cells})
 }

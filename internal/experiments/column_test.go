@@ -14,19 +14,21 @@ func condCellGshare(budget int) CondCell {
 }
 
 // TestFusedMatchesPerCellOracle is the experiment-level differential
-// gate for the fused replay kernel: a fused suite and a per-cell suite
-// at the same scale must render byte-identical artifact text for every
+// gate across every engine strategy: a fused suite, a per-cell oracle
+// suite, and a segmented (checkpointing, SnapDir) suite at the same
+// scale must render byte-identical artifact text for every
 // column-driven experiment shape — the per-benchmark comparisons, the
 // size-sweep grids (where history sharing kicks in), the variant
 // ablations, the indirect field, and the experiments that keep their
 // predictors for post-run state (HFNT, interference).
 func TestFusedMatchesPerCellOracle(t *testing.T) {
 	if testing.Short() {
-		t.Skip("two full small-scale suites")
+		t.Skip("three full small-scale suites")
 	}
 	const scale = 60000
 	fused := NewSuite(Config{BaseRecords: scale})
 	oracle := NewSuite(Config{BaseRecords: scale, PerCell: true})
+	segmented := NewSuite(Config{BaseRecords: scale, SnapDir: t.TempDir()})
 	ctx := context.Background()
 	for _, id := range []string{
 		"fig5", "fig7", "fig9", "fig10", "headline",
@@ -45,9 +47,17 @@ func TestFusedMatchesPerCellOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s per-cell: %v", id, err)
 		}
+		sr, err := e.Run(segmented, ctx)
+		if err != nil {
+			t.Fatalf("%s segmented: %v", id, err)
+		}
 		if fr.Text != or.Text {
 			t.Errorf("%s: fused and per-cell artifacts differ\n--- fused ---\n%s\n--- per-cell ---\n%s",
 				id, fr.Text, or.Text)
+		}
+		if fr.Text != sr.Text {
+			t.Errorf("%s: fused and segmented artifacts differ\n--- fused ---\n%s\n--- segmented ---\n%s",
+				id, fr.Text, sr.Text)
 		}
 		if strings.TrimSpace(fr.Text) == "" {
 			t.Errorf("%s rendered empty text", id)

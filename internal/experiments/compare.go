@@ -7,7 +7,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/bpred/gshare"
 	"repro/internal/bpred/targetcache"
-	"repro/internal/sim"
+	"repro/internal/engine"
 	"repro/internal/textplot"
 	"repro/internal/vlp"
 	"repro/internal/workload"
@@ -25,19 +25,13 @@ type BenchSeries struct {
 
 // Rate returns the percentage for a (predictor, benchmark) pair.
 func (r *BenchSeries) Rate(predictor, bench string) (float64, error) {
-	pi, bi := -1, -1
-	for i, p := range r.Predictors {
-		if p == predictor {
-			pi = i
-		}
+	pi := index(r.Predictors, predictor)
+	if pi < 0 {
+		return 0, &NotFoundError{Kind: "predictor", Key: predictor}
 	}
-	for i, b := range r.Benchmarks {
-		if b == bench {
-			bi = i
-		}
-	}
-	if pi < 0 || bi < 0 {
-		return 0, fmt.Errorf("experiments: no rate for (%s, %s)", predictor, bench)
+	bi := index(r.Benchmarks, bench)
+	if bi < 0 {
+		return 0, &NotFoundError{Kind: "benchmark", Key: bench}
 	}
 	return r.Rates[pi][bi], nil
 }
@@ -57,17 +51,13 @@ func (r *BenchSeries) Chart(title string) string {
 // the statistic behind the paper's "28.6% fewer mispredictions than
 // gshare on average".
 func (r *BenchSeries) MeanReduction(from, to string) (float64, error) {
-	var fi, ti = -1, -1
-	for i, p := range r.Predictors {
-		if p == from {
-			fi = i
-		}
-		if p == to {
-			ti = i
-		}
+	fi := index(r.Predictors, from)
+	if fi < 0 {
+		return 0, &NotFoundError{Kind: "predictor", Key: from}
 	}
-	if fi < 0 || ti < 0 {
-		return 0, fmt.Errorf("experiments: unknown predictors %q, %q", from, to)
+	ti := index(r.Predictors, to)
+	if ti < 0 {
+		return 0, &NotFoundError{Kind: "predictor", Key: to}
 	}
 	var sum float64
 	n := 0
@@ -84,22 +74,68 @@ func (r *BenchSeries) MeanReduction(from, to string) (float64, error) {
 	return 100 * sum / float64(n), nil
 }
 
+// condCompareCells builds the Figures 5-6 comparison column for one
+// benchmark: gshare, fixed length path, variable length path at one
+// hardware budget. The profile fetch lives inside the VLP cell (it is
+// memoized per benchmark) so it runs inside the engine's pooled
+// execution rather than serializing plan construction.
+func (s *Suite) condCompareCells(bench string, budgetBytes, fixedLen int, k uint) []CondCell {
+	return []CondCell{
+		func() (bpred.CondPredictor, error) { return gshare.New(budgetBytes) },
+		func() (bpred.CondPredictor, error) {
+			return vlp.NewCond(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
+		},
+		func() (bpred.CondPredictor, error) {
+			prof, err := s.Profile(bench, false, k)
+			if err != nil {
+				return nil, err
+			}
+			return vlp.NewCond(budgetBytes, prof.Selector(), vlp.Options{})
+		},
+	}
+}
+
+// indCompareCells builds the Figures 7-8 comparison column for one
+// benchmark: Chang-Hao-Patt path and pattern target caches plus the
+// fixed and variable length path predictors.
+func (s *Suite) indCompareCells(bench string, budgetBytes, fixedLen int, k uint) []IndirectCell {
+	return []IndirectCell{
+		func() (bpred.IndirectPredictor, error) { return targetcache.NewPathBudget(budgetBytes) },
+		func() (bpred.IndirectPredictor, error) { return targetcache.NewPatternBudget(budgetBytes) },
+		func() (bpred.IndirectPredictor, error) {
+			return vlp.NewIndirect(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
+		},
+		func() (bpred.IndirectPredictor, error) {
+			prof, err := s.Profile(bench, true, k)
+			if err != nil {
+				return nil, err
+			}
+			return vlp.NewIndirect(budgetBytes, prof.Selector(), vlp.Options{})
+		},
+	}
+}
+
+// suiteFixedLength resolves the suite-wide tuned fixed length for a
+// class and index width: tuned over the *whole* suite's profile inputs
+// (§5.1), not just one figure's benchmark half.
+func (s *Suite) suiteFixedLength(indirect bool, k uint) (int, error) {
+	all, err := s.benches(workload.All())
+	if err != nil {
+		return 0, err
+	}
+	return s.SuiteFixedLength(all, indirect, k)
+}
+
 // condComparison produces the gshare / fixed length path / variable length
 // path comparison of Figures 5-6 for the given benchmarks and hardware
-// budget.
+// budget: one engine cell per benchmark, executed as a plan.
 func (s *Suite) condComparison(ctx context.Context, bs []*workload.Benchmark, budgetBytes int) (*BenchSeries, error) {
 	bs, err := s.benches(bs)
 	if err != nil {
 		return nil, err
 	}
 	k := condK(budgetBytes)
-	// The fixed length is tuned over the *whole* suite's profile inputs
-	// (§5.1), not just the figure's half.
-	all, err := s.benches(workload.All())
-	if err != nil {
-		return nil, err
-	}
-	fixedLen, err := s.SuiteFixedLength(all, false, k)
+	fixedLen, err := s.suiteFixedLength(false, k)
 	if err != nil {
 		return nil, err
 	}
@@ -110,30 +146,20 @@ func (s *Suite) condComparison(ctx context.Context, bs []*workload.Benchmark, bu
 		Rates:      newRates(3, len(bs)),
 	}
 	id := fmt.Sprintf("compare-cond-%d", budgetBytes)
-	err = sim.ForEach(ctx, len(bs), func(i int) error {
-		b := bs[i]
-		prof, err := s.Profile(b.Name(), false, k)
-		if err != nil {
-			return err
-		}
-		pct, err := s.CondColumn(ctx, id, b.Name(), []CondCell{
-			func() (bpred.CondPredictor, error) { return gshare.New(budgetBytes) },
-			func() (bpred.CondPredictor, error) {
-				return vlp.NewCond(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
-			},
-			func() (bpred.CondPredictor, error) {
-				return vlp.NewCond(budgetBytes, prof.Selector(), vlp.Options{})
-			},
-		})
-		if err != nil {
-			return err
-		}
+	plan := engine.NewPlan()
+	for _, b := range bs {
+		plan.Cond(b.Name(), id, s.condCompareCells(b.Name(), budgetBytes, fixedLen, k))
+	}
+	cols, err := s.eng.Execute(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	for i := range bs {
 		for p := range out.Predictors {
-			out.Rates[p][i] = pct[p]
+			out.Rates[p][i] = cols[i][p]
 		}
-		return nil
-	})
-	return out, err
+	}
+	return out, nil
 }
 
 // indirectComparison produces the Chang-Hao-Patt path & pattern versus
@@ -144,11 +170,7 @@ func (s *Suite) indirectComparison(ctx context.Context, bs []*workload.Benchmark
 		return nil, err
 	}
 	k := indK(budgetBytes)
-	all, err := s.benches(workload.All())
-	if err != nil {
-		return nil, err
-	}
-	fixedLen, err := s.SuiteFixedLength(all, true, k)
+	fixedLen, err := s.suiteFixedLength(true, k)
 	if err != nil {
 		return nil, err
 	}
@@ -160,31 +182,20 @@ func (s *Suite) indirectComparison(ctx context.Context, bs []*workload.Benchmark
 		Rates:      newRates(4, len(bs)),
 	}
 	id := fmt.Sprintf("compare-ind-%d", budgetBytes)
-	err = sim.ForEach(ctx, len(bs), func(i int) error {
-		b := bs[i]
-		prof, err := s.Profile(b.Name(), true, k)
-		if err != nil {
-			return err
-		}
-		pct, err := s.IndirectColumn(ctx, id, b.Name(), []IndirectCell{
-			func() (bpred.IndirectPredictor, error) { return targetcache.NewPathBudget(budgetBytes) },
-			func() (bpred.IndirectPredictor, error) { return targetcache.NewPatternBudget(budgetBytes) },
-			func() (bpred.IndirectPredictor, error) {
-				return vlp.NewIndirect(budgetBytes, vlp.Fixed{L: fixedLen}, vlp.Options{})
-			},
-			func() (bpred.IndirectPredictor, error) {
-				return vlp.NewIndirect(budgetBytes, prof.Selector(), vlp.Options{})
-			},
-		})
-		if err != nil {
-			return err
-		}
+	plan := engine.NewPlan()
+	for _, b := range bs {
+		plan.Indirect(b.Name(), id, s.indCompareCells(b.Name(), budgetBytes, fixedLen, k))
+	}
+	cols, err := s.eng.Execute(ctx, plan)
+	if err != nil {
+		return nil, err
+	}
+	for i := range bs {
 		for p := range out.Predictors {
-			out.Rates[p][i] = pct[p]
+			out.Rates[p][i] = cols[i][p]
 		}
-		return nil
-	})
-	return out, err
+	}
+	return out, nil
 }
 
 func names(bs []*workload.Benchmark) []string {

@@ -1,0 +1,27 @@
+package experiments
+
+import "fmt"
+
+// NotFoundError reports a result-accessor lookup — a predictor name, a
+// benchmark, a sweep size — that matched nothing in the artifact.
+// Callers detect it with errors.As to distinguish "this artifact has no
+// such series" from measurement failures.
+type NotFoundError struct {
+	Kind string // what was looked up: "predictor", "benchmark", "size"
+	Key  string // the key that missed
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("experiments: no %s %q in result", e.Kind, e.Key)
+}
+
+// index returns the position of want in ss, or -1. Accessor scans use
+// it so lookups stop at the first match instead of walking every entry.
+func index(ss []string, want string) int {
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	return -1
+}

@@ -41,8 +41,12 @@ func TestRegistryComplete(t *testing.T) {
 	if _, err := Find("fig5"); err != nil {
 		t.Error(err)
 	}
+	// The unknown-id error must name the id the caller asked for —
+	// cmd/paperrepro and the sweep coordinator surface it verbatim.
 	if _, err := Find("nonesuch"); err == nil {
 		t.Error("Find accepted unknown id")
+	} else if !strings.Contains(err.Error(), `unknown experiment "nonesuch"`) {
+		t.Errorf("Find error %q does not name the unknown id", err)
 	}
 }
 

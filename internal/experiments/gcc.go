@@ -7,7 +7,8 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/bpred/gshare"
 	"repro/internal/bpred/targetcache"
-	"repro/internal/sim"
+	"repro/internal/engine"
+	"repro/internal/engine/pool"
 	"repro/internal/tablefmt"
 	"repro/internal/textplot"
 	"repro/internal/vlp"
@@ -25,19 +26,19 @@ type SweepResult struct {
 
 // Rate returns the percentage for a (predictor, size) pair.
 func (r *SweepResult) Rate(predictor string, sizeBytes int) (float64, error) {
-	pi, si := -1, -1
-	for i, p := range r.Predictors {
-		if p == predictor {
-			pi = i
-		}
+	pi := index(r.Predictors, predictor)
+	if pi < 0 {
+		return 0, &NotFoundError{Kind: "predictor", Key: predictor}
 	}
+	si := -1
 	for i, s := range r.SizesBytes {
 		if s == sizeBytes {
 			si = i
+			break
 		}
 	}
-	if pi < 0 || si < 0 {
-		return 0, fmt.Errorf("experiments: no rate for (%s, %d bytes)", predictor, sizeBytes)
+	if si < 0 {
+		return 0, &NotFoundError{Kind: "size", Key: fmt.Sprintf("%d bytes", sizeBytes)}
 	}
 	return r.Rates[pi][si], nil
 }
@@ -73,38 +74,29 @@ func kbLabels(sizes []int) []string {
 	return out
 }
 
-// Figure9 reproduces the paper's Figure 9: gcc conditional branch
-// misprediction versus predictor size (1 KB to 256 KB) for gshare, the
-// fixed length path predictor (suite-wide length), the per-benchmark
-// tuned fixed length path predictor, and the variable length path
-// predictor.
-func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
+// figure9Cells builds Figure 9's column: the whole (size, predictor)
+// grid — gshare, suite fixed length, tuned fixed length, and VLP at
+// every conditional sweep size — fused into one pass over gcc's test
+// trace. The per-size profiling artifacts warm in parallel first; the
+// many fixed-length cells at each size then share one path history
+// inside the kernel, which is where the sweep's speedup comes from.
+func (s *Suite) figure9Cells(ctx context.Context) ([]CondCell, error) {
 	const bench = "gcc"
 	all, err := s.benches(workload.All())
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{
-		Benchmark:  bench,
-		Predictors: []string{"gshare", "fixed length path", "fixed length path (tuned)", "variable length path"},
+	sizes := make([]int, len(CondSizesKB))
+	for i, kb := range CondSizesKB {
+		sizes[i] = kb * 1024
 	}
-	for _, kb := range CondSizesKB {
-		res.SizesBytes = append(res.SizesBytes, kb*1024)
-	}
-	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
-
-	// Warm the per-size profiling artifacts in parallel, then replay the
-	// whole grid — every (size, predictor) cell — as one fused column
-	// over gcc's test trace. The many fixed-length cells at each size
-	// share one path history inside the kernel, which is where the
-	// sweep's speedup comes from.
 	type sizing struct {
 		suiteLen, tunedLen int
 		sel                vlp.Selector
 	}
-	sizings := make([]sizing, len(res.SizesBytes))
-	err = sim.ForEach(ctx, len(res.SizesBytes), func(i int) error {
-		k := condK(res.SizesBytes[i])
+	sizings := make([]sizing, len(sizes))
+	err = pool.ForEach(ctx, len(sizes), func(i int) error {
+		k := condK(sizes[i])
 		var err error
 		if sizings[i].suiteLen, err = s.SuiteFixedLength(all, false, k); err != nil {
 			return err
@@ -123,8 +115,8 @@ func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 	var cells []CondCell
-	for i := range res.SizesBytes {
-		budget, sz := res.SizesBytes[i], sizings[i]
+	for i := range sizes {
+		budget, sz := sizes[i], sizings[i]
 		cells = append(cells,
 			func() (bpred.CondPredictor, error) { return gshare.New(budget) },
 			func() (bpred.CondPredictor, error) {
@@ -135,6 +127,29 @@ func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
 			},
 			func() (bpred.CondPredictor, error) { return vlp.NewCond(budget, sz.sel, vlp.Options{}) },
 		)
+	}
+	return cells, nil
+}
+
+// Figure9 reproduces the paper's Figure 9: gcc conditional branch
+// misprediction versus predictor size (1 KB to 256 KB) for gshare, the
+// fixed length path predictor (suite-wide length), the per-benchmark
+// tuned fixed length path predictor, and the variable length path
+// predictor.
+func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
+	const bench = "gcc"
+	res := &SweepResult{
+		Benchmark:  bench,
+		Predictors: []string{"gshare", "fixed length path", "fixed length path (tuned)", "variable length path"},
+	}
+	for _, kb := range CondSizesKB {
+		res.SizesBytes = append(res.SizesBytes, kb*1024)
+	}
+	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
+
+	cells, err := s.figure9Cells(ctx)
+	if err != nil {
+		return nil, err
 	}
 	pct, err := s.CondColumn(ctx, "fig9", bench, cells)
 	if err != nil {
@@ -157,29 +172,23 @@ func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
 // misprediction versus predictor size (0.5 KB to 32 KB) for the Chang,
 // Hao and Patt path and pattern caches and the fixed, tuned-fixed, and
 // variable length path predictors.
-func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
+// figure10Cells builds Figure 10's fused indirect column, same shape as
+// figure9Cells: warm the per-size artifacts in parallel, then lay the
+// whole (size, predictor) grid out as one column.
+func (s *Suite) figure10Cells(ctx context.Context) ([]IndirectCell, error) {
 	const bench = "gcc"
 	all, err := s.benches(workload.All())
 	if err != nil {
 		return nil, err
 	}
-	res := &SweepResult{
-		Benchmark: bench,
-		Predictors: []string{"path (Chang, Hao, and Patt)", "pattern (Chang, Hao, and Patt)",
-			"fixed length path", "fixed length path (tuned)", "variable length path"},
-		SizesBytes: append([]int(nil), IndSizesBytes...),
-	}
-	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
-
-	// Same shape as Figure9: warm the per-size artifacts in parallel,
-	// then replay the whole grid as one fused indirect column.
+	sizes := append([]int(nil), IndSizesBytes...)
 	type sizing struct {
 		suiteLen, tunedLen int
 		sel                vlp.Selector
 	}
-	sizings := make([]sizing, len(res.SizesBytes))
-	err = sim.ForEach(ctx, len(res.SizesBytes), func(i int) error {
-		k := indK(res.SizesBytes[i])
+	sizings := make([]sizing, len(sizes))
+	err = pool.ForEach(ctx, len(sizes), func(i int) error {
+		k := indK(sizes[i])
 		var err error
 		if sizings[i].suiteLen, err = s.SuiteFixedLength(all, true, k); err != nil {
 			return err
@@ -198,8 +207,8 @@ func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 	var cells []IndirectCell
-	for i := range res.SizesBytes {
-		budget, sz := res.SizesBytes[i], sizings[i]
+	for i := range sizes {
+		budget, sz := sizes[i], sizings[i]
 		cells = append(cells,
 			func() (bpred.IndirectPredictor, error) { return targetcache.NewPathBudget(budget) },
 			func() (bpred.IndirectPredictor, error) { return targetcache.NewPatternBudget(budget) },
@@ -213,6 +222,23 @@ func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
 				return vlp.NewIndirect(budget, sz.sel, vlp.Options{})
 			},
 		)
+	}
+	return cells, nil
+}
+
+func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
+	const bench = "gcc"
+	res := &SweepResult{
+		Benchmark: bench,
+		Predictors: []string{"path (Chang, Hao, and Patt)", "pattern (Chang, Hao, and Patt)",
+			"fixed length path", "fixed length path (tuned)", "variable length path"},
+		SizesBytes: append([]int(nil), IndSizesBytes...),
+	}
+	res.Rates = newRates(len(res.Predictors), len(res.SizesBytes))
+
+	cells, err := s.figure10Cells(ctx)
+	if err != nil {
+		return nil, err
 	}
 	pct, err := s.IndirectColumn(ctx, "fig10", bench, cells)
 	if err != nil {
@@ -231,6 +257,37 @@ func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
 	}, nil
 }
 
+// headlineCondCells is the abstract's conditional column: gshare vs the
+// profiled VLP at a 4 KB budget on gcc.
+func (s *Suite) headlineCondCells() []CondCell {
+	return []CondCell{
+		func() (bpred.CondPredictor, error) { return gshare.New(4 * 1024) },
+		func() (bpred.CondPredictor, error) {
+			prof, err := s.Profile("gcc", false, condK(4*1024))
+			if err != nil {
+				return nil, err
+			}
+			return vlp.NewCond(4*1024, prof.Selector(), vlp.Options{})
+		},
+	}
+}
+
+// headlineIndCells is the abstract's indirect column: the Chang-Hao-Patt
+// caches vs the profiled VLP at 512 bytes on gcc.
+func (s *Suite) headlineIndCells() []IndirectCell {
+	return []IndirectCell{
+		func() (bpred.IndirectPredictor, error) { return targetcache.NewPathBudget(512) },
+		func() (bpred.IndirectPredictor, error) { return targetcache.NewPatternBudget(512) },
+		func() (bpred.IndirectPredictor, error) {
+			prof, err := s.Profile("gcc", true, indK(512))
+			if err != nil {
+				return nil, err
+			}
+			return vlp.NewIndirect(512, prof.Selector(), vlp.Options{})
+		},
+	}
+}
+
 // HeadlineResult carries the paper's abstract numbers: gcc conditional at
 // a 4 KB budget (VLP vs gshare) and gcc indirect at 512 bytes (VLP vs the
 // best competing predictor).
@@ -247,33 +304,17 @@ func (s *Suite) Headline(ctx context.Context) (*Report, error) {
 	const bench = "gcc"
 	res := &HeadlineResult{}
 
-	prof, err := s.Profile(bench, false, condK(4*1024))
+	// Both headline columns go into one plan, so the conditional and
+	// indirect replays run concurrently under the engine's pool.
+	plan := engine.NewPlan()
+	plan.Cond(bench, "headline-cond", s.headlineCondCells())
+	plan.Indirect(bench, "headline-ind", s.headlineIndCells())
+	cols, err := s.eng.Execute(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
-	cond, err := s.CondColumn(ctx, "headline-cond", bench, []CondCell{
-		func() (bpred.CondPredictor, error) { return gshare.New(4 * 1024) },
-		func() (bpred.CondPredictor, error) { return vlp.NewCond(4*1024, prof.Selector(), vlp.Options{}) },
-	})
-	if err != nil {
-		return nil, err
-	}
+	cond, ind := cols[0], cols[1]
 	res.CondGshare, res.CondVLP = cond[0], cond[1]
-
-	iprof, err := s.Profile(bench, true, indK(512))
-	if err != nil {
-		return nil, err
-	}
-	ind, err := s.IndirectColumn(ctx, "headline-ind", bench, []IndirectCell{
-		func() (bpred.IndirectPredictor, error) { return targetcache.NewPathBudget(512) },
-		func() (bpred.IndirectPredictor, error) { return targetcache.NewPatternBudget(512) },
-		func() (bpred.IndirectPredictor, error) {
-			return vlp.NewIndirect(512, iprof.Selector(), vlp.Options{})
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
 	res.IndBestCompeting, res.IndBestCompetingName = ind[0], "path"
 	if ind[1] < ind[0] {
 		res.IndBestCompeting, res.IndBestCompetingName = ind[1], "pattern"

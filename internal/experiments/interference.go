@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/bpred"
 	"repro/internal/bpred/gshare"
-	"repro/internal/sim"
+	"repro/internal/engine/pool"
 	"repro/internal/stats"
 	"repro/internal/tablefmt"
 	"repro/internal/trace"
@@ -44,7 +44,7 @@ func (s *Suite) AblationInterference(ctx context.Context) (*Report, error) {
 		Benchmarks: ablationBenches,
 		Rows:       make([][]vlp.MissBreakdown, len(ablationBenches)),
 	}
-	err = sim.ForEach(ctx, len(res.Benchmarks), func(i int) error {
+	err = pool.ForEach(ctx, len(res.Benchmarks), func(i int) error {
 		bench := res.Benchmarks[i]
 		test, err := s.TestSource(bench)
 		if err != nil {
@@ -117,7 +117,7 @@ func (s *Suite) AblationStability(ctx context.Context) (*Report, error) {
 		GshareRates: make([]float64, inputs),
 		VLPRates:    make([]float64, inputs),
 	}
-	err = sim.ForEach(ctx, inputs, func(i int) error {
+	err = pool.ForEach(ctx, inputs, func(i int) error {
 		// Inputs 0 and 2..5: skip 1, which is the profiling input.
 		input := uint64(i)
 		if input >= 1 {

@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
-	"repro/internal/sim"
+	"repro/internal/engine/pool"
 	"repro/internal/tablefmt"
 )
 
@@ -32,7 +32,7 @@ func (s *Suite) AblationPathInfo(ctx context.Context) (*Report, error) {
 	res := &PathInfoResult{Benchmarks: ablationBenches}
 	res.Weight = make([][]float64, len(res.Benchmarks))
 	res.MeanAcc = make([][]float64, len(res.Benchmarks))
-	err := sim.ForEach(ctx, len(res.Benchmarks), func(i int) error {
+	err := pool.ForEach(ctx, len(res.Benchmarks), func(i int) error {
 		src, err := s.TestSource(res.Benchmarks[i])
 		if err != nil {
 			return err

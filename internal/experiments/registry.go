@@ -3,8 +3,8 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
 
+	"repro/internal/engine/pool"
 	"repro/internal/obs"
 	"repro/internal/runx"
 )
@@ -38,9 +38,9 @@ type Entry struct {
 // the body swallowed it.
 func (e Entry) RunMeasured(ctx context.Context, s *Suite) (*Report, error) {
 	span := obs.StartSpan()
-	// Experiments fan their (predictor, benchmark) jobs out through
-	// sim.ForEach; GOMAXPROCS is the pool's ceiling.
-	span.SetWorkers(runtime.GOMAXPROCS(0))
+	// Experiments fan their (trace, column) cells out through the
+	// engine's pool; pool.Cap is the process-wide ceiling.
+	span.SetWorkers(pool.Cap())
 	var rep *Report
 	err := runx.Safe(func() error {
 		var err error

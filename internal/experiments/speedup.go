@@ -7,8 +7,8 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/bpred/gshare"
 	"repro/internal/bpred/targetcache"
+	"repro/internal/engine/pool"
 	"repro/internal/pipeline"
-	"repro/internal/sim"
 	"repro/internal/tablefmt"
 	"repro/internal/vlp"
 )
@@ -41,7 +41,7 @@ func (s *Suite) AblationSpeedup(ctx context.Context) (*Report, error) {
 		VLPMPKI:    make([]float64, len(benches)),
 		Speedup:    make([]float64, len(benches)),
 	}
-	err := sim.ForEach(ctx, len(benches), func(i int) error {
+	err := pool.ForEach(ctx, len(benches), func(i int) error {
 		bench := benches[i]
 		mk := func(cond bpred.CondPredictor, ind bpred.IndirectPredictor) (pipeline.Result, error) {
 			src, err := s.TestSource(bench)
@@ -110,28 +110,7 @@ func (s *Suite) AblationSpeedup(ctx context.Context) (*Report, error) {
 // fewer hash-number bits: the full profiled number, a coarse bucket hint
 // refined by hardware, and no hint at all (pure hardware selection).
 func (s *Suite) AblationISABits(ctx context.Context) (*Report, error) {
-	const budget = 16 * 1024
-	k := condK(budget)
-	res, err := s.runCondVariants(ctx, "ablation-isabits", ablationBenches,
-		[]string{"full number (5 bits)", "bucket hint + hw refine (2 bits)", "hardware only (0 bits)"},
-		func(v int, bench string) (bpred.CondPredictor, error) {
-			switch v {
-			case 0:
-				prof, err := s.Profile(bench, false, k)
-				if err != nil {
-					return nil, err
-				}
-				return vlp.NewCond(budget, prof.Selector(), vlp.Options{})
-			case 1:
-				prof, err := s.Profile(bench, false, k)
-				if err != nil {
-					return nil, err
-				}
-				return vlp.NewCoarseCond(budget, nil, prof.Lengths, prof.Default, 12)
-			default:
-				return vlp.NewDynCond(budget, nil, 12, 4)
-			}
-		})
+	res, err := s.runCondGrid(ctx, "ablation-isabits")
 	if err != nil {
 		return nil, err
 	}

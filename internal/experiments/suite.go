@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bpred"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/trace"
@@ -120,13 +121,17 @@ func getFlight[K comparable, V any](mu *sync.Mutex, m map[K]*flight[V], key K) *
 type Suite struct {
 	Cfg Config
 
+	// eng is the suite's execution engine: every column replay — the
+	// unit of grid work — is scheduled through it, which owns per-cell
+	// memoization, strategy choice (fused / per-cell oracle /
+	// checkpointed segmented), and the worker pool for plan fan-out.
+	eng *engine.Engine
+
 	mu        sync.Mutex
 	profBufs  map[string]*flight[[]trace.Record]
 	testBufs  map[string]*flight[[]trace.Record]
 	step1     map[cacheKey]*flight[profile.Step1Result]
 	profiles  map[cacheKey]*flight[*profile.Profile]
-	condCols  map[columnKey]*flight[[]float64]
-	indCols   map[columnKey]*flight[[]float64]
 	benchmark map[string]*workload.Benchmark
 	// skipped maps benchmark name → why its trace could not be
 	// ingested. Sweep experiments drop skipped benchmarks (benches);
@@ -136,15 +141,10 @@ type Suite struct {
 	// Cache-miss counters: how many times each artifact class was
 	// actually computed rather than served from a flight. The
 	// singleflight concurrency tests pin these to one per key.
+	// (Column replays are counted by the engine, see ComputedColumns.)
 	computedRecords  atomic.Int64
 	computedStep1    atomic.Int64
 	computedProfiles atomic.Int64
-	computedColumns  atomic.Int64
-
-	// resumedRecords counts records that column replays did NOT replay
-	// because a checkpoint in Cfg.SnapDir covered them — the work a
-	// dead worker's requeued cell saved. The resume tests pin it.
-	resumedRecords atomic.Int64
 }
 
 type cacheKey struct {
@@ -153,27 +153,29 @@ type cacheKey struct {
 	k        uint
 }
 
-// columnKey identifies a memoized fused-column replay: the benchmark
-// whose test trace is replayed plus the column's content id.
-type columnKey struct {
-	bench string
-	id    string
-}
-
 // NewSuite returns an empty-cached suite.
 func NewSuite(cfg Config) *Suite {
-	return &Suite{
+	s := &Suite{
 		Cfg:       cfg,
 		profBufs:  map[string]*flight[[]trace.Record]{},
 		testBufs:  map[string]*flight[[]trace.Record]{},
 		step1:     map[cacheKey]*flight[profile.Step1Result]{},
 		profiles:  map[cacheKey]*flight[*profile.Profile]{},
-		condCols:  map[columnKey]*flight[[]float64]{},
-		indCols:   map[columnKey]*flight[[]float64]{},
 		benchmark: map[string]*workload.Benchmark{},
 		skipped:   map[string]string{},
 	}
+	s.eng = engine.New(engine.Config{
+		Source:  s.TestSource,
+		PerCell: cfg.PerCell,
+		SnapDir: cfg.SnapDir,
+	})
+	return s
 }
+
+// Engine exposes the suite's execution engine, the submission surface
+// for cell jobs (the sweep service's /v1/jobs cell path) and for the
+// CLI's scheduling counters.
+func (s *Suite) Engine() *engine.Engine { return s.eng }
 
 // ComputeCounts reports how many trace generations, step-1 sweeps, and
 // two-step profiles the suite has actually executed (cache misses, not
@@ -185,14 +187,14 @@ func (s *Suite) ComputeCounts() (records, step1, profiles int64) {
 
 // ResumedRecords reports how many records column replays skipped by
 // resuming from checkpoints in Cfg.SnapDir.
-func (s *Suite) ResumedRecords() int64 { return s.resumedRecords.Load() }
+func (s *Suite) ResumedRecords() int64 { return s.eng.Counters().ResumedRecords }
 
-// ComputedColumns reports how many fused column replays the suite has
+// ComputedColumns reports how many column replays the engine has
 // actually executed (cache misses, not lookups). Experiments that ask
 // for the same (benchmark, column id) — the CLI rendering an artifact a
 // service job already computed, say — share one replay.
 func (s *Suite) ComputedColumns() int64 {
-	return s.computedColumns.Load()
+	return s.eng.Counters().Executed
 }
 
 // primeTestRecords installs pre-ingested test-trace records for a

@@ -4,7 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/engine/pool"
 	"repro/internal/tablefmt"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -33,7 +33,7 @@ func (s *Suite) Table1(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 	res := &Table1Result{Rows: make([]Table1Row, len(bs))}
-	err = sim.ForEach(ctx, len(bs), func(i int) error {
+	err = pool.ForEach(ctx, len(bs), func(i int) error {
 		src, err := s.TestSource(bs[i].Name())
 		if err != nil {
 			return err
@@ -98,7 +98,7 @@ func (s *Suite) Table2(ctx context.Context) (*Report, error) {
 		jobs = append(jobs, job{b, true})
 	}
 	lengths := make([]int, len(jobs))
-	err = sim.ForEach(ctx, len(jobs), func(i int) error {
+	err = pool.ForEach(ctx, len(jobs), func(i int) error {
 		j := jobs[i]
 		k := condK(j.bytes)
 		if j.indirect {

@@ -86,7 +86,7 @@ type RunMetrics struct {
 	GCCycles uint32 `json:"gc_cycles"`
 	// Workers is the size of the worker pool the region may have
 	// fanned out over: 1 for a plain simulation run, the pool ceiling
-	// for experiment sweeps driven through sim.ForEach.
+	// for experiment sweeps driven through pool.ForEach.
 	Workers int `json:"workers"`
 }
 

@@ -24,8 +24,8 @@ import (
 	"repro/internal/arch"
 	"repro/internal/bpred"
 	"repro/internal/bpred/counter"
+	"repro/internal/engine/pool"
 	"repro/internal/obs"
-	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vlp"
 )
@@ -190,7 +190,8 @@ func Indirect(src trace.Source, cfg Config) (*Profile, Step1Result, error) {
 //     instead of touching a map per dynamic branch;
 //   - step 1's per-candidate predictors are independent by construction
 //     (private tables, private THB replay), so the candidate set is
-//     sharded across a sim.PoolSize worker pool, each worker replaying
+//     sharded across the engine's worker pool (engine/pool), each worker
+//     replaying
 //     the shared record slice against its private table subset.
 
 // asRecords exposes the record slice behind src, materialising non-buffer
@@ -327,7 +328,7 @@ func step1Flat(recs []trace.Record, recIDs []int32, numPCs int, indirect bool, k
 		kernel = step1IndirectKernel
 	}
 	w := len(lengths)
-	workers := sim.PoolSize(w)
+	workers := pool.Size(w)
 	if workers <= 1 {
 		return kernel(recs, recIDs, numPCs, k, n, lengths)
 	}
@@ -343,7 +344,7 @@ func step1Flat(recs []trace.Record, recIDs []int32, numPCs int, indirect bool, k
 			shards = append(shards, shard{off: lo, sub: lengths[lo:hi]})
 		}
 	}
-	if err := sim.ForEach(context.Background(), len(shards), func(i int) error {
+	if err := pool.ForEach(context.Background(), len(shards), func(i int) error {
 		s := &shards[i]
 		var err error
 		s.counts, s.correct, err = kernel(recs, recIDs, numPCs, k, n, s.sub)

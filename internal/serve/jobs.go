@@ -9,25 +9,44 @@ import (
 	"time"
 )
 
-// JobRequest is the body of POST /v1/jobs: one experiment cell of a
-// distributed sweep — a named experiment at a given suite scale. The
-// scale fields pin the deterministic workload, so every worker given
-// the same cell produces the same artifact (the property the dist
-// coordinator's byte-identity assertion rests on).
+// JobRequest is the body of POST /v1/jobs: one unit of a distributed
+// sweep at a given suite scale. The unit is either a whole experiment
+// (Exp) or a single engine cell (Cell, the canonical
+// "class|trace|column-id" key) — exactly one must be set. The scale
+// fields pin the deterministic workload, so every worker given the same
+// job produces the same artifact (the property the dist coordinator's
+// byte-identity assertion rests on).
 type JobRequest struct {
 	// Exp is the experiment ID ("headline", "fig9", "ablation-ras", ...).
-	Exp string `json:"exp"`
+	Exp string `json:"exp,omitempty"`
+	// Cell is an engine cell key ("cond|gcc|fig9"): one (trace, column)
+	// replay instead of a whole experiment. The worker resolves it
+	// through the experiment grid registry and answers with the raw
+	// rates; the coordinator uses cell jobs to pre-warm columns shared
+	// between experiments.
+	Cell string `json:"cell,omitempty"`
 	// BaseRecords is the suite base trace length (0 = suite default).
 	BaseRecords int `json:"base_records,omitempty"`
 	// ProfileRecords is the profile input length (0 = BaseRecords).
 	ProfileRecords int `json:"profile_records,omitempty"`
 }
 
-// Validate rejects cells the runner cannot address.
+// Unit names the job's unit of work (the experiment id or the cell
+// key) for logs and error envelopes.
+func (r JobRequest) Unit() string {
+	if r.Cell != "" {
+		return r.Cell
+	}
+	return r.Exp
+}
+
+// Validate rejects jobs the runner cannot address.
 func (r JobRequest) Validate() error {
 	switch {
-	case r.Exp == "":
-		return fmt.Errorf("serve: job has no experiment id")
+	case r.Exp == "" && r.Cell == "":
+		return fmt.Errorf("serve: job has neither an experiment id nor a cell key")
+	case r.Exp != "" && r.Cell != "":
+		return fmt.Errorf("serve: job must set exactly one of exp and cell, got both %q and %q", r.Exp, r.Cell)
 	case r.BaseRecords < 0 || r.ProfileRecords < 0:
 		return fmt.Errorf("serve: job scale must not be negative (base=%d profile=%d)",
 			r.BaseRecords, r.ProfileRecords)
@@ -35,13 +54,19 @@ func (r JobRequest) Validate() error {
 	return nil
 }
 
-// JobResponse is the finished cell: the rendered text artifact and the
-// repro-bench/v1 report blob, exactly the two files the in-process
-// paperrepro path writes for the same experiment. The coordinator
-// merges these verbatim into the sweep's results directory.
+// JobResponse is the finished job. An experiment job carries the
+// rendered text artifact and the repro-bench/v1 report blob, exactly
+// the two files the in-process paperrepro path writes for the same
+// experiment — the coordinator merges these verbatim into the sweep's
+// results directory. A cell job instead answers with the echoed key
+// and the column's raw rates.
 type JobResponse struct {
-	Exp   string `json:"exp"`
-	Title string `json:"title"`
+	Exp   string `json:"exp,omitempty"`
+	Title string `json:"title,omitempty"`
+	// Cell echoes a cell job's key; Rates is its column's per-predictor
+	// misprediction percentages, in column order.
+	Cell  string    `json:"cell,omitempty"`
+	Rates []float64 `json:"rates,omitempty"`
 	// Text is the rendered table/chart — the deterministic artifact the
 	// dist smoke compares byte-for-byte against the batch path.
 	Text string `json:"text"`
@@ -129,6 +154,6 @@ func (s *Server) handleRunJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.jobsRun.Add(1)
-	s.log.Progressf("serve: job %s done in %v", req.Exp, time.Since(start).Round(time.Millisecond))
+	s.log.Progressf("serve: job %s done in %v", req.Unit(), time.Since(start).Round(time.Millisecond))
 	writeJSON(w, http.StatusOK, res)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine/pool"
 	"repro/internal/factory"
 )
 
@@ -73,13 +74,16 @@ type Limits struct {
 	DrainTimeout time.Duration
 }
 
-// DefaultLimits is the policy vlpserve starts from.
+// DefaultLimits is the policy vlpserve starts from. The worker default
+// comes from the engine's process-wide pool ceiling (engine/pool), so
+// -workers bounds the admission semaphore and the replay pools with one
+// knob; an explicit workers= limit still overrides it.
 func DefaultLimits() Limits {
 	return Limits{
 		MaxSessions:  64,
 		IdleTTL:      5 * time.Minute,
 		MaxBodyBytes: 8 << 20,
-		Workers:      8,
+		Workers:      pool.Size(8),
 		DrainTimeout: 10 * time.Second,
 	}
 }

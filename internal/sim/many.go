@@ -3,12 +3,11 @@ package sim
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/bpred"
+	"repro/internal/engine/pool"
 	"repro/internal/obs"
-	"repro/internal/runx"
 	"repro/internal/trace"
 )
 
@@ -102,7 +101,7 @@ type manyJob struct {
 // count pinned.
 //
 // When src is a *trace.Buffer and the column is large, contiguous
-// tie-runs of jobs are sharded across PoolSize workers. Each worker
+// tie-runs of jobs are sharded across the engine pool (pool.Size). Each worker
 // owns disjoint jobs and replays the shared record slice independently,
 // so there are no locks and the rates are bit-identical to a
 // single-worker pass. Other sources are replayed in a single pass
@@ -192,7 +191,7 @@ func runManyGeneric(ctx context.Context, run []manyJob, src trace.Source) {
 // after the same number of records as a canceled per-cell run.
 func runManyBuffered(ctx context.Context, run []manyJob, jobs []Job, buf *trace.Buffer) {
 	shards := shardJobs(run, jobs)
-	workers := PoolSize(len(shards))
+	workers := pool.Size(len(shards))
 	obs.RecordWorkers(workers)
 	buf.Consume(runShards(ctx, run, shards, buf.Records, workers))
 }
@@ -207,36 +206,16 @@ func runShards(ctx context.Context, run []manyJob, shards [][]manyJob, recs []tr
 		return stepBuffered(ctx, run, recs)
 	}
 	consumed := make([]int, len(shards))
-	errs := make([]error, len(shards))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				// A predictor panic must not kill the process from a
-				// kernel-internal goroutine: capture it here and
-				// re-throw on the caller's goroutine, where the usual
-				// fault boundary (runx.Safe in ForEach or the
-				// experiment driver) can classify it.
-				errs[i] = runx.Safe(func() error {
-					consumed[i] = stepBuffered(ctx, shards[i], recs)
-					return nil
-				})
-			}
-		}()
-	}
-	for i := range shards {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			panic(err)
-		}
-	}
+	// Every shard is dispatched unconditionally — a shard skipped on
+	// cancellation would leave its jobs' Result.Err nil with zero
+	// counts, masquerading as a clean run — and a predictor panic must
+	// not kill the process from a pool goroutine: pool.Fan captures it
+	// and re-throws on this goroutine, where the usual fault boundary
+	// (runx.Safe in pool.ForEach or the experiment driver) can classify
+	// it.
+	pool.Fan(workers, len(shards), func(i int) {
+		consumed[i] = stepBuffered(ctx, shards[i], recs)
+	})
 	// Workers that were canceled consumed less; mirror the generic
 	// loop's view of the stream by consuming what the furthest worker
 	// replayed (an uncanceled run consumes everything on every worker).

@@ -8,14 +8,11 @@ package sim
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/bpred"
 	"repro/internal/obs"
-	"repro/internal/runx"
 	"repro/internal/trace"
 )
 
@@ -250,75 +247,4 @@ func (r Result) WorstPCs(n int) []arch.Addr {
 		pcs = pcs[:n]
 	}
 	return pcs
-}
-
-// PoolSize returns the number of workers ForEach uses for n jobs: the
-// machine's CPU count, capped at n. The observability layer records it
-// as the Workers field of experiment metrics.
-func PoolSize(n int) int {
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	return workers
-}
-
-// ForEach runs fn(0..n-1) across a worker pool sized to the machine. The
-// experiment drivers use it to sweep predictor configurations and
-// benchmarks in parallel; each job must be self-contained (its own
-// predictor and trace source).
-//
-// ForEach is the sweep's fault boundary. A job that returns an error or
-// panics fails alone: the panic is recovered into a structured
-// *runx.PanicError, every other job still runs, and the aggregated
-// *runx.SweepError (nil when all jobs succeed) names each failed index
-// so the caller can mark those cells instead of dying. Canceling ctx
-// stops dispatching new jobs — in-flight jobs drain cleanly — and the
-// returned error then also wraps the context's error.
-func ForEach(ctx context.Context, n int, fn func(i int) error) error {
-	errs := make([]error, n)
-	run := func(i int) {
-		errs[i] = runx.Safe(func() error { return fn(i) })
-	}
-	workers := PoolSize(n)
-	obs.RecordWorkers(workers)
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return runx.NewSweepError(errs, err)
-			}
-			run(i)
-		}
-		return runx.NewSweepError(errs, ctx.Err())
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				run(i)
-			}
-		}()
-	}
-	var canceled error
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			canceled = ctx.Err()
-			break dispatch
-		}
-	}
-	close(next)
-	wg.Wait()
-	if canceled == nil {
-		// Cancellation can land after the last job was dispatched but
-		// before the workers drained; the partial in-flight results
-		// must not pass for a completed sweep.
-		canceled = ctx.Err()
-	}
-	return runx.NewSweepError(errs, canceled)
 }

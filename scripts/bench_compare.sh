@@ -22,7 +22,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 RESULTS="${RESULTS:-results}"
-BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim|BenchmarkServeEndToEnd|BenchmarkFusedSweep|BenchmarkSnapshotRoundtrip}"
+BENCHES="${BENCHES:-BenchmarkGshareLookupUpdate|BenchmarkVLPCondLookupUpdate|BenchmarkVLPIndirectLookupUpdate|BenchmarkHashSetInsert|BenchmarkHashSetDirect|BenchmarkProfilingPipeline|BenchmarkEndToEndSim|BenchmarkServeEndToEnd|BenchmarkFusedSweep|BenchmarkSnapshotRoundtrip|BenchmarkEngineDedup}"
 COUNT="${COUNT:-5}"
 BENCHTIME="${BENCHTIME:-100ms}"
 baseline="${1:-$RESULTS/bench_micro_baseline.txt}"
@@ -80,6 +80,33 @@ if grep -q '^BenchmarkSnapshotRoundtrip' "$current"; then
 		}
 	' "$current" >BENCH_snap.json
 	echo "== bench-compare: wrote BENCH_snap.json"
+fi
+
+# And for the execution engine's scheduler: BENCH_engine.json records
+# the overlapping-plans wall clock with and without cell dedup (the
+# before/after of the unified engine's cross-experiment memoization),
+# plus the measured saving in percent.
+if grep -q '^BenchmarkEngineDedup/' "$current"; then
+	awk '
+		$1 ~ /^BenchmarkEngineDedup\// && $4 == "ns/op" {
+			name = $1; sub(/-[0-9]+$/, "", name)
+			if (!(name in ns)) order[++k] = name
+			ns[name] += $3; cnt[name]++
+			al[name] += $7
+		}
+		END {
+			printf "{\n"
+			for (i = 1; i <= k; i++) {
+				name = order[i]
+				printf "  \"%s\": {\"ns_per_op\": %.0f, \"allocs_per_op\": %.0f},\n", \
+					name, ns[name] / cnt[name], al[name] / cnt[name]
+			}
+			nd = ns["BenchmarkEngineDedup/nodedup"] / cnt["BenchmarkEngineDedup/nodedup"]
+			dd = ns["BenchmarkEngineDedup/dedup"] / cnt["BenchmarkEngineDedup/dedup"]
+			printf "  \"dedup_savings_pct\": %.1f\n}\n", (nd - dd) / nd * 100
+		}
+	' "$current" >BENCH_engine.json
+	echo "== bench-compare: wrote BENCH_engine.json"
 fi
 
 if [ ! -f "$baseline" ]; then
